@@ -1,0 +1,56 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared harness for the reproduction benches.  Every bench binary follows
+/// the same shape: first print a paper-style report (the table/figure being
+/// regenerated), then run google-benchmark timings.  Binaries run standalone
+/// with no arguments.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geometry/generators.hpp"
+
+namespace dirant::bench {
+
+/// Registers a report callback executed before google-benchmark starts.
+void register_report(std::function<void()> report);
+
+/// Standard main: runs all registered reports, then google-benchmark.
+int run(int argc, char** argv);
+
+/// Monte-Carlo sweep helper: calls `body(instance_points, rng)` for
+/// `repeats` seeds on each (distribution, n) combination.
+struct SweepSpec {
+  std::vector<geom::Distribution> distributions;
+  std::vector<int> sizes;
+  int repeats = 5;
+  std::uint64_t base_seed = 20090525;  // IPDPS 2009 week, for flavour
+};
+
+void sweep(const SweepSpec& spec,
+           const std::function<void(geom::Distribution, int, std::uint64_t,
+                                    const std::vector<geom::Point>&)>& body);
+
+/// Horizontal rule + section header for report output.
+void section(const std::string& title);
+
+}  // namespace dirant::bench
+
+/// Define a report block: DIRANT_REPORT(my_report) { ...printf...; }
+#define DIRANT_REPORT(name)                                        \
+  static void name##_impl();                                       \
+  static const bool name##_registered = [] {                       \
+    ::dirant::bench::register_report(&name##_impl);                \
+    return true;                                                   \
+  }();                                                             \
+  static void name##_impl()
+
+/// Standard main for bench binaries.
+#define DIRANT_BENCH_MAIN()                                        \
+  int main(int argc, char** argv) {                                \
+    return ::dirant::bench::run(argc, argv);                       \
+  }

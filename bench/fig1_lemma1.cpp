@@ -1,0 +1,76 @@
+// Figure 1 / Lemma 1 reproduction: on the regular d-gon (the paper's
+// necessity construction) the minimum total spread that lets a degree-d hub
+// reach all d neighbours with k antennae is exactly 2*pi*(d-k)/d; on random
+// stars the optimal cover never exceeds that bound (sufficiency).
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/constants.hpp"
+#include "core/lemma1.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+using dirant::kPi;
+using dirant::kTwoPi;
+
+namespace {
+
+DIRANT_REPORT(fig1) {
+  using dirant::bench::section;
+  section("Figure 1 / Lemma 1 — necessity on the regular d-gon");
+  std::printf("d  k  bound 2pi(d-k)/d   measured-min-spread   tight?\n");
+  std::printf("----------------------------------------------------\n");
+  for (int d = 2; d <= 6; ++d) {
+    const auto targets = geom::regular_polygon(d, 1.0);
+    for (int k = 1; k <= std::min(d, 5); ++k) {
+      const auto sectors = core::lemma1_cover({0, 0}, targets, k);
+      double total = 0.0;
+      for (const auto& s : sectors) total += s.width;
+      const double bound = core::lemma1_sufficient_spread(d, k);
+      std::printf("%d  %d  %12.6f      %12.6f          %s\n", d, k, bound,
+                  total, std::abs(total - bound) < 1e-9 ? "yes" : "NO");
+    }
+  }
+
+  section("Lemma 1 sufficiency — random stars (worst spread / bound)");
+  std::printf("d  k   worst ratio over 2000 random stars (<= 1 required)\n");
+  std::printf("--------------------------------------------------------\n");
+  geom::Rng rng(4242);
+  for (int d = 2; d <= 6; ++d) {
+    for (int k = 1; k < d; ++k) {
+      double worst = 0.0;
+      for (int trial = 0; trial < 2000; ++trial) {
+        auto targets = geom::uniform_disk(d, 1.0, rng);
+        for (auto& t : targets) {
+          if (geom::norm(t) < 1e-9) t = {1.0, 0.0};
+        }
+        const auto sectors = core::lemma1_cover({0, 0}, targets, k);
+        double total = 0.0;
+        for (const auto& s : sectors) total += s.width;
+        const double bound = core::lemma1_sufficient_spread(d, k);
+        if (bound > 0.0) worst = std::max(worst, total / bound);
+      }
+      std::printf("%d  %d   %8.6f\n", d, k, worst);
+    }
+  }
+}
+
+void BM_lemma1_cover(benchmark::State& state) {
+  geom::Rng rng(7);
+  const int d = static_cast<int>(state.range(0));
+  auto targets = geom::uniform_disk(d, 1.0, rng);
+  for (auto& t : targets) {
+    if (geom::norm(t) < 1e-9) t = {1.0, 0.0};
+  }
+  for (auto _ : state) {
+    auto sectors = core::lemma1_cover({0, 0}, targets, 2);
+    benchmark::DoNotOptimize(sectors);
+  }
+}
+BENCHMARK(BM_lemma1_cover)->Arg(3)->Arg(5);
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

@@ -1,0 +1,121 @@
+// Figure 2 reproduction: the Euclidean-MST geometry the proofs rest on.
+// Fact 1: adjacent MST neighbours subtend >= pi/3; chord <= 2 sin(angle/2);
+// the triangle is empty.  Fact 2 (degree-5 vertices): consecutive angles in
+// [pi/3, 2pi/3], one-apart angles in [2pi/3, pi].
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/constants.hpp"
+#include "mst/degree5.hpp"
+#include "mst/emst.hpp"
+#include "mst/facts.hpp"
+
+namespace geom = dirant::geom;
+namespace mst = dirant::mst;
+using dirant::kPi;
+
+namespace {
+
+DIRANT_REPORT(fig2) {
+  using dirant::bench::section;
+  section("Figure 2 — Fact 1 / Fact 2 over random EMSTs");
+  std::printf(
+      "family           n    min-consec  (>=pi/3)  min-1apart  max-1apart  "
+      "(in [2pi/3,pi])  deg5  empty-tri  chordOK\n");
+  std::printf(
+      "---------------------------------------------------------------------"
+      "---------------------------------------\n");
+  dirant::bench::SweepSpec sweep;
+  sweep.distributions = {geom::kAllDistributions.begin(),
+                         geom::kAllDistributions.end()};
+  sweep.sizes = {150};
+  sweep.repeats = 4;
+
+  struct Agg {
+    double min_consec = 10.0, min_one = 10.0, max_one = 0.0;
+    int deg5 = 0, nonempty = 0, chordviol = 0, checked = 0;
+  };
+  std::map<geom::Distribution, Agg> aggs;
+  dirant::bench::sweep(sweep, [&](geom::Distribution d, int, std::uint64_t,
+                                  const std::vector<geom::Point>& pts) {
+    const auto tree = mst::degree5_emst(pts);
+    const auto st = mst::fact_stats(pts, tree, /*check_triangles=*/true);
+    auto& a = aggs[d];
+    if (st.min_consecutive > 0) {
+      a.min_consec = std::min(a.min_consec, st.min_consecutive);
+    }
+    if (st.degree5_vertices > 0) {
+      a.min_one = std::min(a.min_one, st.min_one_apart);
+      a.max_one = std::max(a.max_one, st.max_one_apart);
+    }
+    a.deg5 += st.degree5_vertices;
+    a.nonempty += st.nonempty_triangles;
+    a.chordviol += st.chord_violations;
+    a.checked += st.checked_triangles;
+  });
+  for (const auto& [d, a] : aggs) {
+    std::printf("%-15s %4d   %9.4f   %s   %9s  %9s   %s        %4d  %6d     %s\n",
+                to_string(d).c_str(), 150, a.min_consec,
+                a.min_consec >= kPi / 3 - 1e-9 ? "ok " : "NO ",
+                a.deg5 ? std::to_string(a.min_one).substr(0, 6).c_str() : "-",
+                a.deg5 ? std::to_string(a.max_one).substr(0, 6).c_str() : "-",
+                a.deg5 == 0 ||
+                        (a.min_one >= 2 * kPi / 3 - 1e-9 &&
+                         a.max_one <= kPi + 1e-9)
+                    ? "ok"
+                    : "NO",
+                a.deg5, a.nonempty, a.chordviol == 0 ? "ok" : "NO");
+  }
+  std::printf("\n(empty-tri column counts non-empty triangles — must be 0; "
+              "deg5 counts degree-5 MST vertices encountered.)\n");
+
+  section("engineered degree-5 hubs (pentagon stars)");
+  int stars_deg5 = 0;
+  double min_one = 10.0, max_one = 0.0;
+  geom::Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto pts = geom::star_with_center(5, 1.0, trial * 0.013);
+    pts = geom::perturbed(std::move(pts), 0.05, rng);
+    const auto tree = mst::degree5_emst(pts);
+    const auto st = mst::fact_stats(pts, tree, false);
+    if (st.degree5_vertices > 0) {
+      ++stars_deg5;
+      min_one = std::min(min_one, st.min_one_apart);
+      max_one = std::max(max_one, st.max_one_apart);
+    }
+  }
+  std::printf("degree-5 hubs: %d/500; one-apart angle range [%.4f, %.4f] "
+              "(theory [%.4f, %.4f])\n",
+              stars_deg5, min_one, max_one, 2 * kPi / 3, kPi);
+}
+
+void BM_emst_prim(benchmark::State& state) {
+  geom::Rng rng(11);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto t = mst::prim_emst(pts);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_emst_prim)->Arg(200)->Arg(800)->Arg(3200)->Complexity();
+
+void BM_fact_stats(benchmark::State& state) {
+  geom::Rng rng(12);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  const auto tree = mst::degree5_emst(pts);
+  for (auto _ : state) {
+    auto st = mst::fact_stats(pts, tree, false);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_fact_stats)->Arg(1000);
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

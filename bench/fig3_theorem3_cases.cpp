@@ -1,0 +1,86 @@
+// Figure 3 reproduction: the case analysis of Theorem 3 part 1 (phi = pi).
+// Regenerates the proof's case inventory as an execution histogram: how
+// often each local configuration (degrees 1-5, the degree-5 A/B split and
+// its delegations) fires, and that the radius 2 sin(2pi/9) bound holds in
+// every case.  Adversarial pentagon-star instances force the rare cases.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/constants.hpp"
+#include "core/two_antennae.hpp"
+#include "core/validate.hpp"
+#include "mst/degree5.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+using dirant::kPi;
+
+namespace {
+
+DIRANT_REPORT(fig3) {
+  using dirant::bench::section;
+  section("Figure 3 — Theorem 3.1 (phi = pi) case histogram");
+
+  core::CaseStats agg;
+  double worst_ratio = 0.0;
+  int instances = 0, strong = 0;
+
+  auto run = [&](const std::vector<geom::Point>& pts) {
+    const auto tree = dirant::mst::degree5_emst(pts);
+    const auto res = core::orient_two_antennae(pts, tree, kPi);
+    const auto cert = core::certify(pts, res, {2, kPi}, /*fast=*/true);
+    agg.merge(res.cases);
+    worst_ratio = std::max(worst_ratio, res.measured_radius / res.lmax);
+    ++instances;
+    strong += cert.strongly_connected ? 1 : 0;
+  };
+
+  dirant::bench::SweepSpec sweep;
+  sweep.distributions = {geom::kAllDistributions.begin(),
+                         geom::kAllDistributions.end()};
+  sweep.sizes = {80, 200};
+  sweep.repeats = 3;
+  dirant::bench::sweep(sweep, [&](geom::Distribution, int, std::uint64_t,
+                                  const std::vector<geom::Point>& pts) {
+    run(pts);
+  });
+  // Adversarial degree-5 hubs.
+  geom::Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto pts = geom::star_with_center(5, 1.0, trial * 0.021);
+    pts.push_back(geom::from_polar(1.9, trial * 0.021 + 0.35));
+    pts = geom::perturbed(std::move(pts), 0.07, rng);
+    run(pts);
+  }
+
+  std::printf("case label            count\n");
+  std::printf("----------------------------\n");
+  for (const auto& [label, count] : agg.counts) {
+    std::printf("%-20s %7d\n", label.c_str(), count);
+  }
+  std::printf("----------------------------\n");
+  std::printf("instances             %7d\n", instances);
+  std::printf("strongly connected    %7d\n", strong);
+  std::printf("fallback plans        %7d   (must be 0)\n", agg.fallback_plans);
+  std::printf("worst radius/lmax     %7.4f   (bound 2 sin(2pi/9) = %.4f)\n",
+              worst_ratio, 2.0 * std::sin(2.0 * kPi / 9.0));
+}
+
+void BM_theorem3_part1(benchmark::State& state) {
+  geom::Rng rng(8);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  const auto tree = dirant::mst::degree5_emst(pts);
+  for (auto _ : state) {
+    auto res = core::orient_two_antennae(pts, tree, kPi);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_theorem3_part1)->Arg(100)->Arg(1000)->Arg(4000)->Complexity();
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

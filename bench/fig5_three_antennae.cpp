@@ -1,0 +1,82 @@
+// Figure 5 reproduction: Theorem 5's construction (k = 3, zero spread,
+// range sqrt(3)).  Regenerates the figure's three cases as statistics:
+// chord counts per node degree, chord lengths <= sqrt(3) * lmax, and child
+// out-degree <= 2 at every node.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/constants.hpp"
+#include "core/three_antennae.hpp"
+#include "core/validate.hpp"
+#include "mst/degree5.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+
+namespace {
+
+DIRANT_REPORT(fig5) {
+  using dirant::bench::section;
+  section("Figure 5 — Theorem 5 construction statistics (k = 3)");
+
+  core::CaseStats agg;
+  double worst_ratio = 0.0;
+  int strong = 0, total = 0, max_antennas = 0;
+
+  auto run = [&](const std::vector<geom::Point>& pts) {
+    const auto tree = dirant::mst::degree5_emst(pts);
+    const auto res = core::orient_three_antennae(pts, tree);
+    const auto cert = core::certify(pts, res, {3, 0.0}, /*fast=*/true);
+    agg.merge(res.cases);
+    worst_ratio = std::max(worst_ratio, res.measured_radius / res.lmax);
+    max_antennas =
+        std::max(max_antennas, res.orientation.max_antennas_per_node());
+    strong += cert.strongly_connected;
+    ++total;
+  };
+
+  dirant::bench::SweepSpec sweep;
+  sweep.distributions = {geom::kAllDistributions.begin(),
+                         geom::kAllDistributions.end()};
+  sweep.sizes = {100, 250};
+  sweep.repeats = 4;
+  dirant::bench::sweep(sweep, [&](geom::Distribution, int, std::uint64_t,
+                                  const std::vector<geom::Point>& pts) {
+    run(pts);
+  });
+  geom::Rng rng(55);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto pts = geom::star_with_center(5, 1.0, trial * 0.017);
+    run(geom::perturbed(std::move(pts), 0.04, rng));
+  }
+
+  std::printf("node shape / chords   count\n");
+  std::printf("----------------------------\n");
+  for (const auto& [label, count] : agg.counts) {
+    std::printf("%-20s %7d\n", label.c_str(), count);
+  }
+  std::printf("----------------------------\n");
+  std::printf("instances             %7d\n", total);
+  std::printf("strongly connected    %7d\n", strong);
+  std::printf("max antennas/node     %7d   (k = 3)\n", max_antennas);
+  std::printf("worst radius/lmax     %7.4f   (bound sqrt(3) = %.4f)\n",
+              worst_ratio, std::sqrt(3.0));
+}
+
+void BM_theorem5(benchmark::State& state) {
+  geom::Rng rng(10);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  const auto tree = dirant::mst::degree5_emst(pts);
+  for (auto _ : state) {
+    auto res = core::orient_three_antennae(pts, tree);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_theorem5)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

@@ -1,0 +1,80 @@
+// Figure 6 reproduction: Theorem 6's construction (k = 4, zero spread,
+// range sqrt(2)) — chord statistics, out-degree <= 3, bound compliance.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/constants.hpp"
+#include "core/four_antennae.hpp"
+#include "core/validate.hpp"
+#include "mst/degree5.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+
+namespace {
+
+DIRANT_REPORT(fig6) {
+  using dirant::bench::section;
+  section("Figure 6 — Theorem 6 construction statistics (k = 4)");
+
+  core::CaseStats agg;
+  double worst_ratio = 0.0;
+  int strong = 0, total = 0, max_antennas = 0;
+
+  auto run = [&](const std::vector<geom::Point>& pts) {
+    const auto tree = dirant::mst::degree5_emst(pts);
+    const auto res = core::orient_four_antennae(pts, tree);
+    const auto cert = core::certify(pts, res, {4, 0.0}, /*fast=*/true);
+    agg.merge(res.cases);
+    worst_ratio = std::max(worst_ratio, res.measured_radius / res.lmax);
+    max_antennas =
+        std::max(max_antennas, res.orientation.max_antennas_per_node());
+    strong += cert.strongly_connected;
+    ++total;
+  };
+
+  dirant::bench::SweepSpec sweep;
+  sweep.distributions = {geom::kAllDistributions.begin(),
+                         geom::kAllDistributions.end()};
+  sweep.sizes = {100, 250};
+  sweep.repeats = 4;
+  dirant::bench::sweep(sweep, [&](geom::Distribution, int, std::uint64_t,
+                                  const std::vector<geom::Point>& pts) {
+    run(pts);
+  });
+  geom::Rng rng(66);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto pts = geom::star_with_center(5, 1.0, trial * 0.019);
+    run(geom::perturbed(std::move(pts), 0.04, rng));
+  }
+
+  std::printf("node shape / chords   count\n");
+  std::printf("----------------------------\n");
+  for (const auto& [label, count] : agg.counts) {
+    std::printf("%-20s %7d\n", label.c_str(), count);
+  }
+  std::printf("----------------------------\n");
+  std::printf("instances             %7d\n", total);
+  std::printf("strongly connected    %7d\n", strong);
+  std::printf("max antennas/node     %7d   (k = 4)\n", max_antennas);
+  std::printf("worst radius/lmax     %7.4f   (bound sqrt(2) = %.4f)\n",
+              worst_ratio, std::sqrt(2.0));
+}
+
+void BM_theorem6(benchmark::State& state) {
+  geom::Rng rng(13);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  const auto tree = dirant::mst::degree5_emst(pts);
+  for (auto _ : state) {
+    auto res = core::orient_four_antennae(pts, tree);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_theorem6)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

@@ -1,0 +1,91 @@
+// X2 — the [14] baseline audited: heuristic bottleneck cycles vs the exact
+// optimum (small n) and vs the instance lower bound (larger n).  The
+// paper's Table 1 cites a factor-2 approximation; the spider instance shows
+// why no absolute c*lmax bound can exist.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "btsp/btsp.hpp"
+#include "common/constants.hpp"
+#include "mst/emst.hpp"
+
+namespace geom = dirant::geom;
+namespace btsp = dirant::btsp;
+using dirant::kPi;
+
+namespace {
+
+DIRANT_REPORT(x2) {
+  using dirant::bench::section;
+  section("X2 — bottleneck TSP: heuristic vs exact (n <= 12)");
+  std::printf("n    instances  mean heur/opt  worst heur/opt  (factor-2 claim)\n");
+  std::printf("---------------------------------------------------------------\n");
+  for (int n : {8, 10, 12}) {
+    double sum_ratio = 0.0, worst = 0.0;
+    const int reps = 20;
+    for (int seed = 0; seed < reps; ++seed) {
+      geom::Rng rng(1000 * n + seed);
+      const auto pts = geom::uniform_square(n, std::sqrt(n) * 1.4, rng);
+      const auto exact = btsp::exact_bottleneck_cycle(pts);
+      const auto heur = btsp::heuristic_bottleneck_cycle(pts);
+      const double ratio = heur.bottleneck / exact.bottleneck;
+      sum_ratio += ratio;
+      worst = std::max(worst, ratio);
+    }
+    std::printf("%-4d    %4d      %8.4f       %8.4f\n", n, reps,
+                sum_ratio / reps, worst);
+  }
+
+  section("X2 — heuristic vs lower bound and lmax (larger n)");
+  std::printf("n     bottleneck/LB   bottleneck/lmax\n");
+  std::printf("--------------------------------------\n");
+  for (int n : {30, 60, 120}) {
+    geom::Rng rng(77 + n);
+    const auto pts = geom::uniform_square(n, std::sqrt(n) * 1.2, rng);
+    const auto heur = btsp::heuristic_bottleneck_cycle(pts);
+    const double lb = btsp::bottleneck_lower_bound(pts);
+    const double lmax = dirant::mst::prim_emst(pts).lmax();
+    std::printf("%-5d   %8.4f        %8.4f\n", n, heur.bottleneck / lb,
+                heur.bottleneck / lmax);
+  }
+
+  section("X2 — the sqrt(7) spider (no absolute c*lmax bound exists)");
+  std::vector<geom::Point> spider{{0, 0}};
+  for (int leg = 0; leg < 3; ++leg) {
+    for (int i = 1; i <= 3; ++i) {
+      spider.push_back(geom::from_polar(i, leg * 2.0 * kPi / 3.0));
+    }
+  }
+  const auto res = btsp::exact_bottleneck_cycle(spider);
+  std::printf("spider(3 legs x 3): OPT bottleneck = %.6f = %.6f x lmax "
+              "(sqrt(7) = %.6f)\n",
+              res.bottleneck, res.bottleneck / 1.0, std::sqrt(7.0));
+}
+
+void BM_btsp_exact(benchmark::State& state) {
+  geom::Rng rng(14);
+  const auto pts =
+      geom::uniform_square(static_cast<int>(state.range(0)), 4.0, rng);
+  for (auto _ : state) {
+    auto res = btsp::exact_bottleneck_cycle(pts);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_btsp_exact)->Arg(8)->Arg(11);
+
+void BM_btsp_heuristic(benchmark::State& state) {
+  geom::Rng rng(15);
+  const auto pts = geom::uniform_square(static_cast<int>(state.range(0)),
+                                        std::sqrt(state.range(0)) * 1.2, rng);
+  for (auto _ : state) {
+    auto res = btsp::heuristic_bottleneck_cycle(pts, 50000);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_btsp_heuristic)->Arg(40)->Arg(100);
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

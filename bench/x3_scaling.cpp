@@ -1,0 +1,143 @@
+// X3 — engineering scaling study: EMST engines (Prim O(n^2) vs
+// Delaunay+Kruskal), orientation algorithms, and transmission-graph
+// construction across n.  Uses the parallel harness for the Monte-Carlo
+// throughput measurement.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "delaunay/delaunay.hpp"
+#include "mst/boruvka.hpp"
+#include "mst/degree5.hpp"
+#include "mst/emst.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+namespace mst = dirant::mst;
+using dirant::kPi;
+
+namespace {
+
+DIRANT_REPORT(x3) {
+  using dirant::bench::section;
+  section("X3 — Monte-Carlo throughput with the parallel harness");
+  // How many full pipeline runs (EMST + orient k=2 + certify-fast) per
+  // second, serial vs thread pool.
+  const int instances = 24, n = 300;
+  std::vector<std::vector<geom::Point>> inputs;
+  for (int i = 0; i < instances; ++i) {
+    geom::Rng rng(9000 + i);
+    inputs.push_back(
+        geom::make_instance(geom::Distribution::kUniformSquare, n, rng));
+  }
+  auto pipeline = [&](int i) {
+    const auto tree = mst::degree5_emst(inputs[i]);
+    const auto res = core::orient_on_tree(inputs[i], tree, {2, kPi});
+    benchmark::DoNotOptimize(res.measured_radius);
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < instances; ++i) pipeline(i);
+  const auto t1 = std::chrono::steady_clock::now();
+  dirant::par::parallel_for(0, instances,
+                            [&](std::int64_t i) { pipeline(static_cast<int>(i)); });
+  const auto t2 = std::chrono::steady_clock::now();
+  const double serial =
+      std::chrono::duration<double>(t1 - t0).count();
+  const double parallel =
+      std::chrono::duration<double>(t2 - t1).count();
+  std::printf(
+      "pipeline (n=%d) x %d instances: serial %.3fs, pooled %.3fs "
+      "(%.2fx, %u threads)\n",
+      n, instances, serial, parallel, serial / std::max(parallel, 1e-9),
+      dirant::par::global_pool().thread_count());
+}
+
+void BM_emst_prim(benchmark::State& state) {
+  geom::Rng rng(20);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto t = mst::prim_emst(pts);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_emst_prim)->RangeMultiplier(4)->Range(256, 4096)->Complexity();
+
+void BM_emst_delaunay(benchmark::State& state) {
+  geom::Rng rng(21);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto t = mst::emst(pts, /*delaunay_threshold=*/1);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_emst_delaunay)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity();
+
+void BM_emst_boruvka_parallel(benchmark::State& state) {
+  geom::Rng rng(25);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto t = mst::boruvka_emst_auto(pts, /*delaunay_threshold=*/1);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_emst_boruvka_parallel)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity();
+
+void BM_delaunay_only(benchmark::State& state) {
+  geom::Rng rng(22);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto t = dirant::delaunay::triangulate(pts);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_delaunay_only)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity();
+
+void BM_transmission_fast(benchmark::State& state) {
+  geom::Rng rng(23);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  const auto res = core::orient(pts, {2, kPi});
+  for (auto _ : state) {
+    auto g = dirant::antenna::induced_digraph_fast(pts, res.orientation);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_transmission_fast)->Arg(1000)->Arg(4000);
+
+void BM_full_pipeline(benchmark::State& state) {
+  geom::Rng rng(24);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto res = core::orient(pts, {2, kPi});
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_full_pipeline)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

@@ -1,0 +1,94 @@
+// X5 — the naive cone (Yao) baseline vs the paper's constructions: for the
+// same antenna count k, how often does beaming at the nearest neighbour per
+// cone even produce a strongly connected network, and at what range?
+// Shape to verify: Yao needs k >= ~6 for reliable connectivity and pays an
+// unbounded lmax multiple in the worst case, while the paper's
+// constructions certify k as low as 2 with bounded range.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "core/yao_baseline.hpp"
+#include "graph/scc.hpp"
+#include "mst/degree5.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+using dirant::kPi;
+
+namespace {
+
+DIRANT_REPORT(x5) {
+  using dirant::bench::section;
+  section("X5 — Yao cone baseline vs guaranteed constructions");
+  std::printf("k   yao strong%%   yao worst range   paper strong%%   "
+              "paper worst range   paper regime\n");
+  std::printf(
+      "---------------------------------------------------------------------"
+      "-----------\n");
+  for (int k = 1; k <= 6; ++k) {
+    int yao_strong = 0, paper_strong = 0, total = 0;
+    double yao_worst = 0.0, paper_worst = 0.0;
+    const core::ProblemSpec spec{std::min(k, 5), 0.0};
+    const bool paper_has_regime =
+        std::min(k, 5) >= 3;  // spread-0 guarantees exist for k >= 3
+    dirant::bench::SweepSpec sweep;
+    sweep.distributions = {geom::Distribution::kUniformSquare,
+                           geom::Distribution::kClusters,
+                           geom::Distribution::kAnnulus};
+    sweep.sizes = {60, 150};
+    sweep.repeats = 3;
+    dirant::bench::sweep(sweep, [&](geom::Distribution, int, std::uint64_t s,
+                                    const std::vector<geom::Point>& pts) {
+      ++total;
+      const auto yao = core::orient_yao(pts, k, 0.001 * (s % 97));
+      const auto yg =
+          dirant::antenna::induced_digraph_fast(pts, yao.orientation);
+      if (dirant::graph::is_strongly_connected(yg)) {
+        ++yao_strong;
+        yao_worst = std::max(yao_worst, yao.measured_radius / yao.lmax);
+      }
+      if (paper_has_regime) {
+        const auto tree = dirant::mst::degree5_emst(pts);
+        const auto res = core::orient_on_tree(pts, tree, spec);
+        const auto pg =
+            dirant::antenna::induced_digraph_fast(pts, res.orientation);
+        if (dirant::graph::is_strongly_connected(pg)) ++paper_strong;
+        paper_worst =
+            std::max(paper_worst, res.measured_radius / res.lmax);
+      }
+    });
+    if (paper_has_regime) {
+      std::printf("%d     %5.1f%%        %8.3f          %5.1f%%        "
+                  "%8.3f          k=%d spread-0\n",
+                  k, 100.0 * yao_strong / total, yao_worst,
+                  100.0 * paper_strong / total, paper_worst, std::min(k, 5));
+    } else {
+      std::printf("%d     %5.1f%%        %8.3f            (no spread-0 "
+                  "guarantee below k=3)\n",
+                  k, 100.0 * yao_strong / total, yao_worst);
+    }
+  }
+  std::printf(
+      "\n(yao worst range is over *connected* instances only; disconnected\n"
+      "ones do not get a range at all — that is the point.)\n");
+}
+
+void BM_yao(benchmark::State& state) {
+  geom::Rng rng(41);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto res = core::orient_yao(pts, 6);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_yao)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

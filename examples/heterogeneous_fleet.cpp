@@ -1,0 +1,62 @@
+// heterogeneous_fleet: mixed antenna hardware.  A fleet where most sensors
+// carry 1-2 antennae and a few hubs carry 4, with per-node angular budgets;
+// the planner bidirects the MST wherever budgets allow and pinpoints the
+// sensors whose hardware falls short.
+
+#include <cstdio>
+
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "core/heterogeneous.hpp"
+#include "core/lemma1.hpp"
+#include "geometry/generators.hpp"
+#include "graph/scc.hpp"
+#include "mst/degree5.hpp"
+
+int main() {
+  namespace geom = dirant::geom;
+  namespace core = dirant::core;
+  using dirant::kPi;
+
+  geom::Rng rng(4711);
+  const auto pts = geom::uniform_square(120, 11.0, rng);
+  const auto tree = dirant::mst::degree5_emst(pts);
+  const auto deg = tree.degrees();
+
+  // Fleet: degree-proportional hardware, but a handful of nodes are
+  // under-provisioned on purpose.
+  std::vector<core::NodeBudget> budgets(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const int k = deg[i] >= 4 ? 4 : (deg[i] >= 2 ? 2 : 1);
+    budgets[i] = {k, core::lemma1_sufficient_spread(std::max(deg[i], 1), k)};
+  }
+  budgets[7] = {1, 0.3};   // broken gimbal
+  budgets[23] = {1, 0.9};  // cheap hardware
+
+  auto het = core::orient_heterogeneous(pts, tree, budgets);
+  std::printf("fleet of %zu sensors, feasible: %s\n", pts.size(),
+              het.feasible ? "yes" : "no");
+  for (size_t i = 0; i < het.deficient.size(); ++i) {
+    std::printf("  sensor %3d under-provisioned: needs %.3f rad more spread "
+                "(degree %d, k=%d, phi=%.3f)\n",
+                het.deficient[i], het.missing_spread[i],
+                deg[het.deficient[i]], budgets[het.deficient[i]].k,
+                budgets[het.deficient[i]].phi);
+  }
+
+  // Repair: grant the deficient sensors the spread they asked for.
+  for (size_t i = 0; i < het.deficient.size(); ++i) {
+    budgets[het.deficient[i]].phi += het.missing_spread[i] + 1e-9;
+  }
+  het = core::orient_heterogeneous(pts, tree, budgets);
+  std::printf("after repair, feasible: %s\n", het.feasible ? "yes" : "no");
+  if (het.feasible) {
+    const auto g =
+        dirant::antenna::induced_digraph(pts, het.result.orientation);
+    std::printf("strongly connected: %s, range %.3f = %.3f x lmax\n",
+                dirant::graph::is_strongly_connected(g) ? "yes" : "NO",
+                het.result.measured_radius,
+                het.result.measured_radius / het.result.lmax);
+  }
+  return het.feasible ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// network_sim: the ad-hoc-network view of the paper's orientations.
+// For each antenna budget, orient a 300-sensor deployment, then measure the
+// network-level consequences: flooding rounds, hop stretch vs an
+// omnidirectional deployment of equal range, interference ([19]'s model),
+// energy, and the strong-connectivity level under node failures (the
+// paper's open problem).
+
+#include <cstdio>
+
+#include "antenna/metrics.hpp"
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "geometry/generators.hpp"
+#include "sim/broadcast.hpp"
+#include "sim/energy.hpp"
+
+int main() {
+  namespace geom = dirant::geom;
+  namespace core = dirant::core;
+  namespace sim = dirant::sim;
+  using dirant::kPi;
+
+  geom::Rng rng(777);
+  const auto pts = geom::uniform_square(300, 17.0, rng);
+
+  struct Budget {
+    core::ProblemSpec spec;
+    const char* label;
+  };
+  const Budget budgets[] = {
+      {{1, 8 * kPi / 5}, "k=1 phi=8pi/5"},
+      {{2, kPi}, "k=2 phi=pi   "},
+      {{2, 2 * kPi / 3}, "k=2 phi=2pi/3"},
+      {{3, 0.0}, "k=3 phi=0    "},
+      {{4, 0.0}, "k=4 phi=0    "},
+      {{5, 0.0}, "k=5 phi=0    "},
+  };
+
+  std::printf(
+      "budget          | range    rounds  mean_hops  stretch  interf.red  "
+      "energy.save  c-level\n");
+  std::printf(
+      "----------------+---------------------------------------------------"
+      "-----------------\n");
+  for (const auto& b : budgets) {
+    const auto res = core::orient(pts, b.spec);
+    const auto g = dirant::antenna::induced_digraph_fast(pts, res.orientation);
+    const auto omni =
+        dirant::antenna::unit_disk_digraph(pts, res.measured_radius);
+    const auto fl = sim::flood(g, 0);
+    const auto st = sim::hop_stretch(g, omni, 6);
+    const auto inter = dirant::antenna::interference_stats(pts, res.orientation);
+    const auto en = sim::energy_report(res.orientation);
+    const int level = sim::strong_connectivity_level(g, 2);
+    std::printf("%s   | %6.3f   %5d   %7.2f   %6.2f   %8.2fx  %9.2fx   %d\n",
+                b.label, res.measured_radius, fl.rounds, fl.mean_hops,
+                st.mean_stretch, inter.interference_reduction,
+                en.saving_factor, level);
+    if (fl.delivery_ratio < 1.0) {
+      std::printf("!! delivery ratio %.3f — orientation broken\n",
+                  fl.delivery_ratio);
+      return 1;
+    }
+  }
+  std::printf(
+      "\nAll budgets delivered to 100%% of sensors (strong connectivity).\n"
+      "Narrower total spread costs range (Table 1) and hops, but cuts\n"
+      "interference and energy — the trade-off the paper quantifies.\n");
+  return 0;
+}

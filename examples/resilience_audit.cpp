@@ -1,0 +1,59 @@
+// resilience_audit: the paper's open problem in practice.  Audits the
+// strong-connectivity level of each construction, runs Monte-Carlo node
+// failures, and demonstrates the bidirected-bottleneck-cycle construction
+// that certifies strong 2-connectivity with k = 2 zero-spread antennae.
+
+#include <cstdio>
+
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "core/resilient.hpp"
+#include "geometry/generators.hpp"
+#include "mst/degree5.hpp"
+#include "sim/broadcast.hpp"
+
+int main() {
+  namespace geom = dirant::geom;
+  namespace core = dirant::core;
+  namespace sim = dirant::sim;
+  using dirant::kPi;
+
+  geom::Rng rng(606);
+  const auto pts = geom::uniform_square(48, 7.0, rng);
+  const auto tree = dirant::mst::degree5_emst(pts);
+
+  struct Entry {
+    const char* label;
+    core::Result res;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"k=2 tree (Thm 3.1)   ",
+                     core::orient_on_tree(pts, tree, {2, kPi})});
+  entries.push_back({"k=3 chords (Thm 5)   ",
+                     core::orient_on_tree(pts, tree, {3, 0.0})});
+  entries.push_back({"k=5 beams (folklore) ",
+                     core::orient_on_tree(pts, tree, {5, 0.0})});
+  entries.push_back({"k=2 bidirected cycle ",
+                     core::orient_bidirectional_cycle(pts, tree)});
+
+  std::printf("construction           range(xlmax)  c-level  "
+              "surviving@5%%fail  @15%%fail\n");
+  std::printf("--------------------------------------------------------------"
+              "--------\n");
+  for (const auto& e : entries) {
+    const auto g = dirant::antenna::induced_digraph(pts, e.res.orientation);
+    const int level = sim::strong_connectivity_level(g, 3);
+    const auto f5 = sim::failure_resilience(g, 0.05, 40, 1);
+    const auto f15 = sim::failure_resilience(g, 0.15, 40, 2);
+    std::printf("%s  %8.3f       %d        %5.1f%%          %5.1f%%\n",
+                e.label, e.res.measured_radius / e.res.lmax, level,
+                100.0 * f5.mean_largest_scc, 100.0 * f15.mean_largest_scc);
+  }
+  std::printf(
+      "\nTree-backed constructions certify c = 1 only (any articulation\n"
+      "sensor kills them); the bidirected bottleneck cycle certifies c = 2\n"
+      "— one answer to the paper's §5 open problem — and keeps most of the\n"
+      "network mutually reachable under random failures.\n");
+  return 0;
+}

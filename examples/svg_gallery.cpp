@@ -1,0 +1,43 @@
+// svg_gallery: renders one SVG per Table 1 regime for a small deployment —
+// the library's equivalent of the paper's construction figures.  Files are
+// written to the current directory as dirant_<algorithm>.svg.
+
+#include <cstdio>
+#include <string>
+
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "geometry/generators.hpp"
+#include "io/svg.hpp"
+#include "mst/degree5.hpp"
+
+int main() {
+  namespace geom = dirant::geom;
+  namespace core = dirant::core;
+  using dirant::kPi;
+
+  geom::Rng rng(99);
+  auto pts = geom::star_with_center(5, 1.0);
+  {
+    auto extra = geom::uniform_square(25, 6.0, rng);
+    for (auto& p : extra) pts.push_back(p + geom::Point{2.0, 2.0});
+  }
+  const auto tree = dirant::mst::degree5_emst(pts);
+
+  const core::ProblemSpec specs[] = {
+      {1, 8 * kPi / 5}, {1, kPi},        {2, kPi},
+      {2, 2 * kPi / 3}, {3, 0.0},        {4, 0.0},
+      {5, 0.0},
+  };
+  for (const auto& spec : specs) {
+    const auto res = core::orient_on_tree(pts, tree, spec);
+    const std::string name = std::string("dirant_") +
+                             core::to_string(res.algorithm) + "_k" +
+                             std::to_string(spec.k) + ".svg";
+    dirant::io::write_svg_file(name, pts, &res.orientation, &tree);
+    std::printf("wrote %-40s (radius %.3f x lmax, %d antennas)\n",
+                name.c_str(), res.measured_radius / res.lmax,
+                res.orientation.total_antennas());
+  }
+  return 0;
+}

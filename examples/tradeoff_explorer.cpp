@@ -1,0 +1,53 @@
+// tradeoff_explorer: sweeps the (k, phi) plane and prints the guaranteed
+// and measured range for each budget — an interactive view of Table 1 and
+// the Theorem 3 trade-off curve.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "core/validate.hpp"
+#include "geometry/generators.hpp"
+#include "mst/degree5.hpp"
+
+int main() {
+  namespace geom = dirant::geom;
+  namespace core = dirant::core;
+  using dirant::kPi;
+
+  geom::Rng rng(31415);
+  const auto pts = geom::uniform_square(200, 14.0, rng);
+  const auto tree = dirant::mst::degree5_emst(pts);
+  const double lmax = tree.lmax();
+  std::printf("deployment: n=%zu, lmax=%.4f\n\n", pts.size(), lmax);
+
+  std::printf("k  phi/pi  algorithm            bound(xlmax)  measured(xlmax)"
+              "  certified\n");
+  std::printf("--------------------------------------------------------------"
+              "---------\n");
+  for (int k = 1; k <= 5; ++k) {
+    for (double mult = 0.0; mult <= 1.61; mult += 0.1) {
+      const double phi = mult * kPi;
+      const core::ProblemSpec spec{k, phi};
+      const auto algo = core::planned_algorithm(spec);
+      // Keep the NP-hard BTSP regime to a sparse sample: it is slow and the
+      // result does not vary with phi.
+      if (algo == core::Algorithm::kBtspCycle && mult > 0.05) continue;
+      const auto res = core::orient_on_tree(pts, tree, spec);
+      const auto cert = core::certify(pts, res, spec, /*fast=*/true);
+      const double bound = std::isfinite(res.bound_factor)
+                               ? res.bound_factor
+                               : -1.0;
+      std::printf("%d  %5.2f   %-20s  %10.4f    %10.4f      %s\n", k, mult,
+                  core::to_string(res.algorithm), bound,
+                  res.measured_radius / lmax, cert.ok() ? "yes" : "NO");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "bound = -1 marks the heuristic BTSP regime (approximation factor 2\n"
+      "vs the optimal bottleneck cycle; no absolute lmax bound exists —\n"
+      "see the sqrt(7) spider in DESIGN.md).\n");
+  return 0;
+}

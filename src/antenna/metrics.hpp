@@ -1,0 +1,29 @@
+#pragma once
+/// \file metrics.hpp
+/// Interference and coverage metrics motivated by the paper's introduction:
+/// a directional beam of spread alpha interferes with ~alpha/2pi of the
+/// receivers an omnidirectional antenna of the same range would hit, and
+/// Yi–Pei–Kalyanaraman ([19]) credit directional transmission with a
+/// sqrt(2*pi/alpha) capacity gain.
+
+#include <span>
+
+#include "antenna/orientation.hpp"
+
+namespace dirant::antenna {
+
+struct InterferenceStats {
+  double mean_receivers_per_antenna = 0.0;  ///< nodes inside a beam, averaged
+  double max_receivers_per_antenna = 0.0;
+  double mean_receivers_omni = 0.0;  ///< same sensors, omnidirectional disk
+                                     ///< of each sensor's largest radius
+  double interference_reduction = 0.0;  ///< omni / directional (>= 1 is good)
+  double mean_spread = 0.0;             ///< average beam width (radians)
+  double capacity_gain_model = 0.0;     ///< sqrt(2*pi / mean positive spread)
+};
+
+/// Count receivers per beam and compare with omnidirectional disks.
+InterferenceStats interference_stats(std::span<const geom::Point> pts,
+                                     const Orientation& o);
+
+}  // namespace dirant::antenna

@@ -1,0 +1,39 @@
+#include "antenna/orientation.hpp"
+
+#include <algorithm>
+
+namespace dirant::antenna {
+
+double Orientation::max_radius() const {
+  double r = 0.0;
+  for (const auto& list : at_) {
+    for (const auto& s : list) r = std::max(r, s.radius);
+  }
+  return r;
+}
+
+double Orientation::spread_sum(int u) const {
+  double total = 0.0;
+  for (const auto& s : at_[u]) total += s.width;
+  return total;
+}
+
+double Orientation::max_spread_sum() const {
+  double m = 0.0;
+  for (int u = 0; u < size(); ++u) m = std::max(m, spread_sum(u));
+  return m;
+}
+
+int Orientation::max_antennas_per_node() const {
+  size_t m = 0;
+  for (const auto& list : at_) m = std::max(m, list.size());
+  return static_cast<int>(m);
+}
+
+int Orientation::total_antennas() const {
+  size_t t = 0;
+  for (const auto& list : at_) t += list.size();
+  return static_cast<int>(t);
+}
+
+}  // namespace dirant::antenna

@@ -1,0 +1,41 @@
+#pragma once
+/// \file orientation.hpp
+/// The output of every algorithm in core/: an assignment of directional
+/// antennae (sectors) to each sensor.
+
+#include <vector>
+
+#include "geometry/sector.hpp"
+
+namespace dirant::antenna {
+
+/// Per-sensor antenna assignment.
+class Orientation {
+ public:
+  explicit Orientation(int n) : at_(n) {}
+
+  int size() const { return static_cast<int>(at_.size()); }
+
+  void add(int u, const geom::Sector& s) { at_[u].push_back(s); }
+
+  const std::vector<geom::Sector>& antennas(int u) const { return at_[u]; }
+
+  /// Largest antenna radius anywhere (the "range" the paper bounds).
+  double max_radius() const;
+
+  /// Sum of spreads at sensor `u` (the paper's per-sensor angular budget).
+  double spread_sum(int u) const;
+
+  /// max_u spread_sum(u).
+  double max_spread_sum() const;
+
+  /// Largest antenna count at any sensor (must be <= the k under test).
+  int max_antennas_per_node() const;
+
+  int total_antennas() const;
+
+ private:
+  std::vector<std::vector<geom::Sector>> at_;
+};
+
+}  // namespace dirant::antenna

@@ -1,0 +1,77 @@
+#include "antenna/transmission.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "spatial/grid_index.hpp"
+
+namespace dirant::antenna {
+
+using geom::Point;
+
+graph::Digraph induced_digraph(std::span<const Point> pts,
+                               const Orientation& o, double angle_tol,
+                               double radius_tol) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT(o.size() == n);
+  graph::Digraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;
+      for (const auto& s : o.antennas(u)) {
+        if (s.contains(pts[v], angle_tol, radius_tol)) {
+          g.add_edge(u, v);
+          break;
+        }
+      }
+    }
+  }
+  return g;
+}
+
+graph::Digraph induced_digraph_fast(std::span<const Point> pts,
+                                    const Orientation& o, double angle_tol,
+                                    double radius_tol) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT(o.size() == n);
+  graph::Digraph g(n);
+  if (n == 0) return g;
+  double rmax = o.max_radius();
+  if (rmax <= 0.0) return g;
+  spatial::GridIndex grid(pts, std::max(rmax / 2.0, 1e-12));
+  std::vector<char> seen(n, 0);
+  std::vector<int> touched;
+  for (int u = 0; u < n; ++u) {
+    touched.clear();
+    for (const auto& s : o.antennas(u)) {
+      for (int v : grid.within(pts[u], s.radius + radius_tol + 1e-12, u)) {
+        if (seen[v]) continue;
+        if (s.contains(pts[v], angle_tol, radius_tol)) {
+          seen[v] = 1;
+          touched.push_back(v);
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int v : touched) {
+      g.add_edge(u, v);
+      seen[v] = 0;
+    }
+  }
+  return g;
+}
+
+graph::Digraph unit_disk_digraph(std::span<const Point> pts, double radius) {
+  const int n = static_cast<int>(pts.size());
+  graph::Digraph g(n);
+  if (n == 0 || radius <= 0.0) return g;
+  spatial::GridIndex grid(pts, std::max(radius / 2.0, 1e-12));
+  for (int u = 0; u < n; ++u) {
+    auto nb = grid.within(pts[u], radius, u);
+    std::sort(nb.begin(), nb.end());
+    for (int v : nb) g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace dirant::antenna

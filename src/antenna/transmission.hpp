@@ -1,0 +1,33 @@
+#pragma once
+/// \file transmission.hpp
+/// The induced communication digraph (paper §1.1): a directed edge (u, v)
+/// exists iff v lies within the spread and range of some antenna at u.
+/// This module knows nothing about how an orientation was constructed — it
+/// is the independent certifier the validation layer builds on.
+
+#include <span>
+
+#include "antenna/orientation.hpp"
+#include "graph/digraph.hpp"
+
+namespace dirant::antenna {
+
+/// Build the induced digraph by brute force (O(n^2 * antennas)); reference
+/// implementation used for certification.
+graph::Digraph induced_digraph(std::span<const geom::Point> pts,
+                               const Orientation& o,
+                               double angle_tol = dirant::kAngleTol,
+                               double radius_tol = dirant::kRadiusAbsTol);
+
+/// Grid-accelerated equivalent (same result; used for large instances).
+graph::Digraph induced_digraph_fast(std::span<const geom::Point> pts,
+                                    const Orientation& o,
+                                    double angle_tol = dirant::kAngleTol,
+                                    double radius_tol = dirant::kRadiusAbsTol);
+
+/// Omnidirectional reference: edge (u, v) iff dist(u, v) <= radius.
+/// Symmetric by construction; used by the simulator as a baseline.
+graph::Digraph unit_disk_digraph(std::span<const geom::Point> pts,
+                                 double radius);
+
+}  // namespace dirant::antenna

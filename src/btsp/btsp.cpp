@@ -1,0 +1,231 @@
+#include "btsp/btsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "graph/digraph.hpp"
+#include "graph/hamiltonian.hpp"
+#include "graph/traversal.hpp"
+#include "mst/emst.hpp"
+
+namespace dirant::btsp {
+
+using geom::Point;
+
+namespace {
+
+std::vector<double> sorted_unique_distances(std::span<const Point> pts) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<double> ds;
+  ds.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) ds.push_back(geom::dist(pts[i], pts[j]));
+  }
+  std::sort(ds.begin(), ds.end());
+  ds.erase(std::unique(ds.begin(), ds.end()), ds.end());
+  return ds;
+}
+
+graph::Graph threshold_graph(std::span<const Point> pts, double lambda) {
+  const int n = static_cast<int>(pts.size());
+  graph::Graph g(n);
+  const double l2 = lambda * lambda * (1.0 + 1e-12);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (geom::dist2(pts[i], pts[j]) <= l2) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+double cycle_bottleneck(std::span<const Point> pts,
+                        const std::vector<int>& order) {
+  double b = 0.0;
+  const int n = static_cast<int>(order.size());
+  for (int i = 0; i < n; ++i) {
+    b = std::max(b, geom::dist(pts[order[i]], pts[order[(i + 1) % n]]));
+  }
+  return b;
+}
+
+// Greedy nearest-neighbour cycle followed by bottleneck-targeted 2-opt.
+std::vector<int> greedy_two_opt(std::span<const Point> pts) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<char> used(n, 0);
+  int cur = 0;
+  used[0] = 1;
+  order.push_back(0);
+  for (int step = 1; step < n; ++step) {
+    int best = -1;
+    double bd = std::numeric_limits<double>::infinity();
+    for (int v = 0; v < n; ++v) {
+      if (used[v]) continue;
+      const double d = geom::dist2(pts[cur], pts[v]);
+      if (d < bd) {
+        bd = d;
+        best = v;
+      }
+    }
+    used[best] = 1;
+    order.push_back(best);
+    cur = best;
+  }
+  // 2-opt on the bottleneck: reverse segments to shrink the longest hop.
+  auto hop = [&](int i, int j) {
+    return geom::dist(pts[order[i]], pts[order[j]]);
+  };
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds < 64) {
+    improved = false;
+    ++rounds;
+    // Locate the longest hop (i, i+1).
+    int worst = 0;
+    double wl = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double d = hop(i, (i + 1) % n);
+      if (d > wl) {
+        wl = d;
+        worst = i;
+      }
+    }
+    // Try 2-opt moves (worst, j): replaces hops (worst, worst+1), (j, j+1)
+    // with (worst, j), (worst+1, j+1) and reverses in between.
+    for (int j = 0; j < n; ++j) {
+      if (j == worst || (j + 1) % n == worst || j == (worst + 1) % n) continue;
+      const double other = hop(j, (j + 1) % n);
+      const double cur_max = std::max(wl, other);
+      const double new_max =
+          std::max(hop(worst, j), hop((worst + 1) % n, (j + 1) % n));
+      if (new_max < cur_max - 1e-12) {
+        // Reverse order[worst+1 .. j] (cyclic).
+        int a = (worst + 1) % n, b = j;
+        int len = (b - a + n) % n + 1;
+        for (int s = 0; s < len / 2; ++s) {
+          std::swap(order[(a + s) % n], order[(b - s + n) % n]);
+        }
+        improved = true;
+        break;
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+double bottleneck_lower_bound(std::span<const Point> pts) {
+  const int n = static_cast<int>(pts.size());
+  if (n < 3) return 0.0;
+  // (1) Every vertex needs two incident cycle edges.
+  double lb = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double d1 = std::numeric_limits<double>::infinity(), d2 = d1;
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = geom::dist(pts[i], pts[j]);
+      if (d < d1) {
+        d2 = d1;
+        d1 = d;
+      } else if (d < d2) {
+        d2 = d;
+      }
+    }
+    lb = std::max(lb, d2);
+  }
+  // (2) Connectivity: minimum bottleneck spanning tree = MST lmax.
+  lb = std::max(lb, mst::prim_emst(pts).lmax());
+  // (3) Biconnectivity threshold (binary search over unique distances).
+  const auto ds = sorted_unique_distances(pts);
+  int lo = 0, hi = static_cast<int>(ds.size()) - 1;
+  // Invariant: threshold_graph(ds[hi]) is biconnected (complete graph is,
+  // for n >= 3).
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (graph::is_biconnected(threshold_graph(pts, ds[mid]))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  lb = std::max(lb, ds[lo]);
+  return lb;
+}
+
+CycleResult exact_bottleneck_cycle(std::span<const Point> pts) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT_MSG(n >= 3, "a cycle needs at least 3 points");
+  DIRANT_ASSERT_MSG(n <= 18, "exact BTSP limited to n <= 18");
+  const double lb = bottleneck_lower_bound(pts);
+  auto ds = sorted_unique_distances(pts);
+  ds.erase(std::remove_if(ds.begin(), ds.end(),
+                          [&](double d) { return d < lb - 1e-12; }),
+           ds.end());
+  int lo = 0, hi = static_cast<int>(ds.size()) - 1;
+  std::vector<int> best_cycle;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    const auto cyc =
+        graph::hamiltonian_cycle_exact(threshold_graph(pts, ds[mid]));
+    if (cyc) {
+      best_cycle = *cyc;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  DIRANT_ASSERT_MSG(!best_cycle.empty(), "complete graph must be Hamiltonian");
+  CycleResult res;
+  res.order = best_cycle;
+  res.bottleneck = cycle_bottleneck(pts, best_cycle);
+  res.proven_optimal = true;
+  return res;
+}
+
+CycleResult heuristic_bottleneck_cycle(std::span<const Point> pts,
+                                       std::uint64_t search_budget) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT_MSG(n >= 3, "a cycle needs at least 3 points");
+  const double lb = bottleneck_lower_bound(pts);
+
+  CycleResult res;
+  res.order = greedy_two_opt(pts);
+  res.bottleneck = cycle_bottleneck(pts, res.order);
+
+  // Threshold search below the incumbent; "not found" is not a proof, so we
+  // simply keep the best cycle discovered.
+  auto ds = sorted_unique_distances(pts);
+  ds.erase(std::remove_if(ds.begin(), ds.end(),
+                          [&](double d) {
+                            return d < lb - 1e-12 ||
+                                   d >= res.bottleneck - 1e-12;
+                          }),
+           ds.end());
+  int lo = 0, hi = static_cast<int>(ds.size()) - 1;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    const auto cyc = graph::hamiltonian_cycle_backtracking(
+        threshold_graph(pts, ds[mid]), search_budget);
+    if (cyc) {
+      res.order = *cyc;
+      res.bottleneck = cycle_bottleneck(pts, res.order);
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  res.proven_optimal = res.bottleneck <= lb + 1e-12;
+  return res;
+}
+
+CycleResult bottleneck_cycle(std::span<const Point> pts, int exact_limit) {
+  const int n = static_cast<int>(pts.size());
+  if (n <= exact_limit) return exact_bottleneck_cycle(pts);
+  return heuristic_bottleneck_cycle(pts);
+}
+
+}  // namespace dirant::btsp

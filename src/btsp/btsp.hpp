@@ -1,0 +1,44 @@
+#pragma once
+/// \file btsp.hpp
+/// Bottleneck travelling salesman substrate — the paper's reference [14]
+/// (Parker–Rardin).  Table 1's spread-0 rows orient every sensor along a
+/// Hamiltonian cycle whose longest hop ("bottleneck") is small.  We provide:
+///   * an exact solver (binary search over thresholds + Held–Karp
+///     reachability) for small n — the per-instance optimum / lower bound,
+///   * a heuristic (threshold search + budgeted backtracking, greedy+2-opt
+///     fallback) for general n,
+///   * instance lower bounds (2nd-nearest-neighbour, connectivity = MST
+///     lmax, biconnectivity threshold).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace dirant::btsp {
+
+struct CycleResult {
+  std::vector<int> order;    ///< cyclic vertex sequence (size n)
+  double bottleneck = 0.0;   ///< longest hop
+  bool proven_optimal = false;
+};
+
+/// max over the three classic lower bounds on the optimal bottleneck:
+/// every vertex needs two cycle edges (2nd-nearest distance); the cycle is
+/// connected (MST lmax); the cycle is biconnected (biconnectivity threshold).
+double bottleneck_lower_bound(std::span<const geom::Point> pts);
+
+/// Exact optimum; n <= 18 (exponential DP).
+CycleResult exact_bottleneck_cycle(std::span<const geom::Point> pts);
+
+/// Heuristic: never fails for n >= 3 (falls back to greedy + bottleneck
+/// 2-opt); `search_budget` caps the backtracking nodes per threshold probe.
+CycleResult heuristic_bottleneck_cycle(std::span<const geom::Point> pts,
+                                       std::uint64_t search_budget = 200000);
+
+/// Auto: exact for n <= `exact_limit`, heuristic otherwise.
+CycleResult bottleneck_cycle(std::span<const geom::Point> pts,
+                             int exact_limit = 13);
+
+}  // namespace dirant::btsp

@@ -1,0 +1,46 @@
+#pragma once
+/// \file assert.hpp
+/// Contract checking for the dirant library.
+///
+/// DIRANT_ASSERT stays enabled in all build types: the orientation algorithms
+/// encode theorem preconditions as contracts, and the test-suite relies on a
+/// violated contract surfacing as a structured exception rather than UB.
+/// Hot inner loops (distance scans, predicate filters) deliberately avoid it.
+
+#include <stdexcept>
+#include <string>
+
+namespace dirant {
+
+/// Thrown when a DIRANT_ASSERT contract is violated.  Carries the failing
+/// expression and source location so test logs pinpoint the broken invariant.
+class contract_violation : public std::logic_error {
+ public:
+  explicit contract_violation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  throw contract_violation(std::string("contract violated: ") + expr + " at " +
+                           file + ":" + std::to_string(line) +
+                           (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace dirant
+
+#define DIRANT_ASSERT(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::dirant::detail::assert_fail(#cond, __FILE__, __LINE__, "");      \
+    }                                                                    \
+  } while (false)
+
+#define DIRANT_ASSERT_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::dirant::detail::assert_fail(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,22 @@
+#pragma once
+/// \file constants.hpp
+/// Numeric constants shared across the library.  All angular quantities in
+/// dirant are radians; all paper range bounds are expressed as multiples of
+/// `lmax`, the longest edge of a degree-bounded Euclidean MST.
+
+#include <numbers>
+
+namespace dirant {
+
+inline constexpr double kPi = std::numbers::pi_v<double>;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi_v<double>;
+
+/// Default angular tolerance (radians) for sector-containment tests.
+inline constexpr double kAngleTol = 1e-9;
+
+/// Default metric tolerance used when certifying radii against paper bounds.
+/// Bounds are validated as `measured <= bound * (1 + kRadiusRelTol) + kRadiusAbsTol`.
+inline constexpr double kRadiusAbsTol = 1e-9;
+inline constexpr double kRadiusRelTol = 1e-12;
+
+}  // namespace dirant

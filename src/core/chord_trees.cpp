@@ -1,0 +1,136 @@
+// Shared implementation of Theorems 5 and 6 (k = 3 and k = 4, zero-spread
+// antennae).  See three_antennae.hpp / four_antennae.hpp for the contract.
+//
+// Scheme: root the tree (any vertex; default max degree).  At each node u
+// with m children (ccw order):
+//   * if m <= k-1: beam from u to every child; each child's "return" antenna
+//     points back at u.
+//   * else: pick c = m-(k-1) chords between cyclically consecutive children
+//     (greedy smallest chord first, each must be <= bound*lmax).  Chord
+//     (x -> y) replaces x's return antenna: x covers y instead of u and
+//     reaches u through the chord chain's tail.  u beams at each chain head
+//     and each isolated child: exactly m-c <= k-1 beams.
+//
+// Theory guarantees feasible chords: at any node the c smallest consecutive
+// child gaps span <= 2*pi/3 (k=3) resp. <= pi/2 (k=4), giving chords of at
+// most sqrt(3)*lmax resp. sqrt(2)*lmax (law of cosines, edges <= lmax).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/constants.hpp"
+#include "core/four_antennae.hpp"
+#include "core/three_antennae.hpp"
+#include "geometry/angle.hpp"
+#include "mst/rooted.hpp"
+
+namespace dirant::core {
+namespace {
+
+using geom::Point;
+
+Result orient_chord_tree(std::span<const Point> pts, const mst::Tree& tree,
+                         int k, int root) {
+  DIRANT_ASSERT(k == 3 || k == 4);
+  DIRANT_ASSERT_MSG(tree.max_degree() <= 5,
+                    "chord construction needs a degree-5 MST");
+  const int n = static_cast<int>(pts.size());
+  Result res;
+  res.orientation = antenna::Orientation(n);
+  res.algorithm = k == 3 ? Algorithm::kThreeZero : Algorithm::kFourZero;
+  res.bound_factor = k == 3 ? std::sqrt(3.0) : std::sqrt(2.0);
+  res.lmax = tree.lmax();
+  if (n <= 1) return res;
+
+  const double R = res.bound_factor * res.lmax * (1.0 + kRadiusRelTol) + kRadiusAbsTol;
+  const int beams_budget = k - 1;
+
+  if (root < 0) {
+    const auto deg = tree.degrees();
+    root = static_cast<int>(std::max_element(deg.begin(), deg.end()) -
+                            deg.begin());
+  }
+  const auto rt = mst::RootedTree::rooted_at(tree, root);
+
+  for (int u : rt.preorder) {
+    // Children in ccw order by absolute angle (cyclic; reference irrelevant).
+    auto kids = mst::children_ccw_from(pts, rt, u, 0.0);
+    const int m = static_cast<int>(kids.size());
+    if (m == 0) continue;
+    res.cases.bump("deg" + std::to_string(m + (rt.parent[u] >= 0 ? 1 : 0)) +
+                   (rt.parent[u] >= 0 ? "" : "-root"));
+
+    const int chords_needed = std::max(0, m - beams_budget);
+    // is_chord_source[i]: child kids[i] covers kids[(i+1)%m] instead of u.
+    std::vector<char> chord_source(m, 0);
+    if (chords_needed > 0) {
+      DIRANT_ASSERT_MSG(m >= 2, "chords need at least two children");
+      // All cyclic consecutive pairs, by chord length.
+      std::vector<std::pair<double, int>> gaps;
+      gaps.reserve(m);
+      for (int i = 0; i < m; ++i) {
+        const double d =
+            geom::dist(pts[kids[i]], pts[kids[(i + 1) % m]]);
+        gaps.emplace_back(d, i);
+      }
+      std::sort(gaps.begin(), gaps.end());
+      int placed = 0;
+      for (const auto& [d, i] : gaps) {
+        if (placed == chords_needed) break;
+        if (d > R) break;  // no more feasible chords
+        if (m >= 2 && placed + 1 == m) break;  // never a full cycle
+        chord_source[i] = 1;
+        ++placed;
+      }
+      DIRANT_ASSERT_MSG(placed == chords_needed,
+                        "Theorem " + std::string(k == 3 ? "5" : "6") +
+                            " chord guarantee violated");
+      res.cases.bump("chords" + std::to_string(placed));
+    }
+
+    // Beams from u: chain heads (child whose cw predecessor is not a chord
+    // source) and isolated children.
+    int beams = 0;
+    for (int i = 0; i < m; ++i) {
+      const int pred = (i + m - 1) % m;
+      const bool receives_chord = chord_source[pred] == 1 && m >= 2;
+      if (!receives_chord) {
+        res.orientation.add(u, geom::beam_to(pts[u], pts[kids[i]]));
+        ++beams;
+      }
+    }
+    DIRANT_ASSERT(beams <= beams_budget || m <= beams_budget);
+
+    // Children's return antennae: chord sources point at their ccw
+    // successor; everyone else points back at u.
+    for (int i = 0; i < m; ++i) {
+      const int child = kids[i];
+      if (chord_source[i]) {
+        const int succ = kids[(i + 1) % m];
+        const double d = geom::dist(pts[child], pts[succ]);
+        DIRANT_ASSERT_MSG(d <= R, "chord exceeds range bound");
+        res.orientation.add(child, geom::beam_to(pts[child], pts[succ]));
+      } else {
+        res.orientation.add(child, geom::beam_to(pts[child], pts[u]));
+      }
+    }
+  }
+  res.measured_radius = res.orientation.max_radius();
+  return res;
+}
+
+}  // namespace
+
+Result orient_three_antennae(std::span<const Point> pts,
+                             const mst::Tree& tree, int root) {
+  return orient_chord_tree(pts, tree, 3, root);
+}
+
+Result orient_four_antennae(std::span<const Point> pts, const mst::Tree& tree,
+                            int root) {
+  return orient_chord_tree(pts, tree, 4, root);
+}
+
+}  // namespace dirant::core

@@ -1,0 +1,18 @@
+#pragma once
+/// \file four_antennae.hpp
+/// Theorem 6: with four zero-spread antennae per sensor the network can be
+/// strongly connected with range sqrt(2)*lmax.  Same chord construction as
+/// Theorem 5 (Figure 6) with root out-degree <= 3 and chord angles <= pi/2.
+
+#include <span>
+
+#include "core/types.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::core {
+
+/// Orient with four antennae per sensor on a degree-<=5 tree.
+Result orient_four_antennae(std::span<const geom::Point> pts,
+                            const mst::Tree& tree, int root = -1);
+
+}  // namespace dirant::core

@@ -1,0 +1,54 @@
+#include "core/heterogeneous.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+#include "core/lemma1.hpp"
+
+namespace dirant::core {
+
+using geom::Point;
+
+HeterogeneousResult orient_heterogeneous(std::span<const Point> pts,
+                                         const mst::Tree& tree,
+                                         std::span<const NodeBudget> budgets) {
+  DIRANT_ASSERT(budgets.size() == pts.size());
+  DIRANT_ASSERT_MSG(tree.max_degree() <= 5, "needs a degree-5 MST");
+  const int n = static_cast<int>(pts.size());
+
+  HeterogeneousResult out;
+  out.result.orientation = antenna::Orientation(n);
+  out.result.algorithm = Algorithm::kTheorem2;
+  out.result.bound_factor = 1.0;
+  out.result.lmax = tree.lmax();
+
+  const auto adj = tree.adjacency();
+  bool feasible = true;
+  for (int u = 0; u < n; ++u) {
+    const int d = static_cast<int>(adj[u].size());
+    if (d == 0) continue;
+    const auto& b = budgets[u];
+    DIRANT_ASSERT(b.k >= 1);
+    std::vector<Point> targets;
+    targets.reserve(d);
+    for (int v : adj[u]) targets.push_back(pts[v]);
+    const auto sectors = lemma1_cover(pts[u], targets, b.k);
+    double spread = 0.0;
+    for (const auto& s : sectors) spread += s.width;
+    if (spread > b.phi + 1e-9) {
+      feasible = false;
+      out.deficient.push_back(u);
+      out.missing_spread.push_back(spread - b.phi);
+      out.result.cases.bump("deficient");
+      continue;
+    }
+    for (const auto& s : sectors) out.result.orientation.add(u, s);
+    out.result.cases.bump("deg" + std::to_string(d) + "-k" +
+                          std::to_string(b.k));
+  }
+  out.feasible = feasible;
+  out.result.measured_radius = out.result.orientation.max_radius();
+  return out;
+}
+
+}  // namespace dirant::core

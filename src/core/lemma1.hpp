@@ -1,0 +1,29 @@
+#pragma once
+/// \file lemma1.hpp
+/// Lemma 1 (node degree and sum of antennae spreads): at a node of degree d
+/// with k antennae, total spread 2*pi*(d-k)/d is sufficient — and on the
+/// regular d-gon necessary — to reach every neighbour with range equal to
+/// the longest incident edge.  The constructive form is optimal per node:
+/// drop the k largest angular gaps between consecutive neighbour rays and
+/// cover each remaining run with one sector.
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/sector.hpp"
+
+namespace dirant::core {
+
+/// The sufficient bound of Lemma 1: 2*pi*(d-k)/d (0 when k >= d).
+double lemma1_sufficient_spread(int d, int k);
+
+/// Minimum-total-spread cover of `targets` from `apex` with at most k
+/// sectors.  Each sector's radius is the distance to its farthest covered
+/// target.  Total spread is optimal and never exceeds
+/// lemma1_sufficient_spread(targets.size(), k).
+std::vector<geom::Sector> lemma1_cover(const geom::Point& apex,
+                                       std::span<const geom::Point> targets,
+                                       int k);
+
+}  // namespace dirant::core

@@ -1,0 +1,27 @@
+#include "core/lower_bound.hpp"
+
+#include "btsp/btsp.hpp"
+#include "common/assert.hpp"
+#include "mst/emst.hpp"
+
+namespace dirant::core {
+
+LowerBound range_lower_bound(std::span<const geom::Point> pts,
+                             const ProblemSpec& spec, int exact_limit) {
+  LowerBound lb;
+  const int n = static_cast<int>(pts.size());
+  if (n <= 1) return lb;
+  lb.lmax = mst::prim_emst(pts).lmax();
+  lb.value = lb.lmax;
+  lb.source = "lmax";
+  if (spec.k == 1 && spec.phi <= 1e-9 && n >= 3 && n <= exact_limit) {
+    lb.btsp_opt = btsp::exact_bottleneck_cycle(pts).bottleneck;
+    if (lb.btsp_opt > lb.value) {
+      lb.value = lb.btsp_opt;
+      lb.source = "btsp-exact";
+    }
+  }
+  return lb;
+}
+
+}  // namespace dirant::core

@@ -1,0 +1,36 @@
+#pragma once
+/// \file lower_bound.hpp
+/// Per-instance lower bounds on the achievable range r_{k,phi} — the
+/// certificates the paper notes are missing ("Lower bounds are lacking from
+/// our study", §5).  Three sources:
+///   * connectivity: any strongly connected orientation induces a connected
+///     undirected graph, so r >= lmax of the minimum bottleneck spanning
+///     tree (= the MST's lmax);
+///   * spread-0 cycles: with zero total spread every antenna covers (at
+///     most) one ray; out-degree k and strong connectivity force a
+///     bottleneck-cycle-like structure — for k = 1 exactly the bottleneck
+///     TSP optimum (computed exactly for small n);
+///   * Lemma 1 necessity: at a vertex whose d neighbours must be reached
+///     directly, spread below 2*pi*(d-k)/d forces range beyond the farthest
+///     skipped neighbour (reported for the regular-star family).
+
+#include <span>
+
+#include "core/types.hpp"
+#include "geometry/point.hpp"
+
+namespace dirant::core {
+
+struct LowerBound {
+  double value = 0.0;    ///< best (largest) certified lower bound, absolute
+  double lmax = 0.0;     ///< the connectivity bound
+  double btsp_opt = 0.0; ///< exact bottleneck-cycle optimum (0 if not run)
+  const char* source = "lmax";
+};
+
+/// Instance lower bound for the (k, phi) budget.  The exact BTSP component
+/// is computed only when k == 1, phi ~ 0 and n <= `exact_limit`.
+LowerBound range_lower_bound(std::span<const geom::Point> pts,
+                             const ProblemSpec& spec, int exact_limit = 12);
+
+}  // namespace dirant::core

@@ -1,0 +1,219 @@
+#include "core/one_antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "btsp/btsp.hpp"
+#include "common/assert.hpp"
+#include "common/constants.hpp"
+#include "geometry/angle.hpp"
+#include "mst/rooted.hpp"
+
+namespace dirant::core {
+namespace {
+
+using geom::Point;
+
+constexpr double kTol = 1e-9;
+
+}  // namespace
+
+double one_antenna_mid_bound_factor(double phi) {
+  DIRANT_ASSERT_MSG(phi >= kPi - 1e-12 && phi < 8.0 * kPi / 5.0 + 1e-12,
+                    "mid regime needs pi <= phi <= 8*pi/5");
+  return 2.0 * std::sin(kPi - phi / 2.0);
+}
+
+Result orient_one_antenna_mid(std::span<const Point> pts,
+                              const mst::Tree& tree, double phi) {
+  DIRANT_ASSERT_MSG(tree.max_degree() <= 5, "needs a degree-5 MST");
+  const int n = static_cast<int>(pts.size());
+  Result res;
+  res.orientation = antenna::Orientation(n);
+  res.algorithm = Algorithm::kOneAntennaMid;
+  // The window construction never needs more range than max(bound, lmax);
+  // for phi in [pi, 8pi/5) the bound 2 sin(pi - phi/2) is >= 2 sin(pi/5)
+  // ~ 1.176 > 1, so the bound itself dominates.
+  res.bound_factor = one_antenna_mid_bound_factor(phi);
+  res.lmax = tree.lmax();
+  if (n <= 1) return res;
+
+  const double R =
+      res.bound_factor * res.lmax * (1.0 + kRadiusRelTol) + kRadiusAbsTol;
+  const auto rt = mst::RootedTree::rooted_at_leaf(tree);
+
+  const int root = rt.root;
+  const int first = rt.children[root][0];
+  res.orientation.add(root, geom::beam_to(pts[root], pts[first]));
+  res.cases.bump("root");
+
+  std::vector<std::pair<int, Point>> work{{first, pts[root]}};
+  while (!work.empty()) {
+    auto [u, target] = work.back();
+    work.pop_back();
+    const double ref = geom::angle_to(pts[u], target);
+    const auto kids = mst::children_ccw_from(pts, rt, u, ref);
+    const int m = static_cast<int>(kids.size());
+
+    if (m == 0) {
+      res.orientation.add(u, geom::beam_to(pts[u], target));
+      res.cases.bump("leaf");
+      continue;
+    }
+
+    // Ray offsets from the target ray (target at 0, children in (0, 2pi]).
+    std::vector<double> off(m);
+    std::vector<double> abs_angle(m);
+    for (int i = 0; i < m; ++i) {
+      abs_angle[i] = geom::angle_to(pts[u], pts[kids[i]]);
+      double d = geom::ccw_delta(ref, abs_angle[i]);
+      if (d == 0.0) d = kTwoPi;
+      off[i] = d;
+    }
+
+    // Try the full cover first: one sector spanning all rays (complement of
+    // the largest gap).
+    {
+      std::vector<double> rays{ref};
+      rays.insert(rays.end(), abs_angle.begin(), abs_angle.end());
+      const auto cover = geom::min_spread_cover(rays, 1);
+      if (cover.total_spread <= phi + kTol) {
+        const auto [start, width] = cover.arcs[0];
+        double radius = geom::dist(pts[u], target);
+        for (int i = 0; i < m; ++i) {
+          radius = std::max(radius, geom::dist(pts[u], pts[kids[i]]));
+        }
+        res.orientation.add(u, geom::make_arc(pts[u], start, width, radius));
+        for (int i = 0; i < m; ++i) work.emplace_back(kids[i], pts[u]);
+        res.cases.bump("full");
+        continue;
+      }
+    }
+
+    // Window of width phi anchored at a child ray and containing the target
+    // ray.  Anchoring at a covered child keeps every excluded child within
+    // the (2*pi - phi)-wide complement measured from the anchor, so all
+    // delegation chords subtend <= 2*pi - phi.
+    struct Window {
+      double start_off;  // window start in offset space
+      int anchor;        // anchored child (slot)
+      int covered = 0;
+      bool anchor_at_end;
+    };
+    std::vector<Window> windows;
+    for (int j = 0; j < m; ++j) {
+      // Window ending at child j: [off_j - phi, off_j].
+      if (off[j] <= phi + kTol) {
+        windows.push_back({off[j] - phi, j, 0, true});
+      }
+      // Window starting at child j: [off_j, off_j + phi].
+      if (off[j] >= kTwoPi - phi - kTol) {
+        windows.push_back({off[j], j, 0, false});
+      }
+    }
+    DIRANT_ASSERT_MSG(!windows.empty(),
+                      "a phi >= pi window always captures target + a child");
+    auto in_window = [&](const Window& w, double o) {
+      // Normalized offset from the window start, in [0, 2*pi).
+      double d = o - w.start_off;
+      while (d < -kTol) d += kTwoPi;
+      while (d >= kTwoPi - kTol) d -= kTwoPi;
+      if (d < 0.0) d = 0.0;
+      return d <= phi + kTol;
+    };
+    for (auto& w : windows) {
+      for (int i = 0; i < m; ++i) {
+        if (in_window(w, off[i])) ++w.covered;
+      }
+    }
+    const auto& best = *std::max_element(
+        windows.begin(), windows.end(),
+        [](const Window& a, const Window& b) { return a.covered < b.covered; });
+
+    // Emit the sector.  Trim it to the covered rays (narrower than phi is
+    // free): the sweep from the first covered ray to the last covered ray.
+    std::vector<int> covered_children, excluded;
+    for (int i = 0; i < m; ++i) {
+      (in_window(best, off[i]) ? covered_children : excluded).push_back(i);
+    }
+    DIRANT_ASSERT(!covered_children.empty());
+    // Sector start: smallest covered offset relative to window start.
+    double lo = kTwoPi, hi = 0.0;  // relative to window start
+    auto rel = [&](double o) {
+      double d = o - best.start_off;
+      while (d < -kTol) d += kTwoPi;
+      while (d >= kTwoPi - kTol) d -= kTwoPi;
+      return std::clamp(d, 0.0, kTwoPi);
+    };
+    for (int i : covered_children) {
+      lo = std::min(lo, rel(off[i]));
+      hi = std::max(hi, rel(off[i]));
+    }
+    lo = std::min(lo, rel(0.0));  // target ray
+    hi = std::max(hi, rel(0.0));
+    const double width = hi - lo;
+    DIRANT_ASSERT(width <= phi + kTol);
+    const double start_abs = geom::norm_angle(ref + best.start_off + lo);
+    double radius = geom::dist(pts[u], target);
+    for (int i : covered_children) {
+      radius = std::max(radius, geom::dist(pts[u], pts[kids[i]]));
+    }
+    res.orientation.add(u, geom::make_arc(pts[u], start_abs, width, radius));
+
+    // Delegation chain over the excluded children, ordered ccw from the
+    // anchor; the anchor covers the first, each covers the next, the last
+    // covers u.
+    std::sort(excluded.begin(), excluded.end(), [&](int a, int b) {
+      return geom::ccw_delta(off[best.anchor], off[a]) <
+             geom::ccw_delta(off[best.anchor], off[b]);
+    });
+    std::vector<Point> targets(m, pts[u]);
+    int prev = best.anchor;
+    for (int x : excluded) {
+      DIRANT_ASSERT_MSG(geom::dist(pts[kids[prev]], pts[kids[x]]) <= R,
+                        "delegation chord exceeds 2 sin(pi - phi/2)");
+      targets[prev] = pts[kids[x]];
+      prev = x;
+    }
+    for (int i = 0; i < m; ++i) work.emplace_back(kids[i], targets[i]);
+    res.cases.bump(excluded.empty()
+                       ? "window"
+                       : "window-chain" + std::to_string(excluded.size()));
+  }
+  res.measured_radius = res.orientation.max_radius();
+  return res;
+}
+
+Result orient_btsp_cycle(std::span<const Point> pts, const mst::Tree& tree) {
+  const int n = static_cast<int>(pts.size());
+  Result res;
+  res.orientation = antenna::Orientation(n);
+  res.algorithm = Algorithm::kBtspCycle;
+  res.lmax = tree.lmax();
+  if (n <= 1) {
+    res.bound_factor = 0.0;
+    return res;
+  }
+  if (n == 2) {
+    res.orientation.add(0, geom::beam_to(pts[0], pts[1]));
+    res.orientation.add(1, geom::beam_to(pts[1], pts[0]));
+    res.measured_radius = res.orientation.max_radius();
+    res.bound_factor = res.lmax > 0.0 ? res.measured_radius / res.lmax : 0.0;
+    return res;
+  }
+  const auto cyc = btsp::bottleneck_cycle(pts);
+  for (int i = 0; i < n; ++i) {
+    const int a = cyc.order[i];
+    const int b = cyc.order[(i + 1) % n];
+    res.orientation.add(a, geom::beam_to(pts[a], pts[b]));
+  }
+  res.measured_radius = res.orientation.max_radius();
+  res.bound_factor = res.lmax > 0.0 ? res.measured_radius / res.lmax
+                                    : std::numeric_limits<double>::infinity();
+  res.cases.bump(cyc.proven_optimal ? "btsp-optimal" : "btsp-heuristic");
+  return res;
+}
+
+}  // namespace dirant::core

@@ -1,0 +1,36 @@
+#pragma once
+/// \file one_antenna.hpp
+/// Single-antenna regimes (paper §1.3, baselines from [4] and [14]):
+///   * phi >= 8*pi/5: range lmax — Theorem 2 with k=1 (a single sector of
+///     spread <= 2*pi*(d-1)/d <= 8*pi/5 reaches all MST neighbours).
+///   * pi <= phi < 8*pi/5: range 2*sin(pi - phi/2)*lmax — reconstruction of
+///     the Caragiannis et al. SPAA'08 algorithm: at each vertex, a width-phi
+///     window anchored at a covered child captures the target ray and as
+///     many children as possible; children left in the <= (2*pi - phi)-wide
+///     blind arc are chained by sibling delegations whose chords subtend at
+///     most 2*pi - phi, hence measure at most 2*sin(pi - phi/2)*lmax.
+///   * phi < pi: NP-hard regime; orientation along a bottleneck-TSP cycle
+///     (each antenna beams at its cycle successor), range ~ the cycle
+///     bottleneck (heuristic; exact for small n).
+
+#include <span>
+
+#include "core/types.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::core {
+
+/// Range factor of the mid regime: 2*sin(pi - phi/2) for phi in [pi, 8pi/5).
+double one_antenna_mid_bound_factor(double phi);
+
+/// pi <= phi < 8*pi/5 on a degree-<=5 tree.
+Result orient_one_antenna_mid(std::span<const geom::Point> pts,
+                              const mst::Tree& tree, double phi);
+
+/// Orientation along a bottleneck Hamiltonian cycle (any k >= 1, any
+/// phi >= 0; uses one zero-spread antenna per sensor).  `bound_factor` is
+/// reported as measured bottleneck / lmax (no a-priori factor).
+Result orient_btsp_cycle(std::span<const geom::Point> pts,
+                         const mst::Tree& tree);
+
+}  // namespace dirant::core

@@ -1,0 +1,29 @@
+#pragma once
+/// \file planner.hpp
+/// Dispatcher: given (k, phi) pick the Table 1 regime with the best
+/// guaranteed range and run it.  This is the library's main entry point.
+
+#include <span>
+
+#include "core/types.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::core {
+
+/// The best range factor Table 1 guarantees for (k, phi), in lmax units
+/// (+inf for the spread-0 heuristic regimes where only an approximation
+/// factor relative to the optimal bottleneck cycle is known).
+double guaranteed_bound_factor(const ProblemSpec& spec);
+
+/// Name of the regime the planner would select.
+Algorithm planned_algorithm(const ProblemSpec& spec);
+
+/// Orient the sensors of `pts` under `spec`; builds a degree-5 EMST
+/// internally.
+Result orient(std::span<const geom::Point> pts, const ProblemSpec& spec);
+
+/// Same but over a caller-provided degree-<=5 spanning tree (must span pts).
+Result orient_on_tree(std::span<const geom::Point> pts, const mst::Tree& tree,
+                      const ProblemSpec& spec);
+
+}  // namespace dirant::core

@@ -1,0 +1,49 @@
+#include "core/theorem2.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+#include "core/lemma1.hpp"
+
+namespace dirant::core {
+
+using geom::Point;
+
+Result orient_theorem2(std::span<const Point> pts, const mst::Tree& tree,
+                       int k) {
+  DIRANT_ASSERT(k >= 1 && k <= 5);
+  DIRANT_ASSERT_MSG(tree.max_degree() <= 5, "theorem 2 needs a degree-5 MST");
+  const int n = static_cast<int>(pts.size());
+  Result res;
+  res.orientation = antenna::Orientation(n);
+  res.algorithm = k == 5 ? Algorithm::kFiveZero : Algorithm::kTheorem2;
+  res.bound_factor = 1.0;
+  res.lmax = tree.lmax();
+
+  const auto adj = tree.adjacency();
+  for (int u = 0; u < n; ++u) {
+    if (adj[u].empty()) continue;
+    std::vector<Point> targets;
+    targets.reserve(adj[u].size());
+    for (int v : adj[u]) targets.push_back(pts[v]);
+    const auto sectors = lemma1_cover(pts[u], targets, k);
+    double spread = 0.0;
+    for (const auto& s : sectors) {
+      res.orientation.add(u, s);
+      spread += s.width;
+    }
+    const int d = static_cast<int>(adj[u].size());
+    DIRANT_ASSERT_MSG(spread <= lemma1_sufficient_spread(d, k) + 1e-9,
+                      "Lemma 1 spread bound violated");
+    res.cases.bump("deg" + std::to_string(d));
+  }
+  res.measured_radius = res.orientation.max_radius();
+  return res;
+}
+
+Result orient_five_antennae(std::span<const Point> pts,
+                            const mst::Tree& tree) {
+  return orient_theorem2(pts, tree, 5);
+}
+
+}  // namespace dirant::core

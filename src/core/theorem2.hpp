@@ -1,0 +1,28 @@
+#pragma once
+/// \file theorem2.hpp
+/// Theorem 2: for 1 <= k <= 5, if phi_k >= 2*pi*(5-k)/5 then range lmax
+/// suffices.  Construction: apply the Lemma 1 cover at every vertex of a
+/// degree-<=5 MST so that each vertex reaches all its tree neighbours; every
+/// tree edge becomes bidirected, hence the transmission graph is strongly
+/// connected with range exactly lmax.
+
+#include <span>
+
+#include "core/types.hpp"
+#include "geometry/point.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::core {
+
+/// Orient with k antennae per sensor on the given degree-<=5 tree.
+/// Per-node spread never exceeds lemma1_sufficient_spread(deg, k)
+/// <= 2*pi*(5-k)/5; range bound factor is exactly 1.
+Result orient_theorem2(std::span<const geom::Point> pts, const mst::Tree& tree,
+                       int k);
+
+/// k = 5 specialization (the paper's "folklore" row): one zero-spread beam
+/// per MST neighbour.
+Result orient_five_antennae(std::span<const geom::Point> pts,
+                            const mst::Tree& tree);
+
+}  // namespace dirant::core

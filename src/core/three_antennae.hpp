@@ -1,0 +1,23 @@
+#pragma once
+/// \file three_antennae.hpp
+/// Theorem 5: with three zero-spread antennae per sensor the network can be
+/// strongly connected with range sqrt(3)*lmax.  Construction (Figure 5): at
+/// each node, beam to at most two children; remaining children are covered by
+/// "chords" between angularly-consecutive siblings spanning <= 2*pi/3, whose
+/// length is at most sqrt(3)*lmax; every non-root spends its last antenna on
+/// its parent or on its chord successor.
+
+#include <span>
+
+#include "core/types.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::core {
+
+/// Orient with three antennae per sensor on a degree-<=5 tree.
+/// `root` = -1 picks a maximum-degree vertex (exercises the richest case of
+/// the induction; the theorem allows any root).
+Result orient_three_antennae(std::span<const geom::Point> pts,
+                             const mst::Tree& tree, int root = -1);
+
+}  // namespace dirant::core

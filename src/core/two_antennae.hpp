@@ -1,0 +1,39 @@
+#pragma once
+/// \file two_antennae.hpp
+/// Theorem 3 — the paper's main result.  Two antennae per sensor:
+///   * part 1: phi >= pi        -> range 2*sin(2*pi/9) * lmax  (~1.2856)
+///   * part 2: 2*pi/3 <= phi<pi -> range 2*sin(pi/2 - phi/4) * lmax
+///
+/// Implementation follows the proof's rooted induction ("Property 1"): each
+/// vertex u receives a target point it must cover (its parent's position, or
+/// a sibling's position when a sibling delegates); children are ordered ccw
+/// from the ray u->target and a per-degree case analysis assigns u's two
+/// antennae and each child's obligation.  Every selected local plan is
+/// re-verified numerically (spread budget, chord lengths, coverage); if the
+/// proof-ordered cases all fail — which theory rules out — an exhaustive
+/// local search runs and the event is counted in CaseStats::fallback_plans.
+
+#include <span>
+
+#include "core/types.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::core {
+
+/// Radius factor guaranteed by Theorem 3 for a given phi (>= 2*pi/3).
+double theorem3_bound_factor(double phi);
+
+/// Orient with two antennae per sensor on a degree-<=5 tree; phi >= 2*pi/3.
+Result orient_two_antennae(std::span<const geom::Point> pts,
+                           const mst::Tree& tree, double phi);
+
+/// Instance-adaptive extension (beyond the paper): binary-search the
+/// smallest radius cap R under which the Theorem 3 plan space (the proof's
+/// cases plus the exhaustive local plans) still succeeds at every vertex.
+/// The result is certified like any other: strongly connected, per-node
+/// spread <= phi, measured radius <= the returned cap <= the paper bound.
+/// `bound_factor` reports the achieved cap in lmax units.
+Result orient_two_antennae_adaptive(std::span<const geom::Point> pts,
+                                    const mst::Tree& tree, double phi);
+
+}  // namespace dirant::core

@@ -1,0 +1,24 @@
+#include "core/types.hpp"
+
+namespace dirant::core {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBtspCycle: return "btsp-cycle[14]";
+    case Algorithm::kOneAntennaMid: return "one-antenna-mid[4]";
+    case Algorithm::kTwoPart1: return "theorem3.1";
+    case Algorithm::kTwoPart2: return "theorem3.2";
+    case Algorithm::kThreeZero: return "theorem5";
+    case Algorithm::kFourZero: return "theorem6";
+    case Algorithm::kFiveZero: return "five-folklore";
+    case Algorithm::kTheorem2: return "theorem2";
+  }
+  return "unknown";
+}
+
+void CaseStats::merge(const CaseStats& other) {
+  for (const auto& [k, v] : other.counts) counts[k] += v;
+  fallback_plans += other.fallback_plans;
+}
+
+}  // namespace dirant::core

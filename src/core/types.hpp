@@ -1,0 +1,59 @@
+#pragma once
+/// \file types.hpp
+/// Shared types for the orientation algorithms (the paper's contribution).
+
+#include <limits>
+#include <map>
+#include <string>
+
+#include "antenna/orientation.hpp"
+
+namespace dirant::core {
+
+/// Problem instance parameters: k antennae per sensor whose spreads sum to at
+/// most phi (radians).  The goal is a strongly connected transmission graph
+/// with the smallest possible range (paper §1.1).
+struct ProblemSpec {
+  int k = 1;
+  double phi = 0.0;
+};
+
+/// Which construction produced an orientation (one per Table 1 regime).
+enum class Algorithm {
+  kBtspCycle,      ///< any k, spread ~0: orientation along a bottleneck tour [14]
+  kOneAntennaMid,  ///< k=1, pi <= phi < 8pi/5: range 2 sin(pi - phi/2)  [4]
+  kTwoPart1,       ///< k=2, phi >= pi: range 2 sin(2pi/9)      (Theorem 3.1)
+  kTwoPart2,       ///< k=2, 2pi/3 <= phi < pi: 2 sin(pi/2-phi/4) (Theorem 3.2)
+  kThreeZero,      ///< k=3, any phi: range sqrt(3)              (Theorem 5)
+  kFourZero,       ///< k=4, any phi: range sqrt(2)              (Theorem 6)
+  kFiveZero,       ///< k=5: range 1                             (folklore)
+  kTheorem2,       ///< phi_k >= 2pi(5-k)/5: range 1             (Theorem 2)
+};
+
+const char* to_string(Algorithm a);
+
+/// Per-case instrumentation (regenerates the case analyses of Figures 3-6).
+struct CaseStats {
+  std::map<std::string, int> counts;
+  int fallback_plans = 0;  ///< nodes where the proof-ordered case machinery
+                           ///< failed and the exhaustive local search ran
+                           ///< (must stay 0 on well-formed inputs)
+
+  void bump(const std::string& key) { ++counts[key]; }
+  void merge(const CaseStats& other);
+};
+
+/// Output of every orientation algorithm.
+struct Result {
+  antenna::Orientation orientation{0};
+  Algorithm algorithm = Algorithm::kTheorem2;
+  /// Guaranteed radius bound as a multiple of lmax (paper Table 1); +inf for
+  /// the heuristic BTSP regime where only an approximation factor is known.
+  double bound_factor = std::numeric_limits<double>::infinity();
+  double lmax = 0.0;
+  /// Largest radius any antenna actually needs (== orientation.max_radius()).
+  double measured_radius = 0.0;
+  CaseStats cases;
+};
+
+}  // namespace dirant::core

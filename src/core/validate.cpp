@@ -1,0 +1,37 @@
+#include "core/validate.hpp"
+
+#include <cmath>
+
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "graph/scc.hpp"
+
+namespace dirant::core {
+
+Certificate certify(std::span<const geom::Point> pts, const Result& res,
+                    const ProblemSpec& spec, bool use_fast_graph) {
+  Certificate c;
+  const auto& o = res.orientation;
+  const auto g = use_fast_graph ? antenna::induced_digraph_fast(pts, o)
+                                : antenna::induced_digraph(pts, o);
+  const auto scc = graph::strongly_connected_components(g);
+  c.scc_count = scc.count;
+  c.strongly_connected = scc.count <= 1;
+
+  c.max_radius = o.max_radius();
+  c.max_spread_sum = o.max_spread_sum();
+  c.max_antennas = o.max_antennas_per_node();
+
+  c.spread_within_budget = c.max_spread_sum <= spec.phi + 1e-9;
+  c.antennas_within_k = c.max_antennas <= spec.k;
+  if (std::isfinite(res.bound_factor)) {
+    const double limit =
+        res.bound_factor * res.lmax * (1.0 + kRadiusRelTol) + kRadiusAbsTol;
+    c.radius_within_bound = c.max_radius <= limit;
+  } else {
+    c.radius_within_bound = true;  // heuristic regime: no a-priori bound
+  }
+  return c;
+}
+
+}  // namespace dirant::core

@@ -1,0 +1,37 @@
+#pragma once
+/// \file validate.hpp
+/// Independent certification of an orientation: rebuilds the induced
+/// transmission digraph from the sectors alone and checks the paper's three
+/// guarantees — strong connectivity, per-sensor angular budget, and the
+/// radius bound.  Used by every test and bench; knows nothing about how a
+/// construction was produced.
+
+#include <span>
+
+#include "core/types.hpp"
+#include "geometry/point.hpp"
+
+namespace dirant::core {
+
+struct Certificate {
+  bool strongly_connected = false;
+  int scc_count = 0;
+  double max_radius = 0.0;       ///< largest antenna radius (absolute units)
+  double max_spread_sum = 0.0;   ///< worst per-sensor total spread
+  int max_antennas = 0;          ///< worst per-sensor antenna count
+  bool spread_within_budget = false;  ///< max_spread_sum <= phi (+tol)
+  bool antennas_within_k = false;     ///< max_antennas <= k
+  bool radius_within_bound = false;   ///< max_radius <= bound_factor*lmax (+tol)
+
+  bool ok() const {
+    return strongly_connected && spread_within_budget && antennas_within_k &&
+           radius_within_bound;
+  }
+};
+
+/// Certify `res` against `spec`.  `use_fast_graph` selects the
+/// grid-accelerated digraph builder (identical output).
+Certificate certify(std::span<const geom::Point> pts, const Result& res,
+                    const ProblemSpec& spec, bool use_fast_graph = false);
+
+}  // namespace dirant::core

@@ -1,0 +1,54 @@
+#include "core/yao_baseline.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/constants.hpp"
+#include "geometry/angle.hpp"
+#include "mst/emst.hpp"
+
+namespace dirant::core {
+
+using geom::Point;
+
+Result orient_yao(std::span<const Point> pts, int k, double phase) {
+  DIRANT_ASSERT(k >= 1 && k <= 64);
+  const int n = static_cast<int>(pts.size());
+  Result res;
+  res.orientation = antenna::Orientation(n);
+  res.algorithm = Algorithm::kBtspCycle;  // reported as a baseline family
+  res.lmax = n >= 2 ? mst::prim_emst(pts).lmax() : 0.0;
+  res.bound_factor = std::numeric_limits<double>::infinity();
+
+  const double cone = kTwoPi / k;
+  std::vector<int> nearest(k);
+  std::vector<double> best(k);
+  for (int u = 0; u < n; ++u) {
+    std::fill(nearest.begin(), nearest.end(), -1);
+    std::fill(best.begin(), best.end(),
+              std::numeric_limits<double>::infinity());
+    for (int v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const double theta =
+          geom::ccw_delta(phase, geom::angle_to(pts[u], pts[v]));
+      int c = static_cast<int>(theta / cone);
+      if (c >= k) c = k - 1;
+      const double d2 = geom::dist2(pts[u], pts[v]);
+      if (d2 < best[c]) {
+        best[c] = d2;
+        nearest[c] = v;
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (nearest[c] >= 0) {
+        res.orientation.add(u, geom::beam_to(pts[u], pts[nearest[c]]));
+      }
+    }
+  }
+  res.measured_radius = res.orientation.max_radius();
+  res.cases.bump("yao-k" + std::to_string(k));
+  return res;
+}
+
+}  // namespace dirant::core

@@ -1,0 +1,313 @@
+#include "delaunay/delaunay.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "geometry/exact.hpp"
+
+namespace dirant::delaunay {
+
+using geom::Point;
+
+namespace {
+
+struct Tri {
+  std::array<int, 3> v;   // ccw vertices
+  std::array<int, 3> nb;  // nb[i]: triangle across the edge opposite v[i]
+  bool alive = true;
+};
+
+class Builder {
+ public:
+  explicit Builder(std::vector<Point> pts) : pts_(std::move(pts)) {}
+
+  // Returns false on a degeneracy the algorithm could not handle.
+  bool run() {
+    const int m = static_cast<int>(pts_.size());
+    make_super_triangle();
+    // Deterministic pseudo-shuffled insertion order.
+    std::vector<int> order(m);
+    for (int i = 0; i < m; ++i) order[i] = i;
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (int i = m - 1; i > 0; --i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      std::swap(order[i], order[state % static_cast<std::uint64_t>(i + 1)]);
+    }
+    for (int idx : order) {
+      if (!insert(idx)) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::array<int, 3>> real_triangles() const {
+    const int m = num_real();
+    std::vector<std::array<int, 3>> out;
+    for (const auto& t : tris_) {
+      if (!t.alive) continue;
+      if (t.v[0] < m && t.v[1] < m && t.v[2] < m) out.push_back(t.v);
+    }
+    return out;
+  }
+
+  std::vector<std::pair<int, int>> real_edges() const {
+    const int m = num_real();
+    std::vector<std::pair<int, int>> out;
+    for (const auto& t : tris_) {
+      if (!t.alive) continue;
+      for (int i = 0; i < 3; ++i) {
+        int a = t.v[(i + 1) % 3], b = t.v[(i + 2) % 3];
+        if (a >= m || b >= m) continue;
+        if (a > b) std::swap(a, b);
+        out.emplace_back(a, b);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+ private:
+  int num_real() const { return static_cast<int>(pts_.size()) - 3; }
+
+  void make_super_triangle() {
+    double min_x = 0, min_y = 0, max_x = 1, max_y = 1;
+    if (!pts_.empty()) {
+      min_x = max_x = pts_[0].x;
+      min_y = max_y = pts_[0].y;
+      for (const auto& p : pts_) {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+      }
+    }
+    const double cx = (min_x + max_x) / 2.0, cy = (min_y + max_y) / 2.0;
+    const double r = std::max({max_x - min_x, max_y - min_y, 1.0});
+    const double M = 1e6 * r;
+    const int s = static_cast<int>(pts_.size());
+    pts_.push_back({cx + M, cy - M});
+    pts_.push_back({cx, cy + M});
+    pts_.push_back({cx - M, cy - M});
+    Tri t;
+    t.v = {s, s + 1, s + 2};
+    if (geom::orient2d_sign(pts_[s], pts_[s + 1], pts_[s + 2]) < 0) {
+      std::swap(t.v[1], t.v[2]);
+    }
+    t.nb = {-1, -1, -1};
+    tris_.push_back(t);
+    last_ = 0;
+  }
+
+  // True if q is strictly inside the circumcircle of alive triangle ti.
+  bool in_circumcircle(int ti, const Point& q) const {
+    const Tri& t = tris_[ti];
+    return geom::incircle_sign(pts_[t.v[0]], pts_[t.v[1]], pts_[t.v[2]], q) >
+           0;
+  }
+
+  // Walking point location; returns an alive triangle containing p
+  // (boundary inclusive), or -1 on failure.
+  int locate(const Point& p) const {
+    int t = last_;
+    if (t < 0 || !tris_[t].alive) {
+      t = -1;
+      for (int i = static_cast<int>(tris_.size()) - 1; i >= 0; --i) {
+        if (tris_[i].alive) {
+          t = i;
+          break;
+        }
+      }
+      if (t == -1) return -1;
+    }
+    const int cap = 4 * static_cast<int>(tris_.size()) + 64;
+    for (int step = 0; step < cap; ++step) {
+      const Tri& tri = tris_[t];
+      bool moved = false;
+      for (int i = 0; i < 3; ++i) {
+        const int a = tri.v[(i + 1) % 3], b = tri.v[(i + 2) % 3];
+        if (geom::orient2d_sign(pts_[a], pts_[b], p) < 0) {
+          const int nxt = tri.nb[i];
+          if (nxt == -1) return -1;  // outside the super-triangle
+          t = nxt;
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) return t;
+    }
+    // Walk cycled (can happen on wildly degenerate data): linear fallback.
+    for (int i = 0; i < static_cast<int>(tris_.size()); ++i) {
+      if (!tris_[i].alive) continue;
+      const Tri& tri = tris_[i];
+      bool inside = true;
+      for (int e = 0; e < 3 && inside; ++e) {
+        inside = geom::orient2d_sign(pts_[tri.v[(e + 1) % 3]],
+                                     pts_[tri.v[(e + 2) % 3]], p) >= 0;
+      }
+      if (inside) return i;
+    }
+    return -1;
+  }
+
+  bool insert(int pi) {
+    const Point& p = pts_[pi];
+    const int t0 = locate(p);
+    if (t0 == -1) return false;
+
+    // Grow the cavity: all triangles whose circumcircle strictly contains p.
+    std::vector<int> cavity{t0};
+    std::vector<int> stack{t0};
+    in_cavity_.assign(tris_.size(), 0);
+    in_cavity_[t0] = 1;
+    while (!stack.empty()) {
+      const int t = stack.back();
+      stack.pop_back();
+      for (int i = 0; i < 3; ++i) {
+        const int nb = tris_[t].nb[i];
+        if (nb == -1 || in_cavity_[nb]) continue;
+        if (in_circumcircle(nb, p)) {
+          in_cavity_[nb] = 1;
+          cavity.push_back(nb);
+          stack.push_back(nb);
+        }
+      }
+    }
+
+    // Boundary: directed edges (a, b) of cavity triangles whose opposite
+    // neighbour is outside the cavity.
+    struct BEdge {
+      int a, b, outside;
+    };
+    std::vector<BEdge> boundary;
+    for (int t : cavity) {
+      for (int i = 0; i < 3; ++i) {
+        const int nb = tris_[t].nb[i];
+        if (nb != -1 && in_cavity_[nb]) continue;
+        boundary.push_back(
+            {tris_[t].v[(i + 1) % 3], tris_[t].v[(i + 2) % 3], nb});
+      }
+    }
+    // Each new triangle (p, a, b) must be ccw; a reflex boundary means the
+    // predicate tie-handling produced a non-star cavity — report failure.
+    for (const auto& e : boundary) {
+      if (geom::orient2d_sign(p, pts_[e.a], pts_[e.b]) <= 0) return false;
+    }
+
+    for (int t : cavity) tris_[t].alive = false;
+    std::unordered_map<int, int> start_map, end_map;
+    std::vector<int> created;
+    created.reserve(boundary.size());
+    for (const auto& e : boundary) {
+      Tri nt;
+      nt.v = {pi, e.a, e.b};
+      nt.nb = {e.outside, -1, -1};
+      const int id = static_cast<int>(tris_.size());
+      tris_.push_back(nt);
+      in_cavity_.push_back(0);
+      created.push_back(id);
+      start_map[e.a] = id;
+      end_map[e.b] = id;
+      // Repair the outside triangle's back-pointer.
+      if (e.outside != -1) {
+        Tri& o = tris_[e.outside];
+        for (int i = 0; i < 3; ++i) {
+          const int oa = o.v[(i + 1) % 3], ob = o.v[(i + 2) % 3];
+          if (oa == e.b && ob == e.a) {
+            o.nb[i] = id;
+            break;
+          }
+        }
+      }
+    }
+    // Fan linkage: edge (b, p) of (p, a, b) meets the triangle starting at b;
+    // edge (p, a) meets the triangle ending at a.
+    for (int id : created) {
+      Tri& t = tris_[id];
+      const int a = t.v[1], b = t.v[2];
+      const auto it1 = start_map.find(b);
+      const auto it2 = end_map.find(a);
+      if (it1 == start_map.end() || it2 == end_map.end()) return false;
+      t.nb[1] = it1->second;  // edge (v2, v0) = (b, p)
+      t.nb[2] = it2->second;  // edge (v0, v1) = (p, a)
+    }
+    if (!created.empty()) last_ = created.front();
+    return true;
+  }
+
+  std::vector<Point> pts_;
+  std::vector<Tri> tris_;
+  std::vector<char> in_cavity_;
+  int last_ = -1;
+};
+
+}  // namespace
+
+Triangulation triangulate(std::span<const Point> pts) {
+  Triangulation out;
+  const int n = static_cast<int>(pts.size());
+  if (n <= 1) return out;
+
+  // Merge exact duplicates.
+  auto key_of = [](const Point& p) {
+    std::uint64_t kx, ky;
+    std::memcpy(&kx, &p.x, 8);
+    std::memcpy(&ky, &p.y, 8);
+    return kx * 0x9e3779b97f4a7c15ull ^ (ky + 0x7f4a7c15ull);
+  };
+  std::unordered_map<std::uint64_t, std::vector<int>> buckets;
+  std::vector<int> rep(n, -1);         // original -> representative original
+  std::vector<int> unique_of(n, -1);   // original -> unique slot
+  std::vector<Point> unique_pts;
+  std::vector<int> unique_to_orig;
+  for (int i = 0; i < n; ++i) {
+    auto& bucket = buckets[key_of(pts[i])];
+    int found = -1;
+    for (int j : bucket) {
+      if (pts[j] == pts[i]) {
+        found = j;
+        break;
+      }
+    }
+    if (found == -1) {
+      bucket.push_back(i);
+      rep[i] = i;
+      unique_of[i] = static_cast<int>(unique_pts.size());
+      unique_pts.push_back(pts[i]);
+      unique_to_orig.push_back(i);
+    } else {
+      rep[i] = found;
+      out.edges.emplace_back(std::min(found, i), std::max(found, i));
+    }
+  }
+
+  if (unique_pts.size() >= 2) {
+    Builder b(unique_pts);
+    if (!b.run()) {
+      out.edges.clear();  // signal failure: caller falls back
+      out.triangles.clear();
+      return out;
+    }
+    for (const auto& t : b.real_triangles()) {
+      out.triangles.push_back(
+          {unique_to_orig[t[0]], unique_to_orig[t[1]], unique_to_orig[t[2]]});
+    }
+    for (const auto& [a, b2] : b.real_edges()) {
+      int u = unique_to_orig[a], v = unique_to_orig[b2];
+      if (u > v) std::swap(u, v);
+      out.edges.emplace_back(u, v);
+    }
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()),
+                  out.edges.end());
+  return out;
+}
+
+std::vector<std::pair<int, int>> delaunay_edges(std::span<const Point> pts) {
+  return triangulate(pts).edges;
+}
+
+}  // namespace dirant::delaunay

@@ -1,0 +1,41 @@
+#pragma once
+/// \file delaunay.hpp
+/// Delaunay triangulation (Bowyer–Watson with walking point location).
+/// Primary consumer: the large-n EMST path (the EMST is a subgraph of the
+/// Delaunay graph), as suggested by the reproduction plan ("CGAL aids
+/// MST/spanner construction" — this module replaces CGAL).
+///
+/// Robustness: in-circle and orientation tests go through geometry/exact.hpp
+/// (double filter, then float128).  A large finite super-triangle hosts the
+/// construction; ties (cocircular points) resolve arbitrarily but
+/// deterministically.  For adversarially degenerate inputs the EMST driver
+/// cross-checks connectivity and falls back to Prim.
+
+#include <array>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace dirant::delaunay {
+
+/// A triangulation result: triangles as index triples (ccw), plus the unique
+/// undirected edge list.
+struct Triangulation {
+  std::vector<std::array<int, 3>> triangles;
+  std::vector<std::pair<int, int>> edges;  ///< u < v, unique
+};
+
+/// Delaunay triangulation of `pts`.  Exact duplicates are merged; every
+/// duplicate is connected to its representative by a zero-length edge in
+/// `edges` so downstream spanning-tree builders stay connected.
+/// Degenerate inputs (all points collinear) yield an edge path and no
+/// triangles.
+Triangulation triangulate(std::span<const geom::Point> pts);
+
+/// Convenience: just the unique edges (candidate set for Kruskal).
+std::vector<std::pair<int, int>> delaunay_edges(
+    std::span<const geom::Point> pts);
+
+}  // namespace dirant::delaunay

@@ -1,0 +1,65 @@
+#pragma once
+/// \file angle.hpp
+/// Cyclic angle arithmetic.  The paper's constructions are phrased entirely
+/// in terms of counterclockwise (ccw) angular intervals between rays out of a
+/// vertex; these helpers keep that arithmetic in one audited place.
+///
+/// Conventions: angles are radians in [0, 2*pi); `ccw_delta(a, b)` is the ccw
+/// sweep from direction `a` to direction `b` and lies in [0, 2*pi).
+
+#include <span>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "geometry/point.hpp"
+
+namespace dirant::geom {
+
+/// Normalize an angle into [0, 2*pi).
+double norm_angle(double a);
+
+/// Counterclockwise sweep from direction `from` to direction `to`, in
+/// [0, 2*pi).  ccw_delta(a, a) == 0.
+double ccw_delta(double from, double to);
+
+/// Normalized polar angle of `v` in [0, 2*pi).  `v` must be nonzero.
+double angle_of(const Vec2& v);
+
+/// Polar angle of the ray from `from` towards `to`, in [0, 2*pi).
+double angle_to(const Point& from, const Point& to);
+
+/// Smallest angular separation between two directions, in [0, pi].
+double angular_separation(double a, double b);
+
+/// True if direction `theta` lies in the closed ccw interval
+/// [start, start+width], with angular tolerance `tol` at both ends.
+bool in_ccw_interval(double theta, double start, double width,
+                     double tol = kAngleTol);
+
+/// A maximal angular gap between consecutive rays (sorted ccw).
+struct AngularGap {
+  int after;     ///< index (into the sorted order) of the ray the gap follows
+  double start;  ///< direction of that ray
+  double width;  ///< ccw width of the gap
+};
+
+/// Indices of `thetas` sorted by angle (ascending in [0, 2*pi); stable).
+std::vector<int> sort_by_angle(std::span<const double> thetas);
+
+/// Gaps between ccw-consecutive rays.  `sorted` must be ascending angles in
+/// [0, 2*pi); returns one gap per ray (wrapping at the end).  For a single
+/// ray the gap is the full circle.
+std::vector<AngularGap> gaps_of_sorted(std::span<const double> sorted);
+
+/// Minimum total spread needed to cover all ray directions with at most `k`
+/// sectors: 2*pi minus the k largest gaps (optimal; the constructive half of
+/// the paper's Lemma 1).  Returns the covered ccw intervals as (start, width)
+/// pairs, at most `k` of them, each starting and ending on an input ray.
+/// With k >= number of rays, returns one zero-width interval per ray.
+struct SpreadCover {
+  double total_spread = 0.0;
+  std::vector<std::pair<double, double>> arcs;  ///< (start, ccw width)
+};
+SpreadCover min_spread_cover(std::span<const double> thetas, int k);
+
+}  // namespace dirant::geom

@@ -1,0 +1,71 @@
+#include "geometry/closest_pair.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace dirant::geom {
+namespace {
+
+struct Entry {
+  Point p;
+  int idx;
+};
+
+void recurse(std::vector<Entry>& xs, std::vector<Entry>& buf, int lo, int hi,
+             ClosestPair& best) {
+  const int n = hi - lo;
+  if (n <= 3) {
+    for (int i = lo; i < hi; ++i) {
+      for (int j = i + 1; j < hi; ++j) {
+        const double d = dist(xs[i].p, xs[j].p);
+        if (d < best.distance) best = {xs[i].idx, xs[j].idx, d};
+      }
+    }
+    std::sort(xs.begin() + lo, xs.begin() + hi,
+              [](const Entry& a, const Entry& b) { return a.p.y < b.p.y; });
+    return;
+  }
+  const int mid = lo + n / 2;
+  const double midx = xs[mid].p.x;
+  recurse(xs, buf, lo, mid, best);
+  recurse(xs, buf, mid, hi, best);
+  // Merge by y.
+  std::merge(xs.begin() + lo, xs.begin() + mid, xs.begin() + mid,
+             xs.begin() + hi, buf.begin() + lo,
+             [](const Entry& a, const Entry& b) { return a.p.y < b.p.y; });
+  std::copy(buf.begin() + lo, buf.begin() + hi, xs.begin() + lo);
+  // Strip scan.
+  static thread_local std::vector<int> strip;
+  strip.clear();
+  for (int i = lo; i < hi; ++i) {
+    if (std::abs(xs[i].p.x - midx) < best.distance) strip.push_back(i);
+  }
+  for (size_t i = 0; i < strip.size(); ++i) {
+    for (size_t j = i + 1; j < strip.size(); ++j) {
+      if (xs[strip[j]].p.y - xs[strip[i]].p.y >= best.distance) break;
+      const double d = dist(xs[strip[i]].p, xs[strip[j]].p);
+      if (d < best.distance) best = {xs[strip[i]].idx, xs[strip[j]].idx, d};
+    }
+  }
+}
+
+}  // namespace
+
+ClosestPair closest_pair(std::span<const Point> pts) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT_MSG(n >= 2, "closest_pair needs at least two points");
+  std::vector<Entry> xs(n);
+  for (int i = 0; i < n; ++i) xs[i] = {pts[i], i};
+  std::sort(xs.begin(), xs.end(), [](const Entry& a, const Entry& b) {
+    return a.p.x < b.p.x || (a.p.x == b.p.x && a.p.y < b.p.y);
+  });
+  std::vector<Entry> buf(n);
+  ClosestPair best{-1, -1, std::numeric_limits<double>::infinity()};
+  recurse(xs, buf, 0, n, best);
+  return best;
+}
+
+}  // namespace dirant::geom

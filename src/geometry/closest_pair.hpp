@@ -1,0 +1,23 @@
+#pragma once
+/// \file closest_pair.hpp
+/// Classic O(n log n) divide-and-conquer closest pair.  Used by generators to
+/// enforce minimum separation and by tests as an oracle for spatial indexes.
+
+#include <span>
+#include <utility>
+
+#include "geometry/point.hpp"
+
+namespace dirant::geom {
+
+/// Result of a closest-pair query.
+struct ClosestPair {
+  int a = -1;
+  int b = -1;
+  double distance = 0.0;
+};
+
+/// Closest pair of distinct indices (n >= 2 required).
+ClosestPair closest_pair(std::span<const Point> pts);
+
+}  // namespace dirant::geom

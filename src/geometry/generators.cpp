@@ -1,0 +1,179 @@
+#include "geometry/generators.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/constants.hpp"
+
+namespace dirant::geom {
+
+std::vector<Point> uniform_square(int n, double side, Rng& rng) {
+  DIRANT_ASSERT(n >= 0 && side > 0.0);
+  std::uniform_real_distribution<double> u(0.0, side);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) p = {u(rng), u(rng)};
+  return pts;
+}
+
+std::vector<Point> uniform_disk(int n, double radius, Rng& rng) {
+  DIRANT_ASSERT(n >= 0 && radius > 0.0);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    const double r = radius * std::sqrt(u(rng));
+    const double t = kTwoPi * u(rng);
+    p = from_polar(r, t);
+  }
+  return pts;
+}
+
+std::vector<Point> gaussian_clusters(int n, int clusters, double side,
+                                     double sigma, Rng& rng) {
+  DIRANT_ASSERT(n >= 0 && clusters >= 1);
+  std::uniform_real_distribution<double> u(0.0, side);
+  std::normal_distribution<double> g(0.0, sigma);
+  std::vector<Point> centers(clusters);
+  for (auto& c : centers) c = {u(rng), u(rng)};
+  std::uniform_int_distribution<int> pick(0, clusters - 1);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    const Point& c = centers[pick(rng)];
+    p = {c.x + g(rng), c.y + g(rng)};
+  }
+  return pts;
+}
+
+std::vector<Point> grid_points(int rows, int cols, double spacing,
+                               double jitter, Rng& rng) {
+  DIRANT_ASSERT(rows >= 1 && cols >= 1 && spacing > 0.0);
+  std::uniform_real_distribution<double> j(-jitter, jitter);
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      Point p{c * spacing, r * spacing};
+      if (jitter > 0.0) p += {j(rng), j(rng)};
+      pts.push_back(p);
+    }
+  }
+  return pts;
+}
+
+std::vector<Point> triangular_lattice(int rows, int cols, double spacing) {
+  DIRANT_ASSERT(rows >= 1 && cols >= 1 && spacing > 0.0);
+  const double h = spacing * std::sqrt(3.0) / 2.0;
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    const double x0 = (r % 2 == 0) ? 0.0 : spacing / 2.0;
+    for (int c = 0; c < cols; ++c) {
+      pts.push_back({x0 + c * spacing, r * h});
+    }
+  }
+  return pts;
+}
+
+std::vector<Point> collinear_points(int n, double spacing, double jitter_perp,
+                                    Rng& rng) {
+  DIRANT_ASSERT(n >= 0 && spacing > 0.0);
+  std::uniform_real_distribution<double> j(-jitter_perp, jitter_perp);
+  std::vector<Point> pts(n);
+  for (int i = 0; i < n; ++i) {
+    pts[i] = {i * spacing, jitter_perp > 0.0 ? j(rng) : 0.0};
+  }
+  return pts;
+}
+
+std::vector<Point> annulus(int n, double r_inner, double r_outer, Rng& rng) {
+  DIRANT_ASSERT(n >= 0 && 0.0 <= r_inner && r_inner < r_outer);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<Point> pts(n);
+  const double a2 = r_inner * r_inner, b2 = r_outer * r_outer;
+  for (auto& p : pts) {
+    const double r = std::sqrt(a2 + (b2 - a2) * u(rng));
+    p = from_polar(r, kTwoPi * u(rng));
+  }
+  return pts;
+}
+
+std::vector<Point> regular_polygon(int d, double radius, Point center,
+                                   double phase) {
+  DIRANT_ASSERT(d >= 1 && radius > 0.0);
+  std::vector<Point> pts(d);
+  for (int i = 0; i < d; ++i) {
+    pts[i] = center + from_polar(radius, phase + kTwoPi * i / d);
+  }
+  return pts;
+}
+
+std::vector<Point> star_with_center(int d, double radius, double phase) {
+  auto pts = regular_polygon(d, radius, {0.0, 0.0}, phase);
+  pts.push_back({0.0, 0.0});
+  return pts;
+}
+
+std::vector<Point> perturbed(std::vector<Point> pts, double eps, Rng& rng) {
+  std::uniform_real_distribution<double> u(-eps, eps);
+  for (auto& p : pts) p += {u(rng), u(rng)};
+  return pts;
+}
+
+std::vector<Point> dedupe_min_separation(std::vector<Point> pts,
+                                         double min_sep) {
+  std::vector<Point> out;
+  out.reserve(pts.size());
+  const double sep2 = min_sep * min_sep;
+  for (const auto& p : pts) {
+    bool ok = true;
+    for (const auto& q : out) {
+      if (dist2(p, q) < sep2) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(p);
+  }
+  return out;
+}
+
+std::string to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kUniformSquare: return "uniform-square";
+    case Distribution::kUniformDisk: return "uniform-disk";
+    case Distribution::kClusters: return "clusters";
+    case Distribution::kGrid: return "grid";
+    case Distribution::kAnnulus: return "annulus";
+    case Distribution::kCorridor: return "corridor";
+  }
+  return "unknown";
+}
+
+std::vector<Point> make_instance(Distribution d, int n, Rng& rng) {
+  DIRANT_ASSERT(n >= 1);
+  const double side = std::sqrt(static_cast<double>(n));
+  switch (d) {
+    case Distribution::kUniformSquare:
+      return uniform_square(n, side, rng);
+    case Distribution::kUniformDisk:
+      return uniform_disk(n, side / std::sqrt(kPi) * 2.0, rng);
+    case Distribution::kClusters: {
+      const int k = std::max(1, n / 24);
+      auto pts = gaussian_clusters(n, k, 2.0 * side, 1.0, rng);
+      return dedupe_min_separation(std::move(pts), 1e-9);
+    }
+    case Distribution::kGrid: {
+      const int rows = std::max(1, static_cast<int>(std::floor(std::sqrt(n))));
+      const int cols = (n + rows - 1) / rows;
+      auto pts = grid_points(rows, cols, 1.0, 0.05, rng);
+      pts.resize(std::min<size_t>(pts.size(), n));
+      return pts;
+    }
+    case Distribution::kAnnulus:
+      return annulus(n, side / 2.0, side, rng);
+    case Distribution::kCorridor:
+      return collinear_points(n, 1.0, 0.2, rng);
+  }
+  return {};
+}
+
+}  // namespace dirant::geom

@@ -1,0 +1,87 @@
+#pragma once
+/// \file generators.hpp
+/// Point-set generators for experiments and tests.  These play the role of
+/// the sensor deployments the paper reasons about: random uniform fields,
+/// clustered deployments, engineered lattices (degenerate MST ties), corridor
+/// (collinear) deployments, and the regular d-gon "star" instances used in
+/// Lemma 1's necessity argument.
+
+#include <array>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace dirant::geom {
+
+using Rng = std::mt19937_64;
+
+/// n points uniform in the axis-aligned square [0, side]^2.
+std::vector<Point> uniform_square(int n, double side, Rng& rng);
+
+/// n points uniform in the disk of the given radius centred at the origin.
+std::vector<Point> uniform_disk(int n, double radius, Rng& rng);
+
+/// n points in `clusters` Gaussian blobs (stddev `sigma`) whose centres are
+/// uniform in [0, side]^2.
+std::vector<Point> gaussian_clusters(int n, int clusters, double side,
+                                     double sigma, Rng& rng);
+
+/// rows x cols square lattice with the given spacing; each point jittered
+/// uniformly in [-jitter, jitter]^2 (jitter = 0 gives the exact grid).
+std::vector<Point> grid_points(int rows, int cols, double spacing,
+                               double jitter, Rng& rng);
+
+/// rows x cols triangular (hexagonal-packing) lattice.  Every interior vertex
+/// has six equidistant neighbours at exactly 60 degrees: the canonical
+/// degenerate input for MST degree-6 repair.
+std::vector<Point> triangular_lattice(int rows, int cols, double spacing);
+
+/// n points along the x-axis with the given spacing; each jittered
+/// perpendicular by uniform [-jitter_perp, jitter_perp].
+std::vector<Point> collinear_points(int n, double spacing, double jitter_perp,
+                                    Rng& rng);
+
+/// n points uniform in the annulus r_inner <= |p| <= r_outer.
+std::vector<Point> annulus(int n, double r_inner, double r_outer, Rng& rng);
+
+/// Vertices of a regular d-gon of the given circumradius.
+std::vector<Point> regular_polygon(int d, double radius,
+                                   Point center = {0.0, 0.0},
+                                   double phase = 0.0);
+
+/// Regular d-gon plus its centre (d+1 points): the Lemma 1 necessity
+/// instance — the centre has MST degree d with all gaps exactly 2*pi/d.
+std::vector<Point> star_with_center(int d, double radius, double phase = 0.0);
+
+/// Copy of `pts` with every coordinate perturbed uniformly in [-eps, eps].
+std::vector<Point> perturbed(std::vector<Point> pts, double eps, Rng& rng);
+
+/// Remove points closer than `min_sep` to an earlier point (greedy).
+std::vector<Point> dedupe_min_separation(std::vector<Point> pts,
+                                         double min_sep);
+
+/// Named instance families used by the parameterized test/bench sweeps.
+enum class Distribution {
+  kUniformSquare,
+  kUniformDisk,
+  kClusters,
+  kGrid,
+  kAnnulus,
+  kCorridor,  ///< near-collinear chain
+};
+
+inline constexpr std::array<Distribution, 6> kAllDistributions = {
+    Distribution::kUniformSquare, Distribution::kUniformDisk,
+    Distribution::kClusters,      Distribution::kGrid,
+    Distribution::kAnnulus,       Distribution::kCorridor,
+};
+
+std::string to_string(Distribution d);
+
+/// n points from the named family, scaled to roughly unit density so that
+/// MST edge lengths are O(1) across families and sizes.
+std::vector<Point> make_instance(Distribution d, int n, Rng& rng);
+
+}  // namespace dirant::geom

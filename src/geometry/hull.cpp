@@ -1,0 +1,70 @@
+#include "geometry/hull.hpp"
+
+#include <algorithm>
+
+#include "geometry/exact.hpp"
+
+namespace dirant::geom {
+
+std::vector<int> convex_hull(std::span<const Point> pts) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+    return pts[a].x < pts[b].x || (pts[a].x == pts[b].x && pts[a].y < pts[b].y);
+  });
+  idx.erase(std::unique(idx.begin(), idx.end(),
+                        [&](int a, int b) { return pts[a] == pts[b]; }),
+            idx.end());
+  const int m = static_cast<int>(idx.size());
+  if (m <= 2) return idx;
+
+  std::vector<int> hull(2 * m);
+  int k = 0;
+  for (int i = 0; i < m; ++i) {  // lower chain
+    while (k >= 2 && orient2d_sign(pts[hull[k - 2]], pts[hull[k - 1]],
+                                   pts[idx[i]]) <= 0) {
+      --k;
+    }
+    hull[k++] = idx[i];
+  }
+  const int lower = k + 1;
+  for (int i = m - 2; i >= 0; --i) {  // upper chain
+    while (k >= lower && orient2d_sign(pts[hull[k - 2]], pts[hull[k - 1]],
+                                       pts[idx[i]]) <= 0) {
+      --k;
+    }
+    hull[k++] = idx[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+double diameter(std::span<const Point> pts) {
+  if (pts.size() < 2) return 0.0;
+  const auto hull = convex_hull(pts);
+  const int h = static_cast<int>(hull.size());
+  if (h == 1) return 0.0;
+  if (h == 2) return dist(pts[hull[0]], pts[hull[1]]);
+  // Rotating calipers.
+  double best = 0.0;
+  int j = 1;
+  for (int i = 0; i < h; ++i) {
+    const Point& a = pts[hull[i]];
+    const Point& b = pts[hull[(i + 1) % h]];
+    while (true) {
+      const int jn = (j + 1) % h;
+      const double cur = std::abs(cross(b - a, pts[hull[j]] - a));
+      const double nxt = std::abs(cross(b - a, pts[hull[jn]] - a));
+      if (nxt > cur) {
+        j = jn;
+      } else {
+        break;
+      }
+    }
+    best = std::max({best, dist(a, pts[hull[j]]), dist(b, pts[hull[j]])});
+  }
+  return best;
+}
+
+}  // namespace dirant::geom

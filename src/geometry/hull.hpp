@@ -1,0 +1,23 @@
+#pragma once
+/// \file hull.hpp
+/// Convex hull (Andrew's monotone chain) and diameter via rotating calipers.
+/// Used by the benchmark harness for instance statistics and by tests as an
+/// independent oracle for extreme-point reasoning.
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace dirant::geom {
+
+/// Indices of the convex hull of `pts` in counterclockwise order, starting
+/// from the lexicographically smallest point.  Collinear boundary points are
+/// excluded.  Handles n in {0, 1, 2} and fully collinear inputs gracefully
+/// (returns the extreme points).
+std::vector<int> convex_hull(std::span<const Point> pts);
+
+/// Largest pairwise distance in `pts` (0 for n < 2).  O(n log n).
+double diameter(std::span<const Point> pts);
+
+}  // namespace dirant::geom

@@ -1,0 +1,11 @@
+#include "geometry/point.hpp"
+
+#include <ostream>
+
+namespace dirant::geom {
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace dirant::geom

@@ -1,0 +1,91 @@
+#pragma once
+/// \file digraph.hpp
+/// Adjacency-list graphs.  `Digraph` models the transmission graph induced by
+/// oriented antennae (paper §1.1: edge u->v iff v lies in some sector of u);
+/// `Graph` is its undirected counterpart used for MSTs and threshold graphs.
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace dirant::graph {
+
+/// Directed graph with fixed vertex count and append-only edges.
+class Digraph {
+ public:
+  explicit Digraph(int n) : out_(n) { DIRANT_ASSERT(n >= 0); }
+
+  int size() const { return static_cast<int>(out_.size()); }
+  int edge_count() const { return edges_; }
+
+  void add_edge(int u, int v) {
+    DIRANT_ASSERT(valid(u) && valid(v));
+    out_[u].push_back(v);
+    ++edges_;
+  }
+
+  const std::vector<int>& out(int u) const {
+    DIRANT_ASSERT(valid(u));
+    return out_[u];
+  }
+
+  /// The transpose graph (all edges reversed).
+  Digraph reversed() const {
+    Digraph r(size());
+    for (int u = 0; u < size(); ++u) {
+      for (int v : out_[u]) r.add_edge(v, u);
+    }
+    return r;
+  }
+
+  /// Maximum out-degree over all vertices.
+  int max_out_degree() const {
+    int d = 0;
+    for (const auto& a : out_) d = std::max<int>(d, static_cast<int>(a.size()));
+    return d;
+  }
+
+ private:
+  bool valid(int v) const { return v >= 0 && v < size(); }
+  std::vector<std::vector<int>> out_;
+  int edges_ = 0;
+};
+
+/// Undirected graph (each edge stored in both adjacency lists).
+class Graph {
+ public:
+  explicit Graph(int n) : adj_(n) { DIRANT_ASSERT(n >= 0); }
+
+  int size() const { return static_cast<int>(adj_.size()); }
+  int edge_count() const { return edges_; }
+
+  void add_edge(int u, int v) {
+    DIRANT_ASSERT(valid(u) && valid(v) && u != v);
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+    ++edges_;
+  }
+
+  const std::vector<int>& neighbors(int u) const {
+    DIRANT_ASSERT(valid(u));
+    return adj_[u];
+  }
+
+  int degree(int u) const {
+    DIRANT_ASSERT(valid(u));
+    return static_cast<int>(adj_[u].size());
+  }
+
+  int max_degree() const {
+    int d = 0;
+    for (const auto& a : adj_) d = std::max<int>(d, static_cast<int>(a.size()));
+    return d;
+  }
+
+ private:
+  bool valid(int v) const { return v >= 0 && v < size(); }
+  std::vector<std::vector<int>> adj_;
+  int edges_ = 0;
+};
+
+}  // namespace dirant::graph

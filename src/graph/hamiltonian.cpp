@@ -1,0 +1,141 @@
+#include "graph/hamiltonian.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace dirant::graph {
+
+std::optional<std::vector<int>> hamiltonian_cycle_exact(const Graph& g) {
+  const int n = g.size();
+  DIRANT_ASSERT_MSG(n <= 24, "exact Hamiltonian limited to n <= 24");
+  if (n == 0) return std::vector<int>{};
+  if (n == 1) return std::vector<int>{0};
+  if (n == 2) return std::nullopt;  // a 2-cycle needs a multigraph
+
+  std::vector<std::uint32_t> adj(n, 0);
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.neighbors(u)) adj[u] |= (1u << v);
+  }
+  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  // dp[mask][v]: is there a path 0 -> v visiting exactly `mask` (0 in mask)?
+  std::vector<std::vector<char>> dp(1u << n, std::vector<char>(n, 0));
+  std::vector<std::vector<int>> pred(1u << n, std::vector<int>(n, -1));
+  dp[1u][0] = 1;
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    if (!(mask & 1u)) continue;
+    for (int v = 0; v < n; ++v) {
+      if (!dp[mask][v]) continue;
+      std::uint32_t cand = adj[v] & ~mask;
+      while (cand) {
+        const int w = std::countr_zero(cand);
+        cand &= cand - 1;
+        const std::uint32_t nmask = mask | (1u << w);
+        if (!dp[nmask][w]) {
+          dp[nmask][w] = 1;
+          pred[nmask][w] = v;
+        }
+      }
+    }
+  }
+  for (int last = 1; last < n; ++last) {
+    if (!dp[full][last] || !(adj[last] & 1u)) continue;
+    std::vector<int> cycle(n);
+    std::uint32_t mask = full;
+    int v = last;
+    for (int i = n - 1; i >= 0; --i) {
+      cycle[i] = v;
+      const int p = pred[mask][v];
+      mask &= ~(1u << v);
+      v = p;
+    }
+    return cycle;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+struct Backtracker {
+  const Graph& g;
+  std::uint64_t budget;
+  std::vector<int> path;
+  std::vector<char> used;
+  int n;
+
+  explicit Backtracker(const Graph& graph, std::uint64_t b)
+      : g(graph), budget(b), used(graph.size(), 0), n(graph.size()) {}
+
+  bool feasible_remainder() const {
+    // Every unused vertex needs >= 2 unused-or-endpoint neighbours.
+    const int head = path.front(), tail = path.back();
+    for (int v = 0; v < n; ++v) {
+      if (used[v]) continue;
+      int free_deg = 0;
+      for (int w : g.neighbors(v)) {
+        if (!used[w] || w == head || w == tail) ++free_deg;
+        if (free_deg >= 2) break;
+      }
+      if (free_deg < 2) return false;
+    }
+    return true;
+  }
+
+  bool extend() {
+    if (budget == 0) return false;
+    --budget;
+    const int tail = path.back();
+    if (static_cast<int>(path.size()) == n) {
+      for (int w : g.neighbors(tail)) {
+        if (w == path.front()) return true;
+      }
+      return false;
+    }
+    // Candidates sorted by ascending free degree (fail-first).
+    std::vector<std::pair<int, int>> cands;
+    for (int w : g.neighbors(tail)) {
+      if (used[w]) continue;
+      int fd = 0;
+      for (int x : g.neighbors(w)) {
+        if (!used[x]) ++fd;
+      }
+      cands.emplace_back(fd, w);
+    }
+    std::sort(cands.begin(), cands.end());
+    for (auto [fd, w] : cands) {
+      path.push_back(w);
+      used[w] = 1;
+      if (feasible_remainder() && extend()) return true;
+      used[w] = 0;
+      path.pop_back();
+      if (budget == 0) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> hamiltonian_cycle_backtracking(
+    const Graph& g, std::uint64_t node_budget) {
+  const int n = g.size();
+  if (n == 0) return std::vector<int>{};
+  if (n == 1) return std::vector<int>{0};
+  if (n == 2) return std::nullopt;
+  for (int v = 0; v < n; ++v) {
+    if (g.degree(v) < 2) return std::nullopt;  // provably impossible
+  }
+  // Start from a minimum-degree vertex: most constrained first.
+  int start = 0;
+  for (int v = 1; v < n; ++v) {
+    if (g.degree(v) < g.degree(start)) start = v;
+  }
+  Backtracker bt(g, node_budget);
+  bt.path.push_back(start);
+  bt.used[start] = 1;
+  if (bt.extend()) return bt.path;
+  return std::nullopt;
+}
+
+}  // namespace dirant::graph

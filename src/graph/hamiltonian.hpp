@@ -1,0 +1,25 @@
+#pragma once
+/// \file hamiltonian.hpp
+/// Hamiltonian-cycle search used by the bottleneck-TSP substrate ([14] in the
+/// paper).  Two engines: an exact Held–Karp reachability DP for small n, and
+/// a budgeted backtracking search with least-degree-first ordering and
+/// connectivity pruning for threshold graphs of moderate size.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dirant::graph {
+
+/// Exact: returns a Hamiltonian cycle of the undirected graph, or nullopt if
+/// none exists.  O(2^n * n^2); requires n <= 24 (practically use n <= 18).
+std::optional<std::vector<int>> hamiltonian_cycle_exact(const Graph& g);
+
+/// Heuristic backtracking with a node budget.  Returns a cycle if found
+/// within the budget; nullopt means "not found" (NOT a proof of absence).
+std::optional<std::vector<int>> hamiltonian_cycle_backtracking(
+    const Graph& g, std::uint64_t node_budget);
+
+}  // namespace dirant::graph

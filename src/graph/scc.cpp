@@ -1,0 +1,97 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace dirant::graph {
+namespace {
+
+// Reachability count from `s` following out-edges.
+int reach_count(const Digraph& g, int s) {
+  std::vector<char> seen(g.size(), 0);
+  std::vector<int> stack{s};
+  seen[s] = 1;
+  int cnt = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int v : g.out(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++cnt;
+        stack.push_back(v);
+      }
+    }
+  }
+  return cnt;
+}
+
+}  // namespace
+
+bool is_strongly_connected(const Digraph& g) {
+  const int n = g.size();
+  if (n <= 1) return true;
+  if (reach_count(g, 0) != n) return false;
+  return reach_count(g.reversed(), 0) == n;
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const int n = g.size();
+  SccResult res;
+  res.component.assign(n, -1);
+
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  // Explicit DFS stack: (vertex, next child position).
+  struct Frame {
+    int v;
+    size_t child;
+  };
+  std::vector<Frame> frames;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const int v = f.v;
+      if (f.child == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      const auto& outs = g.out(v);
+      while (f.child < outs.size()) {
+        const int w = outs[f.child++];
+        if (index[w] == -1) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        while (true) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          res.component[w] = res.count;
+          if (w == v) break;
+        }
+        ++res.count;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const int parent = frames.back().v;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace dirant::graph

@@ -1,0 +1,27 @@
+#pragma once
+/// \file scc.hpp
+/// Strong connectivity: the certification primitive for every orientation
+/// algorithm in this library (the paper's goal is a strongly connected
+/// transmission graph).
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dirant::graph {
+
+/// Result of a strongly-connected-components decomposition.
+struct SccResult {
+  int count = 0;
+  std::vector<int> component;  ///< component id per vertex, 0-based
+};
+
+/// Tarjan's algorithm (iterative).  Component ids are in reverse topological
+/// order of the condensation.
+SccResult strongly_connected_components(const Digraph& g);
+
+/// True iff `g` is strongly connected (n <= 1 counts as strongly connected).
+/// Fast path: forward + backward BFS from vertex 0.
+bool is_strongly_connected(const Digraph& g);
+
+}  // namespace dirant::graph

@@ -1,0 +1,104 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dirant::graph {
+namespace {
+
+template <typename Adjacency>
+std::vector<int> bfs_impl(int n, int source, Adjacency&& adj) {
+  std::vector<int> dist(n, -1);
+  if (n == 0) return dist;
+  std::queue<int> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int v : adj(u)) {
+      if (dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<int> bfs_distances(const Digraph& g, int source) {
+  return bfs_impl(g.size(), source, [&](int u) -> const std::vector<int>& {
+    return g.out(u);
+  });
+}
+
+std::vector<int> bfs_distances(const Graph& g, int source) {
+  return bfs_impl(g.size(), source, [&](int u) -> const std::vector<int>& {
+    return g.neighbors(u);
+  });
+}
+
+bool is_connected(const Graph& g) {
+  if (g.size() <= 1) return true;
+  const auto d = bfs_distances(g, 0);
+  return std::none_of(d.begin(), d.end(), [](int x) { return x == -1; });
+}
+
+bool is_biconnected(const Graph& g) {
+  const int n = g.size();
+  if (n <= 1) return true;
+  if (n == 2) return g.degree(0) >= 1;
+  if (!is_connected(g)) return false;
+  // Hopcroft–Tarjan articulation detection, iterative DFS from vertex 0.
+  std::vector<int> disc(n, -1), low(n, 0), parent(n, -1);
+  std::vector<size_t> child_pos(n, 0);
+  int timer = 0;
+  std::vector<int> stack{0};
+  disc[0] = low[0] = timer++;
+  int root_children = 0;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    const auto& nb = g.neighbors(u);
+    if (child_pos[u] < nb.size()) {
+      const int v = nb[child_pos[u]++];
+      if (disc[v] == -1) {
+        parent[v] = u;
+        disc[v] = low[v] = timer++;
+        if (u == 0) ++root_children;
+        stack.push_back(v);
+      } else if (v != parent[u]) {
+        low[u] = std::min(low[u], disc[v]);
+      }
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        const int p = stack.back();
+        low[p] = std::min(low[p], low[u]);
+        if (p != 0 && low[u] >= disc[p]) return false;  // articulation at p
+      }
+    }
+  }
+  return root_children <= 1;
+}
+
+HopSummary hop_summary(const Digraph& g, int source) {
+  HopSummary s;
+  const auto d = bfs_distances(g, source);
+  long long total = 0;
+  int reached = 0;
+  for (int x : d) {
+    if (x == -1) {
+      ++s.unreachable;
+    } else {
+      s.max_hops = std::max(s.max_hops, x);
+      total += x;
+      ++reached;
+    }
+  }
+  s.mean_hops = reached > 1 ? static_cast<double>(total) / (reached - 1) : 0.0;
+  return s;
+}
+
+}  // namespace dirant::graph

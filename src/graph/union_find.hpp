@@ -1,0 +1,49 @@
+#pragma once
+/// \file union_find.hpp
+/// Disjoint-set forest with union by rank and path halving.
+
+#include <numeric>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace dirant::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n), rank_(n, 0), components_(n) {
+    DIRANT_ASSERT(n >= 0);
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int x) {
+    DIRANT_ASSERT(x >= 0 && x < static_cast<int>(parent_.size()));
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merge the sets containing a and b; returns false if already merged.
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    --components_;
+    return true;
+  }
+
+  bool same(int a, int b) { return find(a) == find(b); }
+  int components() const { return components_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  int components_;
+};
+
+}  // namespace dirant::graph

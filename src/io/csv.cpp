@@ -1,0 +1,55 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dirant::io {
+
+std::vector<geom::Point> read_points(std::istream& in) {
+  std::vector<geom::Point> pts;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    for (char& c : line) {
+      if (c == ',' || c == ';' || c == '\t') c = ' ';
+    }
+    std::istringstream row(line);
+    double x, y;
+    if (!(row >> x)) continue;  // blank / comment line
+    if (!(row >> y)) {
+      throw std::runtime_error("csv: missing y coordinate on line " +
+                               std::to_string(lineno));
+    }
+    double extra;
+    if (row >> extra) {
+      throw std::runtime_error("csv: too many fields on line " +
+                               std::to_string(lineno));
+    }
+    pts.push_back({x, y});
+  }
+  return pts;
+}
+
+std::vector<geom::Point> read_points_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_points(in);
+}
+
+void write_points(std::ostream& out, std::span<const geom::Point> pts) {
+  out.precision(17);
+  for (const auto& p : pts) out << p.x << ' ' << p.y << '\n';
+}
+
+void write_points_file(const std::string& path,
+                       std::span<const geom::Point> pts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_points(out, pts);
+}
+
+}  // namespace dirant::io

@@ -1,0 +1,25 @@
+#pragma once
+/// \file csv.hpp
+/// Point-set I/O: whitespace/comma-separated "x y" per line, '#' comments.
+/// Used by the CLI examples so deployments can come from files.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace dirant::io {
+
+/// Parse points from a stream.  Throws std::runtime_error on malformed rows.
+std::vector<geom::Point> read_points(std::istream& in);
+
+/// Parse points from a file path.
+std::vector<geom::Point> read_points_file(const std::string& path);
+
+void write_points(std::ostream& out, std::span<const geom::Point> pts);
+void write_points_file(const std::string& path,
+                       std::span<const geom::Point> pts);
+
+}  // namespace dirant::io

@@ -1,0 +1,115 @@
+#include "io/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/constants.hpp"
+#include "geometry/angle.hpp"
+
+namespace dirant::io {
+
+using geom::Point;
+
+namespace {
+
+struct Mapper {
+  double scale, ox, oy, canvas;
+  Point map(const Point& p) const {
+    // Flip y so the picture matches mathematical orientation.
+    return {(p.x - ox) * scale, canvas - (p.y - oy) * scale};
+  }
+};
+
+Mapper fit(std::span<const Point> pts, const SvgStyle& st) {
+  double min_x = 0, min_y = 0, max_x = 1, max_y = 1;
+  if (!pts.empty()) {
+    min_x = max_x = pts[0].x;
+    min_y = max_y = pts[0].y;
+    for (const auto& p : pts) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+  }
+  const double span = std::max({max_x - min_x, max_y - min_y, 1e-9});
+  const double scale = (st.canvas - 2 * st.margin) / span;
+  return {scale, min_x - st.margin / scale, min_y - st.margin / scale,
+          st.canvas};
+}
+
+}  // namespace
+
+std::string render_svg(std::span<const Point> pts,
+                       const antenna::Orientation* orientation,
+                       const mst::Tree* tree, const SvgStyle& st) {
+  const Mapper m = fit(pts, st);
+  std::ostringstream out;
+  out.precision(6);
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << st.canvas
+      << "' height='" << st.canvas << "' viewBox='0 0 " << st.canvas << ' '
+      << st.canvas << "'>\n";
+  out << "<rect width='100%' height='100%' fill='white'/>\n";
+
+  if (st.draw_sectors && orientation != nullptr) {
+    for (int u = 0; u < orientation->size(); ++u) {
+      const Point c = m.map(pts[u]);
+      for (const auto& s : orientation->antennas(u)) {
+        const double r = s.radius * m.scale;
+        if (s.width <= 1e-9) {
+          // Beam: an arrow-ish line.
+          const Point tip = m.map(pts[u] + geom::from_polar(s.radius, s.start));
+          out << "<line x1='" << c.x << "' y1='" << c.y << "' x2='" << tip.x
+              << "' y2='" << tip.y << "' stroke='" << st.beam_color
+              << "' stroke-width='1.2' marker-end='url(#arrow)'/>\n";
+        } else {
+          // Wedge path.  SVG y-axis is flipped, so angles negate.
+          const double a0 = -s.start;
+          const double a1 = -(s.start + s.width);
+          const Point p0{c.x + r * std::cos(a0), c.y + r * std::sin(a0)};
+          const Point p1{c.x + r * std::cos(a1), c.y + r * std::sin(a1)};
+          const int large = s.width > kPi ? 1 : 0;
+          out << "<path d='M " << c.x << ' ' << c.y << " L " << p0.x << ' '
+              << p0.y << " A " << r << ' ' << r << " 0 " << large << " 0 "
+              << p1.x << ' ' << p1.y << " Z' fill='" << st.sector_fill
+              << "' stroke='none'/>\n";
+        }
+      }
+    }
+  }
+
+  if (st.draw_tree && tree != nullptr) {
+    for (const auto& e : tree->edges) {
+      const Point a = m.map(pts[e.u]), b = m.map(pts[e.v]);
+      out << "<line x1='" << a.x << "' y1='" << a.y << "' x2='" << b.x
+          << "' y2='" << b.y << "' stroke='" << st.tree_color
+          << "' stroke-width='1'/>\n";
+    }
+  }
+
+  out << "<defs><marker id='arrow' viewBox='0 0 10 10' refX='9' refY='5' "
+         "markerWidth='6' markerHeight='6' orient='auto-start-reverse'>"
+         "<path d='M 0 0 L 10 5 L 0 10 z' fill='"
+      << st.beam_color << "'/></marker></defs>\n";
+
+  for (const auto& p : pts) {
+    const Point c = m.map(p);
+    out << "<circle cx='" << c.x << "' cy='" << c.y << "' r='"
+        << st.point_radius << "' fill='" << st.point_color << "'/>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+void write_svg_file(const std::string& path, std::span<const Point> pts,
+                    const antenna::Orientation* orientation,
+                    const mst::Tree* tree, const SvgStyle& style) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << render_svg(pts, orientation, tree, style);
+}
+
+}  // namespace dirant::io

@@ -1,0 +1,38 @@
+#pragma once
+/// \file svg.hpp
+/// SVG rendering of deployments and orientations — the library's equivalent
+/// of the paper's figures.  Draws sensors, MST edges, antenna sectors
+/// (wedges) and beams (arrows).
+
+#include <span>
+#include <string>
+
+#include "antenna/orientation.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::io {
+
+struct SvgStyle {
+  double canvas = 800.0;      ///< output square size in px
+  double margin = 40.0;
+  double point_radius = 3.0;
+  bool draw_tree = true;
+  bool draw_sectors = true;
+  std::string sector_fill = "#4a90d955";
+  std::string beam_color = "#d9534f";
+  std::string tree_color = "#999999";
+  std::string point_color = "#222222";
+};
+
+/// Render to an SVG string.  `tree` may be null.
+std::string render_svg(std::span<const geom::Point> pts,
+                       const antenna::Orientation* orientation,
+                       const mst::Tree* tree, const SvgStyle& style = {});
+
+/// Convenience: write straight to a file.
+void write_svg_file(const std::string& path,
+                    std::span<const geom::Point> pts,
+                    const antenna::Orientation* orientation,
+                    const mst::Tree* tree, const SvgStyle& style = {});
+
+}  // namespace dirant::io

@@ -1,0 +1,149 @@
+#include "mst/boruvka.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "delaunay/delaunay.hpp"
+#include "graph/union_find.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace dirant::mst {
+
+using geom::Point;
+
+namespace {
+
+struct Cand {
+  int u, v;
+  double len;
+};
+
+// Total order on candidate edges: length, then index — makes every
+// "minimum outgoing edge" unique so equal-weight rounds stay acyclic.
+inline bool better(const Cand& a, int ia, const Cand& b, int ib) {
+  if (a.len != b.len) return a.len < b.len;
+  return ia < ib;
+}
+
+}  // namespace
+
+Tree boruvka_emst(std::span<const Point> pts,
+                  std::span<const std::pair<int, int>> candidates,
+                  bool parallel) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT(n >= 1);
+  Tree t;
+  t.n = n;
+  if (n == 1) return t;
+
+  std::vector<Cand> edges;
+  edges.reserve(candidates.size());
+  for (const auto& [u, v] : candidates) {
+    edges.push_back({u, v, geom::dist(pts[u], pts[v])});
+  }
+  const int m = static_cast<int>(edges.size());
+
+  graph::UnionFind uf(n);
+  // best[c]: index of the best outgoing edge of component c this round.
+  std::vector<int> best(n);
+
+  const unsigned workers =
+      parallel ? dirant::par::global_pool().thread_count() : 1;
+  std::vector<std::vector<int>> local(workers);
+
+  int guard = 0;
+  while (uf.components() > 1) {
+    DIRANT_ASSERT_MSG(++guard <= 64, "Borůvka did not converge");
+    std::fill(best.begin(), best.end(), -1);
+
+    auto scan = [&](int chunk, int lo, int hi) {
+      auto& mine = local[chunk];
+      mine.assign(n, -1);
+      for (int i = lo; i < hi; ++i) {
+        const auto& e = edges[i];
+        const int cu = uf.find(e.u);  // path-halving find is safe to race-
+        const int cv = uf.find(e.v);  // free read-modify here only because
+        if (cu == cv) continue;       // rounds don't unite concurrently
+        for (int c : {cu, cv}) {
+          if (mine[c] == -1 || better(e, i, edges[mine[c]], mine[c])) {
+            mine[c] = i;
+          }
+        }
+      }
+    };
+
+    if (workers > 1 && m > 4096) {
+      // NOTE: concurrent uf.find() compresses paths; the find operation is
+      // not thread-safe in general.  Use a frozen component labelling.
+      std::vector<int> comp(n);
+      for (int v = 0; v < n; ++v) comp[v] = uf.find(v);
+      auto scan_frozen = [&](int chunk, int lo, int hi) {
+        auto& mine = local[chunk];
+        mine.assign(n, -1);
+        for (int i = lo; i < hi; ++i) {
+          const auto& e = edges[i];
+          const int cu = comp[e.u], cv = comp[e.v];
+          if (cu == cv) continue;
+          for (int c : {cu, cv}) {
+            if (mine[c] == -1 || better(e, i, edges[mine[c]], mine[c])) {
+              mine[c] = i;
+            }
+          }
+        }
+      };
+      auto& pool = dirant::par::global_pool();
+      const int step = (m + workers - 1) / workers;
+      for (unsigned w = 0; w < workers; ++w) {
+        const int lo = static_cast<int>(w) * step;
+        const int hi = std::min(m, lo + step);
+        if (lo >= hi) {
+          local[w].assign(n, -1);
+          continue;
+        }
+        pool.submit([&, w, lo, hi] { scan_frozen(static_cast<int>(w), lo, hi); });
+      }
+      pool.wait_idle();
+      for (unsigned w = 0; w < workers; ++w) {
+        for (int c = 0; c < n; ++c) {
+          const int i = local[w][c];
+          if (i == -1) continue;
+          if (best[c] == -1 || better(edges[i], i, edges[best[c]], best[c])) {
+            best[c] = i;
+          }
+        }
+      }
+    } else {
+      scan(0, 0, m);
+      best = local[0];
+    }
+
+    int united = 0;
+    for (int c = 0; c < n; ++c) {
+      const int i = best[c];
+      if (i == -1) continue;
+      if (uf.unite(edges[i].u, edges[i].v)) {
+        t.edges.push_back({edges[i].u, edges[i].v, edges[i].len});
+        ++united;
+      }
+    }
+    DIRANT_ASSERT_MSG(united > 0, "candidate edges do not connect the points");
+  }
+  DIRANT_ASSERT(static_cast<int>(t.edges.size()) == n - 1);
+  return t;
+}
+
+Tree boruvka_emst_auto(std::span<const Point> pts, int delaunay_threshold) {
+  const int n = static_cast<int>(pts.size());
+  if (n < delaunay_threshold) {
+    std::vector<std::pair<int, int>> all;
+    all.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) all.emplace_back(i, j);
+    }
+    return boruvka_emst(pts, all);
+  }
+  return boruvka_emst(pts, delaunay::delaunay_edges(pts));
+}
+
+}  // namespace dirant::mst

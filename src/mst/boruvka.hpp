@@ -1,0 +1,27 @@
+#pragma once
+/// \file boruvka.hpp
+/// Borůvka's algorithm over an explicit candidate edge set — the third,
+/// independently-implemented EMST engine (after Prim and Kruskal) and the
+/// parallel one: each round's minimum-outgoing-edge scan is partitioned
+/// across the thread pool and merged.  Ties are broken by a total order on
+/// edges (length, then index) so equal-weight rounds never create cycles.
+
+#include <span>
+
+#include "geometry/point.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::mst {
+
+/// Borůvka over `candidates` (must connect the points).  `parallel` enables
+/// the pooled scan; identical output either way.
+Tree boruvka_emst(std::span<const geom::Point> pts,
+                  std::span<const std::pair<int, int>> candidates,
+                  bool parallel = true);
+
+/// Convenience: Borůvka over the complete graph (small n) or the Delaunay
+/// edges (large n), mirroring `emst()`'s engine selection.
+Tree boruvka_emst_auto(std::span<const geom::Point> pts,
+                       int delaunay_threshold = 1500);
+
+}  // namespace dirant::mst

@@ -1,0 +1,98 @@
+#include "mst/degree5.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "geometry/angle.hpp"
+#include "mst/emst.hpp"
+
+namespace dirant::mst {
+
+using geom::Point;
+
+namespace {
+
+// Adjacency as (neighbour, edge-index) pairs, rebuilt on demand.
+std::vector<std::vector<std::pair<int, int>>> adjacency_with_edges(
+    const Tree& t) {
+  std::vector<std::vector<std::pair<int, int>>> adj(t.n);
+  for (int i = 0; i < static_cast<int>(t.edges.size()); ++i) {
+    adj[t.edges[i].u].push_back({t.edges[i].v, i});
+    adj[t.edges[i].v].push_back({t.edges[i].u, i});
+  }
+  return adj;
+}
+
+}  // namespace
+
+Tree enforce_max_degree(std::span<const Point> pts, Tree t, int max_degree) {
+  DIRANT_ASSERT(max_degree >= 2);
+  const int cap = 16 * std::max(1, t.n);
+  for (int iter = 0; iter < cap; ++iter) {
+    auto deg = t.degrees();
+    int u = -1;
+    for (int v = 0; v < t.n; ++v) {
+      if (deg[v] > max_degree) {
+        u = v;
+        break;
+      }
+    }
+    if (u == -1) return t;
+
+    // Sort u's incident edges by angle; examine consecutive pairs.
+    auto adj = adjacency_with_edges(t);
+    auto& inc = adj[u];
+    std::sort(inc.begin(), inc.end(), [&](const auto& a, const auto& b) {
+      return geom::angle_to(pts[u], pts[a.first]) <
+             geom::angle_to(pts[u], pts[b.first]);
+    });
+    const int m = static_cast<int>(inc.size());
+
+    // Best swap: replace the longer of a consecutive incident pair with the
+    // chord, preferring (a) non-increasing weight, (b) low resulting degree
+    // at the endpoint that gains the chord.
+    int best_remove = -1, best_keep_v = -1, best_other_w = -1;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      const auto [v, ev] = inc[i];
+      const auto [w, ew] = inc[(i + 1) % m];
+      const double chord = geom::dist(pts[v], pts[w]);
+      const double lv = t.edges[ev].length, lw = t.edges[ew].length;
+      // Candidate 1: drop (u,v)  -> w gains nothing, v gains chord... both
+      // chord endpoints gain; the dropped edge's far endpoint loses one.
+      for (int drop = 0; drop < 2; ++drop) {
+        const int edge_idx = drop == 0 ? ev : ew;
+        const int dropped_far = drop == 0 ? v : w;
+        const int kept_far = drop == 0 ? w : v;
+        const double dropped_len = drop == 0 ? lv : lw;
+        if (chord > dropped_len * (1.0 + 1e-12) + 1e-12) continue;
+        // Net degree effect: deg(u)-1; dropped_far unchanged; kept_far +1.
+        const int kept_far_deg = deg[kept_far] + 1;
+        if (kept_far_deg > max_degree + 1) continue;  // avoid new violations
+        const double score =
+            (chord - dropped_len) + 0.001 * kept_far_deg;
+        if (score < best_score) {
+          best_score = score;
+          best_remove = edge_idx;
+          best_keep_v = dropped_far;
+          best_other_w = kept_far;
+        }
+      }
+    }
+    DIRANT_ASSERT_MSG(best_remove != -1,
+                      "degree repair found no valid swap (not an EMST?)");
+    t.edges[best_remove] = {best_keep_v, best_other_w,
+                            geom::dist(pts[best_keep_v], pts[best_other_w])};
+  }
+  DIRANT_ASSERT_MSG(t.max_degree() <= max_degree,
+                    "degree repair did not converge");
+  return t;
+}
+
+Tree degree5_emst(std::span<const Point> pts) {
+  return enforce_max_degree(pts, emst(pts), 5);
+}
+
+}  // namespace dirant::mst

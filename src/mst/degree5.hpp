@@ -1,0 +1,28 @@
+#pragma once
+/// \file degree5.hpp
+/// Degree-bounded EMST repair.  The paper assumes "an MST of maximum degree 5
+/// can be shown to exist" (§2); a floating-point Prim/Kruskal tree can carry
+/// degree-6 vertices on degenerate inputs (triangular lattices: six equal
+/// edges at exactly 60°).  `enforce_max_degree` performs the classical swap:
+/// at an over-degree vertex, two incident edges (u,v), (u,w) span <= 60°+eps,
+/// so |vw| <= max(|uv|, |uw|); replacing the longer incident edge with (v,w)
+/// keeps a spanning tree of no greater weight and reduces deg(u).
+
+#include <span>
+
+#include "geometry/point.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::mst {
+
+/// Returns a spanning tree with max degree <= max_degree (>= 2 required;
+/// the paper needs 5).  Weight never increases; `lmax` never increases.
+/// Throws contract_violation if the bound cannot be met within the iteration
+/// cap (cannot happen for max_degree >= 5 on EMST input).
+Tree enforce_max_degree(std::span<const geom::Point> pts, Tree t,
+                        int max_degree = 5);
+
+/// Convenience: degree-5 EMST of `pts` (the tree the paper's algorithms use).
+Tree degree5_emst(std::span<const geom::Point> pts);
+
+}  // namespace dirant::mst

@@ -1,0 +1,96 @@
+#include "mst/emst.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "delaunay/delaunay.hpp"
+#include "graph/union_find.hpp"
+
+namespace dirant::mst {
+
+using geom::Point;
+
+Tree prim_emst(std::span<const Point> pts) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT(n >= 1);
+  Tree t;
+  t.n = n;
+  if (n == 1) return t;
+
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<int> from(n, -1);
+  std::vector<char> in_tree(n, 0);
+  int cur = 0;
+  in_tree[0] = 1;
+  for (int added = 1; added < n; ++added) {
+    // Relax against the vertex added last.
+    for (int v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double d = geom::dist2(pts[cur], pts[v]);
+      if (d < best[v]) {
+        best[v] = d;
+        from[v] = cur;
+      }
+    }
+    int next = -1;
+    double next_d = std::numeric_limits<double>::infinity();
+    for (int v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < next_d) {
+        next_d = best[v];
+        next = v;
+      }
+    }
+    DIRANT_ASSERT(next != -1);
+    in_tree[next] = 1;
+    t.edges.push_back({from[next], next, geom::dist(pts[from[next]], pts[next])});
+    cur = next;
+  }
+  return t;
+}
+
+Tree kruskal_emst(std::span<const Point> pts,
+                  std::span<const std::pair<int, int>> candidates) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT(n >= 1);
+  Tree t;
+  t.n = n;
+  if (n == 1) return t;
+
+  std::vector<TreeEdge> sorted;
+  sorted.reserve(candidates.size());
+  for (const auto& [u, v] : candidates) {
+    sorted.push_back({u, v, geom::dist(pts[u], pts[v])});
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TreeEdge& a, const TreeEdge& b) {
+              return a.length < b.length;
+            });
+  graph::UnionFind uf(n);
+  for (const auto& e : sorted) {
+    if (uf.unite(e.u, e.v)) {
+      t.edges.push_back(e);
+      if (static_cast<int>(t.edges.size()) == n - 1) break;
+    }
+  }
+  DIRANT_ASSERT_MSG(static_cast<int>(t.edges.size()) == n - 1,
+                    "candidate edge set is not connected");
+  return t;
+}
+
+Tree emst(std::span<const Point> pts, int delaunay_threshold) {
+  const int n = static_cast<int>(pts.size());
+  if (n < delaunay_threshold) return prim_emst(pts);
+  const auto dt_edges = delaunay::delaunay_edges(pts);
+  if (dt_edges.empty() && n > 1) return prim_emst(pts);  // degenerate input
+  // The Delaunay graph may miss duplicate points; verify connectivity via
+  // Kruskal and fall back to Prim when the candidate graph is disconnected.
+  try {
+    return kruskal_emst(pts, dt_edges);
+  } catch (const contract_violation&) {
+    return prim_emst(pts);
+  }
+}
+
+}  // namespace dirant::mst

@@ -1,0 +1,32 @@
+#pragma once
+/// \file emst.hpp
+/// Euclidean minimum spanning trees.  Two engines:
+///   * Prim O(n^2): no preconditions, exact on ties, the reference engine.
+///   * Kruskal restricted to Delaunay edges: O(n log n)-ish for large n
+///     (the EMST is a subgraph of the Delaunay triangulation).
+/// `emst()` picks automatically.  All engines return trees whose `lmax`
+/// equals the minimum-bottleneck value (a property of every MST).
+
+#include <span>
+
+#include "geometry/point.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::mst {
+
+/// Prim's algorithm over the complete Euclidean graph.  O(n^2) time,
+/// O(n) memory.  n >= 1.
+Tree prim_emst(std::span<const geom::Point> pts);
+
+/// Kruskal over an explicit candidate edge set.  The candidate graph must be
+/// connected.  Used with Delaunay edges for large instances, and with the
+/// complete graph by tests as an independent oracle.
+Tree kruskal_emst(std::span<const geom::Point> pts,
+                  std::span<const std::pair<int, int>> candidates);
+
+/// Automatic engine selection: Prim for small n, Delaunay+Kruskal above
+/// `delaunay_threshold` points (duplicate-free input required for the
+/// Delaunay path; duplicates fall back to Prim).
+Tree emst(std::span<const geom::Point> pts, int delaunay_threshold = 1500);
+
+}  // namespace dirant::mst

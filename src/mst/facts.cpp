@@ -1,0 +1,89 @@
+#include "mst/facts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/constants.hpp"
+#include "geometry/angle.hpp"
+#include "geometry/exact.hpp"
+
+namespace dirant::mst {
+
+using geom::Point;
+
+std::vector<int> neighbors_ccw(std::span<const Point> pts,
+                               const std::vector<std::vector<int>>& adj,
+                               int u) {
+  std::vector<int> nb = adj[u];
+  std::stable_sort(nb.begin(), nb.end(), [&](int a, int b) {
+    return geom::angle_to(pts[u], pts[a]) < geom::angle_to(pts[u], pts[b]);
+  });
+  return nb;
+}
+
+FactStats fact_stats(std::span<const Point> pts, const Tree& t,
+                     bool check_triangles) {
+  FactStats s;
+  s.min_consecutive = std::numeric_limits<double>::infinity();
+  s.max_consecutive = 0.0;
+  s.min_one_apart = std::numeric_limits<double>::infinity();
+  s.max_one_apart = 0.0;
+  const double lmax = t.lmax();
+  const auto adj = t.adjacency();
+
+  for (int u = 0; u < t.n; ++u) {
+    const int d = static_cast<int>(adj[u].size());
+    if (d < 2) continue;
+    const auto nb = neighbors_ccw(pts, adj, u);
+    std::vector<double> th(d);
+    for (int i = 0; i < d; ++i) th[i] = geom::angle_to(pts[u], pts[nb[i]]);
+
+    for (int i = 0; i < d; ++i) {
+      const int j = (i + 1) % d;
+      const double gap = (d == 2 && i == 1)
+                             ? dirant::kTwoPi - geom::ccw_delta(th[0], th[1])
+                             : geom::ccw_delta(th[i], th[j]);
+      // For degree 2 both gaps matter (the two sides); for d >= 3 the wrap
+      // gap is produced naturally by the modular walk.
+      s.min_consecutive = std::min(s.min_consecutive, gap);
+      if (d >= 3) s.max_consecutive = std::max(s.max_consecutive, gap);
+
+      // Fact 1.2: chord between consecutive neighbours.
+      const Point& v = pts[nb[i]];
+      const Point& w = pts[nb[j]];
+      if (nb[i] != nb[j]) {
+        const double ang = std::min(gap, dirant::kTwoPi - gap);
+        const double bound = 2.0 * std::sin(std::min(ang, dirant::kPi) / 2.0) *
+                                 lmax +
+                             1e-9;
+        if (geom::dist(v, w) > bound && ang <= dirant::kPi) {
+          ++s.chord_violations;
+        }
+      }
+      // Fact 1.3: empty triangle for consecutive neighbour pairs.
+      if (check_triangles && nb[i] != nb[j]) {
+        ++s.checked_triangles;
+        if (!geom::triangle_empty(pts[u], v, w, pts.data(),
+                                  static_cast<int>(pts.size()), u, nb[i],
+                                  nb[j])) {
+          ++s.nonempty_triangles;
+        }
+      }
+    }
+
+    if (d == 5) {
+      ++s.degree5_vertices;
+      for (int i = 0; i < 5; ++i) {
+        const double two_gap = geom::ccw_delta(th[i], th[(i + 2) % 5]);
+        s.min_one_apart = std::min(s.min_one_apart, two_gap);
+        s.max_one_apart = std::max(s.max_one_apart, two_gap);
+      }
+    }
+  }
+  if (!std::isfinite(s.min_consecutive)) s.min_consecutive = 0.0;
+  if (!std::isfinite(s.min_one_apart)) s.min_one_apart = 0.0;
+  return s;
+}
+
+}  // namespace dirant::mst

@@ -1,0 +1,43 @@
+#pragma once
+/// \file facts.hpp
+/// Empirical verification of the paper's Fact 1 and Fact 2 (§3, Figure 2):
+/// in a Euclidean MST, the angle between two adjacent (ccw-consecutive)
+/// neighbours of a vertex lies in [pi/3, 2*pi/3]... (Fact 2.1) for degree-5
+/// vertices, one-apart neighbour angles lie in [2*pi/3, pi] (Fact 2.2), any
+/// two neighbours subtend >= pi/3 (Fact 1.1), the chord satisfies
+/// d(u,w) <= 2 sin(angle/2) * lmax (Fact 1.2), and the triangle is empty
+/// (Fact 1.3).
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::mst {
+
+/// Neighbours of `u` sorted ccw by absolute angle (no reference ray).
+std::vector<int> neighbors_ccw(std::span<const geom::Point> pts,
+                               const std::vector<std::vector<int>>& adj,
+                               int u);
+
+/// Aggregate angle statistics over every vertex of the tree.
+struct FactStats {
+  double min_consecutive = 0.0;  ///< min ccw gap between consecutive neighbours
+                                 ///< at vertices of degree >= 2
+  double max_consecutive = 0.0;  ///< max such gap at vertices of degree >= 3
+  double min_one_apart = 0.0;    ///< min angle spanning two consecutive gaps
+                                 ///< at degree-5 vertices (Fact 2.2); 0 if none
+  double max_one_apart = 0.0;
+  int degree5_vertices = 0;
+  int checked_triangles = 0;
+  int nonempty_triangles = 0;    ///< Fact 1.3 violations (must be 0)
+  int chord_violations = 0;      ///< Fact 1.2 violations (must be 0)
+};
+
+/// Scan all vertices; `check_triangles` enables the O(n^2)-ish empty-triangle
+/// audit (Fact 1.3) — keep it off for large instances.
+FactStats fact_stats(std::span<const geom::Point> pts, const Tree& t,
+                     bool check_triangles = false);
+
+}  // namespace dirant::mst

@@ -1,0 +1,62 @@
+#include "mst/rooted.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "geometry/angle.hpp"
+
+namespace dirant::mst {
+
+RootedTree RootedTree::rooted_at(const Tree& t, int root) {
+  DIRANT_ASSERT(root >= 0 && root < t.n);
+  RootedTree rt;
+  rt.root = root;
+  rt.parent.assign(t.n, -2);
+  rt.children.resize(t.n);
+  rt.preorder.reserve(t.n);
+
+  const auto adj = t.adjacency();
+  std::vector<int> stack{root};
+  rt.parent[root] = -1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    rt.preorder.push_back(u);
+    for (int v : adj[u]) {
+      if (rt.parent[v] == -2) {
+        rt.parent[v] = u;
+        rt.children[u].push_back(v);
+        stack.push_back(v);
+      }
+    }
+  }
+  DIRANT_ASSERT_MSG(static_cast<int>(rt.preorder.size()) == t.n,
+                    "tree is not connected");
+  return rt;
+}
+
+RootedTree RootedTree::rooted_at_leaf(const Tree& t) {
+  return rooted_at(t, pick_leaf(t));
+}
+
+std::vector<int> children_ccw_from(std::span<const geom::Point> pts,
+                                   const RootedTree& rt, int u,
+                                   double ref_theta) {
+  std::vector<int> kids = rt.children[u];
+  std::vector<double> offset(kids.size());
+  for (size_t i = 0; i < kids.size(); ++i) {
+    const double th = geom::angle_to(pts[u], pts[kids[i]]);
+    double d = geom::ccw_delta(ref_theta, th);
+    if (d == 0.0) d = dirant::kTwoPi;  // a child exactly on the ray goes last
+    offset[i] = d;
+  }
+  std::vector<int> order(kids.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return offset[a] < offset[b]; });
+  std::vector<int> out(kids.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = kids[order[i]];
+  return out;
+}
+
+}  // namespace dirant::mst

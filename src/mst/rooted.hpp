@@ -1,0 +1,38 @@
+#pragma once
+/// \file rooted.hpp
+/// Rooted view of a spanning tree.  The paper's inductions (Theorems 3, 5, 6)
+/// run over a tree rooted at a degree-one vertex, with children processed in
+/// counterclockwise order around each node.
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::mst {
+
+struct RootedTree {
+  int root = 0;
+  std::vector<int> parent;                 ///< -1 at the root
+  std::vector<std::vector<int>> children;  ///< unsorted child lists
+  std::vector<int> preorder;               ///< root-first traversal order
+
+  /// Root `t` at `root`.
+  static RootedTree rooted_at(const Tree& t, int root);
+
+  /// Root `t` at its first leaf (the paper's choice, §1.2).
+  static RootedTree rooted_at_leaf(const Tree& t);
+
+  int size() const { return static_cast<int>(parent.size()); }
+};
+
+/// Children of `u` sorted by ccw angle measured from the reference direction
+/// `ref_theta` (exclusive sweep: the child with the smallest positive ccw
+/// offset from `ref_theta` comes first).  This is exactly the paper's
+/// "u(1) is the first neighbour of u when rotating the ray u->p".
+std::vector<int> children_ccw_from(std::span<const geom::Point> pts,
+                                   const RootedTree& rt, int u,
+                                   double ref_theta);
+
+}  // namespace dirant::mst

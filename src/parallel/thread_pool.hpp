@@ -1,0 +1,62 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Minimal fixed-size thread pool plus `parallel_for`, used by the
+/// experiment harness to run Monte-Carlo instance sweeps concurrently and by
+/// the O(n^2) EMST builder to parallelize its distance scans.
+///
+/// Design notes (HPC-parallel house style): explicit parallelism with plain
+/// std::thread, no detached threads, join-on-destruction (RAII), exceptions
+/// from tasks are captured and rethrown on the calling thread.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dirant::par {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, >= 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task.  Tasks must not enqueue into the same pool and wait.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.  Rethrows the first
+  /// captured task exception, if any.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::uint64_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Shared process-wide pool (lazily constructed).
+ThreadPool& global_pool();
+
+/// Runs fn(i) for i in [begin, end) across the pool in contiguous chunks.
+/// Blocks until complete; rethrows the first task exception.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t min_chunk = 1);
+
+}  // namespace dirant::par

@@ -1,0 +1,165 @@
+#include "sim/broadcast.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <random>
+
+#include "common/assert.hpp"
+#include "graph/scc.hpp"
+#include "graph/traversal.hpp"
+
+namespace dirant::sim {
+
+BroadcastResult flood(const graph::Digraph& g, int source) {
+  BroadcastResult r;
+  const int n = g.size();
+  if (n == 0) return r;
+  DIRANT_ASSERT(source >= 0 && source < n);
+  const auto dist = graph::bfs_distances(g, source);
+  long long total_hops = 0;
+  for (int v = 0; v < n; ++v) {
+    if (dist[v] < 0) continue;
+    ++r.reached;
+    r.rounds = std::max(r.rounds, dist[v]);
+    total_hops += dist[v];
+    // Every reached node transmits once per flooding protocol round-trip.
+    ++r.transmissions;
+  }
+  r.delivery_ratio = static_cast<double>(r.reached) / n;
+  r.mean_hops = r.reached > 1 ? static_cast<double>(total_hops) / (r.reached - 1)
+                              : 0.0;
+  return r;
+}
+
+StretchResult hop_stretch(const graph::Digraph& directional,
+                          const graph::Digraph& omni, int sample_sources) {
+  StretchResult res;
+  const int n = directional.size();
+  DIRANT_ASSERT(omni.size() == n);
+  if (n <= 1) return res;
+  const int step = std::max(1, n / std::max(1, sample_sources));
+  double total = 0.0;
+  for (int s = 0; s < n; s += step) {
+    const auto dd = graph::bfs_distances(directional, s);
+    const auto od = graph::bfs_distances(omni, s);
+    for (int v = 0; v < n; ++v) {
+      if (v == s || od[v] <= 0 || dd[v] < 0) continue;
+      const double stretch = static_cast<double>(dd[v]) / od[v];
+      total += stretch;
+      res.max_stretch = std::max(res.max_stretch, stretch);
+      ++res.sampled_pairs;
+    }
+  }
+  res.mean_stretch = res.sampled_pairs > 0 ? total / res.sampled_pairs : 0.0;
+  return res;
+}
+
+namespace {
+
+// Strong connectivity of g restricted to vertices not in `removed`.
+bool strong_without(const graph::Digraph& g, const std::vector<char>& removed) {
+  const int n = g.size();
+  int start = -1, alive = 0;
+  for (int v = 0; v < n; ++v) {
+    if (!removed[v]) {
+      if (start == -1) start = v;
+      ++alive;
+    }
+  }
+  if (alive <= 1) return true;
+  auto reach = [&](bool reverse) {
+    std::vector<char> seen(n, 0);
+    std::vector<int> stack{start};
+    seen[start] = 1;
+    int cnt = 1;
+    const auto gr = reverse ? g.reversed() : g;  // small graphs; fine
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int v : gr.out(u)) {
+        if (!removed[v] && !seen[v]) {
+          seen[v] = 1;
+          ++cnt;
+          stack.push_back(v);
+        }
+      }
+    }
+    return cnt == alive;
+  };
+  return reach(false) && reach(true);
+}
+
+}  // namespace
+
+FailureStats failure_resilience(const graph::Digraph& g, double fraction,
+                                int trials, std::uint64_t seed) {
+  FailureStats st;
+  const int n = g.size();
+  if (n == 0 || trials <= 0) return st;
+  std::mt19937_64 rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<char> removed(n, 0);
+    int alive = n;
+    for (int v = 0; v < n; ++v) {
+      if ((rng() % 1000000) / 1e6 < fraction && alive > 1) {
+        removed[v] = 1;
+        --alive;
+      }
+    }
+    // Largest SCC among survivors: build the survivor subgraph.
+    std::vector<int> remap(n, -1);
+    int m = 0;
+    for (int v = 0; v < n; ++v) {
+      if (!removed[v]) remap[v] = m++;
+    }
+    graph::Digraph sub(m);
+    for (int u = 0; u < n; ++u) {
+      if (removed[u]) continue;
+      for (int v : g.out(u)) {
+        if (!removed[v]) sub.add_edge(remap[u], remap[v]);
+      }
+    }
+    const auto scc = graph::strongly_connected_components(sub);
+    std::vector<int> sizes(scc.count, 0);
+    for (int c : scc.component) ++sizes[c];
+    int largest = m == 0 ? 0 : *std::max_element(sizes.begin(), sizes.end());
+    const double frac = m > 0 ? static_cast<double>(largest) / m : 0.0;
+    st.mean_largest_scc += frac;
+    st.worst_largest_scc = std::min(st.worst_largest_scc, frac);
+    ++st.trials;
+  }
+  st.mean_largest_scc /= st.trials;
+  return st;
+}
+
+int strong_connectivity_level(const graph::Digraph& g, int max_level) {
+  const int n = g.size();
+  if (n <= 1) return max_level;
+  if (!graph::is_strongly_connected(g)) return 0;
+  int level = 1;
+  std::vector<char> removed(n, 0);
+  if (max_level >= 2) {
+    bool survives_all = true;
+    for (int v = 0; v < n && survives_all; ++v) {
+      removed[v] = 1;
+      survives_all = strong_without(g, removed);
+      removed[v] = 0;
+    }
+    if (!survives_all) return level;
+    level = 2;
+  }
+  if (max_level >= 3 && n <= 80) {  // exhaustive pairs only when affordable
+    bool survives_all = true;
+    for (int a = 0; a < n && survives_all; ++a) {
+      for (int b = a + 1; b < n && survives_all; ++b) {
+        removed[a] = removed[b] = 1;
+        survives_all = strong_without(g, removed);
+        removed[a] = removed[b] = 0;
+      }
+    }
+    if (survives_all) level = 3;
+  }
+  return level;
+}
+
+}  // namespace dirant::sim

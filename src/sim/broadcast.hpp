@@ -1,0 +1,58 @@
+#pragma once
+/// \file broadcast.hpp
+/// Network-level consequences of an orientation: synchronous flooding over
+/// the induced transmission digraph.  This is the "ad hoc network" view the
+/// paper's introduction motivates — once the antennae are oriented, who can
+/// talk to whom, and at what hop cost compared to an omnidirectional
+/// deployment of the same range?
+
+#include <cstdint>
+#include <span>
+
+#include "antenna/orientation.hpp"
+#include "graph/digraph.hpp"
+
+namespace dirant::sim {
+
+/// Result of flooding one message from `source` (one hop per round).
+struct BroadcastResult {
+  int rounds = 0;             ///< rounds until no new node is reached
+  int reached = 0;            ///< nodes that ever got the message
+  double delivery_ratio = 0;  ///< reached / n
+  double mean_hops = 0.0;     ///< mean hop distance over reached nodes
+  long long transmissions = 0;  ///< total (node, round) activations
+};
+
+/// Flood from `source` over a prebuilt digraph.
+BroadcastResult flood(const graph::Digraph& g, int source);
+
+/// Directional-vs-omni hop stretch: mean and max over sampled source pairs
+/// of (directional hop distance) / (omni hop distance).
+struct StretchResult {
+  double mean_stretch = 0.0;
+  double max_stretch = 0.0;
+  int sampled_pairs = 0;
+};
+
+StretchResult hop_stretch(const graph::Digraph& directional,
+                          const graph::Digraph& omni, int sample_sources = 8);
+
+/// Strong c-connectivity audit (the paper's open problem, §5): the largest
+/// c such that the digraph stays strongly connected after deleting any
+/// tested set of fewer than c vertices.  Exhaustive for c <= 2, sampled
+/// above; returns the certified level (1 = strongly connected, 2 = survives
+/// every single-vertex deletion, ...).
+int strong_connectivity_level(const graph::Digraph& g, int max_level = 3);
+
+/// Monte-Carlo failure study: delete a uniformly random `fraction` of the
+/// sensors and measure how much of the survivor set stays mutually
+/// reachable (largest SCC / survivors).
+struct FailureStats {
+  double mean_largest_scc = 0.0;  ///< fraction of survivors, averaged
+  double worst_largest_scc = 1.0;
+  int trials = 0;
+};
+FailureStats failure_resilience(const graph::Digraph& g, double fraction,
+                                int trials, std::uint64_t seed);
+
+}  // namespace dirant::sim

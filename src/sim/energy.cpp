@@ -1,0 +1,33 @@
+#include "sim/energy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+
+namespace dirant::sim {
+
+EnergyReport energy_report(const antenna::Orientation& o,
+                           const EnergyModel& model) {
+  EnergyReport rep;
+  const int n = o.size();
+  if (n == 0) return rep;
+  for (int u = 0; u < n; ++u) {
+    double node = 0.0;
+    double rmax = 0.0;
+    for (const auto& s : o.antennas(u)) {
+      const double aperture = std::max(s.width, model.min_aperture);
+      node += aperture / kTwoPi *
+              std::pow(s.radius, model.path_loss_exponent);
+      rmax = std::max(rmax, s.radius);
+    }
+    rep.total += node;
+    rep.max_per_node = std::max(rep.max_per_node, node);
+    rep.omni_total += std::pow(rmax, model.path_loss_exponent);
+  }
+  rep.mean_per_node = rep.total / n;
+  rep.saving_factor = rep.total > 0.0 ? rep.omni_total / rep.total : 0.0;
+  return rep;
+}
+
+}  // namespace dirant::sim

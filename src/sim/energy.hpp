@@ -1,0 +1,32 @@
+#pragma once
+/// \file energy.hpp
+/// Energy model for beam-forming sensors, after the power-consumption
+/// literature the paper cites ([9], [11]): a sector of spread alpha and
+/// range r costs  (alpha / 2*pi) * r^beta  (beta the path-loss exponent,
+/// typically 2).  Zero-spread beams are charged a configurable minimum
+/// aperture so they are not free.
+
+#include <span>
+
+#include "antenna/orientation.hpp"
+
+namespace dirant::sim {
+
+struct EnergyModel {
+  double path_loss_exponent = 2.0;  ///< beta
+  double min_aperture = 0.05;       ///< radians charged for a 0-width beam
+};
+
+struct EnergyReport {
+  double total = 0.0;
+  double max_per_node = 0.0;
+  double mean_per_node = 0.0;
+  /// Energy of an omnidirectional deployment with each node's max radius.
+  double omni_total = 0.0;
+  double saving_factor = 0.0;  ///< omni_total / total (>= 1 is good)
+};
+
+EnergyReport energy_report(const antenna::Orientation& o,
+                           const EnergyModel& model = {});
+
+}  // namespace dirant::sim

@@ -1,0 +1,73 @@
+#include "sim/routing.hpp"
+
+#include <random>
+
+#include "common/assert.hpp"
+#include "graph/traversal.hpp"
+
+namespace dirant::sim {
+
+using geom::Point;
+
+RouteResult greedy_route(const graph::Digraph& g, std::span<const Point> pts,
+                         int src, int dst, int ttl) {
+  const int n = g.size();
+  DIRANT_ASSERT(src >= 0 && src < n && dst >= 0 && dst < n);
+  if (ttl < 0) ttl = 4 * n;
+  RouteResult r;
+  int cur = src;
+  while (r.hops <= ttl) {
+    if (cur == dst) {
+      r.delivered = true;
+      return r;
+    }
+    // Strictly-decreasing greedy step.
+    int next = -1;
+    double cur_d = geom::dist2(pts[cur], pts[dst]);
+    double best = cur_d;
+    for (int v : g.out(cur)) {
+      const double d = geom::dist2(pts[v], pts[dst]);
+      if (d < best) {
+        best = d;
+        next = v;
+      }
+    }
+    if (next == -1) return r;  // routing void
+    cur = next;
+    ++r.hops;
+  }
+  return r;  // TTL expired
+}
+
+RoutingStats routing_stats(const graph::Digraph& g, std::span<const Point> pts,
+                           int samples, std::uint64_t seed) {
+  RoutingStats st;
+  const int n = g.size();
+  if (n < 2) return st;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  long long hops = 0;
+  double stretch = 0.0;
+  int delivered = 0, stretch_count = 0;
+  for (int i = 0; i < samples; ++i) {
+    int s = pick(rng), t = pick(rng);
+    while (t == s) t = pick(rng);
+    const auto r = greedy_route(g, pts, s, t);
+    ++st.attempted;
+    if (!r.delivered) continue;
+    ++delivered;
+    hops += r.hops;
+    const auto d = graph::bfs_distances(g, s);
+    if (d[t] > 0) {
+      stretch += static_cast<double>(r.hops) / d[t];
+      ++stretch_count;
+    }
+  }
+  st.delivery_rate =
+      st.attempted > 0 ? static_cast<double>(delivered) / st.attempted : 0.0;
+  st.mean_hops = delivered > 0 ? static_cast<double>(hops) / delivered : 0.0;
+  st.mean_stretch = stretch_count > 0 ? stretch / stretch_count : 0.0;
+  return st;
+}
+
+}  // namespace dirant::sim

@@ -1,0 +1,66 @@
+#include "spatial/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dirant::spatial {
+
+using geom::Point;
+
+GridIndex::GridIndex(std::span<const Point> pts, double cell)
+    : pts_(pts.begin(), pts.end()), cell_(cell) {
+  DIRANT_ASSERT(cell > 0.0);
+  if (pts_.empty()) {
+    buckets_.resize(1);
+    return;
+  }
+  double max_x = pts_[0].x, max_y = pts_[0].y;
+  min_x_ = pts_[0].x;
+  min_y_ = pts_[0].y;
+  for (const auto& p : pts_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  nx_ = std::max(1, static_cast<int>((max_x - min_x_) / cell_) + 1);
+  ny_ = std::max(1, static_cast<int>((max_y - min_y_) / cell_) + 1);
+  buckets_.resize(static_cast<size_t>(nx_) * ny_);
+  for (size_t i = 0; i < pts_.size(); ++i) {
+    const auto [cx, cy] = cell_of(pts_[i]);
+    buckets_[static_cast<size_t>(cy) * nx_ + cx].push_back(
+        static_cast<int>(i));
+  }
+}
+
+std::pair<int, int> GridIndex::cell_of(const Point& p) const {
+  int cx = static_cast<int>((p.x - min_x_) / cell_);
+  int cy = static_cast<int>((p.y - min_y_) / cell_);
+  cx = std::clamp(cx, 0, nx_ - 1);
+  cy = std::clamp(cy, 0, ny_ - 1);
+  return {cx, cy};
+}
+
+std::vector<int> GridIndex::within(const Point& q, double radius,
+                                   int exclude) const {
+  std::vector<int> out;
+  if (pts_.empty()) return out;
+  const double r2 = radius * radius;
+  const int span = static_cast<int>(std::ceil(radius / cell_));
+  const auto [cx, cy] = cell_of(q);
+  for (int y = std::max(0, cy - span); y <= std::min(ny_ - 1, cy + span);
+       ++y) {
+    for (int x = std::max(0, cx - span); x <= std::min(nx_ - 1, cx + span);
+         ++x) {
+      for (int i : buckets_[static_cast<size_t>(y) * nx_ + x]) {
+        if (i == exclude) continue;
+        if (geom::dist2(q, pts_[i]) <= r2) out.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dirant::spatial

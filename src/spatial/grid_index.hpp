@@ -1,0 +1,35 @@
+#pragma once
+/// \file grid_index.hpp
+/// Uniform bucket grid for fixed-radius neighbour queries.  Complements the
+/// kd-tree when the query radius is known up front (transmission-graph
+/// construction, unit-disk graph building).
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace dirant::spatial {
+
+class GridIndex {
+ public:
+  /// Builds a grid with cell size `cell` (> 0) over `pts`.
+  GridIndex(std::span<const geom::Point> pts, double cell);
+
+  /// Indices of all points within `radius` of `q` (inclusive), excluding
+  /// `exclude`.  Intended for radius <= a few cells.
+  std::vector<int> within(const geom::Point& q, double radius,
+                          int exclude = -1) const;
+
+  int size() const { return static_cast<int>(pts_.size()); }
+
+ private:
+  std::pair<int, int> cell_of(const geom::Point& p) const;
+  std::vector<geom::Point> pts_;
+  double cell_;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  int nx_ = 1, ny_ = 1;
+  std::vector<std::vector<int>> buckets_;
+};
+
+}  // namespace dirant::spatial

@@ -1,0 +1,122 @@
+#include "spatial/kdtree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace dirant::spatial {
+
+using geom::Point;
+
+KdTree::KdTree(std::span<const Point> pts)
+    : pts_(pts.begin(), pts.end()), order_(pts.size()) {
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = static_cast<int>(i);
+  if (!pts_.empty()) {
+    nodes_.reserve(2 * pts_.size() / kLeafSize + 2);
+    root_ = build(0, static_cast<int>(pts_.size()), 0);
+  }
+}
+
+int KdTree::build(int begin, int end, int depth) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  if (end - begin <= kLeafSize) return id;
+
+  const int axis = depth % 2;
+  const int mid = (begin + end) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](int a, int b) {
+                     return axis == 0 ? pts_[a].x < pts_[b].x
+                                      : pts_[a].y < pts_[b].y;
+                   });
+  const double split =
+      axis == 0 ? pts_[order_[mid]].x : pts_[order_[mid]].y;
+  const int left = build(begin, mid, depth + 1);
+  const int right = build(mid, end, depth + 1);
+  nodes_[id].axis = axis;
+  nodes_[id].split = split;
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+template <typename Visit>
+void KdTree::search(int node_id, const Point& q, double& bound,
+                    Visit&& visit) const {
+  const Node& node = nodes_[node_id];
+  if (node.axis == -1) {
+    for (int i = node.begin; i < node.end; ++i) visit(order_[i]);
+    return;
+  }
+  const double qc = node.axis == 0 ? q.x : q.y;
+  const int near = qc <= node.split ? node.left : node.right;
+  const int far = qc <= node.split ? node.right : node.left;
+  search(near, q, bound, visit);
+  if (std::abs(qc - node.split) <= bound) {
+    search(far, q, bound, visit);
+  }
+}
+
+int KdTree::nearest(const Point& q, int exclude) const {
+  if (pts_.empty()) return -1;
+  int best = -1;
+  double bound = std::numeric_limits<double>::infinity();
+  double best2 = bound;
+  search(root_, q, bound, [&](int i) {
+    if (i == exclude) return;
+    const double d2 = geom::dist2(q, pts_[i]);
+    if (d2 < best2) {
+      best2 = d2;
+      best = i;
+      bound = std::sqrt(d2);
+    }
+  });
+  return best;
+}
+
+std::vector<int> KdTree::k_nearest(const Point& q, int k, int exclude) const {
+  DIRANT_ASSERT(k >= 0);
+  if (k == 0 || pts_.empty()) return {};
+  // Max-heap of (dist2, idx) keeping the best k.
+  std::priority_queue<std::pair<double, int>> heap;
+  double bound = std::numeric_limits<double>::infinity();
+  search(root_, q, bound, [&](int i) {
+    if (i == exclude) return;
+    const double d2 = geom::dist2(q, pts_[i]);
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace(d2, i);
+    } else if (d2 < heap.top().first) {
+      heap.pop();
+      heap.emplace(d2, i);
+    }
+    if (static_cast<int>(heap.size()) == k) {
+      bound = std::sqrt(heap.top().first);
+    }
+  });
+  std::vector<int> out(heap.size());
+  for (int i = static_cast<int>(heap.size()) - 1; i >= 0; --i) {
+    out[i] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<int> KdTree::within(const Point& q, double radius,
+                                int exclude) const {
+  std::vector<int> out;
+  if (pts_.empty()) return out;
+  const double r2 = radius * radius;
+  double bound = radius;
+  search(root_, q, bound, [&](int i) {
+    if (i == exclude) return;
+    if (geom::dist2(q, pts_[i]) <= r2) out.push_back(i);
+  });
+  return out;
+}
+
+}  // namespace dirant::spatial

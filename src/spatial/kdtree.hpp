@@ -1,0 +1,56 @@
+#pragma once
+/// \file kdtree.hpp
+/// Static 2-D kd-tree over a point set: nearest neighbour, k-nearest, and
+/// radius queries.  Used by the EMST builders, the transmission-graph
+/// accelerator, and the network simulator's unit-disk comparisons.
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace dirant::spatial {
+
+class KdTree {
+ public:
+  /// Builds the tree over a copy of `pts` (indices refer to the original
+  /// ordering).  O(n log n).
+  explicit KdTree(std::span<const geom::Point> pts);
+
+  int size() const { return static_cast<int>(pts_.size()); }
+
+  /// Index of the nearest point to `q`, excluding index `exclude`
+  /// (-1 to exclude nothing).  Returns -1 on an empty tree.
+  int nearest(const geom::Point& q, int exclude = -1) const;
+
+  /// Indices of the k nearest points to `q` (ascending distance), excluding
+  /// `exclude`.
+  std::vector<int> k_nearest(const geom::Point& q, int k,
+                             int exclude = -1) const;
+
+  /// Indices of all points within `radius` of `q` (inclusive), excluding
+  /// `exclude`.  Unsorted.
+  std::vector<int> within(const geom::Point& q, double radius,
+                          int exclude = -1) const;
+
+ private:
+  struct Node {
+    int left = -1, right = -1;
+    int begin = 0, end = 0;  // leaf range into order_
+    double split = 0.0;
+    int axis = -1;  // -1 for leaf
+  };
+
+  int build(int begin, int end, int depth);
+  template <typename Visit>
+  void search(int node, const geom::Point& q, double& bound,
+              Visit&& visit) const;
+
+  std::vector<geom::Point> pts_;
+  std::vector<int> order_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  static constexpr int kLeafSize = 8;
+};
+
+}  // namespace dirant::spatial

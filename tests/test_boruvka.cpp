@@ -1,0 +1,104 @@
+// Borůvka EMST engine: agreement with Prim across families (including
+// tie-heavy lattices), serial/parallel equivalence, Delaunay-candidate path.
+
+#include <gtest/gtest.h>
+
+#include "geometry/generators.hpp"
+#include "mst/boruvka.hpp"
+#include "mst/emst.hpp"
+
+namespace geom = dirant::geom;
+namespace mst = dirant::mst;
+
+namespace {
+
+std::vector<std::pair<int, int>> complete_edges(int n) {
+  std::vector<std::pair<int, int>> e;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) e.emplace_back(i, j);
+  }
+  return e;
+}
+
+class BoruvkaSweep
+    : public ::testing::TestWithParam<std::tuple<geom::Distribution, int>> {};
+
+TEST_P(BoruvkaSweep, MatchesPrimWeight) {
+  const auto [dist, n] = GetParam();
+  geom::Rng rng(17 * n + 3);
+  const auto pts = geom::make_instance(dist, n, rng);
+  const auto prim = mst::prim_emst(pts);
+  const auto boru = mst::boruvka_emst(pts, complete_edges(n));
+  boru.validate(pts);
+  EXPECT_NEAR(prim.total_weight(), boru.total_weight(),
+              1e-9 * (1.0 + prim.total_weight()));
+  EXPECT_NEAR(prim.lmax(), boru.lmax(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BoruvkaSweep,
+    ::testing::Combine(::testing::ValuesIn(geom::kAllDistributions),
+                       ::testing::Values(12, 80)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_n" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Boruvka, TieHeavyLatticeStaysAcyclic) {
+  // Unit grid + triangular lattice: every edge weight repeated many times —
+  // the classic Borůvka equal-weight trap.
+  geom::Rng rng(1);
+  for (auto pts : {geom::triangular_lattice(7, 7, 1.0),
+                   geom::grid_points(8, 8, 1.0, 0.0, rng)}) {
+    const int n = static_cast<int>(pts.size());
+    const auto boru = mst::boruvka_emst(pts, complete_edges(n));
+    boru.validate(pts);  // throws on a cycle
+    const auto prim = mst::prim_emst(pts);
+    EXPECT_NEAR(prim.total_weight(), boru.total_weight(), 1e-9);
+  }
+}
+
+TEST(Boruvka, SerialAndParallelIdentical) {
+  geom::Rng rng(5);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kClusters, 400, rng);
+  const auto edges = complete_edges(static_cast<int>(pts.size()));
+  const auto serial = mst::boruvka_emst(pts, edges, /*parallel=*/false);
+  const auto pooled = mst::boruvka_emst(pts, edges, /*parallel=*/true);
+  ASSERT_EQ(serial.edges.size(), pooled.edges.size());
+  EXPECT_NEAR(serial.total_weight(), pooled.total_weight(), 1e-12);
+  // Deterministic tie-breaking: the edge sets are identical, not just the
+  // weights.
+  auto key = [](const mst::Tree& t) {
+    std::vector<std::pair<int, int>> k;
+    for (const auto& e : t.edges) {
+      k.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+    }
+    std::sort(k.begin(), k.end());
+    return k;
+  };
+  EXPECT_EQ(key(serial), key(pooled));
+}
+
+TEST(Boruvka, AutoEngineOverDelaunay) {
+  geom::Rng rng(9);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 2000, rng);
+  const auto boru = mst::boruvka_emst_auto(pts, /*delaunay_threshold=*/1);
+  boru.validate(pts);
+  const auto fast = mst::emst(pts, /*delaunay_threshold=*/1);
+  EXPECT_NEAR(boru.total_weight(), fast.total_weight(),
+              1e-9 * (1.0 + fast.total_weight()));
+}
+
+TEST(Boruvka, DisconnectedCandidatesRejected) {
+  const std::vector<geom::Point> pts = {{0, 0}, {1, 0}, {5, 5}, {6, 5}};
+  const std::vector<std::pair<int, int>> edges = {{0, 1}, {2, 3}};
+  EXPECT_THROW(mst::boruvka_emst(pts, edges), dirant::contract_violation);
+}
+
+}  // namespace

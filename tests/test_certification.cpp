@@ -1,0 +1,214 @@
+// The validator must catch broken orientations: these tests tamper with
+// certified results in every way the theory forbids and assert the
+// certificate flips.  A validator that cannot fail is not a validator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "core/two_antennae.hpp"
+#include "core/validate.hpp"
+#include "geometry/generators.hpp"
+#include "mst/degree5.hpp"
+#include "mst/tree.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+namespace antenna = dirant::antenna;
+using dirant::kPi;
+
+namespace {
+
+struct Fixture {
+  std::vector<geom::Point> pts;
+  core::Result res;
+  core::ProblemSpec spec{2, kPi};
+
+  Fixture() {
+    geom::Rng rng(123);
+    pts = geom::make_instance(geom::Distribution::kUniformSquare, 60, rng);
+    res = core::orient(pts, spec);
+  }
+
+  /// Rebuild the orientation with a mutation applied to each sector.
+  template <typename Fn>
+  core::Result mutated(Fn&& fn) const {
+    core::Result out = res;
+    antenna::Orientation o(static_cast<int>(pts.size()));
+    for (int u = 0; u < res.orientation.size(); ++u) {
+      for (geom::Sector s : res.orientation.antennas(u)) {
+        fn(u, s);
+        if (s.radius >= 0.0) o.add(u, s);
+      }
+    }
+    out.orientation = std::move(o);
+    out.measured_radius = out.orientation.max_radius();
+    return out;
+  }
+};
+
+TEST(Certification, IntactOrientationPasses) {
+  Fixture f;
+  EXPECT_TRUE(core::certify(f.pts, f.res, f.spec).ok());
+}
+
+TEST(Certification, DroppedAntennaBreaksConnectivity) {
+  Fixture f;
+  // Remove every antenna of one mid-tree sensor.
+  int victim = 10;
+  auto broken = f.mutated([&](int u, geom::Sector& s) {
+    if (u == victim) s.radius = -1.0;  // sentinel: drop
+  });
+  const auto cert = core::certify(f.pts, broken, f.spec);
+  EXPECT_FALSE(cert.strongly_connected);
+  EXPECT_GT(cert.scc_count, 1);
+}
+
+TEST(Certification, ShrunkRadiusBreaksConnectivity) {
+  Fixture f;
+  auto broken = f.mutated([&](int, geom::Sector& s) { s.radius *= 0.45; });
+  const auto cert = core::certify(f.pts, broken, f.spec);
+  EXPECT_FALSE(cert.strongly_connected);
+}
+
+TEST(Certification, RotatedBeamBreaksConnectivity) {
+  Fixture f;
+  // Rotate every zero-width beam of one sensor by 90 degrees.
+  auto broken = f.mutated([&](int u, geom::Sector& s) {
+    if (u == 17 && s.width < 1e-9) {
+      s.start = geom::norm_angle(s.start + kPi / 2);
+    }
+  });
+  const auto cert = core::certify(f.pts, broken, f.spec);
+  EXPECT_FALSE(cert.strongly_connected);
+}
+
+TEST(Certification, InflatedSpreadTripsBudget) {
+  Fixture f;
+  auto broken = f.mutated([&](int, geom::Sector& s) {
+    s.width = std::min(dirant::kTwoPi, s.width + 2.5);
+  });
+  const auto cert = core::certify(f.pts, broken, f.spec);
+  EXPECT_FALSE(cert.spread_within_budget);
+  EXPECT_FALSE(cert.ok());
+  // Extra spread never *disconnects*.
+  EXPECT_TRUE(cert.strongly_connected);
+}
+
+TEST(Certification, ExtraAntennasTripKBudget) {
+  Fixture f;
+  core::Result out = f.res;
+  antenna::Orientation o(static_cast<int>(f.pts.size()));
+  for (int u = 0; u < f.res.orientation.size(); ++u) {
+    for (const auto& s : f.res.orientation.antennas(u)) o.add(u, s);
+  }
+  o.add(0, geom::beam_to(f.pts[0], f.pts[1]));
+  o.add(0, geom::beam_to(f.pts[0], f.pts[2]));
+  out.orientation = std::move(o);
+  const auto cert = core::certify(f.pts, out, f.spec);
+  EXPECT_FALSE(cert.antennas_within_k);
+}
+
+TEST(Certification, RadiusBoundViolationDetected) {
+  Fixture f;
+  core::Result out = f.res;
+  // Claim a tighter bound than what was used.
+  out.bound_factor = 0.5;
+  const auto cert = core::certify(f.pts, out, f.spec);
+  EXPECT_FALSE(cert.radius_within_bound);
+}
+
+TEST(Certification, FastAndBruteAgreeOnVerdicts) {
+  Fixture f;
+  for (double shrink : {1.0, 0.8, 0.45}) {
+    auto probe = f.mutated([&](int, geom::Sector& s) { s.radius *= shrink; });
+    const auto slow = core::certify(f.pts, probe, f.spec, false);
+    const auto fast = core::certify(f.pts, probe, f.spec, true);
+    EXPECT_EQ(slow.strongly_connected, fast.strongly_connected) << shrink;
+    EXPECT_EQ(slow.scc_count, fast.scc_count) << shrink;
+  }
+}
+
+// --- robustness: non-EMST trees ---------------------------------------------
+
+TEST(Robustness, ArbitraryDegree5TreesEitherCertifyOrRefuse) {
+  // Theorem 3's guarantees assume an EMST (Facts 1-2).  Feeding arbitrary
+  // geometric spanning trees must never produce a silently wrong result:
+  // either the construction succeeds and certifies, or it throws.
+  geom::Rng rng(31337);
+  int succeeded = 0, refused = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 20;
+    const auto pts = geom::uniform_square(n, 4.0, rng);
+    // Random spanning tree with degree cap 5 (not distance-minimizing).
+    dirant::mst::Tree t;
+    t.n = n;
+    std::vector<int> deg(n, 0);
+    std::vector<int> in_tree{0};
+    for (int v = 1; v < n; ++v) {
+      int u;
+      do {
+        u = in_tree[rng() % in_tree.size()];
+      } while (deg[u] >= 5);
+      t.edges.push_back({u, v, geom::dist(pts[u], pts[v])});
+      ++deg[u];
+      ++deg[v];
+      in_tree.push_back(v);
+    }
+    try {
+      const auto res = core::orient_two_antennae(pts, t, kPi);
+      const auto cert = core::certify(pts, res, {2, kPi});
+      EXPECT_TRUE(cert.strongly_connected) << trial;
+      EXPECT_TRUE(cert.spread_within_budget) << trial;
+      ++succeeded;
+    } catch (const dirant::contract_violation&) {
+      ++refused;  // acceptable: no feasible plan under non-EMST geometry
+    }
+  }
+  EXPECT_GT(succeeded, 0);
+  // Most random trees on 20 points are still orientable thanks to the
+  // exhaustive local fallback.
+  EXPECT_GE(succeeded, refused);
+}
+
+TEST(Robustness, LargeInstanceViaDelaunayPath) {
+  geom::Rng rng(5150);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 2500, rng);
+  const auto res = core::orient(pts, {2, kPi});  // EMST auto-selects Delaunay
+  const auto cert = core::certify(pts, res, {2, kPi}, /*fast=*/true);
+  EXPECT_TRUE(cert.ok());
+  EXPECT_EQ(res.cases.fallback_plans, 0);
+}
+
+TEST(Robustness, PlannerThresholdBoundaries) {
+  // phi exactly at each regime boundary must select the better regime and
+  // certify.
+  geom::Rng rng(2222);
+  const auto pts = geom::uniform_square(50, 7.0, rng);
+  const struct {
+    int k;
+    double phi;
+    core::Algorithm expect;
+  } cases[] = {
+      {1, 8 * kPi / 5, core::Algorithm::kTheorem2},
+      {1, kPi, core::Algorithm::kOneAntennaMid},
+      {2, 6 * kPi / 5, core::Algorithm::kTheorem2},
+      {2, kPi, core::Algorithm::kTwoPart1},
+      {2, 2 * kPi / 3, core::Algorithm::kTwoPart2},
+      {3, 4 * kPi / 5, core::Algorithm::kTheorem2},
+      {4, 2 * kPi / 5, core::Algorithm::kTheorem2},
+      {5, 0.0, core::Algorithm::kFiveZero},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(core::planned_algorithm({c.k, c.phi}), c.expect) << c.k;
+    const auto res = core::orient(pts, {c.k, c.phi});
+    EXPECT_TRUE(core::certify(pts, res, {c.k, c.phi}).ok())
+        << c.k << " " << c.phi;
+  }
+}
+
+}  // namespace

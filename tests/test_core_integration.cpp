@@ -1,0 +1,201 @@
+// End-to-end certification of every Table 1 regime: for each (k, phi) the
+// planner must produce an orientation that is (a) strongly connected when
+// rebuilt from sectors alone, (b) within the per-sensor angular budget,
+// (c) within the guaranteed radius bound, and (d) achieved without the
+// diagnostic fallback planner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "core/validate.hpp"
+#include "geometry/generators.hpp"
+#include "mst/degree5.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+using dirant::kPi;
+
+namespace {
+
+struct SpecCase {
+  core::ProblemSpec spec;
+  const char* name;
+};
+
+// Every row of Table 1 that carries a guaranteed bound.
+const SpecCase kGuaranteedSpecs[] = {
+    {{1, 8 * kPi / 5}, "k1_phi8pi5"},
+    {{1, kPi}, "k1_phiPi"},
+    {{1, 1.3 * kPi}, "k1_phi13Pi"},
+    {{2, 6 * kPi / 5}, "k2_phi6pi5"},
+    {{2, kPi}, "k2_phiPi"},
+    {{2, 1.1 * kPi}, "k2_phi11Pi"},
+    {{2, 2 * kPi / 3}, "k2_phi2pi3"},
+    {{2, 0.8 * kPi}, "k2_phi08Pi"},
+    {{2, 0.95 * kPi}, "k2_phi095Pi"},
+    {{3, 0.0}, "k3_phi0"},
+    {{3, 4 * kPi / 5}, "k3_phi4pi5"},
+    {{4, 0.0}, "k4_phi0"},
+    {{4, 2 * kPi / 5}, "k4_phi2pi5"},
+    {{5, 0.0}, "k5_phi0"},
+};
+
+class PlannerSweep
+    : public ::testing::TestWithParam<std::tuple<geom::Distribution, int>> {};
+
+TEST_P(PlannerSweep, AllGuaranteedRegimesCertify) {
+  const auto [dist, n] = GetParam();
+  for (std::uint64_t seed : {11ull, 97ull}) {
+    geom::Rng rng(seed * 7919 + n);
+    const auto pts = geom::make_instance(dist, n, rng);
+    const auto tree = dirant::mst::degree5_emst(pts);
+    ASSERT_LE(tree.max_degree(), 5);
+    for (const auto& sc : kGuaranteedSpecs) {
+      const auto res = core::orient_on_tree(pts, tree, sc.spec);
+      const auto cert = core::certify(pts, res, sc.spec);
+      EXPECT_TRUE(cert.strongly_connected)
+          << sc.name << " " << to_string(dist) << " n=" << n
+          << " seed=" << seed << " scc=" << cert.scc_count;
+      EXPECT_TRUE(cert.spread_within_budget)
+          << sc.name << " spread=" << cert.max_spread_sum;
+      EXPECT_TRUE(cert.antennas_within_k)
+          << sc.name << " antennas=" << cert.max_antennas;
+      EXPECT_TRUE(cert.radius_within_bound)
+          << sc.name << " measured=" << res.measured_radius
+          << " bound=" << res.bound_factor * res.lmax;
+      EXPECT_EQ(res.cases.fallback_plans, 0)
+          << sc.name << " " << to_string(dist) << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PlannerSweep,
+    ::testing::Combine(::testing::ValuesIn(geom::kAllDistributions),
+                       ::testing::Values(12, 40, 120)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_n" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// The BTSP regime has no a-priori bound but must still certify budget and
+// strong connectivity.
+class BtspSweep
+    : public ::testing::TestWithParam<std::tuple<geom::Distribution, int>> {};
+
+TEST_P(BtspSweep, SpreadZeroRegimeCertifies) {
+  const auto [dist, n] = GetParam();
+  geom::Rng rng(1234 + n);
+  const auto pts = geom::make_instance(dist, n, rng);
+  for (int k : {1, 2}) {
+    const core::ProblemSpec spec{k, 0.0};
+    const auto res = core::orient(pts, spec);
+    ASSERT_EQ(res.algorithm, core::Algorithm::kBtspCycle);
+    const auto cert = core::certify(pts, res, spec);
+    EXPECT_TRUE(cert.strongly_connected) << to_string(dist) << " n=" << n;
+    EXPECT_TRUE(cert.spread_within_budget);
+    EXPECT_TRUE(cert.antennas_within_k);
+    // Empirical sanity: the heuristic stays within 3x lmax on these
+    // families (the paper's factor is 2 x OPT >= 2 x lmax-ish).
+    EXPECT_LE(res.measured_radius, 3.0 * res.lmax + 1e-9)
+        << to_string(dist) << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BtspSweep,
+    ::testing::Combine(::testing::Values(geom::Distribution::kUniformSquare,
+                                         geom::Distribution::kClusters,
+                                         geom::Distribution::kAnnulus),
+                       ::testing::Values(10, 30, 48)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_n" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(PlannerEdgeCases, TinyInstances) {
+  for (int n : {1, 2, 3, 4, 5}) {
+    geom::Rng rng(n);
+    const auto pts = geom::uniform_square(n, 10.0, rng);
+    for (const auto& sc : kGuaranteedSpecs) {
+      const auto res = core::orient(pts, sc.spec);
+      const auto cert = core::certify(pts, res, sc.spec);
+      EXPECT_TRUE(cert.ok()) << sc.name << " n=" << n;
+    }
+  }
+}
+
+TEST(PlannerEdgeCases, CollinearExact) {
+  geom::Rng rng(5);
+  const auto pts = geom::collinear_points(12, 1.0, 0.0, rng);
+  for (const auto& sc : kGuaranteedSpecs) {
+    const auto res = core::orient(pts, sc.spec);
+    const auto cert = core::certify(pts, res, sc.spec);
+    EXPECT_TRUE(cert.ok()) << sc.name;
+  }
+}
+
+TEST(PlannerEdgeCases, TriangularLatticeDegeneracy) {
+  // Six equal edges at exactly 60 degrees: exercises degree-6 repair plus
+  // tie-laden angles in every construction.
+  const auto pts = geom::triangular_lattice(6, 6, 1.0);
+  for (const auto& sc : kGuaranteedSpecs) {
+    const auto res = core::orient(pts, sc.spec);
+    const auto cert = core::certify(pts, res, sc.spec);
+    EXPECT_TRUE(cert.ok()) << sc.name;
+  }
+}
+
+TEST(PlannerEdgeCases, RegularStars) {
+  // The Lemma 1 necessity configuration: centre + regular d-gon.
+  for (int d : {3, 4, 5, 6}) {
+    const auto pts = geom::star_with_center(d, 1.0);
+    for (const auto& sc : kGuaranteedSpecs) {
+      const auto res = core::orient(pts, sc.spec);
+      const auto cert = core::certify(pts, res, sc.spec);
+      EXPECT_TRUE(cert.ok()) << sc.name << " d=" << d;
+    }
+  }
+}
+
+TEST(Planner, BoundFactorsMatchTable1) {
+  EXPECT_DOUBLE_EQ(core::guaranteed_bound_factor({1, 8 * kPi / 5}), 1.0);
+  EXPECT_NEAR(core::guaranteed_bound_factor({1, kPi}), 2.0, 1e-12);
+  EXPECT_NEAR(core::guaranteed_bound_factor({2, kPi}),
+              2.0 * std::sin(2.0 * kPi / 9.0), 1e-12);
+  EXPECT_NEAR(core::guaranteed_bound_factor({2, 2 * kPi / 3}),
+              2.0 * std::sin(kPi / 2.0 - kPi / 6.0), 1e-12);
+  EXPECT_DOUBLE_EQ(core::guaranteed_bound_factor({2, 6 * kPi / 5}), 1.0);
+  EXPECT_DOUBLE_EQ(core::guaranteed_bound_factor({3, 0.0}), std::sqrt(3.0));
+  EXPECT_DOUBLE_EQ(core::guaranteed_bound_factor({3, 4 * kPi / 5}), 1.0);
+  EXPECT_DOUBLE_EQ(core::guaranteed_bound_factor({4, 0.0}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(core::guaranteed_bound_factor({4, 2 * kPi / 5}), 1.0);
+  EXPECT_DOUBLE_EQ(core::guaranteed_bound_factor({5, 0.0}), 1.0);
+  EXPECT_TRUE(std::isinf(core::guaranteed_bound_factor({1, 0.5})));
+}
+
+TEST(Planner, AlgorithmSelection) {
+  using core::Algorithm;
+  EXPECT_EQ(core::planned_algorithm({1, 0.0}), Algorithm::kBtspCycle);
+  EXPECT_EQ(core::planned_algorithm({1, kPi}), Algorithm::kOneAntennaMid);
+  EXPECT_EQ(core::planned_algorithm({1, 8 * kPi / 5}), Algorithm::kTheorem2);
+  EXPECT_EQ(core::planned_algorithm({2, kPi}), Algorithm::kTwoPart1);
+  EXPECT_EQ(core::planned_algorithm({2, 0.7 * kPi}), Algorithm::kTwoPart2);
+  EXPECT_EQ(core::planned_algorithm({2, 6 * kPi / 5}), Algorithm::kTheorem2);
+  EXPECT_EQ(core::planned_algorithm({3, 0.0}), Algorithm::kThreeZero);
+  EXPECT_EQ(core::planned_algorithm({4, 0.1}), Algorithm::kFourZero);
+  EXPECT_EQ(core::planned_algorithm({5, 0.0}), Algorithm::kFiveZero);
+}
+
+}  // namespace

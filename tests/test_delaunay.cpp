@@ -1,0 +1,116 @@
+// Delaunay triangulation: structural validity, the empty-circumcircle
+// property (via exact predicates), and the EMST-subset property it exists
+// to serve.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "delaunay/delaunay.hpp"
+#include "geometry/exact.hpp"
+#include "geometry/generators.hpp"
+#include "mst/emst.hpp"
+
+namespace geom = dirant::geom;
+namespace delaunay = dirant::delaunay;
+namespace mst = dirant::mst;
+
+namespace {
+
+std::set<std::pair<int, int>> edge_set(
+    const std::vector<std::pair<int, int>>& edges) {
+  return {edges.begin(), edges.end()};
+}
+
+TEST(Delaunay, TinyInputs) {
+  EXPECT_TRUE(delaunay::triangulate(std::vector<geom::Point>{}).edges.empty());
+  EXPECT_TRUE(
+      delaunay::triangulate(std::vector<geom::Point>{{0, 0}}).edges.empty());
+  const auto two =
+      delaunay::triangulate(std::vector<geom::Point>{{0, 0}, {1, 0}});
+  ASSERT_EQ(two.edges.size(), 1u);
+  EXPECT_EQ(two.edges[0], std::make_pair(0, 1));
+}
+
+TEST(Delaunay, TriangleAndSquare) {
+  const auto tri =
+      delaunay::triangulate(std::vector<geom::Point>{{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(tri.triangles.size(), 1u);
+  EXPECT_EQ(tri.edges.size(), 3u);
+
+  const auto sq = delaunay::triangulate(
+      std::vector<geom::Point>{{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(sq.triangles.size(), 2u);
+  EXPECT_EQ(sq.edges.size(), 5u);  // 4 sides + 1 diagonal
+}
+
+TEST(Delaunay, CollinearPointsYieldPath) {
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const auto t = delaunay::triangulate(pts);
+  EXPECT_TRUE(t.triangles.empty());
+  const auto es = edge_set(t.edges);
+  for (int i = 0; i + 1 < 10; ++i) {
+    EXPECT_TRUE(es.count({i, i + 1})) << i;
+  }
+}
+
+TEST(Delaunay, DuplicatesBridged) {
+  const std::vector<geom::Point> pts = {{0, 0}, {1, 0}, {0, 0}, {2, 2}};
+  const auto t = delaunay::triangulate(pts);
+  const auto es = edge_set(t.edges);
+  EXPECT_TRUE(es.count({0, 2}));  // duplicate linked to representative
+}
+
+class DelaunaySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelaunaySweep, EmptyCircumcircleProperty) {
+  const int n = GetParam();
+  geom::Rng rng(n);
+  const auto pts = geom::uniform_square(n, std::sqrt(n), rng);
+  const auto t = delaunay::triangulate(pts);
+  ASSERT_FALSE(t.triangles.empty());
+  // Spot-check every triangle against every point (exact incircle).
+  int violations = 0;
+  for (const auto& tri : t.triangles) {
+    const auto &a = pts[tri[0]], &b = pts[tri[1]], &c = pts[tri[2]];
+    const bool ccw = geom::orient2d_sign(a, b, c) > 0;
+    for (int p = 0; p < n; ++p) {
+      if (p == tri[0] || p == tri[1] || p == tri[2]) continue;
+      const int s = ccw ? geom::incircle_sign(a, b, c, pts[p])
+                        : geom::incircle_sign(a, c, b, pts[p]);
+      if (s > 0) ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST_P(DelaunaySweep, ContainsEmst) {
+  const int n = GetParam();
+  geom::Rng rng(2 * n + 1);
+  const auto pts = geom::uniform_square(n, std::sqrt(n), rng);
+  const auto dt = delaunay::triangulate(pts);
+  const auto tree = mst::prim_emst(pts);
+  const auto es = edge_set(dt.edges);
+  for (const auto& e : tree.edges) {
+    const auto key = std::make_pair(std::min(e.u, e.v), std::max(e.u, e.v));
+    EXPECT_TRUE(es.count(key)) << e.u << "-" << e.v;
+  }
+}
+
+TEST_P(DelaunaySweep, EulerFormula) {
+  const int n = GetParam();
+  geom::Rng rng(3 * n + 7);
+  const auto pts = geom::uniform_disk(n, std::sqrt(n), rng);
+  const auto t = delaunay::triangulate(pts);
+  // v - e + f = 2 with f = triangles + outer face.
+  const int v = n;
+  const int e = static_cast<int>(t.edges.size());
+  const int f = static_cast<int>(t.triangles.size()) + 1;
+  EXPECT_EQ(v - e + f, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunaySweep,
+                         ::testing::Values(10, 60, 250, 900));
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Exact predicates, sectors, hulls, closest pair, generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "geometry/closest_pair.hpp"
+#include "geometry/exact.hpp"
+#include "geometry/generators.hpp"
+#include "geometry/hull.hpp"
+#include "geometry/sector.hpp"
+
+namespace geom = dirant::geom;
+using dirant::kPi;
+using dirant::kTwoPi;
+
+namespace {
+
+TEST(Exact, Orient2dBasics) {
+  EXPECT_EQ(geom::orient2d_sign({0, 0}, {1, 0}, {0, 1}), 1);
+  EXPECT_EQ(geom::orient2d_sign({0, 0}, {0, 1}, {1, 0}), -1);
+  EXPECT_EQ(geom::orient2d_sign({0, 0}, {1, 1}, {2, 2}), 0);
+}
+
+TEST(Exact, Orient2dNearDegenerate) {
+  // At |x| = 1e16 the double ULP is 2: an offset of 2 is the smallest
+  // representable deviation from the diagonal, and the naive determinant
+  // (~1e16 * 2 against cancellation of 1e32 terms) is pure noise there.
+  const geom::Point a{0.0, 0.0};
+  const geom::Point b{1e16, 1e16};
+  const geom::Point c{1e16 + 2.0, 1e16};
+  EXPECT_EQ(geom::orient2d_sign(a, b, c), -1);  // c lies below the diagonal
+  EXPECT_EQ(geom::orient2d_sign(b, a, c), 1);
+  // Offsets that round back onto b itself are genuinely degenerate.
+  EXPECT_EQ(geom::orient2d_sign(a, b, {1e16 + 1.0, 1e16}), 0);
+  // Exactly collinear with huge coordinates.
+  EXPECT_EQ(geom::orient2d_sign({1e17, 1e17}, {2e17, 2e17}, {3e17, 3e17}), 0);
+}
+
+TEST(Exact, Orient2dConsistentUnderRotation) {
+  geom::Rng rng(12);
+  std::uniform_real_distribution<double> u(-100.0, 100.0);
+  for (int t = 0; t < 500; ++t) {
+    const geom::Point a{u(rng), u(rng)}, b{u(rng), u(rng)}, c{u(rng), u(rng)};
+    const int s = geom::orient2d_sign(a, b, c);
+    EXPECT_EQ(geom::orient2d_sign(b, c, a), s);
+    EXPECT_EQ(geom::orient2d_sign(c, a, b), s);
+    EXPECT_EQ(geom::orient2d_sign(a, c, b), -s);
+  }
+}
+
+TEST(Exact, IncircleBasics) {
+  // Unit circle through (1,0),(0,1),(-1,0); origin strictly inside.
+  EXPECT_EQ(geom::incircle_sign({1, 0}, {0, 1}, {-1, 0}, {0, 0}), 1);
+  EXPECT_EQ(geom::incircle_sign({1, 0}, {0, 1}, {-1, 0}, {0, -2}), -1);
+  // Cocircular: fourth point on the same circle.
+  EXPECT_EQ(geom::incircle_sign({1, 0}, {0, 1}, {-1, 0}, {0, -1}), 0);
+}
+
+TEST(Exact, PointInTriangle) {
+  const geom::Point a{0, 0}, b{4, 0}, c{0, 4};
+  EXPECT_TRUE(geom::point_in_triangle({1, 1}, a, b, c));
+  EXPECT_TRUE(geom::point_in_triangle({2, 0}, a, b, c));  // on edge
+  EXPECT_TRUE(geom::point_in_triangle({0, 0}, a, b, c));  // corner
+  EXPECT_FALSE(geom::point_in_triangle({3, 3}, a, b, c));
+  // Clockwise triangle must work too.
+  EXPECT_TRUE(geom::point_in_triangle({1, 1}, a, c, b));
+}
+
+TEST(Sector, ContainsBasics) {
+  const auto s = geom::make_arc({0, 0}, 0.0, kPi / 2, 2.0);
+  EXPECT_TRUE(s.contains({1, 0}));
+  EXPECT_TRUE(s.contains({0, 1}));
+  EXPECT_TRUE(s.contains({1, 1}));
+  EXPECT_FALSE(s.contains({-1, 0}));   // wrong direction
+  EXPECT_FALSE(s.contains({3, 0}));    // too far
+  EXPECT_FALSE(s.contains({0, 0}));    // apex excluded
+  EXPECT_TRUE(s.contains({2, 0}));     // boundary radius inclusive
+}
+
+TEST(Sector, ZeroWidthBeamHitsExactTarget) {
+  const geom::Point apex{1, 1};
+  const geom::Point target{4, 5};
+  const auto beam = geom::beam_to(apex, target);
+  EXPECT_TRUE(beam.contains(target));
+  EXPECT_DOUBLE_EQ(beam.width, 0.0);
+  EXPECT_NEAR(beam.radius, 5.0, 1e-12);
+  EXPECT_FALSE(beam.contains({4, 6}));
+  // A nearer point on the same ray is covered.
+  EXPECT_TRUE(beam.contains(geom::lerp(apex, target, 0.5)));
+}
+
+TEST(Sector, WrappingInterval) {
+  const auto s = geom::make_arc({0, 0}, kTwoPi - 0.5, 1.0, 10.0);
+  EXPECT_TRUE(s.contains({1, 0.0}));  // angle 0 inside the wrap
+  EXPECT_TRUE(s.contains(geom::from_polar(1.0, kTwoPi - 0.3)));
+  EXPECT_TRUE(s.contains(geom::from_polar(1.0, 0.4)));
+  EXPECT_FALSE(s.contains(geom::from_polar(1.0, 1.0)));
+}
+
+TEST(Hull, SquareWithInteriorPoints) {
+  std::vector<geom::Point> pts = {{0, 0}, {4, 0}, {4, 4}, {0, 4},
+                                  {2, 2}, {1, 3}, {3, 1}};
+  const auto h = geom::convex_hull(pts);
+  EXPECT_EQ(h.size(), 4u);
+  // ccw orientation.
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_GT(geom::orient2d_sign(pts[h[i]], pts[h[(i + 1) % h.size()]],
+                                  pts[h[(i + 2) % h.size()]]),
+              0);
+  }
+}
+
+TEST(Hull, CollinearInput) {
+  std::vector<geom::Point> pts = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto h = geom::convex_hull(pts);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(Hull, DiameterMatchesBruteForce) {
+  geom::Rng rng(8);
+  for (int t = 0; t < 20; ++t) {
+    const auto pts = geom::uniform_disk(60, 5.0, rng);
+    double brute = 0.0;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      for (size_t j = i + 1; j < pts.size(); ++j) {
+        brute = std::max(brute, geom::dist(pts[i], pts[j]));
+      }
+    }
+    EXPECT_NEAR(geom::diameter(pts), brute, 1e-9);
+  }
+}
+
+TEST(ClosestPair, MatchesBruteForce) {
+  geom::Rng rng(9);
+  for (int t = 0; t < 20; ++t) {
+    const auto pts = geom::uniform_square(120, 6.0, rng);
+    double brute = 1e300;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      for (size_t j = i + 1; j < pts.size(); ++j) {
+        brute = std::min(brute, geom::dist(pts[i], pts[j]));
+      }
+    }
+    const auto cp = geom::closest_pair(pts);
+    EXPECT_NEAR(cp.distance, brute, 1e-12);
+    EXPECT_NEAR(geom::dist(pts[cp.a], pts[cp.b]), brute, 1e-12);
+  }
+}
+
+TEST(Generators, SizesAndDeterminism) {
+  for (auto dist : geom::kAllDistributions) {
+    geom::Rng rng1(77), rng2(77);
+    const auto a = geom::make_instance(dist, 64, rng1);
+    const auto b = geom::make_instance(dist, 64, rng2);
+    EXPECT_EQ(a.size(), b.size()) << to_string(dist);
+    EXPECT_GE(a.size(), 60u) << to_string(dist);  // grid may trim slightly
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Generators, TriangularLatticeHasSixtyDegreeStructure) {
+  const auto pts = geom::triangular_lattice(4, 4, 2.0);
+  EXPECT_EQ(pts.size(), 16u);
+  // Nearest neighbours at exactly the spacing.
+  const auto cp = geom::closest_pair(pts);
+  EXPECT_NEAR(cp.distance, 2.0, 1e-12);
+}
+
+TEST(Generators, StarWithCenterGeometry) {
+  const auto pts = geom::star_with_center(5, 3.0);
+  ASSERT_EQ(pts.size(), 6u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(geom::dist(pts[i], pts[5]), 3.0, 1e-12);
+  }
+}
+
+TEST(Generators, DedupeMinSeparation) {
+  std::vector<geom::Point> pts = {{0, 0}, {0.001, 0}, {1, 0}, {1.0005, 0}};
+  const auto out = geom::dedupe_min_separation(pts, 0.01);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Graph substrate: SCC, traversal, biconnectivity, Hamiltonicity engines.
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+#include "graph/hamiltonian.hpp"
+#include "graph/scc.hpp"
+#include "graph/traversal.hpp"
+#include "graph/union_find.hpp"
+
+#include <random>
+
+namespace graph = dirant::graph;
+
+namespace {
+
+TEST(Scc, SingleVertexAndEmpty) {
+  EXPECT_TRUE(graph::is_strongly_connected(graph::Digraph(0)));
+  EXPECT_TRUE(graph::is_strongly_connected(graph::Digraph(1)));
+  const auto r = graph::strongly_connected_components(graph::Digraph(3));
+  EXPECT_EQ(r.count, 3);
+}
+
+TEST(Scc, DirectedCycleIsStrong) {
+  graph::Digraph g(5);
+  for (int i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  EXPECT_TRUE(graph::is_strongly_connected(g));
+  EXPECT_EQ(graph::strongly_connected_components(g).count, 1);
+}
+
+TEST(Scc, PathIsNotStrong) {
+  graph::Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(graph::is_strongly_connected(g));
+  EXPECT_EQ(graph::strongly_connected_components(g).count, 4);
+}
+
+TEST(Scc, TwoComponents) {
+  graph::Digraph g(6);
+  // Cycle {0,1,2} and cycle {3,4,5} with a one-way bridge.
+  for (int i = 0; i < 3; ++i) g.add_edge(i, (i + 1) % 3);
+  for (int i = 3; i < 6; ++i) g.add_edge(i, 3 + (i - 2) % 3);
+  g.add_edge(0, 3);
+  const auto r = graph::strongly_connected_components(g);
+  EXPECT_EQ(r.count, 2);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[3], r.component[5]);
+  EXPECT_NE(r.component[0], r.component[3]);
+}
+
+TEST(Scc, CondensationOrderIsReverseTopological) {
+  graph::Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  const auto r = graph::strongly_connected_components(g);
+  EXPECT_EQ(r.count, 3);
+  // Tarjan emits sinks first.
+  EXPECT_LT(r.component[3], r.component[1]);
+  EXPECT_LT(r.component[1], r.component[0]);
+}
+
+TEST(Traversal, BfsDistances) {
+  graph::Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  const auto d = graph::bfs_distances(g, 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 2);
+  EXPECT_EQ(d[3], 1);
+  EXPECT_EQ(d[4], -1);
+  const auto hs = graph::hop_summary(g, 0);
+  EXPECT_EQ(hs.max_hops, 2);
+  EXPECT_EQ(hs.unreachable, 1);
+}
+
+TEST(Traversal, Biconnectivity) {
+  // Triangle: biconnected.
+  graph::Graph tri(3);
+  tri.add_edge(0, 1);
+  tri.add_edge(1, 2);
+  tri.add_edge(2, 0);
+  EXPECT_TRUE(graph::is_biconnected(tri));
+  // Path: not.
+  graph::Graph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  EXPECT_FALSE(graph::is_biconnected(path));
+  // Two triangles sharing a vertex: articulation.
+  graph::Graph bowtie(5);
+  bowtie.add_edge(0, 1);
+  bowtie.add_edge(1, 2);
+  bowtie.add_edge(2, 0);
+  bowtie.add_edge(2, 3);
+  bowtie.add_edge(3, 4);
+  bowtie.add_edge(4, 2);
+  EXPECT_FALSE(graph::is_biconnected(bowtie));
+}
+
+TEST(UnionFind, Basics) {
+  graph::UnionFind uf(5);
+  EXPECT_EQ(uf.components(), 5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  uf.unite(2, 3);
+  uf.unite(0, 3);
+  EXPECT_EQ(uf.components(), 2);
+}
+
+TEST(Hamiltonian, CycleGraphHasCycle) {
+  graph::Graph g(6);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, (i + 1) % 6);
+  const auto exact = graph::hamiltonian_cycle_exact(g);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->size(), 6u);
+  const auto bt = graph::hamiltonian_cycle_backtracking(g, 100000);
+  ASSERT_TRUE(bt.has_value());
+  EXPECT_EQ(bt->size(), 6u);
+}
+
+TEST(Hamiltonian, StarHasNone) {
+  graph::Graph g(5);
+  for (int i = 1; i < 5; ++i) g.add_edge(0, i);
+  EXPECT_FALSE(graph::hamiltonian_cycle_exact(g).has_value());
+  EXPECT_FALSE(graph::hamiltonian_cycle_backtracking(g, 100000).has_value());
+}
+
+TEST(Hamiltonian, PetersenGraphHasNoCycle) {
+  // The canonical hypohamiltonian graph.
+  graph::Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);        // outer pentagon
+    g.add_edge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    g.add_edge(i, 5 + i);              // spokes
+  }
+  EXPECT_FALSE(graph::hamiltonian_cycle_exact(g).has_value());
+}
+
+TEST(Hamiltonian, ExactAndBacktrackingAgreeOnRandomGraphs) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 5 + static_cast<int>(rng() % 7);
+    graph::Graph g(n);
+    std::vector<std::pair<int, int>> possible;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) possible.emplace_back(i, j);
+    }
+    for (const auto& [i, j] : possible) {
+      if (rng() % 100 < 45) g.add_edge(i, j);
+    }
+    const bool exact = graph::hamiltonian_cycle_exact(g).has_value();
+    const auto bt = graph::hamiltonian_cycle_backtracking(g, 5'000'000);
+    if (exact) {
+      ASSERT_TRUE(bt.has_value()) << "backtracking missed a cycle, n=" << n;
+      // Verify it is a genuine Hamiltonian cycle.
+      std::vector<char> seen(n, 0);
+      for (size_t idx = 0; idx < bt->size(); ++idx) {
+        const int u = (*bt)[idx];
+        const int v = (*bt)[(idx + 1) % bt->size()];
+        EXPECT_FALSE(seen[u]);
+        seen[u] = 1;
+        bool adjacent = false;
+        for (int w : g.neighbors(u)) adjacent |= (w == v);
+        EXPECT_TRUE(adjacent);
+      }
+    } else {
+      EXPECT_FALSE(bt.has_value());
+    }
+  }
+}
+
+TEST(Digraph, ReversedAndDegrees) {
+  graph::Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.max_out_degree(), 2);
+  const auto r = g.reversed();
+  EXPECT_EQ(r.out(2).size(), 2u);
+  EXPECT_EQ(r.out(0).size(), 0u);
+  EXPECT_EQ(r.edge_count(), 3);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// EMST builders, degree-5 repair, rooted trees, and the paper's Fact 1 /
+// Fact 2 geometry (Figure 2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "geometry/generators.hpp"
+#include "mst/degree5.hpp"
+#include "mst/emst.hpp"
+#include "mst/facts.hpp"
+#include "mst/rooted.hpp"
+
+namespace geom = dirant::geom;
+namespace mst = dirant::mst;
+using dirant::kPi;
+
+namespace {
+
+std::vector<std::pair<int, int>> complete_graph_edges(int n) {
+  std::vector<std::pair<int, int>> e;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) e.emplace_back(i, j);
+  }
+  return e;
+}
+
+class EmstSweep
+    : public ::testing::TestWithParam<std::tuple<geom::Distribution, int>> {};
+
+TEST_P(EmstSweep, PrimMatchesKruskalWeight) {
+  const auto [dist, n] = GetParam();
+  geom::Rng rng(42 + n);
+  const auto pts = geom::make_instance(dist, n, rng);
+  const auto prim = mst::prim_emst(pts);
+  const auto kruskal = mst::kruskal_emst(pts, complete_graph_edges(n));
+  prim.validate(pts);
+  kruskal.validate(pts);
+  EXPECT_NEAR(prim.total_weight(), kruskal.total_weight(),
+              1e-9 * (1.0 + prim.total_weight()));
+  EXPECT_NEAR(prim.lmax(), kruskal.lmax(), 1e-9);
+}
+
+TEST_P(EmstSweep, AutoEngineAgreesWithPrim) {
+  const auto [dist, n] = GetParam();
+  geom::Rng rng(7 + n);
+  const auto pts = geom::make_instance(dist, n, rng);
+  const auto prim = mst::prim_emst(pts);
+  const auto autot = mst::emst(pts, /*delaunay_threshold=*/1);  // force DT
+  autot.validate(pts);
+  EXPECT_NEAR(prim.total_weight(), autot.total_weight(),
+              1e-9 * (1.0 + prim.total_weight()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, EmstSweep,
+    ::testing::Combine(::testing::ValuesIn(geom::kAllDistributions),
+                       ::testing::Values(8, 40, 160)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_n" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Emst, SinglePointAndPair) {
+  const std::vector<geom::Point> one = {{0, 0}};
+  const auto t1 = mst::prim_emst(one);
+  EXPECT_EQ(t1.n, 1);
+  EXPECT_TRUE(t1.edges.empty());
+  const std::vector<geom::Point> two = {{0, 0}, {3, 4}};
+  const auto t2 = mst::prim_emst(two);
+  ASSERT_EQ(t2.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(t2.lmax(), 5.0);
+}
+
+TEST(Emst, MaxDegreeNeverExceedsSix) {
+  for (int seed = 0; seed < 20; ++seed) {
+    geom::Rng rng(seed);
+    const auto pts = geom::uniform_square(100, 10.0, rng);
+    EXPECT_LE(mst::prim_emst(pts).max_degree(), 6);
+  }
+}
+
+TEST(Degree5, RepairsTriangularLattice) {
+  const auto pts = geom::triangular_lattice(8, 8, 1.0);
+  const auto raw = mst::prim_emst(pts);
+  const auto fixed = mst::enforce_max_degree(pts, raw, 5);
+  fixed.validate(pts);
+  EXPECT_LE(fixed.max_degree(), 5);
+  EXPECT_LE(fixed.total_weight(), raw.total_weight() + 1e-9);
+  EXPECT_LE(fixed.lmax(), raw.lmax() + 1e-9);
+}
+
+TEST(Degree5, StarWithManyEquidistantPoints) {
+  // Centre + regular hexagon: the centre may reach degree 6.
+  const auto pts = geom::star_with_center(6, 1.0);
+  const auto fixed = mst::degree5_emst(pts);
+  fixed.validate(pts);
+  EXPECT_LE(fixed.max_degree(), 5);
+}
+
+TEST(Degree5, NoOpOnGenericInputs) {
+  for (int seed = 0; seed < 10; ++seed) {
+    geom::Rng rng(seed);
+    const auto pts = geom::uniform_square(80, 9.0, rng);
+    const auto raw = mst::prim_emst(pts);
+    const auto fixed = mst::enforce_max_degree(pts, raw, 5);
+    EXPECT_NEAR(raw.total_weight(), fixed.total_weight(), 1e-9);
+  }
+}
+
+TEST(Degree5, TighterBoundsAlsoConverge) {
+  // max_degree = 4 is not guaranteed by theory for EMSTs, but the repair
+  // must still either converge or throw — never loop forever.
+  geom::Rng rng(3);
+  const auto pts = geom::uniform_square(60, 8.0, rng);
+  const auto raw = mst::prim_emst(pts);
+  try {
+    const auto fixed = mst::enforce_max_degree(pts, raw, 4);
+    EXPECT_LE(fixed.max_degree(), 4);
+    fixed.validate(pts);
+  } catch (const dirant::contract_violation&) {
+    SUCCEED();  // legitimate refusal
+  }
+}
+
+TEST(RootedTree, ParentChildConsistency) {
+  geom::Rng rng(1);
+  const auto pts = geom::uniform_square(50, 7.0, rng);
+  const auto t = mst::prim_emst(pts);
+  const auto rt = mst::RootedTree::rooted_at_leaf(t);
+  EXPECT_EQ(rt.parent[rt.root], -1);
+  EXPECT_EQ(static_cast<int>(rt.preorder.size()), t.n);
+  EXPECT_EQ(rt.preorder.front(), rt.root);
+  int child_count = 0;
+  for (int u = 0; u < t.n; ++u) {
+    for (int c : rt.children[u]) {
+      EXPECT_EQ(rt.parent[c], u);
+      ++child_count;
+    }
+  }
+  EXPECT_EQ(child_count, t.n - 1);
+  // Root is a leaf.
+  EXPECT_EQ(t.degrees()[rt.root], 1);
+}
+
+TEST(RootedTree, ChildrenCcwOrderFromReference) {
+  // Node at origin with children at known angles; reference pointing at 0.
+  const std::vector<geom::Point> pts = {
+      {0, 0}, {1, 1}, {-1, 1}, {-1, -1}, {1, -1}, {10, 0}};
+  mst::Tree t;
+  t.n = 6;
+  for (int v = 1; v <= 4; ++v) {
+    t.edges.push_back({0, v, geom::dist(pts[0], pts[v])});
+  }
+  t.edges.push_back({0, 5, 10.0});
+  const auto rt = mst::RootedTree::rooted_at(t, 5);
+  // Children of 0 ordered ccw starting from the ray towards vertex 5 (+x).
+  const auto kids = mst::children_ccw_from(pts, rt, 0, 0.0);
+  ASSERT_EQ(kids.size(), 4u);
+  EXPECT_EQ(kids[0], 1);  // 45 deg
+  EXPECT_EQ(kids[1], 2);  // 135 deg
+  EXPECT_EQ(kids[2], 3);  // 225 deg
+  EXPECT_EQ(kids[3], 4);  // 315 deg
+}
+
+// --- Fact 1 / Fact 2 (Figure 2) -------------------------------------------
+
+class FactsSweep : public ::testing::TestWithParam<geom::Distribution> {};
+
+TEST_P(FactsSweep, MstAngleFactsHold) {
+  const auto dist = GetParam();
+  for (int seed = 0; seed < 5; ++seed) {
+    geom::Rng rng(100 + seed);
+    const auto pts = geom::make_instance(dist, 150, rng);
+    const auto t = mst::degree5_emst(pts);
+    const auto st = mst::fact_stats(pts, t, /*check_triangles=*/seed == 0);
+    // Fact 1.1: adjacent MST neighbours subtend >= pi/3 (tolerance for
+    // exact lattice ties).
+    if (st.min_consecutive > 0.0) {
+      EXPECT_GE(st.min_consecutive, kPi / 3.0 - 1e-9) << to_string(dist);
+    }
+    // Fact 2.2: one-apart angles at degree-5 vertices within [2pi/3, pi].
+    if (st.degree5_vertices > 0) {
+      EXPECT_GE(st.min_one_apart, 2.0 * kPi / 3.0 - 1e-9);
+      // One-apart angles can exceed pi only if some *other* pair dips below
+      // 2pi/3, so the max complements to:
+      EXPECT_LE(st.min_one_apart, kPi + 1e-9);
+    }
+    EXPECT_EQ(st.chord_violations, 0);
+    if (seed == 0) {
+      EXPECT_EQ(st.nonempty_triangles, 0) << to_string(dist);
+      EXPECT_GT(st.checked_triangles, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FactsSweep,
+                         ::testing::ValuesIn(geom::kAllDistributions),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Facts, Degree5VerticesExist) {
+  // Engineered degree-5 vertex: centre + regular pentagon, far satellites.
+  auto pts = geom::star_with_center(5, 1.0);
+  const auto t = mst::degree5_emst(pts);
+  const auto st = mst::fact_stats(pts, t, true);
+  EXPECT_EQ(st.degree5_vertices, 1);
+  EXPECT_NEAR(st.min_one_apart, 4.0 * kPi / 5.0, 1e-9);
+  EXPECT_NEAR(st.max_one_apart, 4.0 * kPi / 5.0, 1e-9);
+}
+
+}  // namespace

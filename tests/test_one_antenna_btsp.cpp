@@ -1,0 +1,156 @@
+// k=1 regimes: the [4]-style window/delegation reconstruction
+// (pi <= phi < 8pi/5) and the BTSP substrate ([14]).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btsp/btsp.hpp"
+#include "common/constants.hpp"
+#include "core/one_antenna.hpp"
+#include "core/validate.hpp"
+#include "geometry/generators.hpp"
+#include "mst/degree5.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+namespace btsp = dirant::btsp;
+using dirant::kPi;
+
+namespace {
+
+TEST(OneAntennaMid, BoundFormula) {
+  EXPECT_NEAR(core::one_antenna_mid_bound_factor(kPi), 2.0, 1e-12);
+  EXPECT_NEAR(core::one_antenna_mid_bound_factor(1.5 * kPi),
+              2.0 * std::sin(kPi / 4.0), 1e-12);
+  EXPECT_NEAR(core::one_antenna_mid_bound_factor(8 * kPi / 5),
+              2.0 * std::sin(kPi / 5.0), 1e-12);
+}
+
+class OneMidSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OneMidSweep, CertifiesAcrossFamilies) {
+  const double phi = GetParam() * kPi;
+  for (auto dist : geom::kAllDistributions) {
+    geom::Rng rng(911 + static_cast<int>(dist) + int(phi * 100));
+    const auto pts = geom::make_instance(dist, 80, rng);
+    const auto tree = dirant::mst::degree5_emst(pts);
+    const auto res = core::orient_one_antenna_mid(pts, tree, phi);
+    EXPECT_LE(res.orientation.max_antennas_per_node(), 1);
+    const auto cert = core::certify(pts, res, {1, phi});
+    EXPECT_TRUE(cert.ok())
+        << to_string(dist) << " phi=" << phi
+        << " spread=" << cert.max_spread_sum << " sc=" << cert.scc_count
+        << " r=" << res.measured_radius << "/" << res.bound_factor * res.lmax;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Phi, OneMidSweep,
+                         ::testing::Values(1.0, 1.1, 1.25, 1.4, 1.55),
+                         [](const auto& info) {
+                           return "phi" + std::to_string(static_cast<int>(
+                                              info.param * 100));
+                         });
+
+TEST(OneAntennaMid, ChainCasesAppear) {
+  // High-degree stars force windows that exclude children.
+  core::CaseStats agg;
+  geom::Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto pts = geom::star_with_center(5, 1.0, trial * 0.03);
+    pts.push_back(geom::from_polar(1.9, trial * 0.03 + 0.2));
+    pts = geom::perturbed(std::move(pts), 0.05, rng);
+    const auto tree = dirant::mst::degree5_emst(pts);
+    const auto res = core::orient_one_antenna_mid(pts, tree, kPi);
+    agg.merge(res.cases);
+    ASSERT_TRUE(core::certify(pts, res, {1, kPi}).ok()) << trial;
+  }
+  int chains = 0;
+  for (const auto& [key, v] : agg.counts) {
+    if (key.rfind("window-chain", 0) == 0) chains += v;
+  }
+  EXPECT_GT(chains, 0) << "delegation chains never exercised";
+}
+
+// --- BTSP ------------------------------------------------------------------
+
+TEST(Btsp, LowerBoundIsSane) {
+  const auto square = std::vector<geom::Point>{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_NEAR(btsp::bottleneck_lower_bound(square), 1.0, 1e-12);
+}
+
+TEST(Btsp, ExactOnSquareIsSideLength) {
+  const auto square = std::vector<geom::Point>{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const auto res = btsp::exact_bottleneck_cycle(square);
+  EXPECT_TRUE(res.proven_optimal);
+  EXPECT_NEAR(res.bottleneck, 1.0, 1e-12);
+}
+
+TEST(Btsp, ExactOnRegularPolygon) {
+  for (int n = 3; n <= 10; ++n) {
+    const auto pts = geom::regular_polygon(n, 1.0);
+    const auto res = btsp::exact_bottleneck_cycle(pts);
+    EXPECT_NEAR(res.bottleneck, 2.0 * std::sin(kPi / n), 1e-12) << n;
+  }
+}
+
+TEST(Btsp, SpiderNeedsMoreThanTwiceLmax) {
+  // Three unit-spaced legs of length 3 at 120 degrees: the optimal
+  // bottleneck is sqrt(7) ~ 2.646 x lmax (see DESIGN.md) — evidence that
+  // Table 1's "2" is an approximation factor, not an absolute bound.
+  std::vector<geom::Point> pts{{0, 0}};
+  for (int leg = 0; leg < 3; ++leg) {
+    for (int i = 1; i <= 3; ++i) {
+      pts.push_back(geom::from_polar(i, leg * 2.0 * kPi / 3.0));
+    }
+  }
+  const auto res = btsp::exact_bottleneck_cycle(pts);
+  EXPECT_NEAR(res.bottleneck, std::sqrt(7.0), 1e-9);
+}
+
+TEST(Btsp, HeuristicMatchesExactOnSmallInstances) {
+  for (int seed = 0; seed < 12; ++seed) {
+    geom::Rng rng(seed);
+    const auto pts = geom::uniform_square(11, 4.0, rng);
+    const auto exact = btsp::exact_bottleneck_cycle(pts);
+    const auto heur = btsp::heuristic_bottleneck_cycle(pts);
+    EXPECT_GE(heur.bottleneck, exact.bottleneck - 1e-12) << seed;
+    // The heuristic should be near-optimal on easy uniform instances.
+    EXPECT_LE(heur.bottleneck, 2.0 * exact.bottleneck + 1e-12) << seed;
+  }
+}
+
+TEST(Btsp, HeuristicCycleIsValid) {
+  geom::Rng rng(3);
+  const auto pts = geom::uniform_square(80, 9.0, rng);
+  const auto res = btsp::heuristic_bottleneck_cycle(pts);
+  ASSERT_EQ(res.order.size(), pts.size());
+  std::vector<char> seen(pts.size(), 0);
+  for (int v : res.order) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, static_cast<int>(pts.size()));
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+  // Bottleneck matches the reported value.
+  double b = 0.0;
+  for (size_t i = 0; i < res.order.size(); ++i) {
+    b = std::max(b, geom::dist(pts[res.order[i]],
+                               pts[res.order[(i + 1) % res.order.size()]]));
+  }
+  EXPECT_NEAR(b, res.bottleneck, 1e-12);
+  EXPECT_GE(res.bottleneck, btsp::bottleneck_lower_bound(pts) - 1e-12);
+}
+
+TEST(Btsp, OrientationFromCycleCertifies) {
+  geom::Rng rng(21);
+  const auto pts = geom::uniform_square(40, 6.0, rng);
+  const auto tree = dirant::mst::degree5_emst(pts);
+  const auto res = core::orient_btsp_cycle(pts, tree);
+  const auto cert = core::certify(pts, res, {1, 0.0});
+  EXPECT_TRUE(cert.strongly_connected);
+  EXPECT_TRUE(cert.antennas_within_k);
+  EXPECT_DOUBLE_EQ(res.orientation.max_spread_sum(), 0.0);
+}
+
+}  // namespace

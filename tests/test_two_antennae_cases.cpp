@@ -1,0 +1,186 @@
+// Hand-constructed configurations that force the rare branches of the
+// Theorem 3 case analysis: the degree-5 case B (tree parent outside the
+// sector [c4 -> c1] around the target ray — only reachable when the target
+// is a *delegated sibling*), and part 2's case 2(b)(i) (two-arc split).
+// Each fixture builds the exact tree from the proof's figures and asserts
+// the intended case label fires and the result certifies.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "core/two_antennae.hpp"
+#include "core/validate.hpp"
+#include "geometry/angle.hpp"
+#include "mst/tree.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+using dirant::kPi;
+using dirant::kTwoPi;
+
+namespace {
+
+// Build a tree over explicit points with explicit edges.
+dirant::mst::Tree make_tree(const std::vector<geom::Point>& pts,
+                            const std::vector<std::pair<int, int>>& edges) {
+  dirant::mst::Tree t;
+  t.n = static_cast<int>(pts.size());
+  for (const auto& [u, v] : edges) {
+    t.edges.push_back({u, v, geom::dist(pts[u], pts[v])});
+  }
+  return t;
+}
+
+int count_with_prefix(const core::CaseStats& cs, const std::string& prefix) {
+  int total = 0;
+  for (const auto& [k, v] : cs.counts) {
+    if (k.rfind(prefix, 0) == 0) total += v;
+  }
+  return total;
+}
+
+// Degree-5 case B: vertex u's target is a delegated sibling whose ray
+// sector [c4 -> c1] does NOT contain u's tree parent.
+TEST(Theorem3Cases, Degree5CaseBDelegateFires) {
+  const double phi = 0.7 * kPi;
+  std::vector<geom::Point> pts;
+  // v at origin; v's target is its parent r on the ray at angle 0 offset.
+  const double ref_v = 0.0;  // absolute direction v -> r
+  const geom::Point v{0.0, 0.0};
+  const geom::Point r = v + geom::from_polar(1.0, ref_v);
+  // v's children at unit distance, ccw offsets from ref_v:
+  //   c1 = u at 0.6pi, c2 = t at 1.0pi, c3 at 1.4pi.
+  const geom::Point u = v + geom::from_polar(1.0, ref_v + 0.6 * kPi);
+  const geom::Point t = v + geom::from_polar(1.0, ref_v + 1.0 * kPi);
+  const geom::Point c3 = v + geom::from_polar(1.0, ref_v + 1.4 * kPi);
+
+  // u's geometry: target will be t (delegated).  Reference ray u -> t.
+  const double ref_u = geom::angle_to(u, t);
+  // Parent (v) offset from ref_u:
+  const double par_off = geom::ccw_delta(ref_u, geom::angle_to(u, v));
+  // Children of u at unit distance with offsets that sandwich the parent
+  // between c1 and c2 (case B) and make only the B-delegate plan feasible:
+  const double off1 = par_off - 0.12 * kPi;  // just cw of the parent ray
+  const double off2 = par_off + 0.25 * kPi;
+  const double off3 = off2 + 0.45 * kPi;
+  const double off4 = off1 + 2.0 * kPi - 0.65 * kPi;  // w41 = 0.65pi <= phi
+  ASSERT_GT(off1, 0.0);
+  ASSERT_LT(off4, 2.0 * kPi);
+  std::vector<geom::Point> ukids;
+  for (double off : {off1, off2, off3, off4}) {
+    ukids.push_back(u + geom::from_polar(1.0, ref_u + off));
+  }
+  // Sanity: the intended simple covers are infeasible.
+  const double w42 = kTwoPi - off4 + off2;
+  const double w31 = kTwoPi - off3 + off1;
+  ASSERT_GT(w42, phi);
+  ASSERT_GT(w31, phi);
+
+  pts = {r, v, u, t, c3};
+  const int iu = 2;
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}, {1, 3}, {1, 4}};
+  for (const auto& k : ukids) {
+    edges.emplace_back(iu, static_cast<int>(pts.size()));
+    pts.push_back(k);
+  }
+  const auto tree = make_tree(pts, edges);
+  ASSERT_EQ(tree.max_degree(), 5);
+
+  const auto res = core::orient_two_antennae(pts, tree, phi);
+  EXPECT_EQ(res.cases.fallback_plans, 0);
+  EXPECT_GE(count_with_prefix(res.cases, "deg5-B"), 1)
+      << "case B never fired";
+  const auto cert = core::certify(pts, res, {2, phi});
+  EXPECT_TRUE(cert.strongly_connected);
+  EXPECT_TRUE(cert.spread_within_budget);
+  EXPECT_TRUE(cert.antennas_within_k);
+}
+
+// Part 2 case 2(b)(i): all three anchored arcs exceed phi, the parent-side
+// gap b4 < phi/2, and the middle gap g23 <= phi/2 — the plan splits the
+// budget across two arcs and delegates c1 through c2.
+TEST(Theorem3Cases, Degree5CaseA2biFires) {
+  const double phi = 0.8 * kPi;
+  // v at origin, parent r of v on ray 200 degrees.
+  const double ref_v = 200.0 / 180.0 * kPi;
+  const geom::Point v{0.0, 0.0};
+  const geom::Point r = v + geom::from_polar(1.0, ref_v);
+  // u must end up coverer of sibling s at distance 1.  Place u and s as
+  // children of v together with a third child w.
+  // Work backwards from u's frame: u at origin of its own frame, target s
+  // on u's ray 0.
+  // Choose u's absolute position first:
+  const geom::Point u = v + geom::from_polar(1.0, ref_v + 1.74 * kPi);
+  // s = u + unit(theta0); also a child of v.  theta0 chosen so that the
+  // parent (v) sits at offset 1.85pi in u's frame:
+  const double theta0 =
+      geom::norm_angle(geom::angle_to(u, v) - 1.85 * kPi);
+  const geom::Point s = u + geom::from_polar(1.0, theta0);
+  const geom::Point w = v + geom::from_polar(1.0, ref_v + 0.74 * kPi);
+
+  // u's four children at unit distance, offsets from ray u->s.
+  std::vector<geom::Point> ukids;
+  for (double off : {0.55 * kPi, 0.85 * kPi, 1.15 * kPi, 1.7 * kPi}) {
+    ukids.push_back(u + geom::from_polar(1.0, theta0 + off));
+  }
+
+  std::vector<geom::Point> pts = {r, v, u, s, w};
+  const int iu = 2;
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}, {1, 3}, {1, 4}};
+  for (const auto& k : ukids) {
+    edges.emplace_back(iu, static_cast<int>(pts.size()));
+    pts.push_back(k);
+  }
+  const auto tree = make_tree(pts, edges);
+  ASSERT_EQ(tree.max_degree(), 5);
+
+  const auto res = core::orient_two_antennae(pts, tree, phi);
+  EXPECT_EQ(res.cases.fallback_plans, 0);
+  EXPECT_GE(res.cases.counts.count("deg5-A2bi") +
+                res.cases.counts.count("deg5-A2bi~"),
+            1u)
+      << "case 2(b)(i) never fired";
+  const auto cert = core::certify(pts, res, {2, phi});
+  EXPECT_TRUE(cert.strongly_connected);
+  EXPECT_TRUE(cert.spread_within_budget);
+  EXPECT_TRUE(cert.antennas_within_k);
+}
+
+// Case 2 in both frames: the same degree-5 configuration and its mirror
+// image must both certify, taking the natural and reflected "w.l.o.g."
+// branches respectively (labels deg5-A2* vs deg5-A2*~).
+TEST(Theorem3Cases, Degree5CaseA2BothFramesCertify) {
+  const double phi = 0.72 * kPi;
+  for (bool mirror : {false, true}) {
+    const geom::Point u{0.0, 0.0};
+    auto dir = [&](double off) {
+      return mirror ? geom::norm_angle(kTwoPi - off) : off;
+    };
+    // Tree: parent (the leaf root) above u, four child leaves below.  The
+    // target of u is the parent on ray dir(1.82pi)... the reference ray is
+    // u->parent, so child offsets below are measured from it.
+    const geom::Point parent = u + geom::from_polar(1.0, dir(0.0));
+    std::vector<geom::Point> pts = {parent, u};
+    std::vector<std::pair<int, int>> edges = {{0, 1}};
+    // Offsets chosen so all three anchored arcs exceed phi = 0.72pi:
+    //   wt2 = 0.95pi > phi, w3t = 2pi - 1.3pi = 0.7pi ... keep > phi:
+    //   use a3 = 1.26pi (w3t = 0.74pi), a4 = 1.64pi with a1 = 0.55pi
+    //   (w41 = 0.91pi), and b4 = 0.36pi >= phi/2 = 0.36pi (case 2a).
+    for (double off : {0.55 * kPi, 0.95 * kPi, 1.26 * kPi, 1.64 * kPi}) {
+      edges.emplace_back(1, static_cast<int>(pts.size()));
+      pts.push_back(u + geom::from_polar(1.0, dir(off)));
+    }
+    const auto tree = make_tree(pts, edges);
+    ASSERT_EQ(tree.max_degree(), 5);
+    const auto res = core::orient_two_antennae(pts, tree, phi);
+    EXPECT_EQ(res.cases.fallback_plans, 0) << "mirror=" << mirror;
+    EXPECT_GE(count_with_prefix(res.cases, "deg5-A2"), 1)
+        << "mirror=" << mirror << ": case 2 never fired";
+    const auto cert = core::certify(pts, res, {2, phi});
+    EXPECT_TRUE(cert.ok()) << "mirror=" << mirror;
+  }
+}
+
+}  // namespace
