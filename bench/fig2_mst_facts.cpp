@@ -10,7 +10,7 @@
 #include "bench_common.hpp"
 #include "common/constants.hpp"
 #include "mst/degree5.hpp"
-#include "mst/emst.hpp"
+#include "mst/engine.hpp"
 #include "mst/facts.hpp"
 
 namespace geom = dirant::geom;
@@ -96,8 +96,9 @@ void BM_emst_prim(benchmark::State& state) {
   geom::Rng rng(11);
   const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
                                        static_cast<int>(state.range(0)), rng);
+  const mst::EmstEngine prim({mst::EngineKind::kPrim});
   for (auto _ : state) {
-    auto t = mst::prim_emst(pts);
+    auto t = prim.emst(pts);
     benchmark::DoNotOptimize(t);
   }
   state.SetComplexityN(state.range(0));

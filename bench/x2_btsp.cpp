@@ -9,7 +9,7 @@
 #include "bench_common.hpp"
 #include "btsp/btsp.hpp"
 #include "common/constants.hpp"
-#include "mst/emst.hpp"
+#include "mst/engine.hpp"
 
 namespace geom = dirant::geom;
 namespace btsp = dirant::btsp;
@@ -46,7 +46,7 @@ DIRANT_REPORT(x2) {
     const auto pts = geom::uniform_square(n, std::sqrt(n) * 1.2, rng);
     const auto heur = btsp::heuristic_bottleneck_cycle(pts);
     const double lb = btsp::bottleneck_lower_bound(pts);
-    const double lmax = dirant::mst::prim_emst(pts).lmax();
+    const double lmax = dirant::mst::EmstEngine::shared().lmax(pts);
     std::printf("%-5d   %8.4f        %8.4f\n", n, heur.bottleneck / lb,
                 heur.bottleneck / lmax);
   }

@@ -1,20 +1,23 @@
 // X3 — engineering scaling study: EMST engines (Prim O(n^2) vs
 // Delaunay+Kruskal), orientation algorithms, and transmission-graph
-// construction across n.  Uses the parallel harness for the Monte-Carlo
-// throughput measurement.
+// construction across n.  Emits BENCH_scaling.json (n, engine, wall-ms,
+// speedup) so later PRs have a perf trajectory to regress against, and
+// uses core::orient_batch for the Monte-Carlo throughput measurement.
 
-#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <cstdio>
 
 #include "bench_common.hpp"
 #include "antenna/transmission.hpp"
 #include "common/constants.hpp"
+#include "core/batch.hpp"
 #include "core/planner.hpp"
+#include "core/yao_baseline.hpp"
 #include "delaunay/delaunay.hpp"
 #include "mst/boruvka.hpp"
-#include "mst/degree5.hpp"
-#include "mst/emst.hpp"
+#include "mst/engine.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace geom = dirant::geom;
@@ -24,11 +27,62 @@ using dirant::kPi;
 
 namespace {
 
+double time_ms(const std::function<void()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 DIRANT_REPORT(x3) {
   using dirant::bench::section;
-  section("X3 — Monte-Carlo throughput with the parallel harness");
-  // How many full pipeline runs (EMST + orient k=2 + certify-fast) per
-  // second, serial vs thread pool.
+  section("X3 — EMST+orient wall time per engine (BENCH_scaling.json)");
+  std::FILE* json = std::fopen("BENCH_scaling.json", "w");
+  if (json) std::fprintf(json, "{\n  \"emst_orient\": [\n");
+
+  std::printf("n       engine             wall-ms    speedup\n");
+  std::printf("---------------------------------------------\n");
+  const core::ProblemSpec spec{2, kPi};
+  const mst::EmstEngine prim({mst::EngineKind::kPrim});
+  const mst::EmstEngine& fast = mst::EmstEngine::shared();
+  const std::vector<int> sizes = {500, 1000, 2000, 5000};
+  bool first_row = true;
+  for (int n : sizes) {
+    geom::Rng rng(31000 + n);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, n, rng);
+    double ms[2] = {0.0, 0.0};
+    const mst::EmstEngine* engines[2] = {&prim, &fast};
+    const char* names[2] = {"prim", "delaunay-kruskal"};
+    for (int e = 0; e < 2; ++e) {
+      // Best of three: single-shot timings on a shared box swing enough to
+      // corrupt the recorded trajectory.
+      ms[e] = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 3; ++rep) {
+        ms[e] = std::min(ms[e], time_ms([&] {
+                  const auto tree = engines[e]->degree5(pts);
+                  const auto res = core::orient_on_tree(pts, tree, spec);
+                  benchmark::DoNotOptimize(res.measured_radius);
+                }));
+      }
+    }
+    for (int e = 0; e < 2; ++e) {
+      const double speedup = ms[0] / std::max(ms[e], 1e-9);
+      std::printf("%-7d %-18s %8.2f   %7.2fx\n", n, names[e], ms[e], speedup);
+      if (json) {
+        std::fprintf(json,
+                     "%s    {\"n\": %d, \"engine\": \"%s\", \"wall_ms\": "
+                     "%.3f, \"speedup\": %.3f}",
+                     first_row ? "" : ",\n", n, names[e], ms[e], speedup);
+        first_row = false;
+      }
+    }
+  }
+  if (json) std::fprintf(json, "\n  ],\n");
+
+  section("X3 — Monte-Carlo batch throughput (core::orient_batch)");
+  // Full pipeline runs (EMST + orient k=2) per second, serial vs pooled.
   const int instances = 24, n = 300;
   std::vector<std::vector<geom::Point>> inputs;
   for (int i = 0; i < instances; ++i) {
@@ -36,34 +90,36 @@ DIRANT_REPORT(x3) {
     inputs.push_back(
         geom::make_instance(geom::Distribution::kUniformSquare, n, rng));
   }
-  auto pipeline = [&](int i) {
-    const auto tree = mst::degree5_emst(inputs[i]);
-    const auto res = core::orient_on_tree(inputs[i], tree, {2, kPi});
-    benchmark::DoNotOptimize(res.measured_radius);
-  };
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < instances; ++i) pipeline(i);
-  const auto t1 = std::chrono::steady_clock::now();
-  dirant::par::parallel_for(0, instances,
-                            [&](std::int64_t i) { pipeline(static_cast<int>(i)); });
-  const auto t2 = std::chrono::steady_clock::now();
-  const double serial =
-      std::chrono::duration<double>(t1 - t0).count();
-  const double parallel =
-      std::chrono::duration<double>(t2 - t1).count();
+  core::BatchOptions serial_opts;
+  serial_opts.parallel = false;
+  const double serial_ms =
+      time_ms([&] { benchmark::DoNotOptimize(core::orient_batch(inputs, spec, serial_opts)); });
+  const double pooled_ms =
+      time_ms([&] { benchmark::DoNotOptimize(core::orient_batch(inputs, spec)); });
+  const unsigned threads = dirant::par::global_pool().thread_count();
+  const double batch_speedup = serial_ms / std::max(pooled_ms, 1e-9);
   std::printf(
-      "pipeline (n=%d) x %d instances: serial %.3fs, pooled %.3fs "
+      "batch (n=%d) x %d instances: serial %.1fms, pooled %.1fms "
       "(%.2fx, %u threads)\n",
-      n, instances, serial, parallel, serial / std::max(parallel, 1e-9),
-      dirant::par::global_pool().thread_count());
+      n, instances, serial_ms, pooled_ms, batch_speedup, threads);
+  if (json) {
+    std::fprintf(json,
+                 "  \"batch\": {\"instances\": %d, \"n\": %d, \"serial_ms\": "
+                 "%.3f, \"pooled_ms\": %.3f, \"threads\": %u, \"speedup\": "
+                 "%.3f}\n}\n",
+                 instances, n, serial_ms, pooled_ms, threads, batch_speedup);
+    std::fclose(json);
+    std::printf("wrote BENCH_scaling.json\n");
+  }
 }
 
 void BM_emst_prim(benchmark::State& state) {
   geom::Rng rng(20);
   const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
                                        static_cast<int>(state.range(0)), rng);
+  const mst::EmstEngine prim({mst::EngineKind::kPrim});
   for (auto _ : state) {
-    auto t = mst::prim_emst(pts);
+    auto t = prim.emst(pts);
     benchmark::DoNotOptimize(t);
   }
   state.SetComplexityN(state.range(0));
@@ -74,8 +130,9 @@ void BM_emst_delaunay(benchmark::State& state) {
   geom::Rng rng(21);
   const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
                                        static_cast<int>(state.range(0)), rng);
+  const mst::EmstEngine dk({mst::EngineKind::kDelaunayKruskal});
   for (auto _ : state) {
-    auto t = mst::emst(pts, /*delaunay_threshold=*/1);
+    auto t = dk.emst(pts);
     benchmark::DoNotOptimize(t);
   }
   state.SetComplexityN(state.range(0));
@@ -137,6 +194,18 @@ void BM_full_pipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_full_pipeline)->Arg(500)->Arg(2000);
+
+void BM_yao_grid(benchmark::State& state) {
+  geom::Rng rng(26);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  const double lmax = mst::EmstEngine::shared().lmax(pts);
+  for (auto _ : state) {
+    auto res = core::orient_yao(pts, 6, 0.0, lmax);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_yao_grid)->Arg(1000)->Arg(4000);
 
 }  // namespace
 

@@ -45,7 +45,10 @@ DIRANT_REPORT(x5) {
     dirant::bench::sweep(sweep, [&](geom::Distribution, int, std::uint64_t s,
                                     const std::vector<geom::Point>& pts) {
       ++total;
-      const auto yao = core::orient_yao(pts, k, 0.001 * (s % 97));
+      // One EMST per instance: its lmax feeds the Yao baseline and the tree
+      // feeds the paper construction (degree repair preserves lmax).
+      const auto tree = dirant::mst::degree5_emst(pts);
+      const auto yao = core::orient_yao(pts, k, 0.001 * (s % 97), tree.lmax());
       const auto yg =
           dirant::antenna::induced_digraph_fast(pts, yao.orientation);
       if (dirant::graph::is_strongly_connected(yg)) {
@@ -53,7 +56,6 @@ DIRANT_REPORT(x5) {
         yao_worst = std::max(yao_worst, yao.measured_radius / yao.lmax);
       }
       if (paper_has_regime) {
-        const auto tree = dirant::mst::degree5_emst(pts);
         const auto res = core::orient_on_tree(pts, tree, spec);
         const auto pg =
             dirant::antenna::induced_digraph_fast(pts, res.orientation);

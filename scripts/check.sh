@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Single verification entry point: build Release and a sanitized Debug
+# (-fsanitize=address,undefined) tree, run ctest in both.  This is the
+# command CI and pre-merge checks invoke; keep it green.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_variant() {
+  local dir="$1"; shift
+  local cmake_args=("$@")
+  echo "==== configure ${dir} (${cmake_args[*]}) ===="
+  cmake -B "${dir}" -S . "${cmake_args[@]}" >/dev/null
+  echo "==== build ${dir} ===="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==== ctest ${dir} ===="
+  # ${arr[@]+...} keeps `set -u` happy on bash 3.2 when no args were given.
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" \
+      ${CTEST_EXTRA[@]+"${CTEST_EXTRA[@]}"})
+}
+
+CTEST_EXTRA=("$@")
+
+run_variant build-release -DCMAKE_BUILD_TYPE=Release
+run_variant build-asan -DCMAKE_BUILD_TYPE=Debug -DDIRANT_SANITIZE=ON \
+    -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF
+
+echo "==== all checks passed ===="

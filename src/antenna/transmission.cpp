@@ -41,10 +41,13 @@ graph::Digraph induced_digraph_fast(std::span<const Point> pts,
   spatial::GridIndex grid(pts, std::max(rmax / 2.0, 1e-12));
   std::vector<char> seen(n, 0);
   std::vector<int> touched;
+  std::vector<int> candidates;  // reused across all range queries
   for (int u = 0; u < n; ++u) {
     touched.clear();
     for (const auto& s : o.antennas(u)) {
-      for (int v : grid.within(pts[u], s.radius + radius_tol + 1e-12, u)) {
+      candidates.clear();
+      grid.within(pts[u], s.radius + radius_tol + 1e-12, u, candidates);
+      for (int v : candidates) {
         if (seen[v]) continue;
         if (s.contains(pts[v], angle_tol, radius_tol)) {
           seen[v] = 1;
@@ -66,8 +69,10 @@ graph::Digraph unit_disk_digraph(std::span<const Point> pts, double radius) {
   graph::Digraph g(n);
   if (n == 0 || radius <= 0.0) return g;
   spatial::GridIndex grid(pts, std::max(radius / 2.0, 1e-12));
+  std::vector<int> nb;  // reused across queries
   for (int u = 0; u < n; ++u) {
-    auto nb = grid.within(pts[u], radius, u);
+    nb.clear();
+    grid.within(pts[u], radius, u, nb);
     std::sort(nb.begin(), nb.end());
     for (int v : nb) g.add_edge(u, v);
   }

@@ -8,7 +8,7 @@
 #include "graph/digraph.hpp"
 #include "graph/hamiltonian.hpp"
 #include "graph/traversal.hpp"
-#include "mst/emst.hpp"
+#include "mst/engine.hpp"
 
 namespace dirant::btsp {
 
@@ -138,7 +138,7 @@ double bottleneck_lower_bound(std::span<const Point> pts) {
     lb = std::max(lb, d2);
   }
   // (2) Connectivity: minimum bottleneck spanning tree = MST lmax.
-  lb = std::max(lb, mst::prim_emst(pts).lmax());
+  lb = std::max(lb, mst::EmstEngine::shared().lmax(pts));
   // (3) Biconnectivity threshold (binary search over unique distances).
   const auto ds = sorted_unique_distances(pts);
   int lo = 0, hi = static_cast<int>(ds.size()) - 1;

@@ -1,0 +1,61 @@
+#include "core/batch.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "core/planner.hpp"
+#include "mst/engine.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace dirant::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void run_one(const std::vector<geom::Point>& pts, const ProblemSpec& spec,
+             const BatchOptions& options, const mst::EmstEngine& engine,
+             BatchItem& out) {
+  const auto t0 = Clock::now();
+  const auto tree = engine.degree5(pts);
+  out.result = orient_on_tree(pts, tree, spec);
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  if (options.certify) {
+    out.certificate = certify(pts, out.result, spec);
+  }
+}
+
+}  // namespace
+
+std::vector<BatchItem> orient_batch(
+    std::span<const std::vector<geom::Point>> instances,
+    const ProblemSpec& spec, const BatchOptions& options) {
+  for (const auto& pts : instances) {
+    DIRANT_ASSERT_MSG(!pts.empty(), "empty sensor set in batch");
+  }
+  std::vector<BatchItem> items(instances.size());
+  if (instances.empty()) return items;
+
+  if (!options.parallel || instances.size() == 1) {
+    const mst::EmstEngine engine;  // one scratch engine for the whole run
+    for (size_t i = 0; i < instances.size(); ++i) {
+      run_one(instances[i], spec, options, engine, items[i]);
+    }
+    return items;
+  }
+
+  par::parallel_for(
+      0, static_cast<std::int64_t>(instances.size()),
+      [&](std::int64_t i) {
+        // Worker-local engine: instances in the same chunk share it, so
+        // engine-internal scratch never crosses threads.
+        thread_local mst::EmstEngine engine;
+        run_one(instances[static_cast<size_t>(i)], spec, options, engine,
+                items[static_cast<size_t>(i)]);
+      },
+      std::max<std::int64_t>(1, options.min_chunk));
+  return items;
+}
+
+}  // namespace dirant::core

@@ -2,7 +2,7 @@
 
 #include "btsp/btsp.hpp"
 #include "common/assert.hpp"
-#include "mst/emst.hpp"
+#include "mst/engine.hpp"
 
 namespace dirant::core {
 
@@ -11,7 +11,7 @@ LowerBound range_lower_bound(std::span<const geom::Point> pts,
   LowerBound lb;
   const int n = static_cast<int>(pts.size());
   if (n <= 1) return lb;
-  lb.lmax = mst::prim_emst(pts).lmax();
+  lb.lmax = mst::EmstEngine::shared().lmax(pts);
   lb.value = lb.lmax;
   lb.source = "lmax";
   if (spec.k == 1 && spec.phi <= 1e-9 && n >= 3 && n <= exact_limit) {

@@ -10,7 +10,7 @@
 #include "core/three_antennae.hpp"
 #include "core/four_antennae.hpp"
 #include "core/two_antennae.hpp"
-#include "mst/degree5.hpp"
+#include "mst/engine.hpp"
 
 namespace dirant::core {
 
@@ -90,7 +90,7 @@ Result orient_on_tree(std::span<const geom::Point> pts, const mst::Tree& tree,
 
 Result orient(std::span<const geom::Point> pts, const ProblemSpec& spec) {
   DIRANT_ASSERT_MSG(!pts.empty(), "empty sensor set");
-  const auto tree = mst::degree5_emst(pts);
+  const auto tree = mst::EmstEngine::shared().degree5(pts);
   return orient_on_tree(pts, tree, spec);
 }
 

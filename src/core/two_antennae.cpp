@@ -26,14 +26,15 @@ constexpr double kTol = 1e-9;
 /// numeric and geometric — the case analysis proposes, commit() disposes.
 class NodePlanner {
  public:
-  NodePlanner(std::span<const Point> pts, int u, const Point& target,
-              std::vector<int> kids_ccw, double phi, double R)
-      : pts_(pts),
-        u_(u),
-        target_(target),
-        kids_(std::move(kids_ccw)),
-        phi_(phi),
-        R_(R) {
+  /// The planner is built once per traversal and re-`init`-ed per vertex so
+  /// its scratch vectors keep their capacity across the whole tree.
+  NodePlanner(std::span<const Point> pts, double phi, double R)
+      : pts_(pts), phi_(phi), R_(R) {}
+
+  void init(int u, const Point& target, std::span<const int> kids_ccw) {
+    u_ = u;
+    target_ = target;
+    kids_.assign(kids_ccw.begin(), kids_ccw.end());
     const int m = static_cast<int>(kids_.size());
     ref_ = geom::angle_to(pts_[u_], target_);
     order_off_.resize(m);
@@ -94,8 +95,10 @@ class NodePlanner {
     for (const auto& [p, q] : arcs_) total_width += arc_width(p, q);
     if (total_width > phi_ + kTol) return false;
 
-    // Geometric coverage.
-    std::vector<char> covered(m + 1, 0);  // slot m == target
+    // Geometric coverage (member scratch: commit runs several times per
+    // vertex and must not allocate).
+    auto& covered = covered_;
+    covered.assign(m + 1, 0);  // slot m == target
     auto mark = [&](int ray) { covered[ray < 0 ? m : ray] = 1; };
     for (const auto& [p, q] : arcs_) {
       const double start = abs_angle(p);
@@ -108,7 +111,10 @@ class NodePlanner {
     if (!covered[m]) return false;  // the target must be reached from u
 
     // Delegations: coverer directly covered, used once, chord within R.
-    std::vector<char> is_coverer(m, 0), is_delegated(m, 0);
+    auto& is_coverer = is_coverer_;
+    auto& is_delegated = is_delegated_;
+    is_coverer.assign(m, 0);
+    is_delegated.assign(m, 0);
     for (const auto& [coverer, covee] : delegations_) {
       if (coverer < 0 || covee < 0 || coverer == covee) return false;
       if (!covered[coverer] || covered[covee]) return false;
@@ -156,7 +162,7 @@ class NodePlanner {
 
  private:
   std::span<const Point> pts_;
-  int u_;
+  int u_ = -1;
   Point target_;
   std::vector<int> kids_;
   double phi_, R_, ref_;
@@ -164,6 +170,7 @@ class NodePlanner {
   std::vector<std::pair<int, int>> arcs_;
   std::vector<int> beams_;
   std::vector<std::pair<int, int>> delegations_;
+  std::vector<char> covered_, is_coverer_, is_delegated_;
 };
 
 bool NodePlanner::fallback() {
@@ -624,13 +631,13 @@ bool detailed_orient(std::span<const Point> pts, const mst::Tree& tree,
   res.cases.bump("root");
 
   std::vector<std::pair<int, Point>> work{{first, pts[root]}};
+  NodePlanner pl(pts, phi, R);
+  std::vector<int> kids;  // ccw child buffer, reused across vertices
   while (!work.empty()) {
     auto [u, target] = work.back();
     work.pop_back();
-    NodePlanner pl(pts, u, target,
-                   mst::children_ccw_from(pts, rt, u,
-                                          geom::angle_to(pts[u], target)),
-                   phi, R);
+    mst::children_ccw_from(pts, rt, u, geom::angle_to(pts[u], target), kids);
+    pl.init(u, target, kids);
     if (!plan_vertex(ctx, pl, u)) return false;
     res.cases.bump(pl.label);
     for (const auto& s : pl.antennas) res.orientation.add(u, s);

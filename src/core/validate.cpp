@@ -34,4 +34,10 @@ Certificate certify(std::span<const geom::Point> pts, const Result& res,
   return c;
 }
 
+Certificate certify(std::span<const geom::Point> pts, const Result& res,
+                    const ProblemSpec& spec) {
+  return certify(pts, res, spec,
+                 static_cast<int>(pts.size()) >= kCertifyFastThreshold);
+}
+
 }  // namespace dirant::core

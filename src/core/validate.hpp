@@ -29,9 +29,17 @@ struct Certificate {
   }
 };
 
-/// Certify `res` against `spec`.  `use_fast_graph` selects the
-/// grid-accelerated digraph builder (identical output).
+/// Certify `res` against `spec`.  `use_fast_graph` forces the
+/// grid-accelerated digraph builder (true) or the brute-force reference
+/// (false); identical output either way.
 Certificate certify(std::span<const geom::Point> pts, const Result& res,
-                    const ProblemSpec& spec, bool use_fast_graph = false);
+                    const ProblemSpec& spec, bool use_fast_graph);
+
+/// Same, selecting the digraph builder by instance size: brute force as the
+/// independent oracle on small instances, grid range queries beyond
+/// `kCertifyFastThreshold` points.
+inline constexpr int kCertifyFastThreshold = 512;
+Certificate certify(std::span<const geom::Point> pts, const Result& res,
+                    const ProblemSpec& spec);
 
 }  // namespace dirant::core

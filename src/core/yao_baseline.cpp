@@ -1,45 +1,56 @@
 #include "core/yao_baseline.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/constants.hpp"
 #include "geometry/angle.hpp"
-#include "mst/emst.hpp"
+#include "mst/engine.hpp"
+#include "spatial/grid_index.hpp"
 
 namespace dirant::core {
 
 using geom::Point;
 
-Result orient_yao(std::span<const Point> pts, int k, double phase) {
+Result orient_yao(std::span<const Point> pts, int k, double phase,
+                  double precomputed_lmax) {
   DIRANT_ASSERT(k >= 1 && k <= 64);
   const int n = static_cast<int>(pts.size());
   Result res;
   res.orientation = antenna::Orientation(n);
   res.algorithm = Algorithm::kBtspCycle;  // reported as a baseline family
-  res.lmax = n >= 2 ? mst::prim_emst(pts).lmax() : 0.0;
+  res.lmax = precomputed_lmax >= 0.0 ? precomputed_lmax
+                                     : mst::EmstEngine::shared().lmax(pts);
   res.bound_factor = std::numeric_limits<double>::infinity();
+  if (n < 2) {
+    res.measured_radius = 0.0;
+    res.cases.bump("yao-k" + std::to_string(k));
+    return res;
+  }
 
-  const double cone = kTwoPi / k;
-  std::vector<int> nearest(k);
-  std::vector<double> best(k);
+  // Cone-nearest via grid sector queries instead of the all-pairs scan:
+  // ~sqrt(n) cells per axis keeps expected occupancy constant, and the
+  // cone-aware reach bound stops empty outward cones early.
+  double min_x = pts[0].x, max_x = pts[0].x;
+  double min_y = pts[0].y, max_y = pts[0].y;
+  for (const auto& p : pts) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double extent = std::max(max_x - min_x, max_y - min_y);
+  const double cell =
+      std::max(extent / std::max(1.0, std::sqrt(static_cast<double>(n))),
+               1e-12);
+  const spatial::GridIndex grid(pts, cell);
+  std::vector<int> nearest;
+  spatial::GridIndex::ConeScratch scratch;
   for (int u = 0; u < n; ++u) {
-    std::fill(nearest.begin(), nearest.end(), -1);
-    std::fill(best.begin(), best.end(),
-              std::numeric_limits<double>::infinity());
-    for (int v = 0; v < n; ++v) {
-      if (v == u) continue;
-      const double theta =
-          geom::ccw_delta(phase, geom::angle_to(pts[u], pts[v]));
-      int c = static_cast<int>(theta / cone);
-      if (c >= k) c = k - 1;
-      const double d2 = geom::dist2(pts[u], pts[v]);
-      if (d2 < best[c]) {
-        best[c] = d2;
-        nearest[c] = v;
-      }
-    }
+    grid.cone_nearest(pts[u], k, phase, u, nearest, scratch);
     for (int c = 0; c < k; ++c) {
       if (nearest[c] >= 0) {
         res.orientation.add(u, geom::beam_to(pts[u], pts[nearest[c]]));

@@ -16,8 +16,14 @@ namespace dirant::core {
 
 /// Yao-style orientation with k cones per sensor (phase rotates cone 0's
 /// boundary).  Never fails to produce an orientation; strong connectivity
-/// is NOT guaranteed — certify it.
-Result orient_yao(std::span<const geom::Point> pts, int k,
-                  double phase = 0.0);
+/// is NOT guaranteed — certify it.  Cone-nearest neighbours come from grid
+/// sector queries (sub-quadratic); exact coincident duplicates of a sensor
+/// are skipped (no beam direction exists).
+///
+/// `precomputed_lmax`: callers that already built an EMST (the planner, the
+/// comparison benches) pass its lmax here to skip a redundant EMST build;
+/// negative means "compute it for me".
+Result orient_yao(std::span<const geom::Point> pts, int k, double phase = 0.0,
+                  double precomputed_lmax = -1.0);
 
 }  // namespace dirant::core

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstring>
-#include <unordered_map>
 
 #include "common/assert.hpp"
 #include "geometry/exact.hpp"
@@ -28,16 +26,31 @@ class Builder {
   bool run() {
     const int m = static_cast<int>(pts_.size());
     make_super_triangle();
-    // Deterministic pseudo-shuffled insertion order.
-    std::vector<int> order(m);
-    for (int i = 0; i < m; ++i) order[i] = i;
-    std::uint64_t state = 0x9e3779b97f4a7c15ull;
-    for (int i = m - 1; i > 0; --i) {
-      state = state * 6364136223846793005ull + 1442695040888963407ull;
-      std::swap(order[i], order[state % static_cast<std::uint64_t>(i + 1)]);
+    // Hilbert-curve insertion order: consecutive points are spatially
+    // adjacent, so the walking point location starting from the previous
+    // cavity is O(1) expected steps instead of O(sqrt(n)).
+    // Pack (hilbert key << 32 | index) so the sort runs on flat uint64s.
+    std::vector<std::uint64_t> order(m);
+    double min_x = pts_[0].x, max_x = pts_[0].x;
+    double min_y = pts_[0].y, max_y = pts_[0].y;
+    for (int i = 0; i < m; ++i) {
+      min_x = std::min(min_x, pts_[i].x);
+      max_x = std::max(max_x, pts_[i].x);
+      min_y = std::min(min_y, pts_[i].y);
+      max_y = std::max(max_y, pts_[i].y);
     }
-    for (int idx : order) {
-      if (!insert(idx)) return false;
+    const double sx = max_x > min_x ? (max_x - min_x) : 1.0;
+    const double sy = max_y > min_y ? (max_y - min_y) : 1.0;
+    for (int i = 0; i < m; ++i) {
+      const auto hx = static_cast<std::uint32_t>(
+          65535.0 * (pts_[i].x - min_x) / sx);
+      const auto hy = static_cast<std::uint32_t>(
+          65535.0 * (pts_[i].y - min_y) / sy);
+      order[i] = (hilbert_d(hx, hy) << 32) | static_cast<std::uint32_t>(i);
+    }
+    std::sort(order.begin(), order.end());
+    for (std::uint64_t packed : order) {
+      if (!insert(static_cast<int>(packed & 0xffffffffu))) return false;
     }
     return true;
   }
@@ -55,22 +68,43 @@ class Builder {
   std::vector<std::pair<int, int>> real_edges() const {
     const int m = num_real();
     std::vector<std::pair<int, int>> out;
-    for (const auto& t : tris_) {
+    for (int id = 0; id < static_cast<int>(tris_.size()); ++id) {
+      const Tri& t = tris_[id];
       if (!t.alive) continue;
       for (int i = 0; i < 3; ++i) {
         int a = t.v[(i + 1) % 3], b = t.v[(i + 2) % 3];
         if (a >= m || b >= m) continue;
+        // A real-real edge is interior (super-triangle hosting), so its
+        // neighbour exists and is alive; emitting from the lower triangle
+        // id only dedupes without the former sort+unique pass.
+        if (t.nb[i] != -1 && t.nb[i] < id) continue;
         if (a > b) std::swap(a, b);
         out.emplace_back(a, b);
       }
     }
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
   }
 
  private:
   int num_real() const { return static_cast<int>(pts_.size()) - 3; }
+
+  // Distance along the order-16 Hilbert curve of the 65536x65536 grid.
+  static std::uint64_t hilbert_d(std::uint32_t x, std::uint32_t y) {
+    std::uint64_t d = 0;
+    for (std::uint32_t s = 1u << 15; s > 0; s >>= 1) {
+      const std::uint32_t rx = (x & s) ? 1 : 0;
+      const std::uint32_t ry = (y & s) ? 1 : 0;
+      d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+      if (ry == 0) {  // rotate quadrant
+        if (rx == 1) {
+          x = s - 1 - x;
+          y = s - 1 - y;
+        }
+        std::swap(x, y);
+      }
+    }
+    return d;
+  }
 
   void make_super_triangle() {
     double min_x = 0, min_y = 0, max_x = 1, max_y = 1;
@@ -158,34 +192,39 @@ class Builder {
     if (t0 == -1) return false;
 
     // Grow the cavity: all triangles whose circumcircle strictly contains p.
-    std::vector<int> cavity{t0};
-    std::vector<int> stack{t0};
-    in_cavity_.assign(tris_.size(), 0);
-    in_cavity_[t0] = 1;
-    while (!stack.empty()) {
-      const int t = stack.back();
-      stack.pop_back();
+    // Cavity membership is an epoch stamp, not a cleared bitmap — clearing
+    // O(#triangles) per insertion is what made large builds quadratic.
+    ++epoch_;
+    cavity_mark_.resize(tris_.size(), 0);
+    cavity_.clear();
+    cavity_.push_back(t0);
+    stack_.clear();
+    stack_.push_back(t0);
+    cavity_mark_[t0] = epoch_;
+    while (!stack_.empty()) {
+      const int t = stack_.back();
+      stack_.pop_back();
       for (int i = 0; i < 3; ++i) {
         const int nb = tris_[t].nb[i];
-        if (nb == -1 || in_cavity_[nb]) continue;
+        if (nb == -1 || cavity_mark_[nb] == epoch_) continue;
         if (in_circumcircle(nb, p)) {
-          in_cavity_[nb] = 1;
-          cavity.push_back(nb);
-          stack.push_back(nb);
+          cavity_mark_[nb] = epoch_;
+          cavity_.push_back(nb);
+          stack_.push_back(nb);
         }
       }
     }
+    const auto& cavity = cavity_;
+    const auto in_cavity = [&](int t) { return cavity_mark_[t] == epoch_; };
 
     // Boundary: directed edges (a, b) of cavity triangles whose opposite
     // neighbour is outside the cavity.
-    struct BEdge {
-      int a, b, outside;
-    };
-    std::vector<BEdge> boundary;
+    auto& boundary = boundary_;
+    boundary.clear();
     for (int t : cavity) {
       for (int i = 0; i < 3; ++i) {
         const int nb = tris_[t].nb[i];
-        if (nb != -1 && in_cavity_[nb]) continue;
+        if (nb != -1 && in_cavity(nb)) continue;
         boundary.push_back(
             {tris_[t].v[(i + 1) % 3], tris_[t].v[(i + 2) % 3], nb});
       }
@@ -197,19 +236,16 @@ class Builder {
     }
 
     for (int t : cavity) tris_[t].alive = false;
-    std::unordered_map<int, int> start_map, end_map;
-    std::vector<int> created;
-    created.reserve(boundary.size());
+    auto& created = created_;
+    created.clear();
     for (const auto& e : boundary) {
       Tri nt;
       nt.v = {pi, e.a, e.b};
       nt.nb = {e.outside, -1, -1};
       const int id = static_cast<int>(tris_.size());
       tris_.push_back(nt);
-      in_cavity_.push_back(0);
+      cavity_mark_.push_back(0);
       created.push_back(id);
-      start_map[e.a] = id;
-      end_map[e.b] = id;
       // Repair the outside triangle's back-pointer.
       if (e.outside != -1) {
         Tri& o = tris_[e.outside];
@@ -222,24 +258,37 @@ class Builder {
         }
       }
     }
-    // Fan linkage: edge (b, p) of (p, a, b) meets the triangle starting at b;
-    // edge (p, a) meets the triangle ending at a.
+    // Fan linkage: edge (b, p) of (p, a, b) meets the triangle starting at
+    // b; edge (p, a) meets the triangle ending at a.  The fan is small
+    // (mean 6 edges), so a linear scan beats hash maps by a wide margin.
+    const int fan = static_cast<int>(created.size());
     for (int id : created) {
       Tri& t = tris_[id];
       const int a = t.v[1], b = t.v[2];
-      const auto it1 = start_map.find(b);
-      const auto it2 = end_map.find(a);
-      if (it1 == start_map.end() || it2 == end_map.end()) return false;
-      t.nb[1] = it1->second;  // edge (v2, v0) = (b, p)
-      t.nb[2] = it2->second;  // edge (v0, v1) = (p, a)
+      int start_at_b = -1, end_at_a = -1;
+      for (int j = 0; j < fan; ++j) {
+        if (tris_[created[j]].v[1] == b) start_at_b = created[j];
+        if (tris_[created[j]].v[2] == a) end_at_a = created[j];
+      }
+      if (start_at_b == -1 || end_at_a == -1) return false;
+      t.nb[1] = start_at_b;  // edge (v2, v0) = (b, p)
+      t.nb[2] = end_at_a;    // edge (v0, v1) = (p, a)
     }
     if (!created.empty()) last_ = created.front();
     return true;
   }
 
+  struct BEdge {
+    int a, b, outside;
+  };
+
   std::vector<Point> pts_;
   std::vector<Tri> tris_;
-  std::vector<char> in_cavity_;
+  // Scratch reused across insertions (allocation-free steady state).
+  std::vector<std::uint32_t> cavity_mark_;
+  std::uint32_t epoch_ = 0;
+  std::vector<int> cavity_, stack_, created_;
+  std::vector<BEdge> boundary_;
   int last_ = -1;
 };
 
@@ -250,36 +299,49 @@ Triangulation triangulate(std::span<const Point> pts) {
   const int n = static_cast<int>(pts.size());
   if (n <= 1) return out;
 
-  // Merge exact duplicates.
-  auto key_of = [](const Point& p) {
-    std::uint64_t kx, ky;
-    std::memcpy(&kx, &p.x, 8);
-    std::memcpy(&ky, &p.y, 8);
-    return kx * 0x9e3779b97f4a7c15ull ^ (ky + 0x7f4a7c15ull);
-  };
-  std::unordered_map<std::uint64_t, std::vector<int>> buckets;
-  std::vector<int> rep(n, -1);         // original -> representative original
-  std::vector<int> unique_of(n, -1);   // original -> unique slot
+  // Fast path: assume the input is duplicate-free (the overwhelmingly
+  // common case) and skip the dedup prepass and its extra copy entirely.
+  // An exact duplicate always aborts the build — its cavity boundary holds
+  // an edge through the duplicate itself, which fails the reflex check —
+  // so correctness never depends on this guess.
+  {
+    Builder b({pts.begin(), pts.end()});
+    if (b.run()) {
+      out.triangles = b.real_triangles();
+      out.edges = b.real_edges();
+      return out;
+    }
+  }
+
+  // Merge exact duplicates: sort indices by coordinates (duplicates become
+  // adjacent runs), then assign unique slots in input order so the
+  // remapping below is monotone and edge lists stay sorted for free.
+  std::vector<int> by_coord(n);
+  for (int i = 0; i < n; ++i) by_coord[i] = i;
+  std::sort(by_coord.begin(), by_coord.end(), [&](int a, int b) {
+    if (pts[a].x != pts[b].x) return pts[a].x < pts[b].x;
+    if (pts[a].y != pts[b].y) return pts[a].y < pts[b].y;
+    return a < b;
+  });
+  std::vector<int> rep(n, -1);  // original -> representative original
+  for (int s = 0; s < n;) {
+    int e = s + 1;
+    while (e < n && pts[by_coord[e]] == pts[by_coord[s]]) ++e;
+    // Lowest original index in the run represents it (ties above sort by
+    // index, so by_coord[s] is that minimum).
+    for (int j = s; j < e; ++j) rep[by_coord[j]] = by_coord[s];
+    s = e;
+  }
+  std::vector<int> unique_of(n, -1);  // original -> unique slot
   std::vector<Point> unique_pts;
   std::vector<int> unique_to_orig;
   for (int i = 0; i < n; ++i) {
-    auto& bucket = buckets[key_of(pts[i])];
-    int found = -1;
-    for (int j : bucket) {
-      if (pts[j] == pts[i]) {
-        found = j;
-        break;
-      }
-    }
-    if (found == -1) {
-      bucket.push_back(i);
-      rep[i] = i;
+    if (rep[i] == i) {
       unique_of[i] = static_cast<int>(unique_pts.size());
       unique_pts.push_back(pts[i]);
       unique_to_orig.push_back(i);
     } else {
-      rep[i] = found;
-      out.edges.emplace_back(std::min(found, i), std::max(found, i));
+      out.edges.emplace_back(rep[i], i);  // rep[i] < i by construction
     }
   }
 
@@ -295,14 +357,13 @@ Triangulation triangulate(std::span<const Point> pts) {
           {unique_to_orig[t[0]], unique_to_orig[t[1]], unique_to_orig[t[2]]});
     }
     for (const auto& [a, b2] : b.real_edges()) {
-      int u = unique_to_orig[a], v = unique_to_orig[b2];
-      if (u > v) std::swap(u, v);
-      out.edges.emplace_back(u, v);
+      // unique_to_orig is strictly increasing, so u < v survives the remap.
+      out.edges.emplace_back(unique_to_orig[a], unique_to_orig[b2]);
     }
   }
-  std::sort(out.edges.begin(), out.edges.end());
-  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()),
-                  out.edges.end());
+  // Already unique: duplicate-merge edges pair a representative with a
+  // non-representative, triangulation edges pair two representatives, and
+  // real_edges emits each interior edge from one triangle only.
   return out;
 }
 

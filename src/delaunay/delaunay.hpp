@@ -24,7 +24,7 @@ namespace dirant::delaunay {
 /// undirected edge list.
 struct Triangulation {
   std::vector<std::array<int, 3>> triangles;
-  std::vector<std::pair<int, int>> edges;  ///< u < v, unique
+  std::vector<std::pair<int, int>> edges;  ///< u < v, unique, unordered list
 };
 
 /// Delaunay triangulation of `pts`.  Exact duplicates are merged; every

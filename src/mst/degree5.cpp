@@ -6,7 +6,7 @@
 
 #include "common/assert.hpp"
 #include "geometry/angle.hpp"
-#include "mst/emst.hpp"
+#include "mst/engine.hpp"
 
 namespace dirant::mst {
 
@@ -14,36 +14,54 @@ using geom::Point;
 
 namespace {
 
-// Adjacency as (neighbour, edge-index) pairs, rebuilt on demand.
-std::vector<std::vector<std::pair<int, int>>> adjacency_with_edges(
-    const Tree& t) {
-  std::vector<std::vector<std::pair<int, int>>> adj(t.n);
-  for (int i = 0; i < static_cast<int>(t.edges.size()); ++i) {
-    adj[t.edges[i].u].push_back({t.edges[i].v, i});
-    adj[t.edges[i].v].push_back({t.edges[i].u, i});
+// Drop the entry carrying `edge_idx` from one adjacency list (swap-erase;
+// lists are degree-sized, so this is O(max_degree)).
+void erase_edge_entry(std::vector<std::pair<int, int>>& list, int edge_idx) {
+  for (auto& entry : list) {
+    if (entry.second == edge_idx) {
+      entry = list.back();
+      list.pop_back();
+      return;
+    }
   }
-  return adj;
+  DIRANT_ASSERT_MSG(false, "adjacency desynchronised from edge list");
 }
 
 }  // namespace
 
 Tree enforce_max_degree(std::span<const Point> pts, Tree t, int max_degree) {
   DIRANT_ASSERT(max_degree >= 2);
-  const int cap = 16 * std::max(1, t.n);
-  for (int iter = 0; iter < cap; ++iter) {
-    auto deg = t.degrees();
-    int u = -1;
-    for (int v = 0; v < t.n; ++v) {
-      if (deg[v] > max_degree) {
-        u = v;
-        break;
-      }
+  // Adjacency as (neighbour, edge-index) pairs and the degree vector are
+  // built once and maintained incrementally across swaps; over-degree
+  // vertices sit on a worklist instead of being rediscovered by a full
+  // O(n) rescan per repair.
+  std::vector<std::vector<std::pair<int, int>>> adj(t.n);
+  for (int i = 0; i < static_cast<int>(t.edges.size()); ++i) {
+    adj[t.edges[i].u].push_back({t.edges[i].v, i});
+    adj[t.edges[i].v].push_back({t.edges[i].u, i});
+  }
+  std::vector<int> deg(t.n, 0);
+  std::vector<int> work;
+  std::vector<char> queued(t.n, 0);
+  for (int v = 0; v < t.n; ++v) {
+    deg[v] = static_cast<int>(adj[v].size());
+    if (deg[v] > max_degree) {
+      work.push_back(v);
+      queued[v] = 1;
     }
-    if (u == -1) return t;
+  }
+
+  const int cap = 16 * std::max(1, t.n);
+  int iter = 0;
+  while (!work.empty() && iter < cap) {
+    const int u = work.back();
+    work.pop_back();
+    queued[u] = 0;
+    if (deg[u] <= max_degree) continue;
+    ++iter;
 
     // Sort u's incident edges by angle; examine consecutive pairs.
-    auto adj = adjacency_with_edges(t);
-    auto& inc = adj[u];
+    auto inc = adj[u];
     std::sort(inc.begin(), inc.end(), [&](const auto& a, const auto& b) {
       return geom::angle_to(pts[u], pts[a.first]) <
              geom::angle_to(pts[u], pts[b.first]);
@@ -85,6 +103,22 @@ Tree enforce_max_degree(std::span<const Point> pts, Tree t, int max_degree) {
                       "degree repair found no valid swap (not an EMST?)");
     t.edges[best_remove] = {best_keep_v, best_other_w,
                             geom::dist(pts[best_keep_v], pts[best_other_w])};
+    // Incremental bookkeeping: u loses the dropped edge, best_other_w gains
+    // the chord, best_keep_v trades one for the other (degree unchanged).
+    erase_edge_entry(adj[u], best_remove);
+    erase_edge_entry(adj[best_keep_v], best_remove);
+    adj[best_keep_v].push_back({best_other_w, best_remove});
+    adj[best_other_w].push_back({best_keep_v, best_remove});
+    --deg[u];
+    ++deg[best_other_w];
+    if (deg[u] > max_degree && !queued[u]) {
+      work.push_back(u);
+      queued[u] = 1;
+    }
+    if (deg[best_other_w] > max_degree && !queued[best_other_w]) {
+      work.push_back(best_other_w);
+      queued[best_other_w] = 1;
+    }
   }
   DIRANT_ASSERT_MSG(t.max_degree() <= max_degree,
                     "degree repair did not converge");
@@ -92,7 +126,7 @@ Tree enforce_max_degree(std::span<const Point> pts, Tree t, int max_degree) {
 }
 
 Tree degree5_emst(std::span<const Point> pts) {
-  return enforce_max_degree(pts, emst(pts), 5);
+  return EmstEngine::shared().degree5(pts);
 }
 
 }  // namespace dirant::mst

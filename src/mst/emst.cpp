@@ -1,12 +1,14 @@
 #include "mst/emst.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <vector>
 
 #include "common/assert.hpp"
-#include "delaunay/delaunay.hpp"
 #include "graph/union_find.hpp"
+#include "mst/engine.hpp"
 
 namespace dirant::mst {
 
@@ -58,20 +60,49 @@ Tree kruskal_emst(std::span<const Point> pts,
   t.n = n;
   if (n == 1) return t;
 
-  std::vector<TreeEdge> sorted;
-  sorted.reserve(candidates.size());
-  for (const auto& [u, v] : candidates) {
-    sorted.push_back({u, v, geom::dist(pts[u], pts[v])});
-  }
-  std::sort(sorted.begin(), sorted.end(),
-            [](const TreeEdge& a, const TreeEdge& b) {
-              return a.length < b.length;
-            });
+  // Sort candidate indices by squared length packed into flat uint64s:
+  // non-negative doubles order identically to their bit patterns, so the
+  // top 44 bits of dist2 plus a 20-bit index sort in one pass with no
+  // comparator indirection.  Dropping 20 mantissa bits can only reorder
+  // edges equal to within 2^-32 relative — a tie class whose members are
+  // interchangeable for MST weight and lmax at the 1e-9 tolerances the
+  // equivalence tests check.  Candidate sets too large for a 20-bit index
+  // (n beyond ~350k on the Delaunay path) sort (dist2, index) pairs
+  // instead — slower constants, same result, no size cliff.
+  constexpr size_t kPackedIndexBits = 20;
   graph::UnionFind uf(n);
-  for (const auto& e : sorted) {
-    if (uf.unite(e.u, e.v)) {
-      t.edges.push_back(e);
-      if (static_cast<int>(t.edges.size()) == n - 1) break;
+  const auto accept = [&](int u, int v) {
+    if (uf.unite(u, v)) {
+      t.edges.push_back({u, v, geom::dist(pts[u], pts[v])});
+      return static_cast<int>(t.edges.size()) == n - 1;
+    }
+    return false;
+  };
+  if (candidates.size() < (1ull << kPackedIndexBits)) {
+    std::vector<std::uint64_t> order(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const double d2 = geom::dist2(pts[candidates[i].first],
+                                    pts[candidates[i].second]);
+      std::uint64_t bits;
+      std::memcpy(&bits, &d2, sizeof bits);
+      order[i] = (bits & ~((1ull << kPackedIndexBits) - 1)) | i;
+    }
+    std::sort(order.begin(), order.end());
+    for (const std::uint64_t packed : order) {
+      const auto& [u, v] = candidates[packed & ((1ull << kPackedIndexBits) - 1)];
+      if (accept(u, v)) break;
+    }
+  } else {
+    std::vector<std::pair<double, std::uint32_t>> order(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      order[i] = {geom::dist2(pts[candidates[i].first],
+                              pts[candidates[i].second]),
+                  static_cast<std::uint32_t>(i)};
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [d2, i] : order) {
+      const auto& [u, v] = candidates[i];
+      if (accept(u, v)) break;
     }
   }
   DIRANT_ASSERT_MSG(static_cast<int>(t.edges.size()) == n - 1,
@@ -80,17 +111,7 @@ Tree kruskal_emst(std::span<const Point> pts,
 }
 
 Tree emst(std::span<const Point> pts, int delaunay_threshold) {
-  const int n = static_cast<int>(pts.size());
-  if (n < delaunay_threshold) return prim_emst(pts);
-  const auto dt_edges = delaunay::delaunay_edges(pts);
-  if (dt_edges.empty() && n > 1) return prim_emst(pts);  // degenerate input
-  // The Delaunay graph may miss duplicate points; verify connectivity via
-  // Kruskal and fall back to Prim when the candidate graph is disconnected.
-  try {
-    return kruskal_emst(pts, dt_edges);
-  } catch (const contract_violation&) {
-    return prim_emst(pts);
-  }
+  return EmstEngine({EngineKind::kAuto, delaunay_threshold}).emst(pts);
 }
 
 }  // namespace dirant::mst

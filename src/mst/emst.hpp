@@ -24,9 +24,10 @@ Tree prim_emst(std::span<const geom::Point> pts);
 Tree kruskal_emst(std::span<const geom::Point> pts,
                   std::span<const std::pair<int, int>> candidates);
 
-/// Automatic engine selection: Prim for small n, Delaunay+Kruskal above
-/// `delaunay_threshold` points (duplicate-free input required for the
-/// Delaunay path; duplicates fall back to Prim).
-Tree emst(std::span<const geom::Point> pts, int delaunay_threshold = 1500);
+/// Automatic engine selection: Prim below `delaunay_threshold` points,
+/// Delaunay+Kruskal otherwise (degenerate/duplicate-heavy inputs fall back
+/// to Prim).  Thin wrapper over mst::EmstEngine — new callers should use
+/// the engine directly (mst/engine.hpp).
+Tree emst(std::span<const geom::Point> pts, int delaunay_threshold = 64);
 
 }  // namespace dirant::mst

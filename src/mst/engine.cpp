@@ -1,0 +1,57 @@
+#include "mst/engine.hpp"
+
+#include "common/assert.hpp"
+#include "delaunay/delaunay.hpp"
+#include "mst/degree5.hpp"
+#include "mst/emst.hpp"
+
+namespace dirant::mst {
+
+const char* to_string(EngineKind k) {
+  switch (k) {
+    case EngineKind::kAuto:
+      return "auto";
+    case EngineKind::kPrim:
+      return "prim";
+    case EngineKind::kDelaunayKruskal:
+      return "delaunay-kruskal";
+  }
+  return "?";
+}
+
+EngineKind EmstEngine::selected(int n) const {
+  if (cfg_.kind != EngineKind::kAuto) return cfg_.kind;
+  return n < cfg_.prim_cutoff ? EngineKind::kPrim
+                              : EngineKind::kDelaunayKruskal;
+}
+
+Tree EmstEngine::emst(std::span<const geom::Point> pts) const {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT(n >= 1);
+  if (selected(n) == EngineKind::kPrim) return prim_emst(pts);
+  const auto dt_edges = delaunay::delaunay_edges(pts);
+  if (dt_edges.empty() && n > 1) return prim_emst(pts);  // degenerate input
+  // Duplicate-heavy or adversarial inputs can leave the candidate graph
+  // disconnected; Kruskal detects that and we fall back to Prim.
+  try {
+    return kruskal_emst(pts, dt_edges);
+  } catch (const contract_violation&) {
+    return prim_emst(pts);
+  }
+}
+
+Tree EmstEngine::degree5(std::span<const geom::Point> pts) const {
+  return enforce_max_degree(pts, emst(pts), 5);
+}
+
+double EmstEngine::lmax(std::span<const geom::Point> pts) const {
+  if (pts.size() < 2) return 0.0;
+  return emst(pts).lmax();
+}
+
+const EmstEngine& EmstEngine::shared() {
+  static const EmstEngine engine{};
+  return engine;
+}
+
+}  // namespace dirant::mst

@@ -39,23 +39,40 @@ RootedTree RootedTree::rooted_at_leaf(const Tree& t) {
   return rooted_at(t, pick_leaf(t));
 }
 
+void children_ccw_from(std::span<const geom::Point> pts, const RootedTree& rt,
+                       int u, double ref_theta, std::vector<int>& out) {
+  out.clear();
+  // Stable insertion sort by ccw offset: child lists of degree-bounded
+  // trees are tiny and this allocates nothing (beyond `out`'s capacity).
+  constexpr size_t kSmall = 8;
+  double small_offs[kSmall];
+  std::vector<double> big_offs;
+  double* offs = small_offs;
+  if (rt.children[u].size() > kSmall) {  // unbounded-degree caller
+    big_offs.resize(rt.children[u].size());
+    offs = big_offs.data();
+  }
+  for (int v : rt.children[u]) {
+    const double th = geom::angle_to(pts[u], pts[v]);
+    double d = geom::ccw_delta(ref_theta, th);
+    if (d == 0.0) d = dirant::kTwoPi;  // a child exactly on the ray goes last
+    int i = static_cast<int>(out.size());
+    out.push_back(v);
+    while (i > 0 && offs[i - 1] > d) {
+      out[i] = out[i - 1];
+      offs[i] = offs[i - 1];
+      --i;
+    }
+    out[i] = v;
+    offs[i] = d;
+  }
+}
+
 std::vector<int> children_ccw_from(std::span<const geom::Point> pts,
                                    const RootedTree& rt, int u,
                                    double ref_theta) {
-  std::vector<int> kids = rt.children[u];
-  std::vector<double> offset(kids.size());
-  for (size_t i = 0; i < kids.size(); ++i) {
-    const double th = geom::angle_to(pts[u], pts[kids[i]]);
-    double d = geom::ccw_delta(ref_theta, th);
-    if (d == 0.0) d = dirant::kTwoPi;  // a child exactly on the ray goes last
-    offset[i] = d;
-  }
-  std::vector<int> order(kids.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](int a, int b) { return offset[a] < offset[b]; });
-  std::vector<int> out(kids.size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = kids[order[i]];
+  std::vector<int> out;
+  children_ccw_from(pts, rt, u, ref_theta, out);
   return out;
 }
 

@@ -35,4 +35,10 @@ std::vector<int> children_ccw_from(std::span<const geom::Point> pts,
                                    const RootedTree& rt, int u,
                                    double ref_theta);
 
+/// Allocation-free variant for traversal hot loops: fills `out` (cleared
+/// first) with the same ccw-sorted children.  Degree-bounded trees have at
+/// most a handful of children, so this is a short insertion sort.
+void children_ccw_from(std::span<const geom::Point> pts, const RootedTree& rt,
+                       int u, double ref_theta, std::vector<int>& out);
+
 }  // namespace dirant::mst

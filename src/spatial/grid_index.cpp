@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/assert.hpp"
+#include "common/constants.hpp"
+#include "geometry/angle.hpp"
 
 namespace dirant::spatial {
 
@@ -16,17 +19,16 @@ GridIndex::GridIndex(std::span<const Point> pts, double cell)
     buckets_.resize(1);
     return;
   }
-  double max_x = pts_[0].x, max_y = pts_[0].y;
-  min_x_ = pts_[0].x;
-  min_y_ = pts_[0].y;
+  min_x_ = max_x_ = pts_[0].x;
+  min_y_ = max_y_ = pts_[0].y;
   for (const auto& p : pts_) {
     min_x_ = std::min(min_x_, p.x);
     min_y_ = std::min(min_y_, p.y);
-    max_x = std::max(max_x, p.x);
-    max_y = std::max(max_y, p.y);
+    max_x_ = std::max(max_x_, p.x);
+    max_y_ = std::max(max_y_, p.y);
   }
-  nx_ = std::max(1, static_cast<int>((max_x - min_x_) / cell_) + 1);
-  ny_ = std::max(1, static_cast<int>((max_y - min_y_) / cell_) + 1);
+  nx_ = std::max(1, static_cast<int>((max_x_ - min_x_) / cell_) + 1);
+  ny_ = std::max(1, static_cast<int>((max_y_ - min_y_) / cell_) + 1);
   buckets_.resize(static_cast<size_t>(nx_) * ny_);
   for (size_t i = 0; i < pts_.size(); ++i) {
     const auto [cx, cy] = cell_of(pts_[i]);
@@ -46,7 +48,13 @@ std::pair<int, int> GridIndex::cell_of(const Point& p) const {
 std::vector<int> GridIndex::within(const Point& q, double radius,
                                    int exclude) const {
   std::vector<int> out;
-  if (pts_.empty()) return out;
+  within(q, radius, exclude, out);
+  return out;
+}
+
+void GridIndex::within(const Point& q, double radius, int exclude,
+                       std::vector<int>& out) const {
+  if (pts_.empty()) return;
   const double r2 = radius * radius;
   const int span = static_cast<int>(std::ceil(radius / cell_));
   const auto [cx, cy] = cell_of(q);
@@ -60,7 +68,132 @@ std::vector<int> GridIndex::within(const Point& q, double radius,
       }
     }
   }
-  return out;
+}
+
+double GridIndex::cone_reach(const Point& q, double a0, double width) const {
+  // Max distance from q over (bbox intersect cone).  Both sets are convex
+  // and q is in the box, so the max sits on a vertex of the intersection:
+  // a box corner inside the cone, or a boundary ray's exit through a box
+  // edge.  A small angular slack only ever OVER-estimates the reach, which
+  // is safe (the caller merely scans a little farther).
+  constexpr double kSlack = 1e-9;
+  double reach = 0.0;
+  const Point corners[4] = {{min_x_, min_y_},
+                            {max_x_, min_y_},
+                            {max_x_, max_y_},
+                            {min_x_, max_y_}};
+  for (const auto& c : corners) {
+    if (c.x == q.x && c.y == q.y) continue;
+    const double theta = geom::ccw_delta(a0, geom::angle_to(q, c));
+    if (theta <= width + kSlack || theta >= kTwoPi - kSlack) {
+      reach = std::max(reach, geom::dist(q, c));
+    }
+  }
+  // Boundary rays (cone start and end) against the four box edges.
+  for (const double a : {a0, a0 + width}) {
+    const double dx = std::cos(a), dy = std::sin(a);
+    if (std::abs(dx) > 1e-300) {
+      for (const double X : {min_x_, max_x_}) {
+        const double t = (X - q.x) / dx;
+        if (t < 0.0) continue;
+        const double y = q.y + t * dy;
+        if (y >= min_y_ - kSlack && y <= max_y_ + kSlack) {
+          reach = std::max(reach, t);
+        }
+      }
+    }
+    if (std::abs(dy) > 1e-300) {
+      for (const double Y : {min_y_, max_y_}) {
+        const double t = (Y - q.y) / dy;
+        if (t < 0.0) continue;
+        const double x = q.x + t * dx;
+        if (x >= min_x_ - kSlack && x <= max_x_ + kSlack) {
+          reach = std::max(reach, t);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+void GridIndex::cone_nearest(const Point& q, int k, double phase, int exclude,
+                             std::vector<int>& nearest) const {
+  ConeScratch scratch;
+  cone_nearest(q, k, phase, exclude, nearest, scratch);
+}
+
+void GridIndex::cone_nearest(const Point& q, int k, double phase, int exclude,
+                             std::vector<int>& nearest,
+                             ConeScratch& scratch) const {
+  DIRANT_ASSERT(k >= 1);
+  nearest.assign(k, -1);
+  if (pts_.empty()) return;
+  const double cone = kTwoPi / k;
+  auto& best = scratch.best;
+  auto& reach = scratch.reach;
+  best.assign(k, std::numeric_limits<double>::infinity());
+  reach.resize(k);
+  // Full-circle cones (k == 1) always reach the whole box; skipping the
+  // per-cone geometry keeps the common k >= 2 case exact.
+  for (int c = 0; c < k; ++c) {
+    reach[c] = k == 1 ? std::numeric_limits<double>::infinity()
+                      : cone_reach(q, phase + c * cone, cone);
+  }
+
+  const auto scan_cell = [&](int x, int y) {
+    for (int i : buckets_[static_cast<size_t>(y) * nx_ + x]) {
+      if (i == exclude) continue;
+      const Point& p = pts_[i];
+      if (p.x == q.x && p.y == q.y) continue;  // apex: no direction
+      const double theta = geom::ccw_delta(phase, geom::angle_to(q, p));
+      int c = static_cast<int>(theta / cone);
+      if (c >= k) c = k - 1;
+      const double d2 = geom::dist2(q, p);
+      if (d2 < best[c]) {
+        best[c] = d2;
+        nearest[c] = i;
+      }
+    }
+  };
+
+  const auto [cx, cy] = cell_of(q);
+  const int max_ring = std::max({cx, nx_ - 1 - cx, cy, ny_ - 1 - cy});
+  for (int r = 0; r <= max_ring; ++r) {
+    if (r == 0) {
+      scan_cell(cx, cy);
+    } else {
+      const int x_lo = cx - r, x_hi = cx + r;
+      const int y_lo = cy - r, y_hi = cy + r;
+      if (y_lo >= 0) {
+        for (int x = std::max(0, x_lo); x <= std::min(nx_ - 1, x_hi); ++x)
+          scan_cell(x, y_lo);
+      }
+      if (y_hi <= ny_ - 1 && y_hi != y_lo) {
+        for (int x = std::max(0, x_lo); x <= std::min(nx_ - 1, x_hi); ++x)
+          scan_cell(x, y_hi);
+      }
+      const int y_in_lo = std::max(0, y_lo + 1);
+      const int y_in_hi = std::min(ny_ - 1, y_hi - 1);
+      if (x_lo >= 0) {
+        for (int y = y_in_lo; y <= y_in_hi; ++y) scan_cell(x_lo, y);
+      }
+      if (x_hi <= nx_ - 1 && x_hi != x_lo) {
+        for (int y = y_in_lo; y <= y_in_hi; ++y) scan_cell(x_hi, y);
+      }
+    }
+    // Rings 0..r cover every point within Euclidean distance r*cell_ of q,
+    // so a cone is settled once its best hit is that close — or once the
+    // scanned radius exhausts the cone's slice of the bounding box.
+    const double covered = r * cell_;
+    bool done = true;
+    for (int c = 0; c < k; ++c) {
+      if (best[c] <= covered * covered) continue;
+      if (reach[c] <= covered) continue;
+      done = false;
+      break;
+    }
+    if (done) return;
+  }
 }
 
 }  // namespace dirant::spatial

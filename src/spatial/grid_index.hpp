@@ -21,13 +21,46 @@ class GridIndex {
   std::vector<int> within(const geom::Point& q, double radius,
                           int exclude = -1) const;
 
+  /// Allocation-free variant: appends the hits to `out` (not cleared).
+  /// Hot paths (transmission-graph construction, batch pipelines) reuse one
+  /// buffer across queries instead of allocating per call.
+  void within(const geom::Point& q, double radius, int exclude,
+              std::vector<int>& out) const;
+
+  /// Reusable scratch for `cone_nearest`; per-point query loops keep one
+  /// instance alive so the k-sized working vectors allocate only once.
+  struct ConeScratch {
+    std::vector<double> best, reach;
+  };
+
+  /// Per-cone nearest neighbours (the Yao-graph step).  Directions around
+  /// `q` split into `k` equal ccw cones, cone 0 starting at `phase`; writes
+  /// the index of the nearest point strictly inside each cone into
+  /// `nearest` (resized to k; -1 for empty cones).  Expanding-ring search:
+  /// each ring of cells is scanned once, and a cone is closed as soon as
+  /// its current best is provably optimal or the cone's intersection with
+  /// the point bounding box has been exhausted — so empty outward cones at
+  /// boundary vertices do not force a full-grid scan.
+  void cone_nearest(const geom::Point& q, int k, double phase, int exclude,
+                    std::vector<int>& nearest, ConeScratch& scratch) const;
+
+  /// Convenience overload with call-local scratch.
+  void cone_nearest(const geom::Point& q, int k, double phase, int exclude,
+                    std::vector<int>& nearest) const;
+
   int size() const { return static_cast<int>(pts_.size()); }
 
  private:
   std::pair<int, int> cell_of(const geom::Point& p) const;
+  /// Farthest any point of the data bounding box intersected with the ccw
+  /// cone [a0, a0+width] at apex q can lie from q (0 if the cone misses
+  /// the box).  Used to prove empty cones empty without scanning.
+  double cone_reach(const geom::Point& q, double a0, double width) const;
+
   std::vector<geom::Point> pts_;
   double cell_;
   double min_x_ = 0.0, min_y_ = 0.0;
+  double max_x_ = 0.0, max_y_ = 0.0;
   int nx_ = 1, ny_ = 1;
   std::vector<std::vector<int>> buckets_;
 };

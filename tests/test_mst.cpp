@@ -10,6 +10,7 @@
 #include "geometry/generators.hpp"
 #include "mst/degree5.hpp"
 #include "mst/emst.hpp"
+#include "mst/engine.hpp"
 #include "mst/facts.hpp"
 #include "mst/rooted.hpp"
 
@@ -66,6 +67,99 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// --- EmstEngine property tests ---------------------------------------------
+// The facade must agree with the Prim reference on total weight and lmax
+// over every instance family it can meet in production: random, clustered,
+// collinear, and duplicate-heavy inputs (the last two exercise the
+// degenerate-input fallbacks).
+
+class EngineEquivalence : public ::testing::TestWithParam<int> {};
+
+namespace {
+
+std::vector<geom::Point> equivalence_instance(int family, int n,
+                                              geom::Rng& rng) {
+  switch (family) {
+    case 0:
+      return geom::uniform_square(n, 10.0, rng);
+    case 1:
+      return geom::gaussian_clusters(n, 5, 12.0, 0.4, rng);
+    case 2:
+      return geom::collinear_points(n, 0.5, 0.0, rng);
+    default: {
+      // Duplicate-heavy: half the points are exact copies of earlier ones.
+      auto pts = geom::uniform_square((n + 1) / 2, 8.0, rng);
+      const size_t uniques = pts.size();
+      while (static_cast<int>(pts.size()) < n) {
+        pts.push_back(pts[rng() % uniques]);
+      }
+      return pts;
+    }
+  }
+}
+
+void expect_tree_equivalent(const std::vector<geom::Point>& pts,
+                            const mst::Tree& reference,
+                            const mst::Tree& candidate, const char* what) {
+  candidate.validate(pts);
+  EXPECT_NEAR(reference.total_weight(), candidate.total_weight(),
+              1e-9 * (1.0 + reference.total_weight()))
+      << what;
+  EXPECT_NEAR(reference.lmax(), candidate.lmax(), 1e-9) << what;
+}
+
+}  // namespace
+
+TEST_P(EngineEquivalence, MatchesPrimOnAllFamilies) {
+  const int family = GetParam();
+  for (int n : {2, 3, 17, 120}) {
+    geom::Rng rng(1000 * family + n);
+    const auto pts = equivalence_instance(family, n, rng);
+    const auto reference = mst::prim_emst(pts);
+    // Forced Delaunay+Kruskal (with its internal degenerate fallbacks).
+    const mst::EmstEngine dk({mst::EngineKind::kDelaunayKruskal});
+    expect_tree_equivalent(pts, reference, dk.emst(pts), "delaunay-kruskal");
+    // The auto policy, whatever it selects at this size.
+    expect_tree_equivalent(pts, reference, mst::EmstEngine::shared().emst(pts),
+                           "auto");
+    EXPECT_NEAR(mst::EmstEngine::shared().lmax(pts), reference.lmax(), 1e-9);
+  }
+}
+
+namespace {
+std::string equivalence_family_name(const ::testing::TestParamInfo<int>& info) {
+  static constexpr const char* kNames[4] = {"random", "clustered", "collinear",
+                                            "duplicates"};
+  return kNames[info.param];
+}
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Families, EngineEquivalence,
+                         ::testing::Values(0, 1, 2, 3),
+                         equivalence_family_name);
+
+TEST(EmstEngine, SelectionPolicy) {
+  const mst::EmstEngine& aut = mst::EmstEngine::shared();
+  EXPECT_EQ(aut.selected(2), mst::EngineKind::kPrim);
+  EXPECT_EQ(aut.selected(aut.config().prim_cutoff - 1), mst::EngineKind::kPrim);
+  EXPECT_EQ(aut.selected(aut.config().prim_cutoff),
+            mst::EngineKind::kDelaunayKruskal);
+  EXPECT_EQ(aut.selected(100000), mst::EngineKind::kDelaunayKruskal);
+  const mst::EmstEngine prim({mst::EngineKind::kPrim});
+  EXPECT_EQ(prim.selected(100000), mst::EngineKind::kPrim);
+}
+
+TEST(EmstEngine, Degree5MatchesSharedPath) {
+  geom::Rng rng(77);
+  const auto pts = geom::uniform_square(200, 10.0, rng);
+  const auto viaEngine = mst::EmstEngine::shared().degree5(pts);
+  const auto viaHelper = mst::degree5_emst(pts);
+  viaEngine.validate(pts);
+  EXPECT_LE(viaEngine.max_degree(), 5);
+  EXPECT_NEAR(viaEngine.total_weight(), viaHelper.total_weight(), 1e-12);
+  EXPECT_NEAR(viaEngine.lmax(), viaHelper.lmax(), 1e-12);
+}
 
 TEST(Emst, SinglePointAndPair) {
   const std::vector<geom::Point> one = {{0, 0}};

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
+#include "common/constants.hpp"
+#include "geometry/angle.hpp"
 #include "geometry/generators.hpp"
 #include "spatial/grid_index.hpp"
 #include "spatial/kdtree.hpp"
@@ -125,6 +128,86 @@ TEST(GridIndex, ExclusionHonoured) {
   const auto hits = grid.within({0, 0}, 1.0, 0);
   EXPECT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0], 1);
+}
+
+TEST(GridIndex, AppendingWithinReusesBuffer) {
+  geom::Rng rng(8);
+  const auto pts = geom::uniform_square(120, 6.0, rng);
+  spatial::GridIndex grid(pts, 0.7);
+  std::vector<int> buf;
+  for (int u = 0; u < 5; ++u) {
+    buf.clear();
+    grid.within(pts[u], 1.3, u, buf);
+    auto fresh = grid.within(pts[u], 1.3, u);
+    std::sort(buf.begin(), buf.end());
+    std::sort(fresh.begin(), fresh.end());
+    EXPECT_EQ(buf, fresh);
+  }
+}
+
+// Brute-force reference for the Yao-cone query: nearest point per ccw cone.
+static void brute_cone_nearest(const std::vector<geom::Point>& pts,
+                               const geom::Point& q, int k, double phase,
+                               int exclude, std::vector<int>& out) {
+  out.assign(k, -1);
+  std::vector<double> best(k, std::numeric_limits<double>::infinity());
+  const double cone = dirant::kTwoPi / k;
+  for (int v = 0; v < static_cast<int>(pts.size()); ++v) {
+    if (v == exclude || (pts[v].x == q.x && pts[v].y == q.y)) continue;
+    const double theta = geom::ccw_delta(phase, geom::angle_to(q, pts[v]));
+    int c = static_cast<int>(theta / cone);
+    if (c >= k) c = k - 1;
+    const double d2 = geom::dist2(q, pts[v]);
+    if (d2 < best[c]) {
+      best[c] = d2;
+      out[c] = v;
+    }
+  }
+}
+
+TEST(GridIndex, ConeNearestMatchesBruteForce) {
+  for (int seed = 0; seed < 6; ++seed) {
+    geom::Rng rng(100 + seed);
+    const auto pts = geom::make_instance(
+        geom::kAllDistributions[seed % geom::kAllDistributions.size()], 90,
+        rng);
+    spatial::GridIndex grid(pts, 0.8);
+    std::vector<int> got, want;
+    for (int k : {1, 2, 6, 9}) {
+      const double phase = 0.37 * seed;
+      for (int u = 0; u < static_cast<int>(pts.size()); u += 7) {
+        grid.cone_nearest(pts[u], k, phase, u, got);
+        brute_cone_nearest(pts, pts[u], k, phase, u, want);
+        ASSERT_EQ(got.size(), want.size());
+        for (int c = 0; c < k; ++c) {
+          // Equal distance ties may resolve to different indices.
+          if (got[c] == want[c]) continue;
+          ASSERT_NE(want[c], -1) << "cone " << c << " should be empty";
+          ASSERT_NE(got[c], -1) << "cone " << c << " should be non-empty";
+          EXPECT_NEAR(geom::dist2(pts[u], pts[got[c]]),
+                      geom::dist2(pts[u], pts[want[c]]), 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(GridIndex, ConeNearestEmptyOutwardCones) {
+  // A corner point of a grid layout: the outward cones must come back
+  // empty without scanning forever (reach bound), the inward ones full.
+  std::vector<geom::Point> pts;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      pts.push_back({static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  spatial::GridIndex grid(pts, 1.0);
+  std::vector<int> got, want;
+  grid.cone_nearest(pts[0], 8, 0.0, 0, got);
+  brute_cone_nearest(pts, pts[0], 8, 0.0, 0, want);
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_EQ(got[c] == -1, want[c] == -1) << c;
+  }
 }
 
 }  // namespace
