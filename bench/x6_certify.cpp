@@ -1,0 +1,364 @@
+// X6 — certification scaling study: induced-digraph build + SCC wall time
+// across n for k=2, phi=pi orientations.  Times the CSR pipeline
+// (induced_digraph_fast emitting straight into CSR, scratch-reusing Tarjan)
+// against a faithful reimplementation of the pre-refactor adjacency-list
+// path (vector-of-vectors digraph, per-bucket-vector grid, per-vertex
+// sort+clear dance, allocating Tarjan), and appends a "certify" section to
+// BENCH_scaling.json so the speedup is part of the recorded perf
+// trajectory.
+//
+// Smoke mode (DIRANT_BENCH_SMOKE=1): tiny sizes so ctest can keep this
+// binary from bit-rotting without paying the full sweep.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "graph/scc.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+namespace antenna = dirant::antenna;
+namespace graph = dirant::graph;
+using dirant::kPi;
+using geom::Point;
+
+namespace {
+
+using dirant::bench::time_ms;
+
+// ---------------------------------------------------------------------
+// Pre-refactor baseline, reproduced verbatim in spirit: adjacency lists as
+// vector-of-vectors, a bucket grid whose cells are themselves vectors, the
+// per-vertex sort+unmark dance, and a Tarjan that allocates per call.
+// ---------------------------------------------------------------------
+
+struct LegacyGrid {
+  std::vector<Point> pts;
+  double cell;
+  double min_x = 0, min_y = 0;
+  int nx = 1, ny = 1;
+  std::vector<std::vector<int>> buckets;
+
+  LegacyGrid(std::span<const Point> p, double c)
+      : pts(p.begin(), p.end()), cell(c) {
+    if (pts.empty()) {
+      buckets.resize(1);
+      return;
+    }
+    double max_x = pts[0].x, max_y = pts[0].y;
+    min_x = pts[0].x;
+    min_y = pts[0].y;
+    for (const auto& q : pts) {
+      min_x = std::min(min_x, q.x);
+      min_y = std::min(min_y, q.y);
+      max_x = std::max(max_x, q.x);
+      max_y = std::max(max_y, q.y);
+    }
+    nx = std::max(1, static_cast<int>((max_x - min_x) / cell) + 1);
+    ny = std::max(1, static_cast<int>((max_y - min_y) / cell) + 1);
+    buckets.resize(static_cast<size_t>(nx) * ny);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      const auto [cx, cy] = cell_of(pts[i]);
+      buckets[static_cast<size_t>(cy) * nx + cx].push_back(
+          static_cast<int>(i));
+    }
+  }
+
+  std::pair<int, int> cell_of(const Point& p) const {
+    int cx = static_cast<int>((p.x - min_x) / cell);
+    int cy = static_cast<int>((p.y - min_y) / cell);
+    cx = std::clamp(cx, 0, nx - 1);
+    cy = std::clamp(cy, 0, ny - 1);
+    return {cx, cy};
+  }
+
+  void within(const Point& q, double radius, int exclude,
+              std::vector<int>& out) const {
+    if (pts.empty()) return;
+    const double r2 = radius * radius;
+    const int span = static_cast<int>(std::ceil(radius / cell));
+    const auto [cx, cy] = cell_of(q);
+    for (int y = std::max(0, cy - span); y <= std::min(ny - 1, cy + span);
+         ++y) {
+      for (int x = std::max(0, cx - span); x <= std::min(nx - 1, cx + span);
+           ++x) {
+        for (int i : buckets[static_cast<size_t>(y) * nx + x]) {
+          if (i == exclude) continue;
+          if (geom::dist2(q, pts[i]) <= r2) out.push_back(i);
+        }
+      }
+    }
+  }
+};
+
+// Seed-era induced digraph: adjacency lists built with push_back, rows
+// deduped through a seen[] mask and sorted per vertex.
+std::vector<std::vector<int>> legacy_induced_digraph(
+    std::span<const Point> pts, const antenna::Orientation& o) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<std::vector<int>> out(n);
+  if (n == 0) return out;
+  const double rmax = o.max_radius();
+  if (rmax <= 0.0) return out;
+  LegacyGrid grid(pts, std::max(rmax / 2.0, 1e-12));
+  std::vector<char> seen(n, 0);
+  std::vector<int> touched;
+  std::vector<int> candidates;
+  for (int u = 0; u < n; ++u) {
+    touched.clear();
+    for (const auto& s : o.antennas(u)) {
+      candidates.clear();
+      grid.within(pts[u], s.radius + dirant::kRadiusAbsTol + 1e-12, u,
+                  candidates);
+      for (int v : candidates) {
+        if (seen[v]) continue;
+        if (s.contains(pts[v])) {
+          seen[v] = 1;
+          touched.push_back(v);
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int v : touched) {
+      out[u].push_back(v);
+      seen[v] = 0;
+    }
+  }
+  return out;
+}
+
+// Seed-era Tarjan: allocates its index/low/stack/frame vectors per call and
+// walks vector-of-vectors adjacency.
+int legacy_scc_count(const std::vector<std::vector<int>>& out) {
+  const int n = static_cast<int>(out.size());
+  std::vector<int> component(n, -1);
+  int count = 0;
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<int> stack;
+  int next_index = 0;
+  struct Frame {
+    int v;
+    size_t child;
+  };
+  std::vector<Frame> frames;
+  for (int root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const int v = f.v;
+      if (f.child == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      const auto& outs = out[v];
+      while (f.child < outs.size()) {
+        const int w = outs[f.child++];
+        if (index[w] == -1) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        while (true) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          component[w] = count;
+          if (w == v) break;
+        }
+        ++count;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const int parent = frames.back().v;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+  return count;
+}
+
+struct CertifyRow {
+  int n = 0;
+  double csr_ms = 0.0;
+  double legacy_ms = 0.0;
+  int scc_count = 0;
+  double speedup = 0.0;
+};
+
+/// Splices a "certify" section into BENCH_scaling.json next to the
+/// sections x3_scaling wrote (creates the file if x3 has not run).
+void append_certify_json(const std::vector<CertifyRow>& rows) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_scaling.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  // Drop any certify section a previous run spliced in, so reruns replace
+  // rather than accumulate.  The section may or may not have a preceding
+  // comma (it has none when x6 created the file without x3's sections).
+  size_t pos;
+  while ((pos = existing.find("\"certify\"")) != std::string::npos) {
+    size_t start = existing.rfind(',', pos);
+    if (start == std::string::npos) start = pos;
+    const size_t close = existing.find(']', pos);
+    const size_t end = close == std::string::npos ? pos + 9 : close + 1;
+    existing.erase(start, end - start);
+  }
+  std::ostringstream section;
+  section << "  \"certify\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    section << "    {\"n\": " << r.n << ", \"csr_ms\": " << r.csr_ms
+            << ", \"legacy_adjlist_ms\": " << r.legacy_ms
+            << ", \"scc_count\": " << r.scc_count
+            << ", \"speedup\": " << r.speedup << "}"
+            << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  section << "  ]\n";
+
+  const size_t close = existing.rfind('}');
+  std::ofstream outf("BENCH_scaling.json", std::ios::trunc);
+  if (close != std::string::npos) {
+    // Drop the final '}' and everything after, splice our section in.  No
+    // leading comma when ours would be the object's only member.
+    std::string head = existing.substr(0, close);
+    while (!head.empty() && (head.back() == '\n' || head.back() == ' ' ||
+                             head.back() == ',')) {
+      head.pop_back();
+    }
+    const bool only_member = !head.empty() && head.back() == '{';
+    outf << head << (only_member ? "\n" : ",\n") << section.str() << "}\n";
+  } else {
+    outf << "{\n" << section.str() << "}\n";
+  }
+  std::printf("appended certify section to BENCH_scaling.json\n");
+}
+
+DIRANT_REPORT(x6) {
+  using dirant::bench::section;
+  const bool smoke = std::getenv("DIRANT_BENCH_SMOKE") != nullptr;
+  section("X6 — certification scaling: digraph build + SCC (k=2, phi=pi)");
+  std::vector<int> sizes = smoke ? std::vector<int>{500, 1500}
+                                 : std::vector<int>{10000, 50000, 200000,
+                                                    1000000};
+  std::printf("n        csr-ms     legacy-ms   speedup   scc\n");
+  std::printf("---------------------------------------------\n");
+
+  // Persistent scratch: the steady-state certify path allocates nothing.
+  antenna::TransmissionScratch tx;
+  graph::SccScratch scc_scratch;
+  std::vector<CertifyRow> rows;
+  for (int n : sizes) {
+    geom::Rng rng(61000 + n);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, n, rng);
+    const auto res = core::orient(pts, {2, kPi});
+    const auto& o = res.orientation;
+    const int reps = smoke ? 3 : (n <= 200000 ? 5 : 1);
+
+    CertifyRow row;
+    row.n = n;
+    row.csr_ms = std::numeric_limits<double>::infinity();
+    row.legacy_ms = std::numeric_limits<double>::infinity();
+    int legacy_count = -1;
+    // Interleave the two paths rep by rep: on a shared box, frequency
+    // drift mid-row would otherwise bias whichever side ran second.
+    for (int rep = 0; rep < reps; ++rep) {
+      row.csr_ms = std::min(row.csr_ms, time_ms([&] {
+                     graph::Digraph g = antenna::induced_digraph_fast(
+                         pts, o, dirant::kAngleTol, dirant::kRadiusAbsTol,
+                         tx);
+                     const int count = graph::scc_count(g, scc_scratch);
+                     benchmark::DoNotOptimize(count);
+                     row.scc_count = count;
+                     std::move(g).release(tx.offsets, tx.targets);
+                   }));
+      row.legacy_ms = std::min(row.legacy_ms, time_ms([&] {
+                        const auto adj = legacy_induced_digraph(pts, o);
+                        legacy_count = legacy_scc_count(adj);
+                        benchmark::DoNotOptimize(legacy_count);
+                      }));
+    }
+    if (legacy_count != row.scc_count) {
+      std::printf("WARNING: scc mismatch at n=%d (csr %d vs legacy %d)\n", n,
+                  row.scc_count, legacy_count);
+    }
+    row.speedup = row.legacy_ms / std::max(row.csr_ms, 1e-9);
+    std::printf("%-8d %8.2f   %9.2f   %6.2fx   %d\n", n, row.csr_ms,
+                row.legacy_ms, row.speedup, row.scc_count);
+    rows.push_back(row);
+  }
+  if (smoke) {
+    // Throwaway tiny-n numbers must never land in the recorded trajectory.
+    std::printf("smoke mode: BENCH_scaling.json left untouched\n");
+  } else {
+    append_certify_json(rows);
+  }
+}
+
+void BM_certify_csr(benchmark::State& state) {
+  geom::Rng rng(62);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  const auto res = core::orient(pts, {2, kPi});
+  antenna::TransmissionScratch tx;
+  graph::SccScratch scratch;
+  for (auto _ : state) {
+    graph::Digraph g = antenna::induced_digraph_fast(
+        pts, res.orientation, dirant::kAngleTol, dirant::kRadiusAbsTol, tx);
+    const int count = graph::scc_count(g, scratch);
+    benchmark::DoNotOptimize(count);
+    std::move(g).release(tx.offsets, tx.targets);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_certify_csr)->RangeMultiplier(4)->Range(1024, 65536)->Complexity();
+
+void BM_scc_only_csr(benchmark::State& state) {
+  geom::Rng rng(63);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  const auto res = core::orient(pts, {2, kPi});
+  const auto g = antenna::induced_digraph_fast(pts, res.orientation);
+  graph::SccScratch scratch;
+  graph::SccResult scc;
+  for (auto _ : state) {
+    graph::strongly_connected_components(g, scratch, scc);
+    benchmark::DoNotOptimize(scc.count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_scc_only_csr)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->Complexity();
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

@@ -4,13 +4,6 @@
 
 namespace dirant::antenna {
 
-double Orientation::max_radius() const {
-  double r = 0.0;
-  for (const auto& list : at_) {
-    for (const auto& s : list) r = std::max(r, s.radius);
-  }
-  return r;
-}
 
 double Orientation::spread_sum(int u) const {
   double total = 0.0;
@@ -30,10 +23,5 @@ int Orientation::max_antennas_per_node() const {
   return static_cast<int>(m);
 }
 
-int Orientation::total_antennas() const {
-  size_t t = 0;
-  for (const auto& list : at_) t += list.size();
-  return static_cast<int>(t);
-}
 
 }  // namespace dirant::antenna

@@ -3,25 +3,57 @@
 /// The output of every algorithm in core/: an assignment of directional
 /// antennae (sectors) to each sensor.
 
+#include <cmath>
 #include <vector>
 
 #include "geometry/sector.hpp"
 
 namespace dirant::antenna {
 
+/// Unit direction vectors of a sector's two boundary rays, cached when the
+/// sector is added so certification never pays per-query trigonometry.
+/// Sectors inside an Orientation are immutable (only `add` stores them), so
+/// the cache cannot go stale.
+struct BoundaryDirs {
+  double sx = 0.0, sy = 0.0;  ///< cos/sin of the start boundary direction
+  double ex = 0.0, ey = 0.0;  ///< cos/sin of start + width
+};
+
 /// Per-sensor antenna assignment.
 class Orientation {
  public:
-  explicit Orientation(int n) : at_(n) {}
+  explicit Orientation(int n) : at_(n), dirs_(n) {}
 
   int size() const { return static_cast<int>(at_.size()); }
 
-  void add(int u, const geom::Sector& s) { at_[u].push_back(s); }
+  void add(int u, const geom::Sector& s) {
+    at_[u].push_back(s);
+    BoundaryDirs d;
+    d.sx = std::cos(s.start);
+    d.sy = std::sin(s.start);
+    if (s.width == 0.0) {  // beam: boundary rays coincide
+      d.ex = d.sx;
+      d.ey = d.sy;
+    } else {
+      const double end = s.start + s.width;
+      d.ex = std::cos(end);
+      d.ey = std::sin(end);
+    }
+    dirs_[u].push_back(d);
+    max_radius_ = std::max(max_radius_, s.radius);
+    ++total_antennas_;
+  }
 
   const std::vector<geom::Sector>& antennas(int u) const { return at_[u]; }
 
+  /// Boundary directions parallel to `antennas(u)` (same indexing).
+  const std::vector<BoundaryDirs>& boundary_dirs(int u) const {
+    return dirs_[u];
+  }
+
   /// Largest antenna radius anywhere (the "range" the paper bounds).
-  double max_radius() const;
+  /// Maintained incrementally by `add` — O(1), certification hot path.
+  double max_radius() const { return max_radius_; }
 
   /// Sum of spreads at sensor `u` (the paper's per-sensor angular budget).
   double spread_sum(int u) const;
@@ -32,10 +64,14 @@ class Orientation {
   /// Largest antenna count at any sensor (must be <= the k under test).
   int max_antennas_per_node() const;
 
-  int total_antennas() const;
+  /// Maintained incrementally by `add` — O(1).
+  int total_antennas() const { return total_antennas_; }
 
  private:
   std::vector<std::vector<geom::Sector>> at_;
+  std::vector<std::vector<BoundaryDirs>> dirs_;
+  double max_radius_ = 0.0;
+  int total_antennas_ = 0;
 };
 
 }  // namespace dirant::antenna

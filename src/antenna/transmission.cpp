@@ -1,82 +1,312 @@
 #include "antenna/transmission.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.hpp"
+#include "common/constants.hpp"
 #include "spatial/grid_index.hpp"
 
 namespace dirant::antenna {
 
 using geom::Point;
 
+namespace {
+
+// FlatSector flag bits.
+constexpr unsigned kBeam = 1u;  ///< width == 0: pure tolerance-band test
+constexpr unsigned kFull = 2u;  ///< width >= 2*pi - tol: all directions
+constexpr unsigned kWide = 4u;  ///< width > pi: test the complement wedge
+
+}  // namespace
+
 graph::Digraph induced_digraph(std::span<const Point> pts,
                                const Orientation& o, double angle_tol,
                                double radius_tol) {
   const int n = static_cast<int>(pts.size());
   DIRANT_ASSERT(o.size() == n);
-  graph::Digraph g(n);
+  std::vector<int> offsets;
+  offsets.reserve(static_cast<size_t>(n) + 1);
+  offsets.push_back(0);
+  std::vector<int> targets;
   for (int u = 0; u < n; ++u) {
     for (int v = 0; v < n; ++v) {
       if (u == v) continue;
       for (const auto& s : o.antennas(u)) {
         if (s.contains(pts[v], angle_tol, radius_tol)) {
-          g.add_edge(u, v);
+          targets.push_back(v);
           break;
         }
       }
     }
+    offsets.push_back(static_cast<int>(targets.size()));
   }
-  return g;
+  return graph::Digraph(std::move(offsets), std::move(targets));
 }
 
 graph::Digraph induced_digraph_fast(std::span<const Point> pts,
                                     const Orientation& o, double angle_tol,
                                     double radius_tol) {
+  TransmissionScratch scratch;
+  return induced_digraph_fast(pts, o, angle_tol, radius_tol, scratch);
+}
+
+/// Two-phase grid pipeline.  Phase 1 flattens every sector into a
+/// struct-of-array record: apex, cached boundary-ray directions (from
+/// Orientation::add — no per-query trigonometry), squared radius limit, and
+/// the clamped grid-cell window of the sector's bounding box (a zero-width
+/// beam's window is just the cells along its ray, not the whole disk
+/// square).  Phase 2 streams those records in source order, scans each
+/// window, and classifies candidates by cross products against the boundary
+/// directions — an atan2 only for candidates inside the thin angular
+/// tolerance band of a proper sector's boundary (the equivalence with
+/// `Sector::contains` is exact outside that band; for beams the band test
+/// IS the containment test, identical up to ~1e-16 rounding at the 1e-9
+/// tolerance boundary).  Sources ascend, so rows stream straight into CSR.
+graph::Digraph induced_digraph_fast(std::span<const Point> pts,
+                                    const Orientation& o, double angle_tol,
+                                    double radius_tol,
+                                    TransmissionScratch& scratch) {
   const int n = static_cast<int>(pts.size());
   DIRANT_ASSERT(o.size() == n);
-  graph::Digraph g(n);
-  if (n == 0) return g;
-  double rmax = o.max_radius();
-  if (rmax <= 0.0) return g;
-  spatial::GridIndex grid(pts, std::max(rmax / 2.0, 1e-12));
-  std::vector<char> seen(n, 0);
-  std::vector<int> touched;
-  std::vector<int> candidates;  // reused across all range queries
-  for (int u = 0; u < n; ++u) {
-    touched.clear();
-    for (const auto& s : o.antennas(u)) {
-      candidates.clear();
-      grid.within(pts[u], s.radius + radius_tol + 1e-12, u, candidates);
-      for (int v : candidates) {
-        if (seen[v]) continue;
-        if (s.contains(pts[v], angle_tol, radius_tol)) {
-          seen[v] = 1;
-          touched.push_back(v);
+  auto& offsets = scratch.offsets;
+  auto& targets = scratch.targets;
+  offsets.clear();
+  offsets.reserve(static_cast<size_t>(n) + 1);
+  offsets.push_back(0);
+  targets.clear();
+  const double rmax = o.max_radius();
+  if (n == 0 || rmax <= 0.0) {
+    offsets.resize(static_cast<size_t>(n) + 1, 0);
+    return graph::Digraph(std::move(offsets), std::move(targets));
+  }
+  spatial::GridIndex grid(pts, std::max(rmax / 3.0, 1e-12));
+  auto& seen = scratch.seen;
+
+  // The cross-product classifier assumes a small tolerance cone; callers
+  // probing with huge angular tolerances take the exact test per candidate.
+  if (angle_tol > 0.5) {
+    seen.assign(n, 0);
+    auto& candidates = scratch.candidates;
+    for (int u = 0; u < n; ++u) {
+      const int row_begin = static_cast<int>(targets.size());
+      for (const auto& s : o.antennas(u)) {
+        candidates.clear();
+        // Query out to the same limit `contains` grants (relative +
+        // absolute slack), so no tolerance-accepted candidate is missed.
+        grid.within(pts[u],
+                    s.radius * (1.0 + kRadiusRelTol) + radius_tol + 1e-12, u,
+                    candidates);
+        for (int v : candidates) {
+          if (seen[v]) continue;
+          if (s.contains(pts[v], angle_tol, radius_tol)) {
+            seen[v] = 1;
+            targets.push_back(v);
+          }
         }
       }
+      for (int k = row_begin; k < static_cast<int>(targets.size()); ++k) {
+        seen[targets[k]] = 0;
+      }
+      offsets.push_back(static_cast<int>(targets.size()));
     }
-    std::sort(touched.begin(), touched.end());
-    for (int v : touched) {
-      g.add_edge(u, v);
-      seen[v] = 0;
+    return graph::Digraph(std::move(offsets), std::move(targets));
+  }
+
+  const double sin_tol = std::min(std::sin(angle_tol), 1.0);
+  const double exact_band = sin_tol * sin_tol;
+  // Boxes inflate by the tolerance cone's sideways reach (<= r*sin(tol)),
+  // doubled for margin.
+  const double pad_scale = 2.0 * sin_tol;
+
+  // ---- Phase 1: flatten sectors + compute cell windows -----------------
+  // Indexed writes into a pre-sized array: push_back's per-element size
+  // bookkeeping stalls this store-heavy loop measurably.
+  using FlatSector = TransmissionScratch::FlatSector;
+  auto& flat = scratch.flat;
+  const size_t total_sectors = static_cast<size_t>(o.total_antennas());
+  if (flat.size() < total_sectors) flat.resize(total_sectors);
+  size_t flat_count = 0;
+  for (int u = 0; u < n; ++u) {
+    const auto& antennas = o.antennas(u);
+    const auto& dirs = o.boundary_dirs(u);
+    for (size_t j = 0; j < antennas.size(); ++j) {
+      const auto& s = antennas[j];
+      FlatSector f;
+      f.u = u;
+      const double ax = pts[u].x, ay = pts[u].y;
+      f.sx = dirs[j].sx;
+      f.sy = dirs[j].sy;
+      f.ex = dirs[j].ex;
+      f.ey = dirs[j].ey;
+      const double limit = s.radius * (1.0 + kRadiusRelTol) + radius_tol;
+      f.limit2 = limit * limit;
+      const double qr = limit + 1e-12;
+      const double pad = qr * pad_scale + 1e-12;
+      double lo_x, lo_y, hi_x, hi_y;
+      if (s.width == 0.0) {
+        f.flags = kBeam;
+        const double tx = ax + qr * f.sx, ty = ay + qr * f.sy;
+        lo_x = std::min(ax, tx) - pad;
+        hi_x = std::max(ax, tx) + pad;
+        lo_y = std::min(ay, ty) - pad;
+        hi_y = std::max(ay, ty) + pad;
+      } else if (s.width >= kTwoPi - angle_tol) {
+        f.flags = kFull;
+        lo_x = ax - qr;
+        hi_x = ax + qr;
+        lo_y = ay - qr;
+        hi_y = ay + qr;
+      } else {
+        f.flags = s.width > kPi ? kWide : 0u;
+        // Hull of the wedge: apex, both boundary-ray endpoints, and the
+        // arc extremes at whichever cardinal directions the wedge spans.
+        lo_x = hi_x = ax;
+        lo_y = hi_y = ay;
+        const auto add = [&](double x, double y) {
+          lo_x = std::min(lo_x, x);
+          hi_x = std::max(hi_x, x);
+          lo_y = std::min(lo_y, y);
+          hi_y = std::max(hi_y, y);
+        };
+        add(ax + qr * f.sx, ay + qr * f.sy);
+        add(ax + qr * f.ex, ay + qr * f.ey);
+        static constexpr double kCardinal[4][2] = {
+            {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+        for (const auto& d : kCardinal) {
+          const double cs = f.sx * d[1] - f.sy * d[0];
+          const double ce = f.ex * d[1] - f.ey * d[0];
+          // Closed (conservative) membership: ties only enlarge the box.
+          const bool inside = (f.flags & kWide) ? !(cs < 0.0 && ce > 0.0)
+                                                : (cs >= 0.0 && ce <= 0.0);
+          if (inside) add(ax + qr * d[0], ay + qr * d[1]);
+        }
+        lo_x -= pad;
+        hi_x += pad;
+        lo_y -= pad;
+        hi_y += pad;
+      }
+      f.x_lo = grid.cell_x(lo_x);
+      f.x_hi = grid.cell_x(hi_x);
+      f.y_lo = grid.cell_y(lo_y);
+      f.y_hi = grid.cell_y(hi_y);
+      flat[flat_count++] = f;
     }
   }
-  return g;
+
+  // ---- Phase 2: scan windows, classify, emit CSR rows ------------------
+  // Dedup strategy: geometry tests run first (they reject almost every
+  // candidate with arithmetic already in registers); only ACCEPTED
+  // candidates pay dedup.  Rows are short, so a linear scan of the row
+  // under construction beats the seen[] array's random memory access —
+  // seen[] marks take over only if a row grows past the threshold (dense
+  // overlapping sectors), and are wiped again afterwards so the array
+  // stays all-zero between rows and calls.
+  constexpr int kLinearDedup = 48;
+  if (targets.capacity() < 1024) targets.reserve(1024);
+  targets.resize(targets.capacity());  // emitted via indexed writes below
+  offsets.resize(static_cast<size_t>(n) + 1);  // offsets[0] == 0 already
+  int tgt_count = 0;
+  int cur_u = 0;
+  int row_begin = 0;
+  int sector_of_row = 0;    // index of the current sector within its row
+  bool row_marked = false;  // true once this row's entries are in seen[]
+  const auto close_rows_until = [&](int next_u) {
+    // Emit offsets for cur_u and any sector-less vertices before next_u.
+    while (cur_u < next_u) {
+      if (row_marked) {  // wipe the marks so seen[] stays all-zero
+        for (int k = row_begin; k < tgt_count; ++k) seen[targets[k]] = 0;
+        row_marked = false;
+      }
+      offsets[++cur_u] = tgt_count;
+      row_begin = tgt_count;
+      sector_of_row = 0;
+    }
+  };
+  for (size_t fi = 0; fi < flat_count; ++fi) {
+    const FlatSector& f = flat[fi];
+    close_rows_until(f.u);
+    const bool first_sector = sector_of_row++ == 0;
+    // The window scan filters by limit2 directly (no separate query
+    // radius), and self-exclusion rides on the d2 == 0 coincidence check,
+    // so no per-hit exclude compare is needed.
+    grid.for_each_in_cell_window(
+        pts[f.u], f.limit2, f.x_lo, f.x_hi, f.y_lo, f.y_hi, /*exclude=*/-1,
+        [&](int v, double dx, double dy, double d2) {
+          if (d2 == 0.0) return;  // coincident point: no direction
+          bool ok;
+          const double cs = f.sx * dy - f.sy * dx;
+          if (f.flags & kBeam) {
+            // |cross| = |v| sin(angle to ray): within tolerance iff the
+            // cross is tiny and the dot positive.
+            ok = cs * cs <= d2 * exact_band && f.sx * dx + f.sy * dy > 0.0;
+          } else if (f.flags & kFull) {
+            ok = true;
+          } else {
+            const double ce = f.ex * dy - f.ey * dx;
+            const double band = d2 * exact_band;
+            // The tolerance-accept region is the wedge PLUS the tol-band
+            // around each boundary ray, so a candidate inside either band
+            // is accepted outright (MST orientations aim sector boundaries
+            // exactly at neighbours, making this the common accept path);
+            // outside the bands the strict cross tests decide exactly.
+            if ((cs * cs <= band && f.sx * dx + f.sy * dy > 0.0) ||
+                (ce * ce <= band && f.ex * dx + f.ey * dy > 0.0)) {
+              ok = true;
+            } else {
+              ok = (f.flags & kWide) ? !(cs < 0.0 && ce > 0.0)
+                                     : (cs > 0.0 && ce < 0.0);
+            }
+          }
+          if (!ok) return;
+          // A sector never accepts v twice (each window cell is scanned
+          // once), so dedup is only needed against EARLIER sectors' rows.
+          if (!first_sector) {
+            if (row_marked) {
+              if (seen[v]) return;
+              seen[v] = 1;
+            } else if (tgt_count - row_begin <= kLinearDedup) {
+              for (int k = row_begin; k < tgt_count; ++k) {
+                if (targets[k] == v) return;
+              }
+            } else {
+              if (static_cast<int>(seen.size()) < n) seen.assign(n, 0);
+              for (int k = row_begin; k < tgt_count; ++k) {
+                seen[targets[k]] = 1;
+              }
+              // Flag BEFORE the duplicate test: returning without it would
+              // leak the marks just written past this row's wipe.
+              row_marked = true;
+              if (seen[v]) return;
+              seen[v] = 1;
+            }
+          }
+          if (tgt_count == static_cast<int>(targets.size())) {
+            targets.resize(targets.size() * 2);
+          }
+          targets[tgt_count++] = v;
+        });
+  }
+  close_rows_until(n);
+  targets.resize(tgt_count);
+  return graph::Digraph(std::move(offsets), std::move(targets));
 }
 
 graph::Digraph unit_disk_digraph(std::span<const Point> pts, double radius) {
   const int n = static_cast<int>(pts.size());
-  graph::Digraph g(n);
-  if (n == 0 || radius <= 0.0) return g;
-  spatial::GridIndex grid(pts, std::max(radius / 2.0, 1e-12));
-  std::vector<int> nb;  // reused across queries
-  for (int u = 0; u < n; ++u) {
-    nb.clear();
-    grid.within(pts[u], radius, u, nb);
-    std::sort(nb.begin(), nb.end());
-    for (int v : nb) g.add_edge(u, v);
+  std::vector<int> offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<int> targets;
+  if (n == 0 || radius <= 0.0) {
+    return graph::Digraph(std::move(offsets), std::move(targets));
   }
-  return g;
+  spatial::GridIndex grid(pts, std::max(radius / 2.0, 1e-12));
+  offsets.clear();
+  offsets.push_back(0);
+  for (int u = 0; u < n; ++u) {
+    grid.within(pts[u], radius, u, targets);  // appends u's row in place
+    offsets.push_back(static_cast<int>(targets.size()));
+  }
+  return graph::Digraph(std::move(offsets), std::move(targets));
 }
 
 }  // namespace dirant::antenna

@@ -6,11 +6,36 @@
 /// is the independent certifier the validation layer builds on.
 
 #include <span>
+#include <vector>
 
 #include "antenna/orientation.hpp"
 #include "graph/digraph.hpp"
 
 namespace dirant::antenna {
+
+/// Reusable working memory for `induced_digraph_fast`.  The offsets/targets
+/// buffers become the CSR arrays of the returned graph (moved, not copied);
+/// callers that certify in a loop hand them back via `Digraph::release` so
+/// the steady state allocates nothing.
+struct TransmissionScratch {
+  /// One sector flattened for the scan pass: precomputed containment
+  /// parameters plus its grid cell window.  Internal to
+  /// `induced_digraph_fast`; lives here only so the buffer is reusable.
+  /// Exactly one cache line: the scan pass streams this array.
+  struct FlatSector {
+    double sx, sy, ex, ey;  ///< boundary-ray unit directions
+    double limit2;          ///< squared radius limit incl. tolerances
+    int x_lo, x_hi, y_lo, y_hi;  ///< clamped cell window
+    int u;                       ///< source vertex (apex = pts[u])
+    unsigned flags;              ///< kBeam / kFull / kWide bits
+  };
+
+  std::vector<char> seen;      ///< per-vertex dedup marks across sectors
+  std::vector<int> candidates; ///< grid range-query hit buffer
+  std::vector<FlatSector> flat;  ///< prepass output, one entry per sector
+  std::vector<int> offsets;    ///< CSR prefix table under construction
+  std::vector<int> targets;    ///< CSR edge heads under construction
+};
 
 /// Build the induced digraph by brute force (O(n^2 * antennas)); reference
 /// implementation used for certification.
@@ -19,11 +44,20 @@ graph::Digraph induced_digraph(std::span<const geom::Point> pts,
                                double angle_tol = dirant::kAngleTol,
                                double radius_tol = dirant::kRadiusAbsTol);
 
-/// Grid-accelerated equivalent (same result; used for large instances).
+/// Grid-accelerated equivalent (same edge set; used for large instances).
+/// Emits edges straight into CSR: sources are visited in increasing order,
+/// so each vertex's row is closed by recording the running edge count — no
+/// per-vertex sort or adjacency-list append.
 graph::Digraph induced_digraph_fast(std::span<const geom::Point> pts,
                                     const Orientation& o,
                                     double angle_tol = dirant::kAngleTol,
                                     double radius_tol = dirant::kRadiusAbsTol);
+
+/// Scratch-reusing variant for certification loops.
+graph::Digraph induced_digraph_fast(std::span<const geom::Point> pts,
+                                    const Orientation& o, double angle_tol,
+                                    double radius_tol,
+                                    TransmissionScratch& scratch);
 
 /// Omnidirectional reference: edge (u, v) iff dist(u, v) <= radius.
 /// Symmetric by construction; used by the simulator as a baseline.

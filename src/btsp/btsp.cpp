@@ -30,14 +30,14 @@ std::vector<double> sorted_unique_distances(std::span<const Point> pts) {
 
 graph::Graph threshold_graph(std::span<const Point> pts, double lambda) {
   const int n = static_cast<int>(pts.size());
-  graph::Graph g(n);
+  graph::GraphBuilder b(n);
   const double l2 = lambda * lambda * (1.0 + 1e-12);
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      if (geom::dist2(pts[i], pts[j]) <= l2) g.add_edge(i, j);
+      if (geom::dist2(pts[i], pts[j]) <= l2) b.add_edge(i, j);
     }
   }
-  return g;
+  return b.build();
 }
 
 double cycle_bottleneck(std::span<const Point> pts,

@@ -15,14 +15,16 @@ using Clock = std::chrono::steady_clock;
 
 void run_one(const std::vector<geom::Point>& pts, const ProblemSpec& spec,
              const BatchOptions& options, const mst::EmstEngine& engine,
-             BatchItem& out) {
+             CertifyScratch& cert_scratch, BatchItem& out) {
   const auto t0 = Clock::now();
   const auto tree = engine.degree5(pts);
   out.result = orient_on_tree(pts, tree, spec);
   out.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   if (options.certify) {
-    out.certificate = certify(pts, out.result, spec);
+    const int n = static_cast<int>(pts.size());
+    out.certificate = certify(pts, out.result, spec,
+                              n >= kCertifyFastThreshold, cert_scratch);
   }
 }
 
@@ -39,8 +41,9 @@ std::vector<BatchItem> orient_batch(
 
   if (!options.parallel || instances.size() == 1) {
     const mst::EmstEngine engine;  // one scratch engine for the whole run
+    CertifyScratch cert_scratch;
     for (size_t i = 0; i < instances.size(); ++i) {
-      run_one(instances[i], spec, options, engine, items[i]);
+      run_one(instances[i], spec, options, engine, cert_scratch, items[i]);
     }
     return items;
   }
@@ -48,11 +51,14 @@ std::vector<BatchItem> orient_batch(
   par::parallel_for(
       0, static_cast<std::int64_t>(instances.size()),
       [&](std::int64_t i) {
-        // Worker-local engine: instances in the same chunk share it, so
-        // engine-internal scratch never crosses threads.
+        // Worker-local scratch: instances in the same chunk share the EMST
+        // engine and the certification buffers, so neither engine-internal
+        // scratch nor the certifier's CSR/SCC arrays cross threads — and
+        // certification allocates nothing after the first instance.
         thread_local mst::EmstEngine engine;
+        thread_local CertifyScratch cert_scratch;
         run_one(instances[static_cast<size_t>(i)], spec, options, engine,
-                items[static_cast<size_t>(i)]);
+                cert_scratch, items[static_cast<size_t>(i)]);
       },
       std::max<std::int64_t>(1, options.min_chunk));
   return items;

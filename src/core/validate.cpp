@@ -2,21 +2,27 @@
 
 #include <cmath>
 
-#include "antenna/transmission.hpp"
 #include "common/constants.hpp"
-#include "graph/scc.hpp"
 
 namespace dirant::core {
 
 Certificate certify(std::span<const geom::Point> pts, const Result& res,
-                    const ProblemSpec& spec, bool use_fast_graph) {
+                    const ProblemSpec& spec, bool use_fast_graph,
+                    CertifyScratch& scratch) {
   Certificate c;
   const auto& o = res.orientation;
-  const auto g = use_fast_graph ? antenna::induced_digraph_fast(pts, o)
-                                : antenna::induced_digraph(pts, o);
-  const auto scc = graph::strongly_connected_components(g);
-  c.scc_count = scc.count;
-  c.strongly_connected = scc.count <= 1;
+  graph::Digraph g =
+      use_fast_graph
+          ? antenna::induced_digraph_fast(pts, o, kAngleTol, kRadiusAbsTol,
+                                          scratch.transmission)
+          : antenna::induced_digraph(pts, o);
+  c.scc_count = graph::scc_count(g, scratch.scc);
+  c.strongly_connected = c.scc_count <= 1;
+  if (use_fast_graph) {
+    // Hand the CSR buffers back so the next certification reuses them.
+    std::move(g).release(scratch.transmission.offsets,
+                         scratch.transmission.targets);
+  }
 
   c.max_radius = o.max_radius();
   c.max_spread_sum = o.max_spread_sum();
@@ -32,6 +38,12 @@ Certificate certify(std::span<const geom::Point> pts, const Result& res,
     c.radius_within_bound = true;  // heuristic regime: no a-priori bound
   }
   return c;
+}
+
+Certificate certify(std::span<const geom::Point> pts, const Result& res,
+                    const ProblemSpec& spec, bool use_fast_graph) {
+  CertifyScratch scratch;
+  return certify(pts, res, spec, use_fast_graph, scratch);
 }
 
 Certificate certify(std::span<const geom::Point> pts, const Result& res,

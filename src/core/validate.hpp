@@ -8,8 +8,10 @@
 
 #include <span>
 
+#include "antenna/transmission.hpp"
 #include "core/types.hpp"
 #include "geometry/point.hpp"
+#include "graph/scc.hpp"
 
 namespace dirant::core {
 
@@ -29,11 +31,25 @@ struct Certificate {
   }
 };
 
+/// Working memory for a certification: the digraph CSR buffers and the SCC
+/// decomposition.  Batch pipelines keep one per worker so certifying a
+/// stream of instances does zero steady-state allocation.
+struct CertifyScratch {
+  antenna::TransmissionScratch transmission;
+  graph::SccScratch scc;
+};
+
 /// Certify `res` against `spec`.  `use_fast_graph` forces the
 /// grid-accelerated digraph builder (true) or the brute-force reference
 /// (false); identical output either way.
 Certificate certify(std::span<const geom::Point> pts, const Result& res,
                     const ProblemSpec& spec, bool use_fast_graph);
+
+/// Scratch-reusing variant for certification loops (core::orient_batch,
+/// Monte-Carlo sweeps).
+Certificate certify(std::span<const geom::Point> pts, const Result& res,
+                    const ProblemSpec& spec, bool use_fast_graph,
+                    CertifyScratch& scratch);
 
 /// Same, selecting the digraph builder by instance size: brute force as the
 /// independent oracle on small instances, grid range queries beyond

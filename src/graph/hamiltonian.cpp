@@ -19,34 +19,39 @@ std::optional<std::vector<int>> hamiltonian_cycle_exact(const Graph& g) {
     for (int v : g.neighbors(u)) adj[u] |= (1u << v);
   }
   const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
-  // dp[mask][v]: is there a path 0 -> v visiting exactly `mask` (0 in mask)?
-  std::vector<std::vector<char>> dp(1u << n, std::vector<char>(n, 0));
-  std::vector<std::vector<int>> pred(1u << n, std::vector<int>(n, -1));
-  dp[1u][0] = 1;
+  // dp[mask*n + v]: is there a path 0 -> v visiting exactly `mask` (0 in
+  // mask)?  Flat tables: two allocations instead of 2^n row vectors.
+  const size_t rows = static_cast<size_t>(1u << n);
+  std::vector<char> dp(rows * n, 0);
+  std::vector<int> pred(rows * n, -1);
+  const auto at = [n](std::uint32_t mask, int v) {
+    return static_cast<size_t>(mask) * n + v;
+  };
+  dp[at(1u, 0)] = 1;
   for (std::uint32_t mask = 1; mask <= full; ++mask) {
     if (!(mask & 1u)) continue;
     for (int v = 0; v < n; ++v) {
-      if (!dp[mask][v]) continue;
+      if (!dp[at(mask, v)]) continue;
       std::uint32_t cand = adj[v] & ~mask;
       while (cand) {
         const int w = std::countr_zero(cand);
         cand &= cand - 1;
         const std::uint32_t nmask = mask | (1u << w);
-        if (!dp[nmask][w]) {
-          dp[nmask][w] = 1;
-          pred[nmask][w] = v;
+        if (!dp[at(nmask, w)]) {
+          dp[at(nmask, w)] = 1;
+          pred[at(nmask, w)] = v;
         }
       }
     }
   }
   for (int last = 1; last < n; ++last) {
-    if (!dp[full][last] || !(adj[last] & 1u)) continue;
+    if (!dp[at(full, last)] || !(adj[last] & 1u)) continue;
     std::vector<int> cycle(n);
     std::uint32_t mask = full;
     int v = last;
     for (int i = n - 1; i >= 0; --i) {
       cycle[i] = v;
-      const int p = pred[mask][v];
+      const int p = pred[at(mask, v)];
       mask &= ~(1u << v);
       v = p;
     }

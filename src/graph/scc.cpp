@@ -34,55 +34,66 @@ bool is_strongly_connected(const Digraph& g) {
   return reach_count(g.reversed(), 0) == n;
 }
 
-SccResult strongly_connected_components(const Digraph& g) {
-  const int n = g.size();
-  SccResult res;
-  res.component.assign(n, -1);
+namespace {
 
-  std::vector<int> index(n, -1), low(n, 0);
-  std::vector<char> on_stack(n, 0);
-  std::vector<int> stack;
+/// Shared iterative Tarjan core; `component` is null for count-only runs
+/// (the certification hot path skips the per-vertex label writes).
+template <bool kRecord>
+int tarjan_impl(const Digraph& g, SccScratch& scratch, int* component) {
+  const int n = g.size();
+  DIRANT_ASSERT(n < (1 << 30));  // index and on-stack bit share an int
+  int count = 0;
+
+  constexpr int kOnStack = 1 << 30;
+  auto& state = scratch.state;
+  auto& low = scratch.low;
+  auto& stack = scratch.stack;
+  auto& frames = scratch.frames;
+  state.assign(n, -1);
+  low.resize(n);
+  stack.clear();
+  frames.clear();
   int next_index = 0;
 
-  // Explicit DFS stack: (vertex, next child position).
-  struct Frame {
-    int v;
-    size_t child;
+  const auto push_vertex = [&](int v) {
+    state[v] = next_index | kOnStack;
+    low[v] = next_index;
+    ++next_index;
+    stack.push_back(v);
+    const auto outs = g.out(v);
+    frames.push_back({v, outs.data(), outs.data() + outs.size()});
   };
-  std::vector<Frame> frames;
 
   for (int root = 0; root < n; ++root) {
-    if (index[root] != -1) continue;
-    frames.push_back({root, 0});
+    if (state[root] != -1) continue;
+    push_vertex(root);
     while (!frames.empty()) {
-      Frame& f = frames.back();
+      SccScratch::Frame& f = frames.back();
       const int v = f.v;
-      if (f.child == 0) {
-        index[v] = low[v] = next_index++;
-        stack.push_back(v);
-        on_stack[v] = 1;
-      }
       bool descended = false;
-      const auto& outs = g.out(v);
-      while (f.child < outs.size()) {
-        const int w = outs[f.child++];
-        if (index[w] == -1) {
-          frames.push_back({w, 0});
+      const int* p = f.next;
+      const int* const e = f.end;
+      while (p != e) {
+        const int w = *p++;
+        const int st = state[w];
+        if (st == -1) {
+          f.next = p;  // before push_vertex: it may reallocate frames
+          push_vertex(w);
           descended = true;
           break;
         }
-        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+        if (st & kOnStack) low[v] = std::min(low[v], st & ~kOnStack);
       }
       if (descended) continue;
-      if (low[v] == index[v]) {
+      if (low[v] == (state[v] & ~kOnStack)) {
         while (true) {
           const int w = stack.back();
           stack.pop_back();
-          on_stack[w] = 0;
-          res.component[w] = res.count;
+          state[w] &= ~kOnStack;
+          if constexpr (kRecord) component[w] = count;
           if (w == v) break;
         }
-        ++res.count;
+        ++count;
       }
       frames.pop_back();
       if (!frames.empty()) {
@@ -91,6 +102,25 @@ SccResult strongly_connected_components(const Digraph& g) {
       }
     }
   }
+  return count;
+}
+
+}  // namespace
+
+void strongly_connected_components(const Digraph& g, SccScratch& scratch,
+                                   SccResult& res) {
+  res.component.assign(g.size(), -1);
+  res.count = tarjan_impl<true>(g, scratch, res.component.data());
+}
+
+int scc_count(const Digraph& g, SccScratch& scratch) {
+  return tarjan_impl<false>(g, scratch, nullptr);
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  SccScratch scratch;
+  SccResult res;
+  strongly_connected_components(g, scratch, res);
   return res;
 }
 

@@ -16,12 +16,42 @@ struct SccResult {
   std::vector<int> component;  ///< component id per vertex, 0-based
 };
 
-/// Tarjan's algorithm (iterative).  Component ids are in reverse topological
-/// order of the condensation.
+/// Caller-owned working memory for Tarjan's algorithm.  Steady-state
+/// consumers (certification loops, Monte-Carlo trials) keep one instance
+/// alive so repeated decompositions allocate nothing once the vectors have
+/// grown to the largest instance seen.
+struct SccScratch {
+  /// Explicit DFS frame holding the unvisited remainder of v's edge row.
+  struct Frame {
+    int v;
+    const int* next;
+    const int* end;
+  };
+  /// Per-vertex packed state: -1 unvisited, otherwise the DFS index with a
+  /// high bit set while the vertex sits on the Tarjan stack — one random
+  /// load per edge instead of separate index[] and on_stack[] arrays.
+  std::vector<int> state;
+  std::vector<int> low, stack;
+  std::vector<Frame> frames;
+};
+
+/// Tarjan's algorithm (iterative) into caller-owned result + scratch;
+/// allocation-free once the buffers have capacity.  Component ids are in
+/// reverse topological order of the condensation.
+void strongly_connected_components(const Digraph& g, SccScratch& scratch,
+                                   SccResult& out);
+
+/// Convenience overload with call-local scratch.
 SccResult strongly_connected_components(const Digraph& g);
 
+/// Number of strongly connected components only — same Tarjan pass without
+/// materialising per-vertex component ids.  The certification hot path
+/// (strongly connected iff the count is <= 1) uses this.
+int scc_count(const Digraph& g, SccScratch& scratch);
+
 /// True iff `g` is strongly connected (n <= 1 counts as strongly connected).
-/// Fast path: forward + backward BFS from vertex 0.
+/// Fast path: forward BFS from vertex 0, then backward BFS on the O(m)
+/// CSR transpose.
 bool is_strongly_connected(const Digraph& g);
 
 }  // namespace dirant::graph

@@ -1,43 +1,58 @@
 #include "graph/traversal.hpp"
 
 #include <algorithm>
-#include <queue>
 
 namespace dirant::graph {
 namespace {
 
+// BFS over any adjacency accessor into caller-owned dist + queue.  The
+// queue is a plain vector with a read head: vertices are appended once and
+// never erased, so no ring buffer or deque is needed.
 template <typename Adjacency>
-std::vector<int> bfs_impl(int n, int source, Adjacency&& adj) {
-  std::vector<int> dist(n, -1);
-  if (n == 0) return dist;
-  std::queue<int> q;
+void bfs_impl(int n, int source, Adjacency&& adj, std::vector<int>& dist,
+              BfsScratch& scratch) {
+  dist.assign(n, -1);
+  if (n == 0) return;
+  auto& q = scratch.queue;
+  q.clear();
   dist[source] = 0;
-  q.push(source);
-  while (!q.empty()) {
-    const int u = q.front();
-    q.pop();
+  q.push_back(source);
+  for (size_t head = 0; head < q.size(); ++head) {
+    const int u = q[head];
     for (int v : adj(u)) {
       if (dist[v] == -1) {
         dist[v] = dist[u] + 1;
-        q.push(v);
+        q.push_back(v);
       }
     }
   }
-  return dist;
 }
 
 }  // namespace
 
+void bfs_distances(const Digraph& g, int source, std::vector<int>& dist,
+                   BfsScratch& scratch) {
+  bfs_impl(g.size(), source, [&](int u) { return g.out(u); }, dist, scratch);
+}
+
 std::vector<int> bfs_distances(const Digraph& g, int source) {
-  return bfs_impl(g.size(), source, [&](int u) -> const std::vector<int>& {
-    return g.out(u);
-  });
+  std::vector<int> dist;
+  BfsScratch scratch;
+  bfs_distances(g, source, dist, scratch);
+  return dist;
+}
+
+void bfs_distances(const Graph& g, int source, std::vector<int>& dist,
+                   BfsScratch& scratch) {
+  bfs_impl(g.size(), source, [&](int u) { return g.neighbors(u); }, dist,
+           scratch);
 }
 
 std::vector<int> bfs_distances(const Graph& g, int source) {
-  return bfs_impl(g.size(), source, [&](int u) -> const std::vector<int>& {
-    return g.neighbors(u);
-  });
+  std::vector<int> dist;
+  BfsScratch scratch;
+  bfs_distances(g, source, dist, scratch);
+  return dist;
 }
 
 bool is_connected(const Graph& g) {
@@ -53,15 +68,15 @@ bool is_biconnected(const Graph& g) {
   if (!is_connected(g)) return false;
   // Hopcroft–Tarjan articulation detection, iterative DFS from vertex 0.
   std::vector<int> disc(n, -1), low(n, 0), parent(n, -1);
-  std::vector<size_t> child_pos(n, 0);
+  std::vector<int> child_pos(n, 0);
   int timer = 0;
   std::vector<int> stack{0};
   disc[0] = low[0] = timer++;
   int root_children = 0;
   while (!stack.empty()) {
     const int u = stack.back();
-    const auto& nb = g.neighbors(u);
-    if (child_pos[u] < nb.size()) {
+    const auto nb = g.neighbors(u);
+    if (child_pos[u] < static_cast<int>(nb.size())) {
       const int v = nb[child_pos[u]++];
       if (disc[v] == -1) {
         parent[v] = u;

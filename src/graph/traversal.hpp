@@ -10,11 +10,24 @@
 
 namespace dirant::graph {
 
+/// Caller-owned BFS working memory (the frontier queue).  Loops that run
+/// many traversals (flooding, stretch sampling, routing stats) keep one
+/// instance alive so each BFS is allocation-free.
+struct BfsScratch {
+  std::vector<int> queue;
+};
+
 /// Hop distance from `source` to every vertex following out-edges
-/// (-1 where unreachable).
+/// (-1 where unreachable), written into caller-owned `dist`.
+void bfs_distances(const Digraph& g, int source, std::vector<int>& dist,
+                   BfsScratch& scratch);
+
+/// Convenience overload with call-local buffers.
 std::vector<int> bfs_distances(const Digraph& g, int source);
 
-/// Hop distance from `source` in an undirected graph (-1 unreachable).
+/// Undirected variants.
+void bfs_distances(const Graph& g, int source, std::vector<int>& dist,
+                   BfsScratch& scratch);
 std::vector<int> bfs_distances(const Graph& g, int source);
 
 /// True iff the undirected graph is connected (n <= 1 is connected).

@@ -18,9 +18,9 @@ std::vector<std::vector<int>> Tree::adjacency() const {
 }
 
 graph::Graph Tree::as_graph() const {
-  graph::Graph g(n);
-  for (const auto& e : edges) g.add_edge(e.u, e.v);
-  return g;
+  graph::GraphBuilder b(n);
+  for (const auto& e : edges) b.add_edge(e.u, e.v);
+  return b.build();
 }
 
 double Tree::total_weight() const {

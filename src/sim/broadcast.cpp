@@ -1,29 +1,34 @@
 #include "sim/broadcast.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <random>
 
 #include "common/assert.hpp"
 #include "graph/scc.hpp"
-#include "graph/traversal.hpp"
 
 namespace dirant::sim {
 
 BroadcastResult flood(const graph::Digraph& g, int source) {
+  std::vector<int> dist;
+  graph::BfsScratch scratch;
+  return flood(g, source, dist, scratch);
+}
+
+BroadcastResult flood(const graph::Digraph& g, int source,
+                      std::vector<int>& dist, graph::BfsScratch& scratch) {
   BroadcastResult r;
   const int n = g.size();
   if (n == 0) return r;
   DIRANT_ASSERT(source >= 0 && source < n);
-  const auto dist = graph::bfs_distances(g, source);
+  graph::bfs_distances(g, source, dist, scratch);
   long long total_hops = 0;
   for (int v = 0; v < n; ++v) {
     if (dist[v] < 0) continue;
     ++r.reached;
     r.rounds = std::max(r.rounds, dist[v]);
     total_hops += dist[v];
-    // Every reached node transmits once per flooding protocol round-trip.
-    ++r.transmissions;
+    // A node forwards iff it has somebody to forward to; sinks only listen.
+    if (g.out_degree(v) > 0) ++r.transmissions;
   }
   r.delivery_ratio = static_cast<double>(r.reached) / n;
   r.mean_hops = r.reached > 1 ? static_cast<double>(total_hops) / (r.reached - 1)
@@ -39,9 +44,13 @@ StretchResult hop_stretch(const graph::Digraph& directional,
   if (n <= 1) return res;
   const int step = std::max(1, n / std::max(1, sample_sources));
   double total = 0.0;
+  // Per-source distance vectors and the BFS queue are hoisted out of the
+  // sampling loop; each iteration reuses their capacity.
+  std::vector<int> dd, od;
+  graph::BfsScratch scratch;
   for (int s = 0; s < n; s += step) {
-    const auto dd = graph::bfs_distances(directional, s);
-    const auto od = graph::bfs_distances(omni, s);
+    graph::bfs_distances(directional, s, dd, scratch);
+    graph::bfs_distances(omni, s, od, scratch);
     for (int v = 0; v < n; ++v) {
       if (v == s || od[v] <= 0 || dd[v] < 0) continue;
       const double stretch = static_cast<double>(dd[v]) / od[v];
@@ -56,8 +65,12 @@ StretchResult hop_stretch(const graph::Digraph& directional,
 
 namespace {
 
-// Strong connectivity of g restricted to vertices not in `removed`.
-bool strong_without(const graph::Digraph& g, const std::vector<char>& removed) {
+/// Strong connectivity of g restricted to vertices not in `removed`.
+/// `grev` is the precomputed transpose of `g` (hoisted by the caller: the
+/// deletion probes share one transpose instead of rebuilding it per probe).
+bool strong_without(const graph::Digraph& g, const graph::Digraph& grev,
+                    const std::vector<char>& removed, std::vector<char>& seen,
+                    std::vector<int>& stack) {
   const int n = g.size();
   int start = -1, alive = 0;
   for (int v = 0; v < n; ++v) {
@@ -67,12 +80,12 @@ bool strong_without(const graph::Digraph& g, const std::vector<char>& removed) {
     }
   }
   if (alive <= 1) return true;
-  auto reach = [&](bool reverse) {
-    std::vector<char> seen(n, 0);
-    std::vector<int> stack{start};
+  auto reach = [&](const graph::Digraph& gr) {
+    seen.assign(n, 0);
+    stack.clear();
+    stack.push_back(start);
     seen[start] = 1;
     int cnt = 1;
-    const auto gr = reverse ? g.reversed() : g;  // small graphs; fine
     while (!stack.empty()) {
       const int u = stack.back();
       stack.pop_back();
@@ -86,7 +99,7 @@ bool strong_without(const graph::Digraph& g, const std::vector<char>& removed) {
     }
     return cnt == alive;
   };
-  return reach(false) && reach(true);
+  return reach(g) && reach(grev);
 }
 
 }  // namespace
@@ -97,8 +110,16 @@ FailureStats failure_resilience(const graph::Digraph& g, double fraction,
   const int n = g.size();
   if (n == 0 || trials <= 0) return st;
   std::mt19937_64 rng(seed);
+  // All per-trial buffers live outside the loop: deletion mask, vertex
+  // remap, the survivor subgraph's CSR arrays (recycled through
+  // Digraph::release), SCC scratch, and component-size counts.
+  std::vector<char> removed(n, 0);
+  std::vector<int> remap(n, -1);
+  std::vector<int> sub_offsets, sub_targets, sizes;
+  graph::SccScratch scc_scratch;
+  graph::SccResult scc;
   for (int t = 0; t < trials; ++t) {
-    std::vector<char> removed(n, 0);
+    std::fill(removed.begin(), removed.end(), 0);
     int alive = n;
     for (int v = 0; v < n; ++v) {
       if ((rng() % 1000000) / 1e6 < fraction && alive > 1) {
@@ -106,27 +127,33 @@ FailureStats failure_resilience(const graph::Digraph& g, double fraction,
         --alive;
       }
     }
-    // Largest SCC among survivors: build the survivor subgraph.
-    std::vector<int> remap(n, -1);
+    // Largest SCC among survivors: build the survivor subgraph in CSR
+    // (sources ascend, so rows stream straight into offsets/targets).
     int m = 0;
     for (int v = 0; v < n; ++v) {
-      if (!removed[v]) remap[v] = m++;
+      remap[v] = removed[v] ? -1 : m++;
     }
-    graph::Digraph sub(m);
+    sub_offsets.clear();
+    sub_offsets.push_back(0);
+    sub_targets.clear();
     for (int u = 0; u < n; ++u) {
       if (removed[u]) continue;
       for (int v : g.out(u)) {
-        if (!removed[v]) sub.add_edge(remap[u], remap[v]);
+        if (!removed[v]) sub_targets.push_back(remap[v]);
       }
+      sub_offsets.push_back(static_cast<int>(sub_targets.size()));
     }
-    const auto scc = graph::strongly_connected_components(sub);
-    std::vector<int> sizes(scc.count, 0);
+    graph::Digraph sub(std::move(sub_offsets), std::move(sub_targets));
+    graph::strongly_connected_components(sub, scc_scratch, scc);
+    sizes.assign(scc.count, 0);
     for (int c : scc.component) ++sizes[c];
-    int largest = m == 0 ? 0 : *std::max_element(sizes.begin(), sizes.end());
+    const int largest =
+        m == 0 ? 0 : *std::max_element(sizes.begin(), sizes.end());
     const double frac = m > 0 ? static_cast<double>(largest) / m : 0.0;
     st.mean_largest_scc += frac;
     st.worst_largest_scc = std::min(st.worst_largest_scc, frac);
     ++st.trials;
+    std::move(sub).release(sub_offsets, sub_targets);
   }
   st.mean_largest_scc /= st.trials;
   return st;
@@ -135,14 +162,18 @@ FailureStats failure_resilience(const graph::Digraph& g, double fraction,
 int strong_connectivity_level(const graph::Digraph& g, int max_level) {
   const int n = g.size();
   if (n <= 1) return max_level;
-  if (!graph::is_strongly_connected(g)) return 0;
+  // One transpose for the whole audit; every deletion probe reuses it
+  // (the seed rebuilt g.reversed() inside each probe, O(n*m) copies).
+  const graph::Digraph grev = g.reversed();
+  std::vector<char> removed(n, 0), seen;
+  std::vector<int> stack;
+  if (!strong_without(g, grev, removed, seen, stack)) return 0;
   int level = 1;
-  std::vector<char> removed(n, 0);
   if (max_level >= 2) {
     bool survives_all = true;
     for (int v = 0; v < n && survives_all; ++v) {
       removed[v] = 1;
-      survives_all = strong_without(g, removed);
+      survives_all = strong_without(g, grev, removed, seen, stack);
       removed[v] = 0;
     }
     if (!survives_all) return level;
@@ -153,7 +184,7 @@ int strong_connectivity_level(const graph::Digraph& g, int max_level) {
     for (int a = 0; a < n && survives_all; ++a) {
       for (int b = a + 1; b < n && survives_all; ++b) {
         removed[a] = removed[b] = 1;
-        survives_all = strong_without(g, removed);
+        survives_all = strong_without(g, grev, removed, seen, stack);
         removed[a] = removed[b] = 0;
       }
     }

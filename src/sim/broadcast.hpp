@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "antenna/orientation.hpp"
 #include "graph/digraph.hpp"
+#include "graph/traversal.hpp"
 
 namespace dirant::sim {
 
@@ -20,11 +22,19 @@ struct BroadcastResult {
   int reached = 0;            ///< nodes that ever got the message
   double delivery_ratio = 0;  ///< reached / n
   double mean_hops = 0.0;     ///< mean hop distance over reached nodes
-  long long transmissions = 0;  ///< total (node, round) activations
+  /// Forwarding transmissions: every reached node with at least one
+  /// out-edge rebroadcasts exactly once.  Sinks (out-degree 0) receive but
+  /// never transmit, so transmissions <= reached always holds.
+  long long transmissions = 0;
 };
 
 /// Flood from `source` over a prebuilt digraph.
 BroadcastResult flood(const graph::Digraph& g, int source);
+
+/// Scratch-reusing variant: `dist` and `scratch` are working memory only
+/// (overwritten); loops flooding from many sources allocate nothing.
+BroadcastResult flood(const graph::Digraph& g, int source,
+                      std::vector<int>& dist, graph::BfsScratch& scratch);
 
 /// Directional-vs-omni hop stretch: mean and max over sampled source pairs
 /// of (directional hop distance) / (omni hop distance).

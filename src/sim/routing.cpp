@@ -49,6 +49,8 @@ RoutingStats routing_stats(const graph::Digraph& g, std::span<const Point> pts,
   long long hops = 0;
   double stretch = 0.0;
   int delivered = 0, stretch_count = 0;
+  std::vector<int> d;  // per-sample BFS distances, capacity reused
+  graph::BfsScratch scratch;
   for (int i = 0; i < samples; ++i) {
     int s = pick(rng), t = pick(rng);
     while (t == s) t = pick(rng);
@@ -57,7 +59,7 @@ RoutingStats routing_stats(const graph::Digraph& g, std::span<const Point> pts,
     if (!r.delivered) continue;
     ++delivered;
     hops += r.hops;
-    const auto d = graph::bfs_distances(g, s);
+    graph::bfs_distances(g, s, d, scratch);
     if (d[t] > 0) {
       stretch += static_cast<double>(r.hops) / d[t];
       ++stretch_count;

@@ -13,15 +13,15 @@ namespace dirant::spatial {
 using geom::Point;
 
 GridIndex::GridIndex(std::span<const Point> pts, double cell)
-    : pts_(pts.begin(), pts.end()), cell_(cell) {
+    : cell_(cell), inv_cell_(1.0 / cell) {
   DIRANT_ASSERT(cell > 0.0);
-  if (pts_.empty()) {
-    buckets_.resize(1);
+  if (pts.empty()) {
+    cell_start_.assign(2, 0);
     return;
   }
-  min_x_ = max_x_ = pts_[0].x;
-  min_y_ = max_y_ = pts_[0].y;
-  for (const auto& p : pts_) {
+  min_x_ = max_x_ = pts[0].x;
+  min_y_ = max_y_ = pts[0].y;
+  for (const auto& p : pts) {
     min_x_ = std::min(min_x_, p.x);
     min_y_ = std::min(min_y_, p.y);
     max_x_ = std::max(max_x_, p.x);
@@ -29,17 +29,40 @@ GridIndex::GridIndex(std::span<const Point> pts, double cell)
   }
   nx_ = std::max(1, static_cast<int>((max_x_ - min_x_) / cell_) + 1);
   ny_ = std::max(1, static_cast<int>((max_y_ - min_y_) / cell_) + 1);
-  buckets_.resize(static_cast<size_t>(nx_) * ny_);
-  for (size_t i = 0; i < pts_.size(); ++i) {
-    const auto [cx, cy] = cell_of(pts_[i]);
-    buckets_[static_cast<size_t>(cy) * nx_ + cx].push_back(
-        static_cast<int>(i));
+  // Counting sort into CSR: count per cell (caching each point's cell id
+  // so the fill pass reloads it instead of recomputing the coordinate
+  // mapping), prefix-sum, fill (ascending i, so ids stay sorted within
+  // each cell), then shift the advanced cursors back into prefix
+  // positions.
+  const size_t cells = static_cast<size_t>(nx_) * ny_;
+  cell_start_.assign(cells + 1, 0);
+  std::vector<int> cell_id(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const auto [cx, cy] = cell_of(pts[i]);
+    const int c = cy * nx_ + cx;
+    cell_id[i] = c;
+    ++cell_start_[static_cast<size_t>(c) + 1];
   }
+  for (size_t c = 0; c < cells; ++c) cell_start_[c + 1] += cell_start_[c];
+  item_id_.resize(pts.size());
+  item_x_.resize(pts.size());
+  item_y_.resize(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const int slot = cell_start_[static_cast<size_t>(cell_id[i])]++;
+    item_id_[slot] = static_cast<int>(i);
+    item_x_[slot] = pts[i].x;
+    item_y_[slot] = pts[i].y;
+  }
+  for (size_t c = cells; c > 0; --c) cell_start_[c] = cell_start_[c - 1];
+  cell_start_[0] = 0;
 }
 
 std::pair<int, int> GridIndex::cell_of(const Point& p) const {
-  int cx = static_cast<int>((p.x - min_x_) / cell_);
-  int cy = static_cast<int>((p.y - min_y_) / cell_);
+  // Multiply by the precomputed reciprocal: cell lookup sits on every query
+  // path, and build/query use the same expression so assignment stays
+  // consistent.
+  int cx = static_cast<int>((p.x - min_x_) * inv_cell_);
+  int cy = static_cast<int>((p.y - min_y_) * inv_cell_);
   cx = std::clamp(cx, 0, nx_ - 1);
   cy = std::clamp(cy, 0, ny_ - 1);
   return {cx, cy};
@@ -54,20 +77,8 @@ std::vector<int> GridIndex::within(const Point& q, double radius,
 
 void GridIndex::within(const Point& q, double radius, int exclude,
                        std::vector<int>& out) const {
-  if (pts_.empty()) return;
-  const double r2 = radius * radius;
-  const int span = static_cast<int>(std::ceil(radius / cell_));
-  const auto [cx, cy] = cell_of(q);
-  for (int y = std::max(0, cy - span); y <= std::min(ny_ - 1, cy + span);
-       ++y) {
-    for (int x = std::max(0, cx - span); x <= std::min(nx_ - 1, cx + span);
-         ++x) {
-      for (int i : buckets_[static_cast<size_t>(y) * nx_ + x]) {
-        if (i == exclude) continue;
-        if (geom::dist2(q, pts_[i]) <= r2) out.push_back(i);
-      }
-    }
-  }
+  for_each_within(q, radius, exclude,
+                  [&](int i, double, double, double) { out.push_back(i); });
 }
 
 double GridIndex::cone_reach(const Point& q, double a0, double width) const {
@@ -127,7 +138,7 @@ void GridIndex::cone_nearest(const Point& q, int k, double phase, int exclude,
                              ConeScratch& scratch) const {
   DIRANT_ASSERT(k >= 1);
   nearest.assign(k, -1);
-  if (pts_.empty()) return;
+  if (size() == 0) return;
   const double cone = kTwoPi / k;
   auto& best = scratch.best;
   auto& reach = scratch.reach;
@@ -141,9 +152,11 @@ void GridIndex::cone_nearest(const Point& q, int k, double phase, int exclude,
   }
 
   const auto scan_cell = [&](int x, int y) {
-    for (int i : buckets_[static_cast<size_t>(y) * nx_ + x]) {
+    const size_t c0 = static_cast<size_t>(y) * nx_ + x;
+    for (int j = cell_start_[c0]; j < cell_start_[c0 + 1]; ++j) {
+      const int i = item_id_[j];
       if (i == exclude) continue;
-      const Point& p = pts_[i];
+      const Point p{item_x_[j], item_y_[j]};
       if (p.x == q.x && p.y == q.y) continue;  // apex: no direction
       const double theta = geom::ccw_delta(phase, geom::angle_to(q, p));
       int c = static_cast<int>(theta / cone);

@@ -4,7 +4,10 @@
 /// kd-tree when the query radius is known up front (transmission-graph
 /// construction, unit-disk graph building).
 
+#include <algorithm>
+#include <cmath>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "geometry/point.hpp"
@@ -27,6 +30,61 @@ class GridIndex {
   void within(const geom::Point& q, double radius, int exclude,
               std::vector<int>& out) const;
 
+  /// Streaming variant: calls `f(i, dx, dy, dist2)` for every point within
+  /// `radius` of `q` (inclusive, excluding `exclude`), where (dx, dy) =
+  /// pts[i] - q.  Fused filters (the sector classifier in the certify path)
+  /// consume hits in place — no candidate buffer, and the displacement
+  /// computed for the radius test is reused instead of recomputed.
+  template <typename F>
+  void for_each_within(const geom::Point& q, double radius, int exclude,
+                       F&& f) const {
+    if (size() == 0) return;
+    // floor(x) + 1 >= ceil(x) always: divide-free and still conservative.
+    const int span = static_cast<int>(radius * inv_cell_) + 1;
+    const auto [cx, cy] = cell_of(q);
+    scan_window(q, radius, std::max(0, cx - span),
+                std::min(nx_ - 1, cx + span), std::max(0, cy - span),
+                std::min(ny_ - 1, cy + span), exclude, f);
+  }
+
+  /// Scan variant restricted to an axis-aligned box (still filtered by
+  /// `radius` around `q`).  Sector-shaped queries (the transmission
+  /// builder) pass the tight bounding box of the wedge: a narrow beam then
+  /// touches only the cells along its ray instead of the whole disk square.
+  template <typename F>
+  void for_each_within_box(const geom::Point& q, double radius,
+                           const geom::Point& box_lo,
+                           const geom::Point& box_hi, int exclude,
+                           F&& f) const {
+    if (size() == 0) return;
+    const auto [cx_lo, cy_lo] = cell_of(box_lo);
+    const auto [cx_hi, cy_hi] = cell_of(box_hi);
+    scan_window(q, radius, cx_lo, cx_hi, cy_lo, cy_hi, exclude, f);
+  }
+
+  /// Clamped cell coordinate of a world coordinate — the same mapping the
+  /// build uses.  Two-phase pipelines (certification) precompute their cell
+  /// windows in a separate vectorizable pass and hand them back to
+  /// `for_each_in_cell_window`.
+  int cell_x(double x) const {
+    return std::clamp(static_cast<int>((x - min_x_) * inv_cell_), 0, nx_ - 1);
+  }
+  int cell_y(double y) const {
+    return std::clamp(static_cast<int>((y - min_y_) * inv_cell_), 0, ny_ - 1);
+  }
+
+  /// Scan an explicit (inclusive, already clamped) cell window, filtering
+  /// by squared distance `radius2` around `q`.  Companion of
+  /// `cell_x`/`cell_y`; takes the radius pre-squared so pipelines that
+  /// already store a squared limit pass it straight through.
+  template <typename F>
+  void for_each_in_cell_window(const geom::Point& q, double radius2,
+                               int x_lo, int x_hi, int y_lo, int y_hi,
+                               int exclude, F&& f) const {
+    if (size() == 0) return;
+    scan_window_r2(q, radius2, x_lo, x_hi, y_lo, y_hi, exclude, f);
+  }
+
   /// Reusable scratch for `cone_nearest`; per-point query loops keep one
   /// instance alive so the k-sized working vectors allocate only once.
   struct ConeScratch {
@@ -48,7 +106,7 @@ class GridIndex {
   void cone_nearest(const geom::Point& q, int k, double phase, int exclude,
                     std::vector<int>& nearest) const;
 
-  int size() const { return static_cast<int>(pts_.size()); }
+  int size() const { return static_cast<int>(item_id_.size()); }
 
  private:
   std::pair<int, int> cell_of(const geom::Point& p) const;
@@ -57,12 +115,73 @@ class GridIndex {
   /// the box).  Used to prove empty cones empty without scanning.
   double cone_reach(const geom::Point& q, double a0, double width) const;
 
-  std::vector<geom::Point> pts_;
+  static constexpr int kScanChunk = 64;
+
+  template <typename F>
+  void scan_window(const geom::Point& q, double radius, int x_lo, int x_hi,
+                   int y_lo, int y_hi, int exclude, F&& f) const {
+    scan_window_r2(q, radius * radius, x_lo, x_hi, y_lo, y_hi, exclude, f);
+  }
+
+  /// Shared scan body over an inclusive cell window: one contiguous run of
+  /// cell-sorted coordinates per grid row, processed in chunks — the
+  /// squared-distance pass is branch-free over SoA arrays (the compiler
+  /// vectorizes it), and only the sparse hits pay the callback.
+  template <typename F>
+  void scan_window_r2(const geom::Point& q, double r2, int x_lo, int x_hi,
+                      int y_lo, int y_hi, int exclude, F&& f) const {
+    double d2s[kScanChunk];
+    for (int y = y_lo; y <= y_hi; ++y) {
+      const size_t row = static_cast<size_t>(y) * nx_;
+      int k = cell_start_[row + x_lo];
+      const int k_end = cell_start_[row + x_hi + 1];
+      if (k_end - k <= 16) {
+        // Short runs (narrow beam windows): plain scalar loop, no chunk
+        // buffer setup.
+        for (; k < k_end; ++k) {
+          const double dx = item_x_[k] - q.x;
+          const double dy = item_y_[k] - q.y;
+          const double d2 = dx * dx + dy * dy;
+          if (d2 <= r2 && item_id_[k] != exclude) {
+            f(item_id_[k], dx, dy, d2);
+          }
+        }
+        continue;
+      }
+      while (k < k_end) {
+        const int chunk = std::min(kScanChunk, k_end - k);
+        for (int t = 0; t < chunk; ++t) {
+          const double dx = item_x_[k + t] - q.x;
+          const double dy = item_y_[k + t] - q.y;
+          d2s[t] = dx * dx + dy * dy;
+        }
+        for (int t = 0; t < chunk; ++t) {
+          if (d2s[t] <= r2) {
+            const int i = item_id_[k + t];
+            if (i != exclude) {
+              f(i, item_x_[k + t] - q.x, item_y_[k + t] - q.y, d2s[t]);
+            }
+          }
+        }
+        k += chunk;
+      }
+    }
+  }
+
   double cell_;
+  double inv_cell_ = 0.0;  ///< 1 / cell_, for divide-free cell lookup
   double min_x_ = 0.0, min_y_ = 0.0;
   double max_x_ = 0.0, max_y_ = 0.0;
   int nx_ = 1, ny_ = 1;
-  std::vector<std::vector<int>> buckets_;
+  // Buckets in compressed-sparse-row form: cell_start_ has nx*ny+1 prefix
+  // sums into three parallel arrays grouped by cell (ascending original
+  // index within a cell) — the original point id and a cell-ordered SoA
+  // copy of its coordinates, so range scans stream memory instead of
+  // gathering through ids.  A handful of allocations regardless of n, vs
+  // one small vector per cell.
+  std::vector<int> cell_start_;
+  std::vector<int> item_id_;
+  std::vector<double> item_x_, item_y_;
 };
 
 }  // namespace dirant::spatial

@@ -1,0 +1,193 @@
+// CSR equivalence: the grid-accelerated CSR digraph builder, the naive
+// reference builder, and the pre-refactor adjacency-list semantics must
+// agree on edge sets, SCC counts, and BFS distances across random,
+// clustered, and degenerate (empty / single-vertex / duplicate-point)
+// instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "geometry/generators.hpp"
+#include "graph/scc.hpp"
+#include "graph/traversal.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+namespace antenna = dirant::antenna;
+namespace graph = dirant::graph;
+using dirant::kPi;
+
+namespace {
+
+// Pre-refactor semantics: adjacency lists (vector-of-vectors) filled by the
+// same sector test the seed used, each row sorted ascending.
+std::vector<std::vector<int>> reference_adjacency(
+    const std::vector<geom::Point>& pts, const antenna::Orientation& o) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<std::vector<int>> adj(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;
+      for (const auto& s : o.antennas(u)) {
+        if (s.contains(pts[v], dirant::kAngleTol, dirant::kRadiusAbsTol)) {
+          adj[u].push_back(v);
+          break;
+        }
+      }
+    }
+    std::sort(adj[u].begin(), adj[u].end());
+  }
+  return adj;
+}
+
+std::vector<int> sorted_row(const graph::Digraph& g, int u) {
+  std::vector<int> row(g.out(u).begin(), g.out(u).end());
+  std::sort(row.begin(), row.end());
+  return row;
+}
+
+void expect_equivalent(const std::vector<geom::Point>& pts,
+                       const antenna::Orientation& o) {
+  const int n = static_cast<int>(pts.size());
+  const auto naive = antenna::induced_digraph(pts, o);
+  antenna::TransmissionScratch scratch;
+  const auto fast = antenna::induced_digraph_fast(
+      pts, o, dirant::kAngleTol, dirant::kRadiusAbsTol, scratch);
+  const auto ref = reference_adjacency(pts, o);
+
+  ASSERT_EQ(naive.size(), n);
+  ASSERT_EQ(fast.size(), n);
+  EXPECT_EQ(naive.edge_count(), fast.edge_count());
+  for (int u = 0; u < n; ++u) {
+    EXPECT_EQ(sorted_row(naive, u), ref[u]) << "naive row " << u;
+    EXPECT_EQ(sorted_row(fast, u), ref[u]) << "fast row " << u;
+  }
+
+  // Same SCC decomposition cardinality...
+  const auto scc_naive = graph::strongly_connected_components(naive);
+  const auto scc_fast = graph::strongly_connected_components(fast);
+  EXPECT_EQ(scc_naive.count, scc_fast.count);
+  EXPECT_EQ(graph::is_strongly_connected(naive),
+            graph::is_strongly_connected(fast));
+
+  // ...and identical BFS hop distances from several sources.
+  for (int s = 0; s < n; s += std::max(1, n / 5)) {
+    EXPECT_EQ(graph::bfs_distances(naive, s), graph::bfs_distances(fast, s))
+        << "source " << s;
+  }
+}
+
+TEST(CsrEquivalence, RandomUniformInstances) {
+  for (int trial = 0; trial < 4; ++trial) {
+    geom::Rng rng(4200 + trial);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, 180, rng);
+    const auto res = core::orient(pts, {2, kPi});
+    expect_equivalent(pts, res.orientation);
+  }
+}
+
+TEST(CsrEquivalence, ClusteredInstances) {
+  for (int trial = 0; trial < 3; ++trial) {
+    geom::Rng rng(5200 + trial);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kClusters, 150, rng);
+    const auto res = core::orient(pts, {2, kPi});
+    expect_equivalent(pts, res.orientation);
+  }
+}
+
+TEST(CsrEquivalence, EmptyInstance) {
+  const std::vector<geom::Point> pts;
+  const antenna::Orientation o(0);
+  expect_equivalent(pts, o);
+  const auto fast = antenna::induced_digraph_fast(pts, o);
+  EXPECT_EQ(fast.size(), 0);
+  EXPECT_EQ(fast.edge_count(), 0);
+}
+
+TEST(CsrEquivalence, SingleVertex) {
+  const std::vector<geom::Point> pts = {{2.5, -1.0}};
+  antenna::Orientation o(1);
+  o.add(0, geom::make_arc(pts[0], 0.0, kPi, 3.0));
+  expect_equivalent(pts, o);
+  EXPECT_EQ(antenna::induced_digraph_fast(pts, o).edge_count(), 0);
+}
+
+TEST(CsrEquivalence, DuplicatePoints) {
+  // Exact duplicates: every duplicate pair is mutually in range whenever a
+  // sector's radius is positive (distance 0), and the grid path must agree
+  // with brute force about them.
+  std::vector<geom::Point> pts = {{0, 0}, {0, 0}, {1, 0},
+                                  {1, 0}, {0.5, 0.5}};
+  antenna::Orientation o(static_cast<int>(pts.size()));
+  for (int u = 0; u < static_cast<int>(pts.size()); ++u) {
+    o.add(u, geom::make_arc(pts[u], 0.0, 2 * kPi, 1.25));
+  }
+  expect_equivalent(pts, o);
+}
+
+TEST(CsrEquivalence, WideSectorsBetweenPiAndTwoPi) {
+  // pi < width < 2*pi exercises the complement-wedge branch of the fast
+  // classifier (and its bounding-box hull), which no orient() output
+  // produces; mix in beams so multi-sector rows still dedup.
+  geom::Rng rng(8100);
+  const auto pts = geom::uniform_square(140, 4.0, rng);
+  const int n = static_cast<int>(pts.size());
+  std::uniform_real_distribution<double> start_dist(0.0, 2 * kPi);
+  std::uniform_real_distribution<double> width_dist(kPi + 0.1,
+                                                    2 * kPi - 0.1);
+  antenna::Orientation o(n);
+  for (int u = 0; u < n; ++u) {
+    o.add(u, geom::make_arc(pts[u], start_dist(rng), width_dist(rng), 1.1));
+    o.add(u, geom::beam_to(pts[u], pts[(u + 7) % n]));
+  }
+  expect_equivalent(pts, o);
+}
+
+TEST(CsrEquivalence, LongRowsWithOverlappingSectors) {
+  // Two overlapping full-circle sectors per vertex over a dense cluster:
+  // every row exceeds the linear-dedup threshold and the second sector's
+  // candidates are all duplicates, exercising the linear->marked dedup
+  // transition.  Regression: the transition used to leak seen[] marks past
+  // the row wipe, silently deleting edges from later rows.
+  geom::Rng rng(7300);
+  const auto pts = geom::uniform_square(120, 1.0, rng);
+  antenna::Orientation o(static_cast<int>(pts.size()));
+  for (int u = 0; u < static_cast<int>(pts.size()); ++u) {
+    o.add(u, geom::make_arc(pts[u], 0.0, 2 * kPi, 2.0));
+    o.add(u, geom::make_arc(pts[u], 1.0, 2 * kPi, 2.0));
+  }
+  expect_equivalent(pts, o);
+}
+
+TEST(CsrEquivalence, ScratchReuseAcrossInstances) {
+  // One TransmissionScratch across instances of different sizes: results
+  // must match fresh builds (stale seen/offset state must not leak).
+  antenna::TransmissionScratch scratch;
+  for (int n : {120, 40, 200}) {
+    geom::Rng rng(6000 + n);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, n, rng);
+    const auto res = core::orient(pts, {2, kPi});
+    auto reused = antenna::induced_digraph_fast(
+        pts, res.orientation, dirant::kAngleTol, dirant::kRadiusAbsTol,
+        scratch);
+    const auto fresh =
+        antenna::induced_digraph_fast(pts, res.orientation);
+    ASSERT_EQ(reused.size(), fresh.size());
+    ASSERT_EQ(reused.edge_count(), fresh.edge_count());
+    for (int u = 0; u < reused.size(); ++u) {
+      EXPECT_EQ(sorted_row(reused, u), sorted_row(fresh, u));
+    }
+    std::move(reused).release(scratch.offsets, scratch.targets);
+  }
+}
+
+}  // namespace

@@ -1,4 +1,5 @@
-// Graph substrate: SCC, traversal, biconnectivity, Hamiltonicity engines.
+// Graph substrate: CSR storage, SCC, traversal, biconnectivity,
+// Hamiltonicity engines.
 
 #include <gtest/gtest.h>
 
@@ -8,11 +9,18 @@
 #include "graph/traversal.hpp"
 #include "graph/union_find.hpp"
 
+#include <algorithm>
 #include <random>
 
 namespace graph = dirant::graph;
 
 namespace {
+
+graph::Digraph cycle_digraph(int n) {
+  graph::DigraphBuilder b(n);
+  for (int i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  return b.build();
+}
 
 TEST(Scc, SingleVertexAndEmpty) {
   EXPECT_TRUE(graph::is_strongly_connected(graph::Digraph(0)));
@@ -22,28 +30,28 @@ TEST(Scc, SingleVertexAndEmpty) {
 }
 
 TEST(Scc, DirectedCycleIsStrong) {
-  graph::Digraph g(5);
-  for (int i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  const auto g = cycle_digraph(5);
   EXPECT_TRUE(graph::is_strongly_connected(g));
   EXPECT_EQ(graph::strongly_connected_components(g).count, 1);
 }
 
 TEST(Scc, PathIsNotStrong) {
-  graph::Digraph g(4);
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  g.add_edge(2, 3);
+  graph::DigraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const auto g = b.build();
   EXPECT_FALSE(graph::is_strongly_connected(g));
   EXPECT_EQ(graph::strongly_connected_components(g).count, 4);
 }
 
 TEST(Scc, TwoComponents) {
-  graph::Digraph g(6);
+  graph::DigraphBuilder b(6);
   // Cycle {0,1,2} and cycle {3,4,5} with a one-way bridge.
-  for (int i = 0; i < 3; ++i) g.add_edge(i, (i + 1) % 3);
-  for (int i = 3; i < 6; ++i) g.add_edge(i, 3 + (i - 2) % 3);
-  g.add_edge(0, 3);
-  const auto r = graph::strongly_connected_components(g);
+  for (int i = 0; i < 3; ++i) b.add_edge(i, (i + 1) % 3);
+  for (int i = 3; i < 6; ++i) b.add_edge(i, 3 + (i - 2) % 3);
+  b.add_edge(0, 3);
+  const auto r = graph::strongly_connected_components(b.build());
   EXPECT_EQ(r.count, 2);
   EXPECT_EQ(r.component[0], r.component[1]);
   EXPECT_EQ(r.component[3], r.component[5]);
@@ -51,23 +59,42 @@ TEST(Scc, TwoComponents) {
 }
 
 TEST(Scc, CondensationOrderIsReverseTopological) {
-  graph::Digraph g(4);
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  g.add_edge(2, 1);
-  g.add_edge(2, 3);
-  const auto r = graph::strongly_connected_components(g);
+  graph::DigraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 1);
+  b.add_edge(2, 3);
+  const auto r = graph::strongly_connected_components(b.build());
   EXPECT_EQ(r.count, 3);
   // Tarjan emits sinks first.
   EXPECT_LT(r.component[3], r.component[1]);
   EXPECT_LT(r.component[1], r.component[0]);
 }
 
+TEST(Scc, ScratchReuseAcrossSizes) {
+  // One scratch across graphs of different sizes must give the same answers
+  // as fresh decompositions (stale buffer contents must not leak through).
+  graph::SccScratch scratch;
+  graph::SccResult res;
+  graph::strongly_connected_components(cycle_digraph(12), scratch, res);
+  EXPECT_EQ(res.count, 1);
+  graph::DigraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const auto g2 = b.build();
+  graph::strongly_connected_components(g2, scratch, res);
+  EXPECT_EQ(res.count, 5);
+  EXPECT_EQ(res.component.size(), 5u);
+  graph::strongly_connected_components(graph::Digraph(0), scratch, res);
+  EXPECT_EQ(res.count, 0);
+}
+
 TEST(Traversal, BfsDistances) {
-  graph::Digraph g(5);
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  g.add_edge(0, 3);
+  graph::DigraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 3);
+  const auto g = b.build();
   const auto d = graph::bfs_distances(g, 0);
   EXPECT_EQ(d[0], 0);
   EXPECT_EQ(d[1], 1);
@@ -77,29 +104,37 @@ TEST(Traversal, BfsDistances) {
   const auto hs = graph::hop_summary(g, 0);
   EXPECT_EQ(hs.max_hops, 2);
   EXPECT_EQ(hs.unreachable, 1);
+  // Scratch overload agrees with the allocating wrapper.
+  std::vector<int> dist;
+  graph::BfsScratch scratch;
+  graph::bfs_distances(g, 0, dist, scratch);
+  EXPECT_EQ(dist, d);
+  graph::bfs_distances(g, 3, dist, scratch);  // reuse for another source
+  EXPECT_EQ(dist[3], 0);
+  EXPECT_EQ(dist[0], -1);
 }
 
 TEST(Traversal, Biconnectivity) {
   // Triangle: biconnected.
-  graph::Graph tri(3);
+  graph::GraphBuilder tri(3);
   tri.add_edge(0, 1);
   tri.add_edge(1, 2);
   tri.add_edge(2, 0);
-  EXPECT_TRUE(graph::is_biconnected(tri));
+  EXPECT_TRUE(graph::is_biconnected(tri.build()));
   // Path: not.
-  graph::Graph path(3);
+  graph::GraphBuilder path(3);
   path.add_edge(0, 1);
   path.add_edge(1, 2);
-  EXPECT_FALSE(graph::is_biconnected(path));
+  EXPECT_FALSE(graph::is_biconnected(path.build()));
   // Two triangles sharing a vertex: articulation.
-  graph::Graph bowtie(5);
+  graph::GraphBuilder bowtie(5);
   bowtie.add_edge(0, 1);
   bowtie.add_edge(1, 2);
   bowtie.add_edge(2, 0);
   bowtie.add_edge(2, 3);
   bowtie.add_edge(3, 4);
   bowtie.add_edge(4, 2);
-  EXPECT_FALSE(graph::is_biconnected(bowtie));
+  EXPECT_FALSE(graph::is_biconnected(bowtie.build()));
 }
 
 TEST(UnionFind, Basics) {
@@ -115,8 +150,9 @@ TEST(UnionFind, Basics) {
 }
 
 TEST(Hamiltonian, CycleGraphHasCycle) {
-  graph::Graph g(6);
-  for (int i = 0; i < 6; ++i) g.add_edge(i, (i + 1) % 6);
+  graph::GraphBuilder b(6);
+  for (int i = 0; i < 6; ++i) b.add_edge(i, (i + 1) % 6);
+  const auto g = b.build();
   const auto exact = graph::hamiltonian_cycle_exact(g);
   ASSERT_TRUE(exact.has_value());
   EXPECT_EQ(exact->size(), 6u);
@@ -126,35 +162,37 @@ TEST(Hamiltonian, CycleGraphHasCycle) {
 }
 
 TEST(Hamiltonian, StarHasNone) {
-  graph::Graph g(5);
-  for (int i = 1; i < 5; ++i) g.add_edge(0, i);
+  graph::GraphBuilder b(5);
+  for (int i = 1; i < 5; ++i) b.add_edge(0, i);
+  const auto g = b.build();
   EXPECT_FALSE(graph::hamiltonian_cycle_exact(g).has_value());
   EXPECT_FALSE(graph::hamiltonian_cycle_backtracking(g, 100000).has_value());
 }
 
 TEST(Hamiltonian, PetersenGraphHasNoCycle) {
   // The canonical hypohamiltonian graph.
-  graph::Graph g(10);
+  graph::GraphBuilder b(10);
   for (int i = 0; i < 5; ++i) {
-    g.add_edge(i, (i + 1) % 5);        // outer pentagon
-    g.add_edge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
-    g.add_edge(i, 5 + i);              // spokes
+    b.add_edge(i, (i + 1) % 5);          // outer pentagon
+    b.add_edge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    b.add_edge(i, 5 + i);                // spokes
   }
-  EXPECT_FALSE(graph::hamiltonian_cycle_exact(g).has_value());
+  EXPECT_FALSE(graph::hamiltonian_cycle_exact(b.build()).has_value());
 }
 
 TEST(Hamiltonian, ExactAndBacktrackingAgreeOnRandomGraphs) {
   std::mt19937_64 rng(99);
   for (int trial = 0; trial < 30; ++trial) {
     const int n = 5 + static_cast<int>(rng() % 7);
-    graph::Graph g(n);
+    graph::GraphBuilder b(n);
     std::vector<std::pair<int, int>> possible;
     for (int i = 0; i < n; ++i) {
       for (int j = i + 1; j < n; ++j) possible.emplace_back(i, j);
     }
     for (const auto& [i, j] : possible) {
-      if (rng() % 100 < 45) g.add_edge(i, j);
+      if (rng() % 100 < 45) b.add_edge(i, j);
     }
+    const auto g = b.build();
     const bool exact = graph::hamiltonian_cycle_exact(g).has_value();
     const auto bt = graph::hamiltonian_cycle_backtracking(g, 5'000'000);
     if (exact) {
@@ -177,15 +215,74 @@ TEST(Hamiltonian, ExactAndBacktrackingAgreeOnRandomGraphs) {
 }
 
 TEST(Digraph, ReversedAndDegrees) {
-  graph::Digraph g(3);
-  g.add_edge(0, 1);
-  g.add_edge(0, 2);
-  g.add_edge(1, 2);
+  graph::DigraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const auto g = b.build();
   EXPECT_EQ(g.max_out_degree(), 2);
   const auto r = g.reversed();
   EXPECT_EQ(r.out(2).size(), 2u);
   EXPECT_EQ(r.out(0).size(), 0u);
   EXPECT_EQ(r.edge_count(), 3);
+  // Double transpose restores the edge set row by row.
+  const auto rr = r.reversed();
+  for (int u = 0; u < 3; ++u) {
+    std::vector<int> a(g.out(u).begin(), g.out(u).end());
+    std::vector<int> c(rr.out(u).begin(), rr.out(u).end());
+    std::sort(a.begin(), a.end());
+    std::sort(c.begin(), c.end());
+    EXPECT_EQ(a, c) << "row " << u;
+  }
+}
+
+TEST(Digraph, BuilderPreservesOrderAndMultiplicity) {
+  // The counting sort is stable: each row keeps insertion order, and
+  // parallel edges are kept (the certifier counts real sector coverage).
+  graph::DigraphBuilder b(4);
+  b.add_edge(2, 3);
+  b.add_edge(0, 2);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto g = b.build();
+  ASSERT_EQ(g.edge_count(), 4);
+  ASSERT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.out(0)[0], 2);
+  EXPECT_EQ(g.out(0)[1], 1);
+  ASSERT_EQ(g.out_degree(2), 2);
+  EXPECT_EQ(g.out(2)[0], 3);
+  EXPECT_EQ(g.out(2)[1], 3);
+  EXPECT_EQ(g.out_degree(1), 0);
+  EXPECT_EQ(g.out_degree(3), 0);
+}
+
+TEST(Digraph, AdoptAndReleaseRoundTrip) {
+  // The streaming producers hand CSR buffers in and take them back out.
+  std::vector<int> offsets = {0, 2, 3, 4};
+  std::vector<int> targets = {1, 2, 2, 0};
+  graph::Digraph g(std::move(offsets), std::move(targets));
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.edge_count(), 4);
+  EXPECT_EQ(g.out(0).size(), 2u);
+  EXPECT_TRUE(graph::is_strongly_connected(g));
+  std::move(g).release(offsets, targets);
+  EXPECT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(targets.size(), 4u);
+  EXPECT_EQ(targets[3], 0);
+}
+
+TEST(Graph, CsrDegreesAndNeighbors) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  const auto g = b.build();
+  EXPECT_EQ(g.edge_count(), 3);
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_EQ(g.max_degree(), 3);
+  std::vector<int> nb(g.neighbors(1).begin(), g.neighbors(1).end());
+  std::sort(nb.begin(), nb.end());
+  EXPECT_EQ(nb, (std::vector<int>{0, 2, 3}));
 }
 
 }  // namespace

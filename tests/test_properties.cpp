@@ -121,11 +121,12 @@ TEST(Properties, CsvFuzzNeverCrashes) {
 
 TEST(Properties, RoutingSelfAndAdjacent) {
   const std::vector<geom::Point> pts = {{0, 0}, {1, 0}, {2, 0}};
-  dirant::graph::Digraph g(3);
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  g.add_edge(2, 1);
-  g.add_edge(1, 0);
+  dirant::graph::DigraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 1);
+  b.add_edge(1, 0);
+  const auto g = b.build();
   const auto self = dirant::sim::greedy_route(g, pts, 1, 1);
   EXPECT_TRUE(self.delivered);
   EXPECT_EQ(self.hops, 0);
@@ -133,9 +134,9 @@ TEST(Properties, RoutingSelfAndAdjacent) {
   EXPECT_TRUE(hop.delivered);
   EXPECT_EQ(hop.hops, 2);
   // Unreachable: no out-edge makes progress.
-  dirant::graph::Digraph g2(3);
-  g2.add_edge(0, 1);
-  const auto fail = dirant::sim::greedy_route(g2, pts, 1, 2);
+  dirant::graph::DigraphBuilder b2(3);
+  b2.add_edge(0, 1);
+  const auto fail = dirant::sim::greedy_route(b2.build(), pts, 1, 2);
   EXPECT_FALSE(fail.delivered);
 }
 

@@ -38,13 +38,51 @@ TEST(Broadcast, FullDeliveryOnStrongOrientation) {
 }
 
 TEST(Broadcast, PartialDeliveryOnBrokenOrientation) {
-  graph::Digraph g(4);
-  g.add_edge(0, 1);
-  g.add_edge(1, 0);
-  g.add_edge(2, 3);  // island
-  const auto b = sim::flood(g, 0);
+  graph::DigraphBuilder gb(4);
+  gb.add_edge(0, 1);
+  gb.add_edge(1, 0);
+  gb.add_edge(2, 3);  // island
+  const auto b = sim::flood(gb.build(), 0);
   EXPECT_EQ(b.reached, 2);
   EXPECT_LT(b.delivery_ratio, 1.0);
+}
+
+TEST(Broadcast, TransmissionsCountForwardingNodesOnly) {
+  // Path 0 -> 1 -> 2: node 2 is a sink (out-degree 0), so it receives but
+  // never forwards — 3 reached, 2 transmissions.
+  graph::DigraphBuilder pb(3);
+  pb.add_edge(0, 1);
+  pb.add_edge(1, 2);
+  const auto path = sim::flood(pb.build(), 0);
+  EXPECT_EQ(path.reached, 3);
+  EXPECT_EQ(path.transmissions, 2);
+  // Directed cycle: every reached node forwards exactly once.
+  graph::DigraphBuilder cb(5);
+  for (int i = 0; i < 5; ++i) cb.add_edge(i, (i + 1) % 5);
+  const auto cyc = sim::flood(cb.build(), 2);
+  EXPECT_EQ(cyc.reached, 5);
+  EXPECT_EQ(cyc.transmissions, 5);
+}
+
+TEST(Broadcast, TransmissionInvariantOnOrientedInstance) {
+  // On any flood: transmissions == reached nodes with out-degree > 0, and
+  // never exceeds reached.
+  geom::Rng rng(8);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kClusters, 90, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  const auto g = dirant::antenna::induced_digraph(pts, res.orientation);
+  std::vector<int> dist;
+  graph::BfsScratch scratch;
+  for (int s : {0, 13, 89}) {
+    const auto b = sim::flood(g, s, dist, scratch);
+    long long forwarding = 0;
+    for (int v = 0; v < g.size(); ++v) {
+      if (dist[v] >= 0 && g.out_degree(v) > 0) ++forwarding;
+    }
+    EXPECT_EQ(b.transmissions, forwarding);
+    EXPECT_LE(b.transmissions, b.reached);
+  }
 }
 
 TEST(Broadcast, HopStretchAgainstOmni) {
@@ -66,22 +104,22 @@ TEST(Connectivity, LevelsOnKnownGraphs) {
   // Directed cycle: strongly connected but a single deletion ... still
   // strongly connected on the survivors? Removing one vertex of a directed
   // cycle leaves a path — not strong.  Level 1.
-  graph::Digraph cyc(5);
+  graph::DigraphBuilder cyc(5);
   for (int i = 0; i < 5; ++i) cyc.add_edge(i, (i + 1) % 5);
-  EXPECT_EQ(sim::strong_connectivity_level(cyc), 1);
+  EXPECT_EQ(sim::strong_connectivity_level(cyc.build()), 1);
   // Bidirected complete graph on 4 vertices: survives any two deletions.
-  graph::Digraph k4(4);
+  graph::DigraphBuilder k4(4);
   for (int i = 0; i < 4; ++i) {
     for (int j = 0; j < 4; ++j) {
       if (i != j) k4.add_edge(i, j);
     }
   }
-  EXPECT_EQ(sim::strong_connectivity_level(k4), 3);
+  EXPECT_EQ(sim::strong_connectivity_level(k4.build()), 3);
   // Non-strong graph: level 0.
-  graph::Digraph path(3);
+  graph::DigraphBuilder path(3);
   path.add_edge(0, 1);
   path.add_edge(1, 2);
-  EXPECT_EQ(sim::strong_connectivity_level(path), 0);
+  EXPECT_EQ(sim::strong_connectivity_level(path.build()), 0);
 }
 
 TEST(Connectivity, MstOrientationsAreLevelOne) {
