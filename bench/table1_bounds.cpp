@@ -58,6 +58,7 @@ DIRANT_REPORT(table1) {
     sweep.distributions = {geom::Distribution::kUniformSquare,
                            geom::Distribution::kClusters,
                            geom::Distribution::kAnnulus,
+                           geom::Distribution::kPerimeter,
                            geom::Distribution::kCorridor};
     sweep.sizes = btsp ? std::vector<int>{24, 48} : std::vector<int>{60, 180};
     sweep.repeats = btsp ? 2 : 3;

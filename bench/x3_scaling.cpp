@@ -17,6 +17,7 @@
 #include "common/constants.hpp"
 #include "core/batch.hpp"
 #include "core/planner.hpp"
+#include "core/session.hpp"
 #include "core/yao_baseline.hpp"
 #include "delaunay/delaunay.hpp"
 #include "mst/boruvka.hpp"
@@ -102,6 +103,52 @@ DIRANT_REPORT(x3) {
     }
   }
   if (json) std::fprintf(json, "\n  ],\n");
+
+  section("X3 — session reuse (fresh orient() vs warm PlanSession)");
+  // Per-call overhead of rebuilding every pipeline stage from scratch vs
+  // streaming through one warm session (steady-state zero allocation).
+  {
+    const int sn = smoke ? 200 : 5000;
+    geom::Rng rng(47000 + sn);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, sn, rng);
+    const int calls = smoke ? 3 : 10;
+    // Fresh pipeline per call: new session each time, so every stage
+    // re-allocates — this is what a sessionless caller pays.
+    double fresh_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      fresh_ms = std::min(fresh_ms, time_ms([&] {
+                   for (int c = 0; c < calls; ++c) {
+                     core::PlanSession session;
+                     benchmark::DoNotOptimize(
+                         session.orient(pts, spec).measured_radius);
+                   }
+                 }) / calls);
+    }
+    core::PlanSession warm;
+    warm.orient(pts, spec);  // outside the timer: pay warm-up once
+    double warm_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      warm_ms = std::min(warm_ms, time_ms([&] {
+                  for (int c = 0; c < calls; ++c) {
+                    benchmark::DoNotOptimize(
+                        warm.orient(pts, spec).measured_radius);
+                  }
+                }) / calls);
+    }
+    const double reuse_speedup = fresh_ms / std::max(warm_ms, 1e-9);
+    std::printf(
+        "session reuse (n=%d, k=%d): fresh %.3fms/call, warm %.3fms/call "
+        "(%.2fx)\n",
+        sn, spec.k, fresh_ms, warm_ms, reuse_speedup);
+    if (json) {
+      std::fprintf(json,
+                   "  \"session_reuse\": {\"n\": %d, \"k\": %d, "
+                   "\"fresh_ms\": %.3f, \"warm_ms\": %.3f, \"speedup\": "
+                   "%.3f},\n",
+                   sn, spec.k, fresh_ms, warm_ms, reuse_speedup);
+    }
+  }
 
   section("X3 — Monte-Carlo batch throughput (core::orient_batch)");
   // Full pipeline runs (EMST + orient k=2) per second, serial vs pooled.

@@ -39,7 +39,8 @@ DIRANT_REPORT(x5) {
     dirant::bench::SweepSpec sweep;
     sweep.distributions = {geom::Distribution::kUniformSquare,
                            geom::Distribution::kClusters,
-                           geom::Distribution::kAnnulus};
+                           geom::Distribution::kAnnulus,
+                           geom::Distribution::kPerimeter};
     sweep.sizes = {60, 150};
     sweep.repeats = 3;
     dirant::bench::sweep(sweep, [&](geom::Distribution, int, std::uint64_t s,

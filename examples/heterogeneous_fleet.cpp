@@ -16,7 +16,6 @@
 int main() {
   namespace geom = dirant::geom;
   namespace core = dirant::core;
-  using dirant::kPi;
 
   geom::Rng rng(4711);
   const auto pts = geom::uniform_square(120, 11.0, rng);

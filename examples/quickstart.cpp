@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "common/constants.hpp"
-#include "core/planner.hpp"
+#include "core/session.hpp"
 #include "core/validate.hpp"
 #include "geometry/generators.hpp"
 
@@ -22,11 +22,14 @@ int main() {
   // 2. The budget: k = 2 antennae per sensor, total spread pi.
   const core::ProblemSpec spec{2, dirant::kPi};
 
-  // 3. Orient.
-  const auto result = core::orient(sensors, spec);
+  // 3. Orient through a PlanSession — the reusable pipeline.  (One-shot
+  //    callers can use core::orient from core/planner.hpp instead; a held
+  //    session makes repeated orient() calls allocation-free.)
+  core::PlanSession session;
+  const auto& result = session.orient(sensors, spec);
 
   // 4. Certify independently from the construction.
-  const auto cert = core::certify(sensors, result, spec);
+  const auto& cert = session.certify(sensors, spec);
 
   std::printf("algorithm          : %s\n", core::to_string(result.algorithm));
   std::printf("sensors            : %zu\n", sensors.size());

@@ -28,9 +28,11 @@ CTEST_EXTRA=("$@")
 # The Release variant builds the bench binaries, so its ctest run includes
 # the bench_smoke entries (x3_scaling + x6_certify at tiny n with
 # DIRANT_BENCH_SMOKE=1) — benches can't silently bit-rot.  The sanitized
-# Debug variant skips benches for build time.
-run_variant build-release -DCMAKE_BUILD_TYPE=Release
+# Debug variant skips benches for build time.  Both variants promote the
+# library's -Wall -Wextra diagnostics to errors (DIRANT_WERROR).
+run_variant build-release -DCMAKE_BUILD_TYPE=Release -DDIRANT_WERROR=ON
 run_variant build-asan -DCMAKE_BUILD_TYPE=Debug -DDIRANT_SANITIZE=ON \
+    -DDIRANT_WERROR=ON \
     -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF
 
 echo "==== all checks passed ===="

@@ -26,6 +26,30 @@ class Orientation {
 
   int size() const { return static_cast<int>(at_.size()); }
 
+  /// Recycle for a fresh assignment over `n` sensors: per-sensor buckets are
+  /// cleared but keep their capacity, and each is pre-reserved to
+  /// `reserve_per_node` slots (pass the k under test) so repeated fills
+  /// through a warm orientation never allocate.  This is the "output arena"
+  /// the PlanSession steady-state contract is built on.
+  void reset(int n, int reserve_per_node = 0) {
+    at_.resize(n);
+    dirs_.resize(n);
+    for (auto& list : at_) {
+      list.clear();
+      if (static_cast<int>(list.capacity()) < reserve_per_node) {
+        list.reserve(reserve_per_node);
+      }
+    }
+    for (auto& list : dirs_) {
+      list.clear();
+      if (static_cast<int>(list.capacity()) < reserve_per_node) {
+        list.reserve(reserve_per_node);
+      }
+    }
+    max_radius_ = 0.0;
+    total_antennas_ = 0;
+  }
+
   void add(int u, const geom::Sector& s) {
     at_[u].push_back(s);
     BoundaryDirs d;

@@ -1,0 +1,80 @@
+#pragma once
+/// \file small_vec.hpp
+/// Fixed-capacity inline vector for degree-bounded hot paths.  The paper's
+/// constructions run over degree-<=5 spanning trees, so per-node worklists
+/// (children, chords, candidate plans) have tiny compile-time bounds; keeping
+/// them inline removes every per-node heap allocation from the orientation
+/// pipeline.  Capacity overflow is a contract violation, not a reallocation.
+
+#include <array>
+#include <cstddef>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace dirant {
+
+template <class T, int N>
+class SmallVec {
+ public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  void push_back(const T& v) {
+    DIRANT_ASSERT_MSG(size_ < N, "SmallVec capacity exceeded");
+    data_[size_++] = v;
+  }
+
+  template <class... Args>
+  void emplace_back(Args&&... args) {
+    DIRANT_ASSERT_MSG(size_ < N, "SmallVec capacity exceeded");
+    data_[size_++] = T{static_cast<Args&&>(args)...};
+  }
+
+  void clear() { size_ = 0; }
+  void resize(int n) {
+    DIRANT_ASSERT(n >= 0 && n <= N);
+    for (int i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr int capacity() { return N; }
+
+  T& operator[](int i) { return data_[i]; }
+  const T& operator[](int i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* begin() { return data_.data(); }
+  T* end() { return data_.data() + size_; }
+  const T* begin() const { return data_.data(); }
+  const T* end() const { return data_.data() + size_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+ private:
+  std::array<T, N> data_{};
+  int size_ = 0;
+};
+
+/// Stable in-place insertion sort for the tiny degree-bounded ranges the
+/// orienters stage per vertex.  Used instead of std::stable_sort (which
+/// allocates a temporary buffer even for four elements, breaking the
+/// session zero-allocation contract) and instead of std::sort on inline
+/// storage (whose unguarded pointer arithmetic trips GCC's -Warray-bounds
+/// under -Werror).  Stability: elements only move past strictly-greater
+/// predecessors.
+template <class It, class Less>
+void insertion_sort(It first, It last, Less less) {
+  for (It i = first; i != last; ++i) {
+    for (It j = i; j != first && less(*j, *(j - 1)); --j) {
+      std::swap(*j, *(j - 1));
+    }
+  }
+}
+
+}  // namespace dirant

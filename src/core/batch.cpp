@@ -3,8 +3,7 @@
 #include <chrono>
 
 #include "common/assert.hpp"
-#include "core/planner.hpp"
-#include "mst/engine.hpp"
+#include "core/session.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace dirant::core {
@@ -14,17 +13,14 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 void run_one(const std::vector<geom::Point>& pts, const ProblemSpec& spec,
-             const BatchOptions& options, const mst::EmstEngine& engine,
-             CertifyScratch& cert_scratch, BatchItem& out) {
+             const BatchOptions& options, PlanSession& session,
+             BatchItem& out) {
   const auto t0 = Clock::now();
-  const auto tree = engine.degree5(pts);
-  out.result = orient_on_tree(pts, tree, spec);
+  out.result = session.orient(pts, spec);  // copy out of the session arena
   out.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   if (options.certify) {
-    const int n = static_cast<int>(pts.size());
-    out.certificate = certify(pts, out.result, spec,
-                              n >= kCertifyFastThreshold, cert_scratch);
+    out.certificate = session.certify(pts, spec);
   }
 }
 
@@ -40,10 +36,9 @@ std::vector<BatchItem> orient_batch(
   if (instances.empty()) return items;
 
   if (!options.parallel || instances.size() == 1) {
-    const mst::EmstEngine engine;  // one scratch engine for the whole run
-    CertifyScratch cert_scratch;
+    PlanSession session;  // one warm pipeline for the whole run
     for (size_t i = 0; i < instances.size(); ++i) {
-      run_one(instances[i], spec, options, engine, cert_scratch, items[i]);
+      run_one(instances[i], spec, options, session, items[i]);
     }
     return items;
   }
@@ -51,14 +46,14 @@ std::vector<BatchItem> orient_batch(
   par::parallel_for(
       0, static_cast<std::int64_t>(instances.size()),
       [&](std::int64_t i) {
-        // Worker-local scratch: instances in the same chunk share the EMST
-        // engine and the certification buffers, so neither engine-internal
-        // scratch nor the certifier's CSR/SCC arrays cross threads — and
-        // certification allocates nothing after the first instance.
-        thread_local mst::EmstEngine engine;
-        thread_local CertifyScratch cert_scratch;
-        run_one(instances[static_cast<size_t>(i)], spec, options, engine,
-                cert_scratch, items[static_cast<size_t>(i)]);
+        // One session per worker: instances in the same chunk stream
+        // through that worker's warm pipeline (EMST scratch, orienter
+        // arena, certification buffers), so nothing crosses threads and
+        // nothing allocates after each worker's first instance — only the
+        // per-item result copy-out touches the heap.
+        thread_local PlanSession session;
+        run_one(instances[static_cast<size_t>(i)], spec, options, session,
+                items[static_cast<size_t>(i)]);
       },
       std::max<std::int64_t>(1, options.min_chunk));
   return items;

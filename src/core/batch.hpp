@@ -2,10 +2,11 @@
 /// \file batch.hpp
 /// Batched orientation — the front door for Monte-Carlo and fleet
 /// workloads (many independent instances through the same (k, phi) spec).
-/// Fans out over parallel::thread_pool in contiguous chunks; each worker
-/// keeps its own scratch (EMST engine, timing, certification buffers) so
-/// instances stream through the pipeline without cross-thread sharing or
-/// per-instance allocation churn in the layers this library controls.
+/// A thin fan-out over parallel::thread_pool: each worker streams its
+/// chunk through one warm core::PlanSession (core/session.hpp), which owns
+/// every piece of pipeline scratch — nothing crosses threads, and after a
+/// worker's first instance the only heap traffic is the per-item result
+/// copy-out.
 
 #include <span>
 #include <vector>

@@ -21,7 +21,9 @@
 
 #include "common/assert.hpp"
 #include "common/constants.hpp"
+#include "common/small_vec.hpp"
 #include "core/four_antennae.hpp"
+#include "core/session.hpp"
 #include "core/three_antennae.hpp"
 #include "geometry/angle.hpp"
 #include "mst/rooted.hpp"
@@ -31,32 +33,36 @@ namespace {
 
 using geom::Point;
 
-Result orient_chord_tree(std::span<const Point> pts, const mst::Tree& tree,
-                         int k, int root) {
+void orient_chord_tree(std::span<const Point> pts, const mst::Tree& tree,
+                       int k, int root, OrienterScratch& scratch,
+                       Result& res) {
   DIRANT_ASSERT(k == 3 || k == 4);
-  DIRANT_ASSERT_MSG(tree.max_degree() <= 5,
-                    "chord construction needs a degree-5 MST");
+  tree.degrees_into(scratch.degrees);
+  const auto& deg = scratch.degrees;
+  int max_deg = 0;
+  for (int d : deg) max_deg = std::max(max_deg, d);
+  DIRANT_ASSERT_MSG(max_deg <= 5, "chord construction needs a degree-5 MST");
   const int n = static_cast<int>(pts.size());
-  Result res;
-  res.orientation = antenna::Orientation(n);
-  res.algorithm = k == 3 ? Algorithm::kThreeZero : Algorithm::kFourZero;
-  res.bound_factor = k == 3 ? std::sqrt(3.0) : std::sqrt(2.0);
-  res.lmax = tree.lmax();
-  if (n <= 1) return res;
+  reset_result(res, n, k,
+               k == 3 ? Algorithm::kThreeZero : Algorithm::kFourZero,
+               k == 3 ? std::sqrt(3.0) : std::sqrt(2.0), tree.lmax());
+  if (n <= 1) return;
 
-  const double R = res.bound_factor * res.lmax * (1.0 + kRadiusRelTol) + kRadiusAbsTol;
+  const double R =
+      res.bound_factor * res.lmax * (1.0 + kRadiusRelTol) + kRadiusAbsTol;
   const int beams_budget = k - 1;
 
   if (root < 0) {
-    const auto deg = tree.degrees();
     root = static_cast<int>(std::max_element(deg.begin(), deg.end()) -
                             deg.begin());
   }
-  const auto rt = mst::RootedTree::rooted_at(tree, root);
+  scratch.rooted.rebuild(tree, root);
+  const auto& rt = scratch.rooted;
 
+  auto& kids = scratch.kids;
   for (int u : rt.preorder) {
     // Children in ccw order by absolute angle (cyclic; reference irrelevant).
-    auto kids = mst::children_ccw_from(pts, rt, u, 0.0);
+    mst::children_ccw_from(pts, rt, u, 0.0, kids);
     const int m = static_cast<int>(kids.size());
     if (m == 0) continue;
     res.cases.bump("deg" + std::to_string(m + (rt.parent[u] >= 0 ? 1 : 0)) +
@@ -64,18 +70,22 @@ Result orient_chord_tree(std::span<const Point> pts, const mst::Tree& tree,
 
     const int chords_needed = std::max(0, m - beams_budget);
     // is_chord_source[i]: child kids[i] covers kids[(i+1)%m] instead of u.
-    std::vector<char> chord_source(m, 0);
+    // Child counts are bounded by the tree degree, so the per-node staging
+    // lives entirely on the stack.
+    SmallVec<char, 5> chord_source;
+    chord_source.resize(m);
     if (chords_needed > 0) {
       DIRANT_ASSERT_MSG(m >= 2, "chords need at least two children");
       // All cyclic consecutive pairs, by chord length.
-      std::vector<std::pair<double, int>> gaps;
-      gaps.reserve(m);
+      SmallVec<std::pair<double, int>, 5> gaps;
       for (int i = 0; i < m; ++i) {
-        const double d =
-            geom::dist(pts[kids[i]], pts[kids[(i + 1) % m]]);
+        const double d = geom::dist(pts[kids[i]], pts[kids[(i + 1) % m]]);
         gaps.emplace_back(d, i);
       }
-      std::sort(gaps.begin(), gaps.end());
+      // Pairs give a total order (ties break on the index), so the stable
+      // sort matches what std::sort produced here.
+      dirant::insertion_sort(gaps.begin(), gaps.end(),
+                             [](const auto& a, const auto& b) { return a < b; });
       int placed = 0;
       for (const auto& [d, i] : gaps) {
         if (placed == chords_needed) break;
@@ -85,8 +95,8 @@ Result orient_chord_tree(std::span<const Point> pts, const mst::Tree& tree,
         ++placed;
       }
       DIRANT_ASSERT_MSG(placed == chords_needed,
-                        "Theorem " + std::string(k == 3 ? "5" : "6") +
-                            " chord guarantee violated");
+                        k == 3 ? "Theorem 5 chord guarantee violated"
+                               : "Theorem 6 chord guarantee violated");
       res.cases.bump("chords" + std::to_string(placed));
     }
 
@@ -118,19 +128,34 @@ Result orient_chord_tree(std::span<const Point> pts, const mst::Tree& tree,
     }
   }
   res.measured_radius = res.orientation.max_radius();
-  return res;
 }
 
 }  // namespace
 
+void orient_three_antennae(std::span<const Point> pts, const mst::Tree& tree,
+                           int root, OrienterScratch& scratch, Result& out) {
+  orient_chord_tree(pts, tree, 3, root, scratch, out);
+}
+
+void orient_four_antennae(std::span<const Point> pts, const mst::Tree& tree,
+                          int root, OrienterScratch& scratch, Result& out) {
+  orient_chord_tree(pts, tree, 4, root, scratch, out);
+}
+
 Result orient_three_antennae(std::span<const Point> pts,
                              const mst::Tree& tree, int root) {
-  return orient_chord_tree(pts, tree, 3, root);
+  Result res;
+  OrienterScratch scratch;
+  orient_chord_tree(pts, tree, 3, root, scratch, res);
+  return res;
 }
 
 Result orient_four_antennae(std::span<const Point> pts, const mst::Tree& tree,
                             int root) {
-  return orient_chord_tree(pts, tree, 4, root);
+  Result res;
+  OrienterScratch scratch;
+  orient_chord_tree(pts, tree, 4, root, scratch, res);
+  return res;
 }
 
 }  // namespace dirant::core

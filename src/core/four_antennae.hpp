@@ -11,8 +11,15 @@
 
 namespace dirant::core {
 
+struct OrienterScratch;
+
 /// Orient with four antennae per sensor on a degree-<=5 tree.
 Result orient_four_antennae(std::span<const geom::Point> pts,
                             const mst::Tree& tree, int root = -1);
+
+/// Session variant (allocation-free once warm).
+void orient_four_antennae(std::span<const geom::Point> pts,
+                          const mst::Tree& tree, int root,
+                          OrienterScratch& scratch, Result& out);
 
 }  // namespace dirant::core

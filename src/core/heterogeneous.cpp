@@ -1,53 +1,74 @@
 #include "core/heterogeneous.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "common/assert.hpp"
 #include "core/lemma1.hpp"
+#include "core/session.hpp"
 
 namespace dirant::core {
 
 using geom::Point;
 
-HeterogeneousResult orient_heterogeneous(std::span<const Point> pts,
-                                         const mst::Tree& tree,
-                                         std::span<const NodeBudget> budgets) {
+void orient_heterogeneous(std::span<const Point> pts, const mst::Tree& tree,
+                          std::span<const NodeBudget> budgets,
+                          OrienterScratch& scratch, Result& res,
+                          HeterogeneousReport& report) {
   DIRANT_ASSERT(budgets.size() == pts.size());
-  DIRANT_ASSERT_MSG(tree.max_degree() <= 5, "needs a degree-5 MST");
+  tree.degrees_into(scratch.degrees);
+  int max_deg = 0;
+  for (int d : scratch.degrees) max_deg = std::max(max_deg, d);
+  DIRANT_ASSERT_MSG(max_deg <= 5, "needs a degree-5 MST");
   const int n = static_cast<int>(pts.size());
 
-  HeterogeneousResult out;
-  out.result.orientation = antenna::Orientation(n);
-  out.result.algorithm = Algorithm::kTheorem2;
-  out.result.bound_factor = 1.0;
-  out.result.lmax = tree.lmax();
+  int max_k = 1;
+  for (const auto& b : budgets) max_k = std::max(max_k, b.k);
+  reset_result(res, n, std::min(max_k, 6), Algorithm::kHeterogeneous,
+               /*bound_factor=*/1.0, tree.lmax());
+  report.feasible = false;
+  report.deficient.clear();
+  report.missing_spread.clear();
 
-  const auto adj = tree.adjacency();
+  tree.adjacency_into(scratch.adjacency);
+  const auto& adj = scratch.adjacency;
   bool feasible = true;
   for (int u = 0; u < n; ++u) {
     const int d = static_cast<int>(adj[u].size());
     if (d == 0) continue;
     const auto& b = budgets[u];
     DIRANT_ASSERT(b.k >= 1);
-    std::vector<Point> targets;
-    targets.reserve(d);
+    auto& targets = scratch.targets;
+    targets.clear();
+    if (targets.capacity() < static_cast<size_t>(d)) targets.reserve(d);
     for (int v : adj[u]) targets.push_back(pts[v]);
-    const auto sectors = lemma1_cover(pts[u], targets, b.k);
+    lemma1_cover(pts[u], targets, b.k, scratch.lemma1, scratch.cover);
     double spread = 0.0;
-    for (const auto& s : sectors) spread += s.width;
+    for (const auto& s : scratch.cover) spread += s.width;
     if (spread > b.phi + 1e-9) {
       feasible = false;
-      out.deficient.push_back(u);
-      out.missing_spread.push_back(spread - b.phi);
-      out.result.cases.bump("deficient");
+      report.deficient.push_back(u);
+      report.missing_spread.push_back(spread - b.phi);
+      res.cases.bump("deficient");
       continue;
     }
-    for (const auto& s : sectors) out.result.orientation.add(u, s);
-    out.result.cases.bump("deg" + std::to_string(d) + "-k" +
-                          std::to_string(b.k));
+    for (const auto& s : scratch.cover) res.orientation.add(u, s);
+    res.cases.bump("deg" + std::to_string(d) + "-k" + std::to_string(b.k));
   }
-  out.feasible = feasible;
-  out.result.measured_radius = out.result.orientation.max_radius();
+  report.feasible = feasible;
+  res.measured_radius = res.orientation.max_radius();
+}
+
+HeterogeneousResult orient_heterogeneous(std::span<const Point> pts,
+                                         const mst::Tree& tree,
+                                         std::span<const NodeBudget> budgets) {
+  HeterogeneousResult out;
+  OrienterScratch scratch;
+  HeterogeneousReport report;
+  orient_heterogeneous(pts, tree, budgets, scratch, out.result, report);
+  out.feasible = report.feasible;
+  out.deficient = std::move(report.deficient);
+  out.missing_spread = std::move(report.missing_spread);
   return out;
 }
 

@@ -17,18 +17,20 @@ double lemma1_sufficient_spread(int d, int k) {
   return kTwoPi * static_cast<double>(d - k) / static_cast<double>(d);
 }
 
-std::vector<Sector> lemma1_cover(const Point& apex,
-                                 std::span<const Point> targets, int k) {
+void lemma1_cover(const Point& apex, std::span<const Point> targets, int k,
+                  Lemma1Scratch& scratch, std::vector<Sector>& out) {
   DIRANT_ASSERT(k >= 1);
-  std::vector<Sector> out;
-  if (targets.empty()) return out;
+  out.clear();
+  if (targets.empty()) return;
 
-  std::vector<double> rays(targets.size());
+  auto& rays = scratch.rays;
+  rays.resize(targets.size());
   for (size_t i = 0; i < targets.size(); ++i) {
     rays[i] = geom::angle_to(apex, targets[i]);
   }
-  const auto cover = geom::min_spread_cover(rays, k);
-  out.reserve(cover.arcs.size());
+  geom::min_spread_cover(rays, k, scratch.cover, scratch.cover_scratch);
+  const auto& cover = scratch.cover;
+  if (out.capacity() < cover.arcs.size()) out.reserve(cover.arcs.size());
   for (const auto& [start, width] : cover.arcs) {
     double radius = 0.0;
     for (size_t i = 0; i < targets.size(); ++i) {
@@ -38,6 +40,13 @@ std::vector<Sector> lemma1_cover(const Point& apex,
     }
     out.push_back(geom::make_arc(apex, start, width, radius));
   }
+}
+
+std::vector<Sector> lemma1_cover(const Point& apex,
+                                 std::span<const Point> targets, int k) {
+  std::vector<Sector> out;
+  Lemma1Scratch scratch;
+  lemma1_cover(apex, targets, k, scratch, out);
   return out;
 }
 

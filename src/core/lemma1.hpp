@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "geometry/angle.hpp"
 #include "geometry/point.hpp"
 #include "geometry/sector.hpp"
 
@@ -18,6 +19,14 @@ namespace dirant::core {
 /// The sufficient bound of Lemma 1: 2*pi*(d-k)/d (0 when k >= d).
 double lemma1_sufficient_spread(int d, int k);
 
+/// Working memory for per-node Lemma 1 covers (one per tree vertex in the
+/// Theorem 2 pipeline); buffers keep their capacity across nodes and calls.
+struct Lemma1Scratch {
+  std::vector<double> rays;
+  geom::SpreadCover cover;
+  geom::SpreadCoverScratch cover_scratch;
+};
+
 /// Minimum-total-spread cover of `targets` from `apex` with at most k
 /// sectors.  Each sector's radius is the distance to its farthest covered
 /// target.  Total spread is optimal and never exceeds
@@ -25,5 +34,11 @@ double lemma1_sufficient_spread(int d, int k);
 std::vector<geom::Sector> lemma1_cover(const geom::Point& apex,
                                        std::span<const geom::Point> targets,
                                        int k);
+
+/// Scratch-reusing variant: recycles `out` and `scratch` (allocation-free
+/// once warm).
+void lemma1_cover(const geom::Point& apex, std::span<const geom::Point> targets,
+                  int k, Lemma1Scratch& scratch,
+                  std::vector<geom::Sector>& out);
 
 }  // namespace dirant::core

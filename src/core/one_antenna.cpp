@@ -8,6 +8,8 @@
 #include "btsp/btsp.hpp"
 #include "common/assert.hpp"
 #include "common/constants.hpp"
+#include "common/small_vec.hpp"
+#include "core/session.hpp"
 #include "geometry/angle.hpp"
 #include "mst/rooted.hpp"
 
@@ -26,35 +28,40 @@ double one_antenna_mid_bound_factor(double phi) {
   return 2.0 * std::sin(kPi - phi / 2.0);
 }
 
-Result orient_one_antenna_mid(std::span<const Point> pts,
-                              const mst::Tree& tree, double phi) {
-  DIRANT_ASSERT_MSG(tree.max_degree() <= 5, "needs a degree-5 MST");
+void orient_one_antenna_mid(std::span<const Point> pts, const mst::Tree& tree,
+                            double phi, OrienterScratch& scratch,
+                            Result& res) {
+  tree.degrees_into(scratch.degrees);
+  int max_deg = 0;
+  for (int d : scratch.degrees) max_deg = std::max(max_deg, d);
+  DIRANT_ASSERT_MSG(max_deg <= 5, "needs a degree-5 MST");
   const int n = static_cast<int>(pts.size());
-  Result res;
-  res.orientation = antenna::Orientation(n);
-  res.algorithm = Algorithm::kOneAntennaMid;
   // The window construction never needs more range than max(bound, lmax);
   // for phi in [pi, 8pi/5) the bound 2 sin(pi - phi/2) is >= 2 sin(pi/5)
   // ~ 1.176 > 1, so the bound itself dominates.
-  res.bound_factor = one_antenna_mid_bound_factor(phi);
-  res.lmax = tree.lmax();
-  if (n <= 1) return res;
+  reset_result(res, n, /*reserve_per_node=*/1, Algorithm::kOneAntennaMid,
+               one_antenna_mid_bound_factor(phi), tree.lmax());
+  if (n <= 1) return;
 
   const double R =
       res.bound_factor * res.lmax * (1.0 + kRadiusRelTol) + kRadiusAbsTol;
-  const auto rt = mst::RootedTree::rooted_at_leaf(tree);
+  scratch.rooted.rebuild_at_leaf(tree);
+  const auto& rt = scratch.rooted;
 
   const int root = rt.root;
   const int first = rt.children[root][0];
   res.orientation.add(root, geom::beam_to(pts[root], pts[first]));
   res.cases.bump("root");
 
-  std::vector<std::pair<int, Point>> work{{first, pts[root]}};
+  auto& work = scratch.work;
+  work.clear();
+  work.emplace_back(first, pts[root]);
+  auto& kids = scratch.kids;
   while (!work.empty()) {
-    auto [u, target] = work.back();
+    const auto [u, target] = work.back();
     work.pop_back();
     const double ref = geom::angle_to(pts[u], target);
-    const auto kids = mst::children_ccw_from(pts, rt, u, ref);
+    mst::children_ccw_from(pts, rt, u, ref, kids);
     const int m = static_cast<int>(kids.size());
 
     if (m == 0) {
@@ -64,21 +71,25 @@ Result orient_one_antenna_mid(std::span<const Point> pts,
     }
 
     // Ray offsets from the target ray (target at 0, children in (0, 2pi]).
-    std::vector<double> off(m);
-    std::vector<double> abs_angle(m);
+    // Degree-bounded: every per-node buffer below is stack-inline.
+    SmallVec<double, 5> off, abs_angle;
     for (int i = 0; i < m; ++i) {
-      abs_angle[i] = geom::angle_to(pts[u], pts[kids[i]]);
+      abs_angle.push_back(geom::angle_to(pts[u], pts[kids[i]]));
       double d = geom::ccw_delta(ref, abs_angle[i]);
       if (d == 0.0) d = kTwoPi;
-      off[i] = d;
+      off.push_back(d);
     }
 
     // Try the full cover first: one sector spanning all rays (complement of
     // the largest gap).
     {
-      std::vector<double> rays{ref};
-      rays.insert(rays.end(), abs_angle.begin(), abs_angle.end());
-      const auto cover = geom::min_spread_cover(rays, 1);
+      SmallVec<double, 6> rays;
+      rays.push_back(ref);
+      for (int i = 0; i < m; ++i) rays.push_back(abs_angle[i]);
+      geom::min_spread_cover({rays.data(), static_cast<size_t>(rays.size())},
+                             1, scratch.lemma1.cover,
+                             scratch.lemma1.cover_scratch);
+      const auto& cover = scratch.lemma1.cover;
       if (cover.total_spread <= phi + kTol) {
         const auto [start, width] = cover.arcs[0];
         double radius = geom::dist(pts[u], target);
@@ -102,7 +113,7 @@ Result orient_one_antenna_mid(std::span<const Point> pts,
       int covered = 0;
       bool anchor_at_end;
     };
-    std::vector<Window> windows;
+    SmallVec<Window, 10> windows;
     for (int j = 0; j < m; ++j) {
       // Window ending at child j: [off_j - phi, off_j].
       if (off[j] <= phi + kTol) {
@@ -134,7 +145,7 @@ Result orient_one_antenna_mid(std::span<const Point> pts,
 
     // Emit the sector.  Trim it to the covered rays (narrower than phi is
     // free): the sweep from the first covered ray to the last covered ray.
-    std::vector<int> covered_children, excluded;
+    SmallVec<int, 5> covered_children, excluded;
     for (int i = 0; i < m; ++i) {
       (in_window(best, off[i]) ? covered_children : excluded).push_back(i);
     }
@@ -165,11 +176,13 @@ Result orient_one_antenna_mid(std::span<const Point> pts,
     // Delegation chain over the excluded children, ordered ccw from the
     // anchor; the anchor covers the first, each covers the next, the last
     // covers u.
-    std::sort(excluded.begin(), excluded.end(), [&](int a, int b) {
-      return geom::ccw_delta(off[best.anchor], off[a]) <
-             geom::ccw_delta(off[best.anchor], off[b]);
-    });
-    std::vector<Point> targets(m, pts[u]);
+    dirant::insertion_sort(excluded.begin(), excluded.end(),
+                           [&](int a, int b) {
+                             return geom::ccw_delta(off[best.anchor], off[a]) <
+                                    geom::ccw_delta(off[best.anchor], off[b]);
+                           });
+    SmallVec<Point, 5> targets;
+    for (int i = 0; i < m; ++i) targets.push_back(pts[u]);
     int prev = best.anchor;
     for (int x : excluded) {
       DIRANT_ASSERT_MSG(geom::dist(pts[kids[prev]], pts[kids[x]]) <= R,
@@ -183,26 +196,34 @@ Result orient_one_antenna_mid(std::span<const Point> pts,
                        : "window-chain" + std::to_string(excluded.size()));
   }
   res.measured_radius = res.orientation.max_radius();
+}
+
+Result orient_one_antenna_mid(std::span<const Point> pts,
+                              const mst::Tree& tree, double phi) {
+  Result res;
+  OrienterScratch scratch;
+  orient_one_antenna_mid(pts, tree, phi, scratch, res);
   return res;
 }
 
-Result orient_btsp_cycle(std::span<const Point> pts, const mst::Tree& tree) {
+void orient_btsp_cycle(std::span<const Point> pts, const mst::Tree& tree,
+                       OrienterScratch& /*scratch*/, Result& res) {
   const int n = static_cast<int>(pts.size());
-  Result res;
-  res.orientation = antenna::Orientation(n);
-  res.algorithm = Algorithm::kBtspCycle;
-  res.lmax = tree.lmax();
+  reset_result(res, n, /*reserve_per_node=*/1, Algorithm::kBtspCycle,
+               std::numeric_limits<double>::infinity(), tree.lmax());
   if (n <= 1) {
     res.bound_factor = 0.0;
-    return res;
+    return;
   }
   if (n == 2) {
     res.orientation.add(0, geom::beam_to(pts[0], pts[1]));
     res.orientation.add(1, geom::beam_to(pts[1], pts[0]));
     res.measured_radius = res.orientation.max_radius();
     res.bound_factor = res.lmax > 0.0 ? res.measured_radius / res.lmax : 0.0;
-    return res;
+    return;
   }
+  // The bottleneck-cycle machinery (NP-hard regime) owns its DP tables;
+  // this path is exempt from the session zero-allocation contract.
   const auto cyc = btsp::bottleneck_cycle(pts);
   for (int i = 0; i < n; ++i) {
     const int a = cyc.order[i];
@@ -213,6 +234,12 @@ Result orient_btsp_cycle(std::span<const Point> pts, const mst::Tree& tree) {
   res.bound_factor = res.lmax > 0.0 ? res.measured_radius / res.lmax
                                     : std::numeric_limits<double>::infinity();
   res.cases.bump(cyc.proven_optimal ? "btsp-optimal" : "btsp-heuristic");
+}
+
+Result orient_btsp_cycle(std::span<const Point> pts, const mst::Tree& tree) {
+  Result res;
+  OrienterScratch scratch;
+  orient_btsp_cycle(pts, tree, scratch, res);
   return res;
 }
 

@@ -20,6 +20,8 @@
 
 namespace dirant::core {
 
+struct OrienterScratch;
+
 /// Range factor of the mid regime: 2*sin(pi - phi/2) for phi in [pi, 8pi/5).
 double one_antenna_mid_bound_factor(double phi);
 
@@ -27,10 +29,20 @@ double one_antenna_mid_bound_factor(double phi);
 Result orient_one_antenna_mid(std::span<const geom::Point> pts,
                               const mst::Tree& tree, double phi);
 
+/// Session variant (allocation-free once warm).
+void orient_one_antenna_mid(std::span<const geom::Point> pts,
+                            const mst::Tree& tree, double phi,
+                            OrienterScratch& scratch, Result& out);
+
 /// Orientation along a bottleneck Hamiltonian cycle (any k >= 1, any
 /// phi >= 0; uses one zero-spread antenna per sensor).  `bound_factor` is
 /// reported as measured bottleneck / lmax (no a-priori factor).
 Result orient_btsp_cycle(std::span<const geom::Point> pts,
                          const mst::Tree& tree);
+
+/// Session variant.  NOTE: the bottleneck-cycle solver allocates its own DP
+/// tables — this regime is exempt from the zero-allocation contract.
+void orient_btsp_cycle(std::span<const geom::Point> pts, const mst::Tree& tree,
+                       OrienterScratch& scratch, Result& out);
 
 }  // namespace dirant::core

@@ -1,97 +1,52 @@
 #include "core/planner.hpp"
 
-#include <cmath>
-#include <limits>
-
 #include "common/assert.hpp"
 #include "common/constants.hpp"
-#include "core/one_antenna.hpp"
-#include "core/theorem2.hpp"
-#include "core/three_antennae.hpp"
-#include "core/four_antennae.hpp"
-#include "core/two_antennae.hpp"
-#include "mst/engine.hpp"
+#include "core/registry.hpp"
+#include "core/session.hpp"
 
 namespace dirant::core {
 
 namespace {
 constexpr double kEps = 1e-12;
 
-double theorem2_threshold(int k) { return 2.0 * kPi * (5 - k) / 5.0; }
+/// One warm session per thread backs the one-shot free functions, so legacy
+/// call sites inherit the steady-state buffer reuse without code changes.
+/// Results are copied out (the session-owned Result is recycled per call).
+/// Trade-off: the session's buffers stay sized to the largest instance the
+/// thread has oriented (released at thread exit).  Long-lived threads that
+/// touch one huge instance and then only small ones should hold their own
+/// PlanSession and drop it when the working set should shrink.
+PlanSession& thread_session() {
+  thread_local PlanSession session;
+  return session;
+}
 }  // namespace
 
 Algorithm planned_algorithm(const ProblemSpec& spec) {
   DIRANT_ASSERT_MSG(spec.k >= 1 && spec.k <= 5, "k must be in 1..5");
   DIRANT_ASSERT_MSG(spec.phi >= 0.0 && spec.phi <= kTwoPi,
                     "phi must be in [0, 2*pi]");
-  const int k = spec.k;
-  const double phi = spec.phi;
-  if (phi >= theorem2_threshold(k) - kEps) {
-    return k == 5 ? Algorithm::kFiveZero : Algorithm::kTheorem2;
+  // First matching Table 1 row wins (rows of one k are ordered by
+  // descending phi_lo; see core/registry.cpp).
+  for (const RegimeRow& row : selection_table()) {
+    if (row.k == spec.k && spec.phi >= row.phi_lo - kEps) return row.algo;
   }
-  switch (k) {
-    case 1:
-      if (phi >= kPi - kEps) return Algorithm::kOneAntennaMid;
-      return Algorithm::kBtspCycle;
-    case 2:
-      if (phi >= kPi - kEps) return Algorithm::kTwoPart1;
-      if (phi >= 2.0 * kPi / 3.0 - kEps) return Algorithm::kTwoPart2;
-      return Algorithm::kBtspCycle;
-    case 3:
-      return Algorithm::kThreeZero;
-    case 4:
-      return Algorithm::kFourZero;
-    default:
-      return Algorithm::kFiveZero;  // unreachable: threshold(5) == 0
-  }
+  DIRANT_ASSERT_MSG(false, "selection table has no row for (k, phi)");
+  return Algorithm::kTheorem2;
 }
 
 double guaranteed_bound_factor(const ProblemSpec& spec) {
-  switch (planned_algorithm(spec)) {
-    case Algorithm::kTheorem2:
-    case Algorithm::kFiveZero:
-      return 1.0;
-    case Algorithm::kOneAntennaMid:
-      return one_antenna_mid_bound_factor(spec.phi);
-    case Algorithm::kTwoPart1:
-    case Algorithm::kTwoPart2:
-      return theorem3_bound_factor(spec.phi);
-    case Algorithm::kThreeZero:
-      return std::sqrt(3.0);
-    case Algorithm::kFourZero:
-      return std::sqrt(2.0);
-    case Algorithm::kBtspCycle:
-      return std::numeric_limits<double>::infinity();
-  }
-  return std::numeric_limits<double>::infinity();
+  return algorithm_info(planned_algorithm(spec)).bound_factor(spec);
 }
 
 Result orient_on_tree(std::span<const geom::Point> pts, const mst::Tree& tree,
                       const ProblemSpec& spec) {
-  switch (planned_algorithm(spec)) {
-    case Algorithm::kTheorem2:
-    case Algorithm::kFiveZero:
-      return orient_theorem2(pts, tree, spec.k);
-    case Algorithm::kOneAntennaMid:
-      return orient_one_antenna_mid(pts, tree, spec.phi);
-    case Algorithm::kTwoPart1:
-    case Algorithm::kTwoPart2:
-      return orient_two_antennae(pts, tree, spec.phi);
-    case Algorithm::kThreeZero:
-      return orient_three_antennae(pts, tree);
-    case Algorithm::kFourZero:
-      return orient_four_antennae(pts, tree);
-    case Algorithm::kBtspCycle:
-      return orient_btsp_cycle(pts, tree);
-  }
-  DIRANT_ASSERT_MSG(false, "unhandled algorithm");
-  return Result{};
+  return thread_session().orient_on_tree(pts, tree, spec);
 }
 
 Result orient(std::span<const geom::Point> pts, const ProblemSpec& spec) {
-  DIRANT_ASSERT_MSG(!pts.empty(), "empty sensor set");
-  const auto tree = mst::EmstEngine::shared().degree5(pts);
-  return orient_on_tree(pts, tree, spec);
+  return thread_session().orient(pts, spec);
 }
 
 }  // namespace dirant::core

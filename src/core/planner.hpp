@@ -1,7 +1,12 @@
 #pragma once
 /// \file planner.hpp
 /// Dispatcher: given (k, phi) pick the Table 1 regime with the best
-/// guaranteed range and run it.  This is the library's main entry point.
+/// guaranteed range and run it.  This is the library's one-shot entry
+/// point; selection, guarantees, naming and dispatch all read the
+/// AlgorithmRegistry (core/registry.hpp), and the free functions run over
+/// a thread-local core::PlanSession (core/session.hpp) so repeated calls
+/// reuse the pipeline's working memory.  Callers that orient many
+/// instances should hold a PlanSession directly.
 
 #include <span>
 
@@ -22,7 +27,9 @@ Algorithm planned_algorithm(const ProblemSpec& spec);
 /// internally.
 Result orient(std::span<const geom::Point> pts, const ProblemSpec& spec);
 
-/// Same but over a caller-provided degree-<=5 spanning tree (must span pts).
+/// Same but over a caller-provided degree-<=5 spanning tree.  The tree must
+/// span pts; node count and edge index bounds are checked (contract
+/// violation on mismatch).
 Result orient_on_tree(std::span<const geom::Point> pts, const mst::Tree& tree,
                       const ProblemSpec& spec);
 

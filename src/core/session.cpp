@@ -1,0 +1,79 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/planner.hpp"
+#include "core/registry.hpp"
+
+namespace dirant::core {
+
+namespace {
+
+/// The documented contract ("tree must span pts") was previously unchecked:
+/// a mismatched tree walked out of bounds.  O(n) node-count and edge-index
+/// validation; always on, consistent with the library's contract style.
+/// Applied to caller-provided trees only — the session's own EMST satisfies
+/// it by construction, so the steady-state orient() path skips the scan.
+void check_tree_spans(std::span<const geom::Point> pts,
+                      const mst::Tree& tree) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT_MSG(tree.n == n, "tree must span pts: node count mismatch");
+  DIRANT_ASSERT_MSG(static_cast<int>(tree.edges.size()) == std::max(0, n - 1),
+                    "tree must span pts: edge count != n-1");
+  for (const auto& e : tree.edges) {
+    DIRANT_ASSERT_MSG(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
+                      "tree must span pts: edge index out of bounds");
+  }
+}
+
+}  // namespace
+
+const Result& PlanSession::orient(std::span<const geom::Point> pts,
+                                  const ProblemSpec& spec) {
+  DIRANT_ASSERT_MSG(!pts.empty(), "empty sensor set");
+  engine_.degree5(pts, tree_, emst_scratch_);
+  return run(planned_algorithm(spec), pts, tree_, spec);
+}
+
+const Result& PlanSession::orient_on_tree(std::span<const geom::Point> pts,
+                                          const mst::Tree& tree,
+                                          const ProblemSpec& spec) {
+  check_tree_spans(pts, tree);
+  return run(planned_algorithm(spec), pts, tree, spec);
+}
+
+const Result& PlanSession::orient_with(Algorithm algo,
+                                       std::span<const geom::Point> pts,
+                                       const mst::Tree& tree,
+                                       const ProblemSpec& spec) {
+  check_tree_spans(pts, tree);
+  return run(algo, pts, tree, spec);
+}
+
+const Result& PlanSession::run(Algorithm algo,
+                               std::span<const geom::Point> pts,
+                               const mst::Tree& tree,
+                               const ProblemSpec& spec) {
+  algorithm_info(algo).orient(*this, pts, tree, spec, result_);
+  return result_;
+}
+
+const Certificate& PlanSession::certify(std::span<const geom::Point> pts,
+                                        const ProblemSpec& spec) {
+  const int n = static_cast<int>(pts.size());
+  certificate_ = core::certify(pts, result_, spec, n >= kCertifyFastThreshold,
+                               certify_scratch_);
+  return certificate_;
+}
+
+void PlanSession::set_budgets(std::span<const NodeBudget> budgets) {
+  budgets_.assign(budgets.begin(), budgets.end());
+}
+
+std::span<const NodeBudget> PlanSession::uniform_budgets(int n, NodeBudget b) {
+  uniform_budgets_.assign(n, b);
+  return uniform_budgets_;
+}
+
+}  // namespace dirant::core

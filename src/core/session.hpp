@@ -1,0 +1,131 @@
+#pragma once
+/// \file session.hpp
+/// PlanSession — the reusable planning core.  One session owns every piece
+/// of pipeline working memory (EMST engine scratch, degree-repair worklists,
+/// tree and traversal buffers, the per-k orienter output arena, and the
+/// certification scratch), so the second and subsequent `orient()` calls
+/// through a session allocate nothing in steady state: same-size instances
+/// stream through EMST -> degree repair -> orient touching only warm
+/// buffers (enforced by tests/test_session_alloc.cpp).  This extends to the
+/// whole orientation pipeline the discipline CertifyScratch established for
+/// certification; `certify` itself reuses the CSR/SCC buffers but still
+/// builds a per-call grid index.
+///
+/// Lifecycle / reuse contract:
+///   * A session is cheap to construct but expensive to warm up (first call
+///     sizes every buffer); keep one per worker thread, not one per call.
+///   * `orient` / `orient_on_tree` / `orient_with` return a reference into
+///     session-owned storage.  The referenced Result (and the tree from
+///     `last_tree()`) stays valid until the next orienting call on the same
+///     session — copy it out if it must outlive that.
+///   * Sessions are NOT thread-safe; share nothing, or one per thread
+///     (core::orient_batch keeps one per pool worker).
+///   * Steady-state zero allocation holds for the Table 1 tree regimes on
+///     same-size instances; the bottleneck-cycle heuristic (kBtspCycle,
+///     kBidirCycle — NP-hard machinery with its own DP tables), the Yao
+///     grid baseline and degenerate-input fallbacks may still allocate.
+///
+/// The free functions core::orient / core::orient_on_tree (planner.hpp)
+/// remain the one-shot front door; they run over a thread-local session and
+/// copy the result out.
+
+#include <span>
+#include <vector>
+
+#include "core/heterogeneous.hpp"
+#include "core/lemma1.hpp"
+#include "core/types.hpp"
+#include "core/validate.hpp"
+#include "geometry/point.hpp"
+#include "mst/engine.hpp"
+#include "mst/rooted.hpp"
+#include "mst/tree.hpp"
+
+namespace dirant::core {
+
+/// Working memory shared by the per-k orienters.  Owned by PlanSession;
+/// every orienter's `*_into` variant takes one of these and must not
+/// allocate once the buffers are warm.
+struct OrienterScratch {
+  mst::RootedTree rooted;                         ///< rooted traversal view
+  std::vector<int> kids;                          ///< ccw child buffer
+  std::vector<std::pair<int, geom::Point>> work;  ///< (vertex, target) stack
+  std::vector<std::vector<int>> adjacency;        ///< tree neighbour lists
+  std::vector<int> degrees;                       ///< per-vertex degrees
+  std::vector<geom::Point> targets;               ///< per-node cover targets
+  std::vector<geom::Sector> cover;                ///< lemma1_cover output
+  Lemma1Scratch lemma1;
+};
+
+class PlanSession {
+ public:
+  PlanSession() = default;
+  explicit PlanSession(mst::EngineConfig engine_cfg)
+      : engine_(engine_cfg) {}
+
+  /// Full pipeline: degree-5 EMST of `pts`, then the Table 1 regime
+  /// `planned_algorithm(spec)` over it.  Equivalent to core::orient.
+  const Result& orient(std::span<const geom::Point> pts,
+                       const ProblemSpec& spec);
+
+  /// Orient over a caller-provided degree-<=5 spanning tree.  The tree must
+  /// span `pts`: node count and edge indices are checked (contract
+  /// violation otherwise).
+  const Result& orient_on_tree(std::span<const geom::Point> pts,
+                               const mst::Tree& tree, const ProblemSpec& spec);
+
+  /// Dispatch a specific registry entry (including the non-selectable
+  /// extension planners: kYaoBaseline, kBidirCycle, kHeterogeneous) over a
+  /// caller-provided tree.
+  const Result& orient_with(Algorithm algo, std::span<const geom::Point> pts,
+                            const mst::Tree& tree, const ProblemSpec& spec);
+
+  /// Certify the last result against `spec` (independent reconstruction of
+  /// the transmission digraph; see core/validate.hpp).  Allocation-free in
+  /// steady state via the session-owned CertifyScratch.
+  const Certificate& certify(std::span<const geom::Point> pts,
+                             const ProblemSpec& spec);
+
+  /// Per-node budgets for the kHeterogeneous registry entry.  When unset
+  /// (or of mismatched size) the planner falls back to the uniform
+  /// (spec.k, spec.phi) budget.
+  void set_budgets(std::span<const NodeBudget> budgets);
+  std::span<const NodeBudget> budgets() const { return budgets_; }
+
+  /// Session-owned uniform budget fill (the kHeterogeneous fallback when no
+  /// per-node budgets are registered); recycled like every other buffer.
+  std::span<const NodeBudget> uniform_budgets(int n, NodeBudget b);
+
+  /// Report of the last kHeterogeneous run through this session.
+  const HeterogeneousReport& heterogeneous_report() const {
+    return hetero_report_;
+  }
+  HeterogeneousReport& heterogeneous_report() { return hetero_report_; }
+
+  /// The degree-5 EMST built by the last `orient` (not `orient_on_tree`).
+  const mst::Tree& last_tree() const { return tree_; }
+  const Result& last_result() const { return result_; }
+
+  const mst::EmstEngine& engine() const { return engine_; }
+  OrienterScratch& scratch() { return scratch_; }
+  CertifyScratch& certify_scratch() { return certify_scratch_; }
+
+ private:
+  /// Dispatch without the spanning-tree scan (internal trees are valid by
+  /// construction; the public tree-taking entry points validate first).
+  const Result& run(Algorithm algo, std::span<const geom::Point> pts,
+                    const mst::Tree& tree, const ProblemSpec& spec);
+
+  mst::EmstEngine engine_;
+  mst::EmstScratch emst_scratch_;
+  mst::Tree tree_;
+  OrienterScratch scratch_;
+  Result result_;
+  Certificate certificate_;
+  CertifyScratch certify_scratch_;
+  std::vector<NodeBudget> budgets_;
+  std::vector<NodeBudget> uniform_budgets_;
+  HeterogeneousReport hetero_report_;
+};
+
+}  // namespace dirant::core

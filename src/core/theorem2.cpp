@@ -1,43 +1,55 @@
 #include "core/theorem2.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "common/assert.hpp"
 #include "core/lemma1.hpp"
+#include "core/session.hpp"
 
 namespace dirant::core {
 
 using geom::Point;
 
-Result orient_theorem2(std::span<const Point> pts, const mst::Tree& tree,
-                       int k) {
+void orient_theorem2(std::span<const Point> pts, const mst::Tree& tree, int k,
+                     OrienterScratch& scratch, Result& out) {
   DIRANT_ASSERT(k >= 1 && k <= 5);
-  DIRANT_ASSERT_MSG(tree.max_degree() <= 5, "theorem 2 needs a degree-5 MST");
+  tree.degrees_into(scratch.degrees);
+  int max_deg = 0;
+  for (int d : scratch.degrees) max_deg = std::max(max_deg, d);
+  DIRANT_ASSERT_MSG(max_deg <= 5, "theorem 2 needs a degree-5 MST");
   const int n = static_cast<int>(pts.size());
-  Result res;
-  res.orientation = antenna::Orientation(n);
-  res.algorithm = k == 5 ? Algorithm::kFiveZero : Algorithm::kTheorem2;
-  res.bound_factor = 1.0;
-  res.lmax = tree.lmax();
+  reset_result(out, n, k,
+               k == 5 ? Algorithm::kFiveZero : Algorithm::kTheorem2,
+               /*bound_factor=*/1.0, tree.lmax());
 
-  const auto adj = tree.adjacency();
+  tree.adjacency_into(scratch.adjacency);
+  const auto& adj = scratch.adjacency;
   for (int u = 0; u < n; ++u) {
     if (adj[u].empty()) continue;
-    std::vector<Point> targets;
-    targets.reserve(adj[u].size());
+    auto& targets = scratch.targets;
+    targets.clear();
+    if (targets.capacity() < adj[u].size()) targets.reserve(adj[u].size());
     for (int v : adj[u]) targets.push_back(pts[v]);
-    const auto sectors = lemma1_cover(pts[u], targets, k);
+    lemma1_cover(pts[u], targets, k, scratch.lemma1, scratch.cover);
     double spread = 0.0;
-    for (const auto& s : sectors) {
-      res.orientation.add(u, s);
+    for (const auto& s : scratch.cover) {
+      out.orientation.add(u, s);
       spread += s.width;
     }
     const int d = static_cast<int>(adj[u].size());
     DIRANT_ASSERT_MSG(spread <= lemma1_sufficient_spread(d, k) + 1e-9,
                       "Lemma 1 spread bound violated");
-    res.cases.bump("deg" + std::to_string(d));
+    out.cases.bump("deg" + std::to_string(d));
   }
-  res.measured_radius = res.orientation.max_radius();
+  out.measured_radius = out.orientation.max_radius();
+}
+
+Result orient_theorem2(std::span<const Point> pts, const mst::Tree& tree,
+                       int k) {
+  Result res;
+  OrienterScratch scratch;
+  orient_theorem2(pts, tree, k, scratch, res);
   return res;
 }
 

@@ -14,11 +14,18 @@
 
 namespace dirant::core {
 
+struct OrienterScratch;
+
 /// Orient with k antennae per sensor on the given degree-<=5 tree.
 /// Per-node spread never exceeds lemma1_sufficient_spread(deg, k)
 /// <= 2*pi*(5-k)/5; range bound factor is exactly 1.
 Result orient_theorem2(std::span<const geom::Point> pts, const mst::Tree& tree,
                        int k);
+
+/// Session variant: writes into the recycled `out` using `scratch` only
+/// (allocation-free once warm).
+void orient_theorem2(std::span<const geom::Point> pts, const mst::Tree& tree,
+                     int k, OrienterScratch& scratch, Result& out);
 
 /// k = 5 specialization (the paper's "folklore" row): one zero-spread beam
 /// per MST neighbour.

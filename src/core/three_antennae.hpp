@@ -14,10 +14,17 @@
 
 namespace dirant::core {
 
+struct OrienterScratch;
+
 /// Orient with three antennae per sensor on a degree-<=5 tree.
 /// `root` = -1 picks a maximum-degree vertex (exercises the richest case of
 /// the induction; the theorem allows any root).
 Result orient_three_antennae(std::span<const geom::Point> pts,
                              const mst::Tree& tree, int root = -1);
+
+/// Session variant (allocation-free once warm).
+void orient_three_antennae(std::span<const geom::Point> pts,
+                           const mst::Tree& tree, int root,
+                           OrienterScratch& scratch, Result& out);
 
 }  // namespace dirant::core

@@ -9,6 +9,8 @@
 
 #include "common/assert.hpp"
 #include "common/constants.hpp"
+#include "common/small_vec.hpp"
+#include "core/session.hpp"
 #include "geometry/angle.hpp"
 #include "mst/rooted.hpp"
 
@@ -19,6 +21,8 @@ using geom::Point;
 using geom::Sector;
 
 constexpr double kTol = 1e-9;
+
+using dirant::insertion_sort;  // stable, allocation-free (common/small_vec.hpp)
 
 /// A local plan at one vertex: at most two antennae plus sibling
 /// delegations.  Rays are identified by -1 (the target point) and 0..m-1
@@ -34,8 +38,9 @@ class NodePlanner {
   void init(int u, const Point& target, std::span<const int> kids_ccw) {
     u_ = u;
     target_ = target;
-    kids_.assign(kids_ccw.begin(), kids_ccw.end());
-    const int m = static_cast<int>(kids_.size());
+    kids_.clear();
+    for (int v : kids_ccw) kids_.push_back(v);
+    const int m = kids_.size();
     ref_ = geom::angle_to(pts_[u_], target_);
     order_off_.resize(m);
     abs_angle_.resize(m);
@@ -47,7 +52,7 @@ class NodePlanner {
     }
   }
 
-  int child_count() const { return static_cast<int>(kids_.size()); }
+  int child_count() const { return kids_.size(); }
   int kid(int slot) const { return kids_[slot]; }
 
   /// Ordering offset of a ray (target = 0; children in (0, 2*pi]).
@@ -89,7 +94,7 @@ class NodePlanner {
   /// Verify the staged plan; on success fill antennas/child_targets/label.
   bool commit(std::string label) {
     const int m = child_count();
-    if (static_cast<int>(arcs_.size() + beams_.size()) > 2) return false;
+    if (arcs_.size() + beams_.size() > 2) return false;
 
     double total_width = 0.0;
     for (const auto& [p, q] : arcs_) total_width += arc_width(p, q);
@@ -98,7 +103,8 @@ class NodePlanner {
     // Geometric coverage (member scratch: commit runs several times per
     // vertex and must not allocate).
     auto& covered = covered_;
-    covered.assign(m + 1, 0);  // slot m == target
+    covered.clear();
+    covered.resize(m + 1);  // slot m == target; zero-initialized
     auto mark = [&](int ray) { covered[ray < 0 ? m : ray] = 1; };
     for (const auto& [p, q] : arcs_) {
       const double start = abs_angle(p);
@@ -113,8 +119,10 @@ class NodePlanner {
     // Delegations: coverer directly covered, used once, chord within R.
     auto& is_coverer = is_coverer_;
     auto& is_delegated = is_delegated_;
-    is_coverer.assign(m, 0);
-    is_delegated.assign(m, 0);
+    is_coverer.clear();
+    is_coverer.resize(m);
+    is_delegated.clear();
+    is_delegated.resize(m);
     for (const auto& [coverer, covee] : delegations_) {
       if (coverer < 0 || covee < 0 || coverer == covee) return false;
       if (!covered[coverer] || covered[covee]) return false;
@@ -144,7 +152,8 @@ class NodePlanner {
     for (int b : beams_) {
       antennas.push_back(geom::beam_to(pts_[u_], point_of(b)));
     }
-    child_targets.assign(m, pts_[u_]);
+    child_targets.clear();
+    for (int i = 0; i < m; ++i) child_targets.push_back(pts_[u_]);
     for (const auto& [coverer, covee] : delegations_) {
       child_targets[coverer] = point_of(covee);
     }
@@ -156,21 +165,24 @@ class NodePlanner {
   /// delegations; returns true and commits the minimum-spread plan found.
   bool fallback();
 
-  std::vector<Sector> antennas;
-  std::vector<Point> child_targets;
-  std::string label;
+  // Degree-bounded: every buffer is stack-inline, so a NodePlanner is
+  // allocation-free to construct and run (the fallback search below is the
+  // one exception and never fires at the paper's radius bound).
+  SmallVec<Sector, 4> antennas;
+  SmallVec<Point, 5> child_targets;
+  std::string label;  // labels are <= 15 chars (SSO)
 
  private:
   std::span<const Point> pts_;
   int u_ = -1;
   Point target_;
-  std::vector<int> kids_;
+  SmallVec<int, 5> kids_;
   double phi_, R_, ref_;
-  std::vector<double> order_off_, abs_angle_;
-  std::vector<std::pair<int, int>> arcs_;
-  std::vector<int> beams_;
-  std::vector<std::pair<int, int>> delegations_;
-  std::vector<char> covered_, is_coverer_, is_delegated_;
+  SmallVec<double, 5> order_off_, abs_angle_;
+  SmallVec<std::pair<int, int>, 4> arcs_;
+  SmallVec<int, 4> beams_;
+  SmallVec<std::pair<int, int>, 4> delegations_;
+  SmallVec<char, 6> covered_, is_coverer_, is_delegated_;
 };
 
 bool NodePlanner::fallback() {
@@ -334,11 +346,11 @@ bool plan_vertex(Ctx& ctx, NodePlanner& pl, int u) {
       double width;
       int p, q, beam;
     };
-    std::vector<Opt> opts = {
+    std::array<Opt, 3> opts = {{
         {pl.arc_width(-1, 0), -1, 0, 1},  // target ray with c1, beam c2
         {pl.arc_width(0, 1), 0, 1, -1},   // c1 with c2, beam target
         {pl.arc_width(1, -1), 1, -1, 0},  // c2 with target, beam c1
-    };
+    }};
     std::sort(opts.begin(), opts.end(),
               [](const Opt& a, const Opt& b) { return a.width < b.width; });
     for (const auto& o : opts) {
@@ -358,23 +370,20 @@ bool plan_vertex(Ctx& ctx, NodePlanner& pl, int u) {
       int p, q, beam;
       const char* label;
     };
-    std::vector<Arc1> simple;
+    SmallVec<Arc1, 4> simple;
     if (ctx.part1) {
-      simple = {{pl.arc_width(-1, 1), -1, 1, 2, "deg4-p-t2"},
-                {pl.arc_width(1, -1), 1, -1, 0, "deg4-p-2t"},
-                {pl.arc_width(2, 0), 2, 0, 1, "deg4-c3c1"},
-                {pl.arc_width(0, 2), 0, 2, -1, "deg4-c1c3"}};
-    } else {
-      simple = {{pl.arc_width(2, 0), 2, 0, 1, "deg4-c3c1"},
-                {pl.arc_width(0, 2), 0, 2, -1, "deg4-c1c3"}};
+      simple.push_back({pl.arc_width(-1, 1), -1, 1, 2, "deg4-p-t2"});
+      simple.push_back({pl.arc_width(1, -1), 1, -1, 0, "deg4-p-2t"});
     }
+    simple.push_back({pl.arc_width(2, 0), 2, 0, 1, "deg4-c3c1"});
+    simple.push_back({pl.arc_width(0, 2), 0, 2, -1, "deg4-c1c3"});
     // Proof order: feasible simple covers first (part 2 checks the two
     // three-ray arcs; part 1 one of the two target-anchored arcs always
     // fits within pi <= phi).
-    std::stable_sort(simple.begin(), simple.end(),
-                     [](const Arc1& a, const Arc1& b) {
-                       return a.width < b.width;
-                     });
+    insertion_sort(simple.begin(), simple.end(),
+                   [](const Arc1& a, const Arc1& b) {
+                     return a.width < b.width;
+                   });
     for (const auto& o : simple) {
       if (o.width > phi + kTol) continue;
       if (try_plan(
@@ -394,12 +403,12 @@ bool plan_vertex(Ctx& ctx, NodePlanner& pl, int u) {
       int cov_a, cov_b;  // candidate coverers for c2 (slot 1)
       const char* label;
     };
-    std::vector<Del> dels = {
-        {pl.arc_width(2, -1), 2, -1, 0, 0, 2, "deg4-delegate-3t"},
-        {pl.arc_width(-1, 0), -1, 0, 2, 0, 2, "deg4-delegate-t1"},
-    };
-    std::stable_sort(dels.begin(), dels.end(),
-                     [](const Del& a, const Del& b) { return a.width < b.width; });
+    std::array<Del, 2> dels = {{
+        {pl.arc_width(2, -1), 2, -1, 0, 0, 2, "deg4-del-3t"},
+        {pl.arc_width(-1, 0), -1, 0, 2, 0, 2, "deg4-del-t1"},
+    }};
+    insertion_sort(dels.begin(), dels.end(),
+                   [](const Del& a, const Del& b) { return a.width < b.width; });
     for (const auto& o : dels) {
       if (o.width > phi + kTol) continue;
       // Prefer the nearer coverer.
@@ -471,8 +480,8 @@ bool plan_vertex(Ctx& ctx, NodePlanner& pl, int u) {
       }
       // Part 2 fallback within case B: cover [c4 -> c1], beam one middle
       // child, delegate the other.
-      if (try_delegate1(3, 0, 1, 2, 1, 3, "deg5-B-delegate")) return true;
-      if (try_delegate1(3, 0, 2, 1, 0, 2, "deg5-B-delegate~")) return true;
+      if (try_delegate1(3, 0, 1, 2, 1, 3, "deg5-B-del")) return true;
+      if (try_delegate1(3, 0, 2, 1, 0, 2, "deg5-B-del~")) return true;
     } else {
       if (ctx.part1) {
         // Part 1 case A: arc [c4 -> c1] (<= pi), beam + delegation across
@@ -482,11 +491,11 @@ bool plan_vertex(Ctx& ctx, NodePlanner& pl, int u) {
           int coverer, covee, beam;
           const char* label;
         };
-        std::vector<G> gaps = {
+        std::array<G, 3> gaps = {{
             {pl.chord(0, 1), 0, 1, 2, "deg5-A-g12"},
             {pl.chord(1, 2), 1, 2, 1, "deg5-A-g23"},
             {pl.chord(3, 2), 3, 2, 1, "deg5-A-g34"},
-        };
+        }};
         std::sort(gaps.begin(), gaps.end(),
                   [](const G& a, const G& b) { return a.chord < b.chord; });
         for (const auto& g : gaps) {
@@ -508,15 +517,15 @@ bool plan_vertex(Ctx& ctx, NodePlanner& pl, int u) {
         int p, q, beam, covee, cov_a, cov_b;
         const char* label;
       };
-      std::vector<Opt> opts = {
+      std::array<Opt, 3> opts = {{
           {pl.arc_width(2, -1), 2, -1, 0, 1, 0, 2, "deg5-A-3t"},
           {pl.arc_width(3, 0), 3, 0, 2, 1, 0, 2, "deg5-A-41"},
           {pl.arc_width(-1, 1), -1, 1, 3, 2, 1, 3, "deg5-A-t2"},
-      };
-      std::stable_sort(opts.begin(), opts.end(),
-                       [](const Opt& a, const Opt& b) {
-                         return a.width < b.width;
-                       });
+      }};
+      insertion_sort(opts.begin(), opts.end(),
+                     [](const Opt& a, const Opt& b) {
+                       return a.width < b.width;
+                     });
       for (const auto& o : opts) {
         if (try_delegate1(o.p, o.q, o.beam, o.covee, o.cov_a, o.cov_b,
                           o.label)) {
@@ -605,14 +614,16 @@ double bound_factor_impl(double phi);
 /// (`radius_cap` < 0 selects the paper bound).  Returns false if some vertex
 /// admits no feasible plan under the cap.
 bool detailed_orient(std::span<const Point> pts, const mst::Tree& tree,
-                     double phi, double radius_cap, Result& res) {
-  DIRANT_ASSERT_MSG(tree.max_degree() <= 5, "theorem 3 needs a degree-5 MST");
+                     double phi, double radius_cap, OrienterScratch& scratch,
+                     Result& res) {
+  tree.degrees_into(scratch.degrees);
+  int max_deg = 0;
+  for (int d : scratch.degrees) max_deg = std::max(max_deg, d);
+  DIRANT_ASSERT_MSG(max_deg <= 5, "theorem 3 needs a degree-5 MST");
   const int n = static_cast<int>(pts.size());
-  res = Result{};
-  res.orientation = antenna::Orientation(n);
-  res.algorithm = phi >= kPi ? Algorithm::kTwoPart1 : Algorithm::kTwoPart2;
-  res.bound_factor = bound_factor_impl(phi);
-  res.lmax = tree.lmax();
+  reset_result(res, n, /*reserve_per_node=*/2,
+               phi >= kPi ? Algorithm::kTwoPart1 : Algorithm::kTwoPart2,
+               bound_factor_impl(phi), tree.lmax());
   if (n <= 1) return true;
 
   const double R =
@@ -620,7 +631,8 @@ bool detailed_orient(std::span<const Point> pts, const mst::Tree& tree,
           ? radius_cap * (1.0 + kRadiusRelTol) + kRadiusAbsTol
           : res.bound_factor * res.lmax * (1.0 + kRadiusRelTol) +
                 kRadiusAbsTol;
-  const auto rt = mst::RootedTree::rooted_at_leaf(tree);
+  scratch.rooted.rebuild_at_leaf(tree);
+  const auto& rt = scratch.rooted;
   Ctx ctx{pts, &rt, phi, R, phi >= kPi, &res.orientation, &res.cases};
 
   // Root (a leaf): one beam to its only child; the child covers the root.
@@ -630,14 +642,16 @@ bool detailed_orient(std::span<const Point> pts, const mst::Tree& tree,
   res.orientation.add(root, geom::beam_to(pts[root], pts[first]));
   res.cases.bump("root");
 
-  std::vector<std::pair<int, Point>> work{{first, pts[root]}};
+  auto& work = scratch.work;
+  work.clear();
+  work.emplace_back(first, pts[root]);
   NodePlanner pl(pts, phi, R);
-  std::vector<int> kids;  // ccw child buffer, reused across vertices
+  auto& kids = scratch.kids;  // ccw child buffer, reused across vertices
   while (!work.empty()) {
-    auto [u, target] = work.back();
+    const auto [u, target] = work.back();
     work.pop_back();
     mst::children_ccw_from(pts, rt, u, geom::angle_to(pts[u], target), kids);
-    pl.init(u, target, kids);
+    pl.init(u, target, {kids.data(), kids.size()});
     if (!plan_vertex(ctx, pl, u)) return false;
     res.cases.bump(pl.label);
     for (const auto& s : pl.antennas) res.orientation.add(u, s);
@@ -662,11 +676,17 @@ namespace {
 double bound_factor_impl(double phi) { return theorem3_bound_factor(phi); }
 }  // namespace
 
+void orient_two_antennae(std::span<const Point> pts, const mst::Tree& tree,
+                         double phi, OrienterScratch& scratch, Result& out) {
+  const bool ok = detailed_orient(pts, tree, phi, -1.0, scratch, out);
+  DIRANT_ASSERT_MSG(ok, "Theorem 3 failed at its own radius bound");
+}
+
 Result orient_two_antennae(std::span<const Point> pts, const mst::Tree& tree,
                            double phi) {
   Result res;
-  const bool ok = detailed_orient(pts, tree, phi, -1.0, res);
-  DIRANT_ASSERT_MSG(ok, "Theorem 3 failed at its own radius bound");
+  OrienterScratch scratch;
+  orient_two_antennae(pts, tree, phi, scratch, res);
   return res;
 }
 
@@ -688,11 +708,14 @@ Result orient_two_antennae_adaptive(std::span<const Point> pts,
   std::sort(cands.begin(), cands.end());
   cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
 
+  // One warm scratch across all probes: the binary search reuses the same
+  // traversal buffers and result arena probe after probe.
+  OrienterScratch scratch;
   int lo = 0, hi = static_cast<int>(cands.size()) - 1;
   while (lo <= hi) {
     const int mid = (lo + hi) / 2;
     Result probe;
-    if (detailed_orient(pts, tree, phi, cands[mid], probe)) {
+    if (detailed_orient(pts, tree, phi, cands[mid], scratch, probe)) {
       best = std::move(probe);
       best.bound_factor = cands[mid] / lmax;  // achieved cap, certified
       hi = mid - 1;

@@ -20,12 +20,20 @@
 
 namespace dirant::core {
 
+struct OrienterScratch;
+
 /// Radius factor guaranteed by Theorem 3 for a given phi (>= 2*pi/3).
 double theorem3_bound_factor(double phi);
 
 /// Orient with two antennae per sensor on a degree-<=5 tree; phi >= 2*pi/3.
 Result orient_two_antennae(std::span<const geom::Point> pts,
                            const mst::Tree& tree, double phi);
+
+/// Session variant (allocation-free once warm; the exhaustive fallback
+/// search is the one exception and never fires at the paper bound).
+void orient_two_antennae(std::span<const geom::Point> pts,
+                         const mst::Tree& tree, double phi,
+                         OrienterScratch& scratch, Result& out);
 
 /// Instance-adaptive extension (beyond the paper): binary-search the
 /// smallest radius cap R under which the Theorem 3 plan space (the proof's

@@ -1,24 +1,59 @@
 #include "core/types.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace dirant::core {
 
-const char* to_string(Algorithm a) {
-  switch (a) {
-    case Algorithm::kBtspCycle: return "btsp-cycle[14]";
-    case Algorithm::kOneAntennaMid: return "one-antenna-mid[4]";
-    case Algorithm::kTwoPart1: return "theorem3.1";
-    case Algorithm::kTwoPart2: return "theorem3.2";
-    case Algorithm::kThreeZero: return "theorem5";
-    case Algorithm::kFourZero: return "theorem6";
-    case Algorithm::kFiveZero: return "five-folklore";
-    case Algorithm::kTheorem2: return "theorem2";
+namespace {
+
+// One comparator for every lookup (const and mutable), so insertion order
+// and reads can never diverge.
+template <class Vec>
+auto lower_bound_key(Vec& v, std::string_view key) {
+  return std::lower_bound(
+      v.begin(), v.end(), key,
+      [](const CaseCounts::value_type& e, std::string_view k) {
+        return e.first < k;
+      });
+}
+
+}  // namespace
+
+int& CaseCounts::operator[](std::string_view key) {
+  auto it = lower_bound_key(entries_, key);
+  if (it == entries_.end() || it->first != key) {
+    it = entries_.insert(it, {std::string(key), 0});
   }
-  return "unknown";
+  return it->second;
+}
+
+const int& CaseCounts::at(std::string_view key) const {
+  auto it = lower_bound_key(entries_, key);
+  if (it == entries_.end() || it->first != key) {
+    throw std::out_of_range("CaseCounts::at: no such label");
+  }
+  return it->second;
+}
+
+size_t CaseCounts::count(std::string_view key) const {
+  auto it = lower_bound_key(entries_, key);
+  return it != entries_.end() && it->first == key ? 1 : 0;
 }
 
 void CaseStats::merge(const CaseStats& other) {
   for (const auto& [k, v] : other.counts) counts[k] += v;
   fallback_plans += other.fallback_plans;
+}
+
+void reset_result(Result& out, int n, int reserve_per_node, Algorithm algo,
+                  double bound_factor, double lmax) {
+  out.orientation.reset(n, reserve_per_node);
+  out.algorithm = algo;
+  out.bound_factor = bound_factor;
+  out.lmax = lmax;
+  out.measured_radius = 0.0;
+  out.cases.reset();
 }
 
 }  // namespace dirant::core

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/constants.hpp"
+#include "core/session.hpp"
 #include "geometry/angle.hpp"
 #include "mst/engine.hpp"
 #include "spatial/grid_index.hpp"
@@ -15,20 +17,21 @@ namespace dirant::core {
 
 using geom::Point;
 
-Result orient_yao(std::span<const Point> pts, int k, double phase,
-                  double precomputed_lmax) {
+void orient_yao(std::span<const Point> pts, int k, double phase,
+                double precomputed_lmax, Result& res) {
   DIRANT_ASSERT(k >= 1 && k <= 64);
   const int n = static_cast<int>(pts.size());
-  Result res;
-  res.orientation = antenna::Orientation(n);
-  res.algorithm = Algorithm::kBtspCycle;  // reported as a baseline family
-  res.lmax = precomputed_lmax >= 0.0 ? precomputed_lmax
-                                     : mst::EmstEngine::shared().lmax(pts);
-  res.bound_factor = std::numeric_limits<double>::infinity();
+  // The grid index and cone scratch below are rebuilt per call: the Yao
+  // baseline is a comparison planner, not a steady-state pipeline stage, so
+  // it is exempt from the session zero-allocation contract.
+  reset_result(res, n, k, Algorithm::kYaoBaseline,
+               std::numeric_limits<double>::infinity(),
+               precomputed_lmax >= 0.0
+                   ? precomputed_lmax
+                   : mst::EmstEngine::shared().lmax(pts));
   if (n < 2) {
-    res.measured_radius = 0.0;
     res.cases.bump("yao-k" + std::to_string(k));
-    return res;
+    return;
   }
 
   // Cone-nearest via grid sector queries instead of the all-pairs scan:
@@ -59,6 +62,12 @@ Result orient_yao(std::span<const Point> pts, int k, double phase,
   }
   res.measured_radius = res.orientation.max_radius();
   res.cases.bump("yao-k" + std::to_string(k));
+}
+
+Result orient_yao(std::span<const Point> pts, int k, double phase,
+                  double precomputed_lmax) {
+  Result res;
+  orient_yao(pts, k, phase, precomputed_lmax, res);
   return res;
 }
 

@@ -1,7 +1,6 @@
 #include "delaunay/delaunay.hpp"
 
 #include <algorithm>
-#include <cstdint>
 
 #include "common/assert.hpp"
 #include "geometry/exact.hpp"
@@ -12,310 +11,274 @@ using geom::Point;
 
 namespace {
 
-struct Tri {
-  std::array<int, 3> v;   // ccw vertices
-  std::array<int, 3> nb;  // nb[i]: triangle across the edge opposite v[i]
-  bool alive = true;
-};
-
-class Builder {
- public:
-  explicit Builder(std::vector<Point> pts) : pts_(std::move(pts)) {}
-
-  // Returns false on a degeneracy the algorithm could not handle.
-  bool run() {
-    const int m = static_cast<int>(pts_.size());
-    make_super_triangle();
-    // Hilbert-curve insertion order: consecutive points are spatially
-    // adjacent, so the walking point location starting from the previous
-    // cavity is O(1) expected steps instead of O(sqrt(n)).
-    // Pack (hilbert key << 32 | index) so the sort runs on flat uint64s.
-    std::vector<std::uint64_t> order(m);
-    double min_x = pts_[0].x, max_x = pts_[0].x;
-    double min_y = pts_[0].y, max_y = pts_[0].y;
-    for (int i = 0; i < m; ++i) {
-      min_x = std::min(min_x, pts_[i].x);
-      max_x = std::max(max_x, pts_[i].x);
-      min_y = std::min(min_y, pts_[i].y);
-      max_y = std::max(max_y, pts_[i].y);
+// Distance along the order-16 Hilbert curve of the 65536x65536 grid.
+std::uint64_t hilbert_d(std::uint32_t x, std::uint32_t y) {
+  std::uint64_t d = 0;
+  for (std::uint32_t s = 1u << 15; s > 0; s >>= 1) {
+    const std::uint32_t rx = (x & s) ? 1 : 0;
+    const std::uint32_t ry = (y & s) ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    if (ry == 0) {  // rotate quadrant
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
     }
-    const double sx = max_x > min_x ? (max_x - min_x) : 1.0;
-    const double sy = max_y > min_y ? (max_y - min_y) : 1.0;
-    for (int i = 0; i < m; ++i) {
-      const auto hx = static_cast<std::uint32_t>(
-          65535.0 * (pts_[i].x - min_x) / sx);
-      const auto hy = static_cast<std::uint32_t>(
-          65535.0 * (pts_[i].y - min_y) / sy);
-      order[i] = (hilbert_d(hx, hy) << 32) | static_cast<std::uint32_t>(i);
-    }
-    std::sort(order.begin(), order.end());
-    for (std::uint64_t packed : order) {
-      if (!insert(static_cast<int>(packed & 0xffffffffu))) return false;
-    }
-    return true;
   }
-
-  std::vector<std::array<int, 3>> real_triangles() const {
-    const int m = num_real();
-    std::vector<std::array<int, 3>> out;
-    for (const auto& t : tris_) {
-      if (!t.alive) continue;
-      if (t.v[0] < m && t.v[1] < m && t.v[2] < m) out.push_back(t.v);
-    }
-    return out;
-  }
-
-  std::vector<std::pair<int, int>> real_edges() const {
-    const int m = num_real();
-    std::vector<std::pair<int, int>> out;
-    for (int id = 0; id < static_cast<int>(tris_.size()); ++id) {
-      const Tri& t = tris_[id];
-      if (!t.alive) continue;
-      for (int i = 0; i < 3; ++i) {
-        int a = t.v[(i + 1) % 3], b = t.v[(i + 2) % 3];
-        if (a >= m || b >= m) continue;
-        // A real-real edge is interior (super-triangle hosting), so its
-        // neighbour exists and is alive; emitting from the lower triangle
-        // id only dedupes without the former sort+unique pass.
-        if (t.nb[i] != -1 && t.nb[i] < id) continue;
-        if (a > b) std::swap(a, b);
-        out.emplace_back(a, b);
-      }
-    }
-    return out;
-  }
-
- private:
-  int num_real() const { return static_cast<int>(pts_.size()) - 3; }
-
-  // Distance along the order-16 Hilbert curve of the 65536x65536 grid.
-  static std::uint64_t hilbert_d(std::uint32_t x, std::uint32_t y) {
-    std::uint64_t d = 0;
-    for (std::uint32_t s = 1u << 15; s > 0; s >>= 1) {
-      const std::uint32_t rx = (x & s) ? 1 : 0;
-      const std::uint32_t ry = (y & s) ? 1 : 0;
-      d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
-      if (ry == 0) {  // rotate quadrant
-        if (rx == 1) {
-          x = s - 1 - x;
-          y = s - 1 - y;
-        }
-        std::swap(x, y);
-      }
-    }
-    return d;
-  }
-
-  void make_super_triangle() {
-    double min_x = 0, min_y = 0, max_x = 1, max_y = 1;
-    if (!pts_.empty()) {
-      min_x = max_x = pts_[0].x;
-      min_y = max_y = pts_[0].y;
-      for (const auto& p : pts_) {
-        min_x = std::min(min_x, p.x);
-        max_x = std::max(max_x, p.x);
-        min_y = std::min(min_y, p.y);
-        max_y = std::max(max_y, p.y);
-      }
-    }
-    const double cx = (min_x + max_x) / 2.0, cy = (min_y + max_y) / 2.0;
-    const double r = std::max({max_x - min_x, max_y - min_y, 1.0});
-    const double M = 1e6 * r;
-    const int s = static_cast<int>(pts_.size());
-    pts_.push_back({cx + M, cy - M});
-    pts_.push_back({cx, cy + M});
-    pts_.push_back({cx - M, cy - M});
-    Tri t;
-    t.v = {s, s + 1, s + 2};
-    if (geom::orient2d_sign(pts_[s], pts_[s + 1], pts_[s + 2]) < 0) {
-      std::swap(t.v[1], t.v[2]);
-    }
-    t.nb = {-1, -1, -1};
-    tris_.push_back(t);
-    last_ = 0;
-  }
-
-  // True if q is strictly inside the circumcircle of alive triangle ti.
-  bool in_circumcircle(int ti, const Point& q) const {
-    const Tri& t = tris_[ti];
-    return geom::incircle_sign(pts_[t.v[0]], pts_[t.v[1]], pts_[t.v[2]], q) >
-           0;
-  }
-
-  // Walking point location; returns an alive triangle containing p
-  // (boundary inclusive), or -1 on failure.
-  int locate(const Point& p) const {
-    int t = last_;
-    if (t < 0 || !tris_[t].alive) {
-      t = -1;
-      for (int i = static_cast<int>(tris_.size()) - 1; i >= 0; --i) {
-        if (tris_[i].alive) {
-          t = i;
-          break;
-        }
-      }
-      if (t == -1) return -1;
-    }
-    const int cap = 4 * static_cast<int>(tris_.size()) + 64;
-    for (int step = 0; step < cap; ++step) {
-      const Tri& tri = tris_[t];
-      bool moved = false;
-      for (int i = 0; i < 3; ++i) {
-        const int a = tri.v[(i + 1) % 3], b = tri.v[(i + 2) % 3];
-        if (geom::orient2d_sign(pts_[a], pts_[b], p) < 0) {
-          const int nxt = tri.nb[i];
-          if (nxt == -1) return -1;  // outside the super-triangle
-          t = nxt;
-          moved = true;
-          break;
-        }
-      }
-      if (!moved) return t;
-    }
-    // Walk cycled (can happen on wildly degenerate data): linear fallback.
-    for (int i = 0; i < static_cast<int>(tris_.size()); ++i) {
-      if (!tris_[i].alive) continue;
-      const Tri& tri = tris_[i];
-      bool inside = true;
-      for (int e = 0; e < 3 && inside; ++e) {
-        inside = geom::orient2d_sign(pts_[tri.v[(e + 1) % 3]],
-                                     pts_[tri.v[(e + 2) % 3]], p) >= 0;
-      }
-      if (inside) return i;
-    }
-    return -1;
-  }
-
-  bool insert(int pi) {
-    const Point& p = pts_[pi];
-    const int t0 = locate(p);
-    if (t0 == -1) return false;
-
-    // Grow the cavity: all triangles whose circumcircle strictly contains p.
-    // Cavity membership is an epoch stamp, not a cleared bitmap — clearing
-    // O(#triangles) per insertion is what made large builds quadratic.
-    ++epoch_;
-    cavity_mark_.resize(tris_.size(), 0);
-    cavity_.clear();
-    cavity_.push_back(t0);
-    stack_.clear();
-    stack_.push_back(t0);
-    cavity_mark_[t0] = epoch_;
-    while (!stack_.empty()) {
-      const int t = stack_.back();
-      stack_.pop_back();
-      for (int i = 0; i < 3; ++i) {
-        const int nb = tris_[t].nb[i];
-        if (nb == -1 || cavity_mark_[nb] == epoch_) continue;
-        if (in_circumcircle(nb, p)) {
-          cavity_mark_[nb] = epoch_;
-          cavity_.push_back(nb);
-          stack_.push_back(nb);
-        }
-      }
-    }
-    const auto& cavity = cavity_;
-    const auto in_cavity = [&](int t) { return cavity_mark_[t] == epoch_; };
-
-    // Boundary: directed edges (a, b) of cavity triangles whose opposite
-    // neighbour is outside the cavity.
-    auto& boundary = boundary_;
-    boundary.clear();
-    for (int t : cavity) {
-      for (int i = 0; i < 3; ++i) {
-        const int nb = tris_[t].nb[i];
-        if (nb != -1 && in_cavity(nb)) continue;
-        boundary.push_back(
-            {tris_[t].v[(i + 1) % 3], tris_[t].v[(i + 2) % 3], nb});
-      }
-    }
-    // Each new triangle (p, a, b) must be ccw; a reflex boundary means the
-    // predicate tie-handling produced a non-star cavity — report failure.
-    for (const auto& e : boundary) {
-      if (geom::orient2d_sign(p, pts_[e.a], pts_[e.b]) <= 0) return false;
-    }
-
-    for (int t : cavity) tris_[t].alive = false;
-    auto& created = created_;
-    created.clear();
-    for (const auto& e : boundary) {
-      Tri nt;
-      nt.v = {pi, e.a, e.b};
-      nt.nb = {e.outside, -1, -1};
-      const int id = static_cast<int>(tris_.size());
-      tris_.push_back(nt);
-      cavity_mark_.push_back(0);
-      created.push_back(id);
-      // Repair the outside triangle's back-pointer.
-      if (e.outside != -1) {
-        Tri& o = tris_[e.outside];
-        for (int i = 0; i < 3; ++i) {
-          const int oa = o.v[(i + 1) % 3], ob = o.v[(i + 2) % 3];
-          if (oa == e.b && ob == e.a) {
-            o.nb[i] = id;
-            break;
-          }
-        }
-      }
-    }
-    // Fan linkage: edge (b, p) of (p, a, b) meets the triangle starting at
-    // b; edge (p, a) meets the triangle ending at a.  The fan is small
-    // (mean 6 edges), so a linear scan beats hash maps by a wide margin.
-    const int fan = static_cast<int>(created.size());
-    for (int id : created) {
-      Tri& t = tris_[id];
-      const int a = t.v[1], b = t.v[2];
-      int start_at_b = -1, end_at_a = -1;
-      for (int j = 0; j < fan; ++j) {
-        if (tris_[created[j]].v[1] == b) start_at_b = created[j];
-        if (tris_[created[j]].v[2] == a) end_at_a = created[j];
-      }
-      if (start_at_b == -1 || end_at_a == -1) return false;
-      t.nb[1] = start_at_b;  // edge (v2, v0) = (b, p)
-      t.nb[2] = end_at_a;    // edge (v0, v1) = (p, a)
-    }
-    if (!created.empty()) last_ = created.front();
-    return true;
-  }
-
-  struct BEdge {
-    int a, b, outside;
-  };
-
-  std::vector<Point> pts_;
-  std::vector<Tri> tris_;
-  // Scratch reused across insertions (allocation-free steady state).
-  std::vector<std::uint32_t> cavity_mark_;
-  std::uint32_t epoch_ = 0;
-  std::vector<int> cavity_, stack_, created_;
-  std::vector<BEdge> boundary_;
-  int last_ = -1;
-};
+  return d;
+}
 
 }  // namespace
 
-Triangulation triangulate(std::span<const Point> pts) {
-  Triangulation out;
+bool Triangulator::run() {
+  const int m = num_real();
+  // Hilbert-curve insertion order: consecutive points are spatially
+  // adjacent, so the walking point location starting from the previous
+  // cavity is O(1) expected steps instead of O(sqrt(n)).
+  // Pack (hilbert key << 32 | index) so the sort runs on flat uint64s.
+  order_.resize(m);
+  double min_x = pts_[0].x, max_x = pts_[0].x;
+  double min_y = pts_[0].y, max_y = pts_[0].y;
+  for (int i = 0; i < m; ++i) {
+    min_x = std::min(min_x, pts_[i].x);
+    max_x = std::max(max_x, pts_[i].x);
+    min_y = std::min(min_y, pts_[i].y);
+    max_y = std::max(max_y, pts_[i].y);
+  }
+  const double sx = max_x > min_x ? (max_x - min_x) : 1.0;
+  const double sy = max_y > min_y ? (max_y - min_y) : 1.0;
+  for (int i = 0; i < m; ++i) {
+    const auto hx =
+        static_cast<std::uint32_t>(65535.0 * (pts_[i].x - min_x) / sx);
+    const auto hy =
+        static_cast<std::uint32_t>(65535.0 * (pts_[i].y - min_y) / sy);
+    order_[i] = (hilbert_d(hx, hy) << 32) | static_cast<std::uint32_t>(i);
+  }
+  std::sort(order_.begin(), order_.end());
+  for (std::uint64_t packed : order_) {
+    if (!insert(static_cast<int>(packed & 0xffffffffu))) return false;
+  }
+  return true;
+}
+
+void Triangulator::emit(Triangulation& out) const {
+  const int m = num_real();
+  for (int id = 0; id < static_cast<int>(tris_.size()); ++id) {
+    const Tri& t = tris_[id];
+    if (!t.alive) continue;
+    if (t.v[0] < m && t.v[1] < m && t.v[2] < m) out.triangles.push_back(t.v);
+    for (int i = 0; i < 3; ++i) {
+      int a = t.v[(i + 1) % 3], b = t.v[(i + 2) % 3];
+      if (a >= m || b >= m) continue;
+      // A real-real edge is interior (super-triangle hosting), so its
+      // neighbour exists and is alive; emitting from the lower triangle
+      // id only dedupes without the former sort+unique pass.
+      if (t.nb[i] != -1 && t.nb[i] < id) continue;
+      if (a > b) std::swap(a, b);
+      out.edges.emplace_back(a, b);
+    }
+  }
+}
+
+void Triangulator::make_super_triangle() {
+  double min_x = 0, min_y = 0, max_x = 1, max_y = 1;
+  if (!pts_.empty()) {
+    min_x = max_x = pts_[0].x;
+    min_y = max_y = pts_[0].y;
+    for (const auto& p : pts_) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+  }
+  const double cx = (min_x + max_x) / 2.0, cy = (min_y + max_y) / 2.0;
+  const double r = std::max({max_x - min_x, max_y - min_y, 1.0});
+  const double M = 1e6 * r;
+  const int s = static_cast<int>(pts_.size());
+  pts_.push_back({cx + M, cy - M});
+  pts_.push_back({cx, cy + M});
+  pts_.push_back({cx - M, cy - M});
+  Tri t;
+  t.v = {s, s + 1, s + 2};
+  if (geom::orient2d_sign(pts_[s], pts_[s + 1], pts_[s + 2]) < 0) {
+    std::swap(t.v[1], t.v[2]);
+  }
+  t.nb = {-1, -1, -1};
+  tris_.push_back(t);
+  last_ = 0;
+}
+
+// True if q is strictly inside the circumcircle of alive triangle ti.
+bool Triangulator::in_circumcircle(int ti, const Point& q) const {
+  const Tri& t = tris_[ti];
+  return geom::incircle_sign(pts_[t.v[0]], pts_[t.v[1]], pts_[t.v[2]], q) > 0;
+}
+
+// Walking point location; returns an alive triangle containing p
+// (boundary inclusive), or -1 on failure.
+int Triangulator::locate(const Point& p) const {
+  int t = last_;
+  if (t < 0 || !tris_[t].alive) {
+    t = -1;
+    for (int i = static_cast<int>(tris_.size()) - 1; i >= 0; --i) {
+      if (tris_[i].alive) {
+        t = i;
+        break;
+      }
+    }
+    if (t == -1) return -1;
+  }
+  const int cap = 4 * static_cast<int>(tris_.size()) + 64;
+  for (int step = 0; step < cap; ++step) {
+    const Tri& tri = tris_[t];
+    bool moved = false;
+    for (int i = 0; i < 3; ++i) {
+      const int a = tri.v[(i + 1) % 3], b = tri.v[(i + 2) % 3];
+      if (geom::orient2d_sign(pts_[a], pts_[b], p) < 0) {
+        const int nxt = tri.nb[i];
+        if (nxt == -1) return -1;  // outside the super-triangle
+        t = nxt;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) return t;
+  }
+  // Walk cycled (can happen on wildly degenerate data): linear fallback.
+  for (int i = 0; i < static_cast<int>(tris_.size()); ++i) {
+    if (!tris_[i].alive) continue;
+    const Tri& tri = tris_[i];
+    bool inside = true;
+    for (int e = 0; e < 3 && inside; ++e) {
+      inside = geom::orient2d_sign(pts_[tri.v[(e + 1) % 3]],
+                                   pts_[tri.v[(e + 2) % 3]], p) >= 0;
+    }
+    if (inside) return i;
+  }
+  return -1;
+}
+
+bool Triangulator::insert(int pi) {
+  const Point& p = pts_[pi];
+  const int t0 = locate(p);
+  if (t0 == -1) return false;
+
+  // Grow the cavity: all triangles whose circumcircle strictly contains p.
+  // Cavity membership is an epoch stamp, not a cleared bitmap — clearing
+  // O(#triangles) per insertion is what made large builds quadratic.
+  ++epoch_;
+  cavity_mark_.resize(tris_.size(), 0);
+  cavity_.clear();
+  cavity_.push_back(t0);
+  stack_.clear();
+  stack_.push_back(t0);
+  cavity_mark_[t0] = epoch_;
+  while (!stack_.empty()) {
+    const int t = stack_.back();
+    stack_.pop_back();
+    for (int i = 0; i < 3; ++i) {
+      const int nb = tris_[t].nb[i];
+      if (nb == -1 || cavity_mark_[nb] == epoch_) continue;
+      if (in_circumcircle(nb, p)) {
+        cavity_mark_[nb] = epoch_;
+        cavity_.push_back(nb);
+        stack_.push_back(nb);
+      }
+    }
+  }
+  const auto& cavity = cavity_;
+  const auto in_cavity = [&](int t) { return cavity_mark_[t] == epoch_; };
+
+  // Boundary: directed edges (a, b) of cavity triangles whose opposite
+  // neighbour is outside the cavity.
+  auto& boundary = boundary_;
+  boundary.clear();
+  for (int t : cavity) {
+    for (int i = 0; i < 3; ++i) {
+      const int nb = tris_[t].nb[i];
+      if (nb != -1 && in_cavity(nb)) continue;
+      boundary.push_back(
+          {tris_[t].v[(i + 1) % 3], tris_[t].v[(i + 2) % 3], nb});
+    }
+  }
+  // Each new triangle (p, a, b) must be ccw; a reflex boundary means the
+  // predicate tie-handling produced a non-star cavity — report failure.
+  for (const auto& e : boundary) {
+    if (geom::orient2d_sign(p, pts_[e.a], pts_[e.b]) <= 0) return false;
+  }
+
+  for (int t : cavity) tris_[t].alive = false;
+  auto& created = created_;
+  created.clear();
+  for (const auto& e : boundary) {
+    Tri nt;
+    nt.v = {pi, e.a, e.b};
+    nt.nb = {e.outside, -1, -1};
+    const int id = static_cast<int>(tris_.size());
+    tris_.push_back(nt);
+    cavity_mark_.push_back(0);
+    created.push_back(id);
+    // Repair the outside triangle's back-pointer.
+    if (e.outside != -1) {
+      Tri& o = tris_[e.outside];
+      for (int i = 0; i < 3; ++i) {
+        const int oa = o.v[(i + 1) % 3], ob = o.v[(i + 2) % 3];
+        if (oa == e.b && ob == e.a) {
+          o.nb[i] = id;
+          break;
+        }
+      }
+    }
+  }
+  // Fan linkage: edge (b, p) of (p, a, b) meets the triangle starting at
+  // b; edge (p, a) meets the triangle ending at a.  The fan is small
+  // (mean 6 edges), so a linear scan beats hash maps by a wide margin.
+  const int fan = static_cast<int>(created.size());
+  for (int id : created) {
+    Tri& t = tris_[id];
+    const int a = t.v[1], b = t.v[2];
+    int start_at_b = -1, end_at_a = -1;
+    for (int j = 0; j < fan; ++j) {
+      if (tris_[created[j]].v[1] == b) start_at_b = created[j];
+      if (tris_[created[j]].v[2] == a) end_at_a = created[j];
+    }
+    if (start_at_b == -1 || end_at_a == -1) return false;
+    t.nb[1] = start_at_b;  // edge (v2, v0) = (b, p)
+    t.nb[2] = end_at_a;    // edge (v0, v1) = (p, a)
+  }
+  if (!created.empty()) last_ = created.front();
+  return true;
+}
+
+void Triangulator::triangulate(std::span<const Point> pts, Triangulation& out) {
+  out.triangles.clear();
+  out.edges.clear();
   const int n = static_cast<int>(pts.size());
-  if (n <= 1) return out;
+  if (n <= 1) return;
 
   // Fast path: assume the input is duplicate-free (the overwhelmingly
   // common case) and skip the dedup prepass and its extra copy entirely.
   // An exact duplicate always aborts the build — its cavity boundary holds
   // an edge through the duplicate itself, which fails the reflex check —
   // so correctness never depends on this guess.
-  {
-    Builder b({pts.begin(), pts.end()});
-    if (b.run()) {
-      out.triangles = b.real_triangles();
-      out.edges = b.real_edges();
-      return out;
-    }
+  pts_.assign(pts.begin(), pts.end());
+  tris_.clear();
+  cavity_mark_.clear();
+  epoch_ = 0;
+  last_ = -1;
+  make_super_triangle();
+  if (run()) {
+    emit(out);
+    return;
   }
 
   // Merge exact duplicates: sort indices by coordinates (duplicates become
   // adjacent runs), then assign unique slots in input order so the
   // remapping below is monotone and edge lists stay sorted for free.
+  // Degenerate-input path: allocates freely (it runs at most once per
+  // adversarial instance, never in PlanSession steady state).
   std::vector<int> by_coord(n);
   for (int i = 0; i < n; ++i) by_coord[i] = i;
   std::sort(by_coord.begin(), by_coord.end(), [&](int a, int b) {
@@ -332,12 +295,10 @@ Triangulation triangulate(std::span<const Point> pts) {
     for (int j = s; j < e; ++j) rep[by_coord[j]] = by_coord[s];
     s = e;
   }
-  std::vector<int> unique_of(n, -1);  // original -> unique slot
   std::vector<Point> unique_pts;
   std::vector<int> unique_to_orig;
   for (int i = 0; i < n; ++i) {
     if (rep[i] == i) {
-      unique_of[i] = static_cast<int>(unique_pts.size());
       unique_pts.push_back(pts[i]);
       unique_to_orig.push_back(i);
     } else {
@@ -346,24 +307,37 @@ Triangulation triangulate(std::span<const Point> pts) {
   }
 
   if (unique_pts.size() >= 2) {
-    Builder b(unique_pts);
-    if (!b.run()) {
+    pts_.assign(unique_pts.begin(), unique_pts.end());
+    tris_.clear();
+    cavity_mark_.clear();
+    epoch_ = 0;
+    last_ = -1;
+    make_super_triangle();
+    if (!run()) {
       out.edges.clear();  // signal failure: caller falls back
       out.triangles.clear();
-      return out;
+      return;
     }
-    for (const auto& t : b.real_triangles()) {
-      out.triangles.push_back(
-          {unique_to_orig[t[0]], unique_to_orig[t[1]], unique_to_orig[t[2]]});
+    const size_t edge0 = out.edges.size();
+    emit(out);
+    for (auto& t : out.triangles) {
+      t = {unique_to_orig[t[0]], unique_to_orig[t[1]], unique_to_orig[t[2]]};
     }
-    for (const auto& [a, b2] : b.real_edges()) {
+    for (size_t i = edge0; i < out.edges.size(); ++i) {
       // unique_to_orig is strictly increasing, so u < v survives the remap.
-      out.edges.emplace_back(unique_to_orig[a], unique_to_orig[b2]);
+      out.edges[i] = {unique_to_orig[out.edges[i].first],
+                      unique_to_orig[out.edges[i].second]};
     }
   }
   // Already unique: duplicate-merge edges pair a representative with a
   // non-representative, triangulation edges pair two representatives, and
-  // real_edges emits each interior edge from one triangle only.
+  // emit() writes each interior edge from one triangle only.
+}
+
+Triangulation triangulate(std::span<const Point> pts) {
+  Triangulation out;
+  Triangulator builder;
+  builder.triangulate(pts, out);
   return out;
 }
 

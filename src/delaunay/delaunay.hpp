@@ -12,6 +12,7 @@
 /// cross-checks connectivity and falls back to Prim.
 
 #include <array>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -25,6 +26,46 @@ namespace dirant::delaunay {
 struct Triangulation {
   std::vector<std::array<int, 3>> triangles;
   std::vector<std::pair<int, int>> edges;  ///< u < v, unique, unordered list
+};
+
+/// Reusable Bowyer–Watson builder.  All working memory (point copy, triangle
+/// soup, cavity marks/stacks, insertion order) lives on the object and keeps
+/// its capacity across calls, so a warm Triangulator triangulating inputs of
+/// stable size allocates nothing — the property core::PlanSession builds on.
+/// The duplicate-merge fallback (exact duplicate points in the input) is the
+/// one path that still allocates; it only runs on degenerate inputs.
+class Triangulator {
+ public:
+  /// Triangulate `pts` into `out`, recycling `out`'s vectors.  Semantics are
+  /// identical to the free function `triangulate`.
+  void triangulate(std::span<const geom::Point> pts, Triangulation& out);
+
+ private:
+  struct Tri {
+    std::array<int, 3> v;   // ccw vertices
+    std::array<int, 3> nb;  // nb[i]: triangle across the edge opposite v[i]
+    bool alive = true;
+  };
+  struct BEdge {
+    int a, b, outside;
+  };
+
+  bool run();  // build over pts_; false on unhandled degeneracy
+  void emit(Triangulation& out) const;  // append real triangles + edges
+  int num_real() const { return static_cast<int>(pts_.size()) - 3; }
+  void make_super_triangle();
+  bool in_circumcircle(int ti, const geom::Point& q) const;
+  int locate(const geom::Point& p) const;
+  bool insert(int pi);
+
+  std::vector<geom::Point> pts_;
+  std::vector<Tri> tris_;
+  std::vector<std::uint64_t> order_;
+  std::vector<std::uint32_t> cavity_mark_;
+  std::uint32_t epoch_ = 0;
+  std::vector<int> cavity_, stack_, created_;
+  std::vector<BEdge> boundary_;
+  int last_ = -1;
 };
 
 /// Delaunay triangulation of `pts`.  Exact duplicates are merged; every

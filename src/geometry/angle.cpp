@@ -47,11 +47,12 @@ std::vector<int> sort_by_angle(std::span<const double> thetas) {
   return idx;
 }
 
-std::vector<AngularGap> gaps_of_sorted(std::span<const double> sorted) {
+void gaps_of_sorted(std::span<const double> sorted,
+                    std::vector<AngularGap>& out) {
   const int n = static_cast<int>(sorted.size());
   DIRANT_ASSERT(n >= 1);
-  std::vector<AngularGap> gaps;
-  gaps.reserve(n);
+  out.clear();
+  if (out.capacity() < static_cast<size_t>(n)) out.reserve(n);
   for (int i = 0; i < n; ++i) {
     const double a = sorted[i];
     const double b = sorted[(i + 1) % n];
@@ -59,21 +60,29 @@ std::vector<AngularGap> gaps_of_sorted(std::span<const double> sorted) {
     if (n > 1 && i == n - 1) {
       // Wrap gap: ensure the widths sum to exactly one turn despite rounding.
       double acc = 0.0;
-      for (int j = 0; j + 1 < n; ++j) acc += gaps[j].width;
+      for (int j = 0; j + 1 < n; ++j) acc += out[j].width;
       w = std::max(0.0, kTwoPi - acc);
     }
-    gaps.push_back({i, a, w});
+    out.push_back({i, a, w});
   }
+}
+
+std::vector<AngularGap> gaps_of_sorted(std::span<const double> sorted) {
+  std::vector<AngularGap> gaps;
+  gaps_of_sorted(sorted, gaps);
   return gaps;
 }
 
-SpreadCover min_spread_cover(std::span<const double> thetas, int k) {
-  SpreadCover out;
+void min_spread_cover(std::span<const double> thetas, int k, SpreadCover& out,
+                      SpreadCoverScratch& scratch) {
+  out.total_spread = 0.0;
+  out.arcs.clear();
   const int n = static_cast<int>(thetas.size());
   DIRANT_ASSERT(k >= 1);
-  if (n == 0) return out;
+  if (n == 0) return;
 
-  std::vector<double> sorted(thetas.begin(), thetas.end());
+  auto& sorted = scratch.sorted;
+  sorted.assign(thetas.begin(), thetas.end());
   for (double& t : sorted) t = norm_angle(t);
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
@@ -81,18 +90,22 @@ SpreadCover min_spread_cover(std::span<const double> thetas, int k) {
 
   if (k >= m) {
     for (double t : sorted) out.arcs.emplace_back(t, 0.0);
-    return out;
+    return;
   }
 
-  auto gaps = gaps_of_sorted(sorted);
+  auto& gaps = scratch.gaps;
+  gaps_of_sorted(sorted, gaps);
+
   // Drop the k widest gaps; each remaining maximal run of rays is one arc.
-  std::vector<int> order(gaps.size());
+  auto& order = scratch.order;
+  order.resize(gaps.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     return gaps[a].width > gaps[b].width;
   });
-  std::vector<bool> dropped(gaps.size(), false);
-  for (int i = 0; i < k; ++i) dropped[order[i]] = true;
+  auto& dropped = scratch.dropped;
+  dropped.assign(gaps.size(), 0);
+  for (int i = 0; i < k; ++i) dropped[order[i]] = 1;
 
   // Walk ccw; an arc starts after each dropped gap and ends at the ray that
   // precedes the next dropped gap.
@@ -108,6 +121,12 @@ SpreadCover min_spread_cover(std::span<const double> thetas, int k) {
     out.arcs.emplace_back(sorted[first], width);
     out.total_spread += width;
   }
+}
+
+SpreadCover min_spread_cover(std::span<const double> thetas, int k) {
+  SpreadCover out;
+  SpreadCoverScratch scratch;
+  min_spread_cover(thetas, k, out, scratch);
   return out;
 }
 

@@ -51,6 +51,10 @@ std::vector<int> sort_by_angle(std::span<const double> thetas);
 /// ray the gap is the full circle.
 std::vector<AngularGap> gaps_of_sorted(std::span<const double> sorted);
 
+/// Recycling variant: clears and fills `out` (allocation-free once warm).
+void gaps_of_sorted(std::span<const double> sorted,
+                    std::vector<AngularGap>& out);
+
 /// Minimum total spread needed to cover all ray directions with at most `k`
 /// sectors: 2*pi minus the k largest gaps (optimal; the constructive half of
 /// the paper's Lemma 1).  Returns the covered ccw intervals as (start, width)
@@ -61,5 +65,19 @@ struct SpreadCover {
   std::vector<std::pair<double, double>> arcs;  ///< (start, ccw width)
 };
 SpreadCover min_spread_cover(std::span<const double> thetas, int k);
+
+/// Working memory for `min_spread_cover` loops (one cover per tree node in
+/// the Theorem 2 pipeline).  Buffers keep their capacity across calls, so a
+/// warm scratch makes repeated covers allocation-free.
+struct SpreadCoverScratch {
+  std::vector<double> sorted;
+  std::vector<AngularGap> gaps;
+  std::vector<int> order;
+  std::vector<char> dropped;
+};
+
+/// Scratch-reusing variant: recycles `out.arcs` and every scratch buffer.
+void min_spread_cover(std::span<const double> thetas, int k, SpreadCover& out,
+                      SpreadCoverScratch& scratch);
 
 }  // namespace dirant::geom

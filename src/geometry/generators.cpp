@@ -96,6 +96,31 @@ std::vector<Point> annulus(int n, double r_inner, double r_outer, Rng& rng) {
   return pts;
 }
 
+std::vector<Point> perimeter_band(int n, double side, double band, Rng& rng) {
+  DIRANT_ASSERT(n >= 0 && side > 0.0 && band > 0.0 && band <= side / 2.0);
+  // Rejection-free: pick one of the four side strips weighted by area, then
+  // a uniform point inside it.  Strips partition the band: top/bottom span
+  // the full width, left/right cover only the remaining middle rows.
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const double horiz = side * band;                  // top or bottom strip
+  const double vert = (side - 2.0 * band) * band;    // left or right strip
+  const double total = 2.0 * (horiz + vert);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    const double pick = total * u(rng);
+    if (pick < horiz) {  // bottom
+      p = {side * u(rng), band * u(rng)};
+    } else if (pick < 2.0 * horiz) {  // top
+      p = {side * u(rng), side - band * u(rng)};
+    } else if (pick < 2.0 * horiz + vert) {  // left
+      p = {band * u(rng), band + (side - 2.0 * band) * u(rng)};
+    } else {  // right
+      p = {side - band * u(rng), band + (side - 2.0 * band) * u(rng)};
+    }
+  }
+  return pts;
+}
+
 std::vector<Point> regular_polygon(int d, double radius, Point center,
                                    double phase) {
   DIRANT_ASSERT(d >= 1 && radius > 0.0);
@@ -144,6 +169,7 @@ std::string to_string(Distribution d) {
     case Distribution::kGrid: return "grid";
     case Distribution::kAnnulus: return "annulus";
     case Distribution::kCorridor: return "corridor";
+    case Distribution::kPerimeter: return "perimeter";
   }
   return "unknown";
 }
@@ -172,6 +198,12 @@ std::vector<Point> make_instance(Distribution d, int n, Rng& rng) {
       return annulus(n, side / 2.0, side, rng);
     case Distribution::kCorridor:
       return collinear_points(n, 1.0, 0.2, rng);
+    case Distribution::kPerimeter: {
+      // Band one tenth of the side; side scaled so the band area is n
+      // (density ~1, matching the other families): 0.36 * s^2 = n.
+      const double s = std::sqrt(static_cast<double>(n) / 0.36);
+      return perimeter_band(n, s, 0.1 * s, rng);
+    }
   }
   return {};
 }

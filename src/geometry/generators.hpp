@@ -46,6 +46,13 @@ std::vector<Point> collinear_points(int n, double spacing, double jitter_perp,
 /// n points uniform in the annulus r_inner <= |p| <= r_outer.
 std::vector<Point> annulus(int n, double r_inner, double r_outer, Rng& rng);
 
+/// n points uniform in the boundary band of the square [0, side]^2: every
+/// point lies within `band` of one of the four sides (the interior
+/// (band, side-band)^2 is empty).  Models perimeter-surveillance
+/// deployments; the MST hugs the boundary ring, so orientations must chain
+/// around the hollow centre.  Requires 0 < band <= side / 2.
+std::vector<Point> perimeter_band(int n, double side, double band, Rng& rng);
+
 /// Vertices of a regular d-gon of the given circumradius.
 std::vector<Point> regular_polygon(int d, double radius,
                                    Point center = {0.0, 0.0},
@@ -69,13 +76,15 @@ enum class Distribution {
   kClusters,
   kGrid,
   kAnnulus,
-  kCorridor,  ///< near-collinear chain
+  kCorridor,   ///< near-collinear chain
+  kPerimeter,  ///< boundary band of a square (hollow interior)
 };
 
-inline constexpr std::array<Distribution, 6> kAllDistributions = {
+inline constexpr std::array<Distribution, 7> kAllDistributions = {
     Distribution::kUniformSquare, Distribution::kUniformDisk,
     Distribution::kClusters,      Distribution::kGrid,
     Distribution::kAnnulus,       Distribution::kCorridor,
+    Distribution::kPerimeter,
 };
 
 std::string to_string(Distribution d);

@@ -16,6 +16,18 @@ class UnionFind {
     std::iota(parent_.begin(), parent_.end(), 0);
   }
 
+  UnionFind() : UnionFind(0) {}
+
+  /// Reinitialize for `n` singleton sets, recycling the buffers (no
+  /// allocation once capacity has grown to n).
+  void reset(int n) {
+    DIRANT_ASSERT(n >= 0);
+    parent_.resize(n);
+    rank_.assign(n, 0);
+    std::iota(parent_.begin(), parent_.end(), 0);
+    components_ = n;
+  }
+
   int find(int x) {
     DIRANT_ASSERT(x >= 0 && x < static_cast<int>(parent_.size()));
     while (parent_[x] != x) {

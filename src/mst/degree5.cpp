@@ -29,20 +29,31 @@ void erase_edge_entry(std::vector<std::pair<int, int>>& list, int edge_idx) {
 
 }  // namespace
 
-Tree enforce_max_degree(std::span<const Point> pts, Tree t, int max_degree) {
+void enforce_max_degree(std::span<const Point> pts, Tree& t, int max_degree,
+                        DegreeRepairScratch& scratch) {
   DIRANT_ASSERT(max_degree >= 2);
   // Adjacency as (neighbour, edge-index) pairs and the degree vector are
   // built once and maintained incrementally across swaps; over-degree
   // vertices sit on a worklist instead of being rediscovered by a full
   // O(n) rescan per repair.
-  std::vector<std::vector<std::pair<int, int>>> adj(t.n);
+  auto& adj = scratch.adj;
+  adj.resize(t.n);
+  for (int v = 0; v < t.n; ++v) {
+    adj[v].clear();
+    // Keep per-vertex capacity at least one past the repair bound so
+    // same-size reruns through a warm scratch never regrow a list.
+    if (adj[v].capacity() < 8) adj[v].reserve(8);
+  }
   for (int i = 0; i < static_cast<int>(t.edges.size()); ++i) {
     adj[t.edges[i].u].push_back({t.edges[i].v, i});
     adj[t.edges[i].v].push_back({t.edges[i].u, i});
   }
-  std::vector<int> deg(t.n, 0);
-  std::vector<int> work;
-  std::vector<char> queued(t.n, 0);
+  auto& deg = scratch.deg;
+  auto& work = scratch.work;
+  auto& queued = scratch.queued;
+  deg.assign(t.n, 0);
+  work.clear();
+  queued.assign(t.n, 0);
   for (int v = 0; v < t.n; ++v) {
     deg[v] = static_cast<int>(adj[v].size());
     if (deg[v] > max_degree) {
@@ -61,7 +72,8 @@ Tree enforce_max_degree(std::span<const Point> pts, Tree t, int max_degree) {
     ++iter;
 
     // Sort u's incident edges by angle; examine consecutive pairs.
-    auto inc = adj[u];
+    auto& inc = scratch.inc;
+    inc.assign(adj[u].begin(), adj[u].end());
     std::sort(inc.begin(), inc.end(), [&](const auto& a, const auto& b) {
       return geom::angle_to(pts[u], pts[a.first]) <
              geom::angle_to(pts[u], pts[b.first]);
@@ -120,8 +132,20 @@ Tree enforce_max_degree(std::span<const Point> pts, Tree t, int max_degree) {
       queued[best_other_w] = 1;
     }
   }
-  DIRANT_ASSERT_MSG(t.max_degree() <= max_degree,
+  // Recount from the edge list (allocation-free) rather than trusting the
+  // incremental bookkeeping the loop itself maintained.
+  deg.assign(t.n, 0);
+  int observed_max = 0;
+  for (const auto& e : t.edges) {
+    observed_max = std::max({observed_max, ++deg[e.u], ++deg[e.v]});
+  }
+  DIRANT_ASSERT_MSG(observed_max <= max_degree,
                     "degree repair did not converge");
+}
+
+Tree enforce_max_degree(std::span<const Point> pts, Tree t, int max_degree) {
+  DegreeRepairScratch scratch;
+  enforce_max_degree(pts, t, max_degree, scratch);
   return t;
 }
 

@@ -9,11 +9,25 @@
 /// keeps a spanning tree of no greater weight and reduces deg(u).
 
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "geometry/point.hpp"
 #include "mst/tree.hpp"
 
 namespace dirant::mst {
+
+/// Working memory for the repair pass: incremental adjacency as
+/// (neighbour, edge-index) pairs, the degree vector and the over-degree
+/// worklist.  Buffers (including the per-vertex adjacency lists) keep their
+/// capacity across calls.
+struct DegreeRepairScratch {
+  std::vector<std::vector<std::pair<int, int>>> adj;
+  std::vector<int> deg;
+  std::vector<int> work;
+  std::vector<char> queued;
+  std::vector<std::pair<int, int>> inc;  ///< sorted copy of one vertex's list
+};
 
 /// Returns a spanning tree with max degree <= max_degree (>= 2 required;
 /// the paper needs 5).  Weight never increases; `lmax` never increases.
@@ -21,6 +35,10 @@ namespace dirant::mst {
 /// cap (cannot happen for max_degree >= 5 on EMST input).
 Tree enforce_max_degree(std::span<const geom::Point> pts, Tree t,
                         int max_degree = 5);
+
+/// In-place, scratch-reusing variant (the PlanSession pipeline path).
+void enforce_max_degree(std::span<const geom::Point> pts, Tree& t,
+                        int max_degree, DegreeRepairScratch& scratch);
 
 /// Convenience: degree-5 EMST of `pts` (the tree the paper's algorithms use).
 Tree degree5_emst(std::span<const geom::Point> pts);

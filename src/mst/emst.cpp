@@ -7,23 +7,25 @@
 #include <vector>
 
 #include "common/assert.hpp"
-#include "graph/union_find.hpp"
 #include "mst/engine.hpp"
 
 namespace dirant::mst {
 
 using geom::Point;
 
-Tree prim_emst(std::span<const Point> pts) {
+void prim_emst(std::span<const Point> pts, Tree& out, PrimScratch& scratch) {
   const int n = static_cast<int>(pts.size());
   DIRANT_ASSERT(n >= 1);
-  Tree t;
-  t.n = n;
-  if (n == 1) return t;
+  out.n = n;
+  out.edges.clear();
+  if (n == 1) return;
 
-  std::vector<double> best(n, std::numeric_limits<double>::infinity());
-  std::vector<int> from(n, -1);
-  std::vector<char> in_tree(n, 0);
+  auto& best = scratch.best;
+  auto& from = scratch.from;
+  auto& in_tree = scratch.in_tree;
+  best.assign(n, std::numeric_limits<double>::infinity());
+  from.assign(n, -1);
+  in_tree.assign(n, 0);
   int cur = 0;
   in_tree[0] = 1;
   for (int added = 1; added < n; ++added) {
@@ -46,19 +48,27 @@ Tree prim_emst(std::span<const Point> pts) {
     }
     DIRANT_ASSERT(next != -1);
     in_tree[next] = 1;
-    t.edges.push_back({from[next], next, geom::dist(pts[from[next]], pts[next])});
+    out.edges.push_back(
+        {from[next], next, geom::dist(pts[from[next]], pts[next])});
     cur = next;
   }
+}
+
+Tree prim_emst(std::span<const Point> pts) {
+  Tree t;
+  PrimScratch scratch;
+  prim_emst(pts, t, scratch);
   return t;
 }
 
-Tree kruskal_emst(std::span<const Point> pts,
-                  std::span<const std::pair<int, int>> candidates) {
+void kruskal_emst(std::span<const Point> pts,
+                  std::span<const std::pair<int, int>> candidates, Tree& out,
+                  KruskalScratch& scratch) {
   const int n = static_cast<int>(pts.size());
   DIRANT_ASSERT(n >= 1);
-  Tree t;
-  t.n = n;
-  if (n == 1) return t;
+  out.n = n;
+  out.edges.clear();
+  if (n == 1) return;
 
   // Sort candidate indices by squared length packed into flat uint64s:
   // non-negative doubles order identically to their bit patterns, so the
@@ -70,19 +80,21 @@ Tree kruskal_emst(std::span<const Point> pts,
   // (n beyond ~350k on the Delaunay path) sort (dist2, index) pairs
   // instead — slower constants, same result, no size cliff.
   constexpr size_t kPackedIndexBits = 20;
-  graph::UnionFind uf(n);
+  scratch.uf.reset(n);
+  auto& uf = scratch.uf;
   const auto accept = [&](int u, int v) {
     if (uf.unite(u, v)) {
-      t.edges.push_back({u, v, geom::dist(pts[u], pts[v])});
-      return static_cast<int>(t.edges.size()) == n - 1;
+      out.edges.push_back({u, v, geom::dist(pts[u], pts[v])});
+      return static_cast<int>(out.edges.size()) == n - 1;
     }
     return false;
   };
   if (candidates.size() < (1ull << kPackedIndexBits)) {
-    std::vector<std::uint64_t> order(candidates.size());
+    auto& order = scratch.order;
+    order.resize(candidates.size());
     for (size_t i = 0; i < candidates.size(); ++i) {
-      const double d2 = geom::dist2(pts[candidates[i].first],
-                                    pts[candidates[i].second]);
+      const double d2 =
+          geom::dist2(pts[candidates[i].first], pts[candidates[i].second]);
       std::uint64_t bits;
       std::memcpy(&bits, &d2, sizeof bits);
       order[i] = (bits & ~((1ull << kPackedIndexBits) - 1)) | i;
@@ -93,7 +105,8 @@ Tree kruskal_emst(std::span<const Point> pts,
       if (accept(u, v)) break;
     }
   } else {
-    std::vector<std::pair<double, std::uint32_t>> order(candidates.size());
+    auto& order = scratch.order_big;
+    order.resize(candidates.size());
     for (size_t i = 0; i < candidates.size(); ++i) {
       order[i] = {geom::dist2(pts[candidates[i].first],
                               pts[candidates[i].second]),
@@ -105,8 +118,15 @@ Tree kruskal_emst(std::span<const Point> pts,
       if (accept(u, v)) break;
     }
   }
-  DIRANT_ASSERT_MSG(static_cast<int>(t.edges.size()) == n - 1,
+  DIRANT_ASSERT_MSG(static_cast<int>(out.edges.size()) == n - 1,
                     "candidate edge set is not connected");
+}
+
+Tree kruskal_emst(std::span<const Point> pts,
+                  std::span<const std::pair<int, int>> candidates) {
+  Tree t;
+  KruskalScratch scratch;
+  kruskal_emst(pts, candidates, t, scratch);
   return t;
 }
 

@@ -26,22 +26,46 @@ EngineKind EmstEngine::selected(int n) const {
 }
 
 Tree EmstEngine::emst(std::span<const geom::Point> pts) const {
+  Tree out;
+  EmstScratch scratch;
+  emst(pts, out, scratch);
+  return out;
+}
+
+void EmstEngine::emst(std::span<const geom::Point> pts, Tree& out,
+                      EmstScratch& scratch) const {
   const int n = static_cast<int>(pts.size());
   DIRANT_ASSERT(n >= 1);
-  if (selected(n) == EngineKind::kPrim) return prim_emst(pts);
-  const auto dt_edges = delaunay::delaunay_edges(pts);
-  if (dt_edges.empty() && n > 1) return prim_emst(pts);  // degenerate input
+  if (selected(n) == EngineKind::kPrim) {
+    prim_emst(pts, out, scratch.prim);
+    return;
+  }
+  scratch.triangulator.triangulate(pts, scratch.candidates);
+  const auto& dt_edges = scratch.candidates.edges;
+  if (dt_edges.empty() && n > 1) {  // degenerate input
+    prim_emst(pts, out, scratch.prim);
+    return;
+  }
   // Duplicate-heavy or adversarial inputs can leave the candidate graph
   // disconnected; Kruskal detects that and we fall back to Prim.
   try {
-    return kruskal_emst(pts, dt_edges);
+    kruskal_emst(pts, dt_edges, out, scratch.kruskal);
   } catch (const contract_violation&) {
-    return prim_emst(pts);
+    prim_emst(pts, out, scratch.prim);
   }
 }
 
 Tree EmstEngine::degree5(std::span<const geom::Point> pts) const {
-  return enforce_max_degree(pts, emst(pts), 5);
+  Tree out;
+  EmstScratch scratch;
+  degree5(pts, out, scratch);
+  return out;
+}
+
+void EmstEngine::degree5(std::span<const geom::Point> pts, Tree& out,
+                         EmstScratch& scratch) const {
+  emst(pts, out, scratch);
+  enforce_max_degree(pts, out, 5, scratch.repair);
 }
 
 double EmstEngine::lmax(std::span<const geom::Point> pts) const {

@@ -19,7 +19,10 @@
 
 #include <span>
 
+#include "delaunay/delaunay.hpp"
 #include "geometry/point.hpp"
+#include "mst/degree5.hpp"
+#include "mst/emst.hpp"
 #include "mst/tree.hpp"
 
 namespace dirant::mst {
@@ -40,6 +43,18 @@ struct EngineConfig {
   int prim_cutoff = 64;
 };
 
+/// Working memory for the whole EMST -> degree-repair stage: one of each
+/// builder's scratch plus the reusable Delaunay triangulator.  Owned by
+/// core::PlanSession (one per session / batch worker); a warm scratch makes
+/// the tree-build stage allocation-free on same-size instances.
+struct EmstScratch {
+  PrimScratch prim;
+  KruskalScratch kruskal;
+  DegreeRepairScratch repair;
+  delaunay::Triangulator triangulator;
+  delaunay::Triangulation candidates;
+};
+
 /// Stateless facade over the EMST builders; cheap to copy.  Use
 /// `EmstEngine::shared()` unless a caller needs a non-default policy
 /// (benches force each engine to measure the crossover).
@@ -53,6 +68,13 @@ class EmstEngine {
 
   /// Degree-<=5 EMST (the tree the paper's algorithms consume).
   Tree degree5(std::span<const geom::Point> pts) const;
+
+  /// Scratch-reusing variants: recycle `out` and every internal buffer.
+  /// Identical outputs to the plain overloads.
+  void emst(std::span<const geom::Point> pts, Tree& out,
+            EmstScratch& scratch) const;
+  void degree5(std::span<const geom::Point> pts, Tree& out,
+               EmstScratch& scratch) const;
 
   /// Longest MST edge — the universal range lower bound.  0 for n < 2.
   double lmax(std::span<const geom::Point> pts) const;

@@ -7,31 +7,63 @@
 
 namespace dirant::mst {
 
-RootedTree RootedTree::rooted_at(const Tree& t, int root) {
+void RootedTree::rebuild(const Tree& t, int root) {
   DIRANT_ASSERT(root >= 0 && root < t.n);
-  RootedTree rt;
-  rt.root = root;
-  rt.parent.assign(t.n, -2);
-  rt.children.resize(t.n);
-  rt.preorder.reserve(t.n);
+  this->root = root;
+  parent.assign(t.n, -2);
+  children.resize(t.n);
+  for (auto& list : children) {
+    list.clear();
+    if (list.capacity() < 6) list.reserve(6);
+  }
+  preorder.clear();
+  preorder.reserve(t.n);
 
-  const auto adj = t.adjacency();
-  std::vector<int> stack{root};
-  rt.parent[root] = -1;
+  t.adjacency_into(adj_scratch_);
+  auto& stack = stack_scratch_;
+  stack.clear();
+  stack.push_back(root);
+  parent[root] = -1;
   while (!stack.empty()) {
     const int u = stack.back();
     stack.pop_back();
-    rt.preorder.push_back(u);
-    for (int v : adj[u]) {
-      if (rt.parent[v] == -2) {
-        rt.parent[v] = u;
-        rt.children[u].push_back(v);
+    preorder.push_back(u);
+    for (int v : adj_scratch_[u]) {
+      if (parent[v] == -2) {
+        parent[v] = u;
+        children[u].push_back(v);
         stack.push_back(v);
       }
     }
   }
-  DIRANT_ASSERT_MSG(static_cast<int>(rt.preorder.size()) == t.n,
+  DIRANT_ASSERT_MSG(static_cast<int>(preorder.size()) == t.n,
                     "tree is not connected");
+}
+
+void RootedTree::rebuild_at_leaf(const Tree& t) {
+  DIRANT_ASSERT(t.n >= 1);
+  if (t.n == 1) {
+    rebuild(t, 0);
+    return;
+  }
+  // Allocation-free leaf pick: degree counts go through the stack scratch.
+  auto& deg = stack_scratch_;
+  deg.assign(t.n, 0);
+  for (const auto& e : t.edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  int leaf = -1;
+  for (int v = 0; v < t.n && leaf < 0; ++v) {
+    if (deg[v] == 1) leaf = v;
+  }
+  DIRANT_ASSERT_MSG(leaf >= 0, "tree without a leaf");
+  rebuild(t, leaf);
+}
+
+RootedTree RootedTree::rooted_at(const Tree& t, int root) {
+  RootedTree rt;
+  rt.rebuild(t, root);
   return rt;
 }
 

@@ -24,7 +24,18 @@ struct RootedTree {
   /// Root `t` at its first leaf (the paper's choice, §1.2).
   static RootedTree rooted_at_leaf(const Tree& t);
 
+  /// Recycling rebuilds for traversal loops: same results as the static
+  /// factories, but child lists, the preorder array and the internal
+  /// adjacency scratch keep their capacity across calls (allocation-free
+  /// once warm on same-size trees).
+  void rebuild(const Tree& t, int root);
+  void rebuild_at_leaf(const Tree& t);
+
   int size() const { return static_cast<int>(parent.size()); }
+
+ private:
+  std::vector<std::vector<int>> adj_scratch_;
+  std::vector<int> stack_scratch_;
 };
 
 /// Children of `u` sorted by ccw angle measured from the reference direction

@@ -25,6 +25,14 @@ struct Tree {
   /// Neighbour lists (size n).  O(n) to build.
   std::vector<std::vector<int>> adjacency() const;
 
+  /// Scratch-reusing variant: recycles `adj` and its per-vertex lists
+  /// (reserving a degree-bound's worth of slots each, so warm same-size
+  /// rebuilds never allocate).
+  void adjacency_into(std::vector<std::vector<int>>& adj) const;
+
+  /// Scratch-reusing degree count.
+  void degrees_into(std::vector<int>& deg) const;
+
   /// Undirected graph view.
   graph::Graph as_graph() const;
 

@@ -182,4 +182,52 @@ TEST(Generators, DedupeMinSeparation) {
   EXPECT_EQ(out.size(), 2u);
 }
 
+TEST(Generators, PerimeterBandStaysInBandAndReachesAllSides) {
+  geom::Rng rng(314);
+  const double side = 20.0, band = 2.0;
+  const auto pts = geom::perimeter_band(2000, side, band, rng);
+  ASSERT_EQ(pts.size(), 2000u);
+  int bottom = 0, top = 0, left = 0, right = 0;
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, side);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, side);
+    const double margin = std::min(std::min(p.x, side - p.x),
+                                   std::min(p.y, side - p.y));
+    EXPECT_LE(margin, band + 1e-12) << "interior point at (" << p.x << ", "
+                                    << p.y << ")";
+    bottom += p.y <= band;
+    top += p.y >= side - band;
+    left += p.x <= band;
+    right += p.x >= side - band;
+  }
+  // All four sides populated (strips are area-weighted).
+  EXPECT_GT(bottom, 100);
+  EXPECT_GT(top, 100);
+  EXPECT_GT(left, 100);
+  EXPECT_GT(right, 100);
+}
+
+TEST(Generators, AnnulusStaysInRadiusBand) {
+  geom::Rng rng(315);
+  const auto pts = geom::annulus(500, 3.0, 5.0, rng);
+  for (const auto& p : pts) {
+    const double r = std::sqrt(p.x * p.x + p.y * p.y);
+    EXPECT_GE(r, 3.0 - 1e-12);
+    EXPECT_LE(r, 5.0 + 1e-12);
+  }
+}
+
+TEST(Generators, MakeInstanceCoversNewDistributions) {
+  geom::Rng rng(316);
+  const auto peri =
+      geom::make_instance(geom::Distribution::kPerimeter, 200, rng);
+  EXPECT_EQ(peri.size(), 200u);
+  EXPECT_EQ(to_string(geom::Distribution::kPerimeter), "perimeter");
+  const auto ann = geom::make_instance(geom::Distribution::kAnnulus, 200, rng);
+  EXPECT_EQ(ann.size(), 200u);
+  EXPECT_EQ(to_string(geom::Distribution::kAnnulus), "annulus");
+}
+
 }  // namespace
