@@ -11,6 +11,8 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "antenna/transmission.hpp"
@@ -41,20 +43,22 @@ DIRANT_REPORT(x3) {
   // perf trajectory.
   const bool smoke = std::getenv("DIRANT_BENCH_SMOKE") != nullptr;
   section("X3 — EMST+orient wall time per engine (BENCH_scaling.json)");
-  // Preserve a certify section that bench_x6_certify may have spliced into
-  // an existing file: this bench owns emst_orient+batch only.
-  std::string preserved_certify;
+  // Preserve the certify / certify_parallel sections that bench_x6_certify
+  // may have spliced into an existing file: this bench owns
+  // emst_orient+batch only.
+  std::vector<std::string> preserved_sections;
   {
     std::ifstream in("BENCH_scaling.json");
     if (in) {
       std::ostringstream ss;
       ss << in.rdbuf();
       const std::string existing = ss.str();
-      const size_t pos = existing.find("\"certify\"");
-      if (pos != std::string::npos) {
+      for (const char* key : {"\"certify\"", "\"certify_parallel\""}) {
+        const size_t pos = existing.find(key);
+        if (pos == std::string::npos) continue;
         const size_t close = existing.find(']', pos);
         if (close != std::string::npos) {
-          preserved_certify = existing.substr(pos, close + 1 - pos);
+          preserved_sections.push_back(existing.substr(pos, close + 1 - pos));
         }
       }
     }
@@ -165,21 +169,29 @@ DIRANT_REPORT(x3) {
       time_ms([&] { benchmark::DoNotOptimize(core::orient_batch(inputs, spec, serial_opts)); });
   const double pooled_ms =
       time_ms([&] { benchmark::DoNotOptimize(core::orient_batch(inputs, spec)); });
+  // Record the pool size AND the machine's hardware concurrency: a ~1x
+  // batch speedup with hw_threads == 1 is the box, not a regression — the
+  // row documents its own context so nobody quotes it against multi-core
+  // expectations.
   const unsigned threads = dirant::par::global_pool().thread_count();
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
   const double batch_speedup = serial_ms / std::max(pooled_ms, 1e-9);
   std::printf(
       "batch (n=%d) x %d instances: serial %.1fms, pooled %.1fms "
-      "(%.2fx, %u threads)\n",
-      n, instances, serial_ms, pooled_ms, batch_speedup, threads);
+      "(%.2fx, %u pool threads, %u hw threads)\n",
+      n, instances, serial_ms, pooled_ms, batch_speedup, threads,
+      hw_threads);
   if (json) {
     std::fprintf(json,
                  "  \"batch\": {\"instances\": %d, \"n\": %d, \"serial_ms\": "
-                 "%.3f, \"pooled_ms\": %.3f, \"threads\": %u, \"speedup\": "
-                 "%.3f}%s\n",
-                 instances, n, serial_ms, pooled_ms, threads, batch_speedup,
-                 preserved_certify.empty() ? "" : ",");
-    if (!preserved_certify.empty()) {
-      std::fprintf(json, "  %s\n", preserved_certify.c_str());
+                 "%.3f, \"pooled_ms\": %.3f, \"threads\": %u, "
+                 "\"hw_threads\": %u, \"speedup\": %.3f}%s\n",
+                 instances, n, serial_ms, pooled_ms, threads, hw_threads,
+                 batch_speedup, preserved_sections.empty() ? "" : ",");
+    for (size_t i = 0; i < preserved_sections.size(); ++i) {
+      std::fprintf(json, "  %s%s\n", preserved_sections[i].c_str(),
+                   i + 1 < preserved_sections.size() ? "," : "");
     }
     std::fprintf(json, "}\n");
     std::fclose(json);

@@ -3,12 +3,19 @@
 // (induced_digraph_fast emitting straight into CSR, scratch-reusing Tarjan)
 // against a faithful reimplementation of the pre-refactor adjacency-list
 // path (vector-of-vectors digraph, per-bucket-vector grid, per-vertex
-// sort+clear dance, allocating Tarjan), and appends a "certify" section to
-// BENCH_scaling.json so the speedup is part of the recorded perf
-// trajectory.
+// sort+clear dance, allocating Tarjan), plus two more variants per n:
+//   * fresh-scratch certify (cold TransmissionScratch per call) vs the
+//     warm recycled path — the GridIndex::rebuild win;
+//   * the sharded build at several thread counts (real ThreadPool workers)
+//     vs the serial build — bit-identical output, parallel wall clock.
+// Appends "certify" / "certify_parallel" sections to BENCH_scaling.json so
+// the speedups are part of the recorded perf trajectory.
 //
 // Smoke mode (DIRANT_BENCH_SMOKE=1): tiny sizes so ctest can keep this
 // binary from bit-rotting without paying the full sweep.
+// DIRANT_X6_THREADS=t adds a shard count to the parallel sweep (the
+// bench_smoke_x6_certify_parallel ctest entry exercises the pooled path
+// with it).
 
 #include <algorithm>
 #include <chrono>
@@ -23,11 +30,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bench_common.hpp"
 #include "antenna/transmission.hpp"
 #include "common/constants.hpp"
 #include "core/planner.hpp"
 #include "graph/scc.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace geom = dirant::geom;
 namespace core = dirant::core;
@@ -202,14 +212,40 @@ int legacy_scc_count(const std::vector<std::vector<int>>& out) {
 struct CertifyRow {
   int n = 0;
   double csr_ms = 0.0;
+  double fresh_ms = 0.0;  ///< cold-scratch certify (per-call grid build)
   double legacy_ms = 0.0;
   int scc_count = 0;
-  double speedup = 0.0;
+  double speedup = 0.0;          ///< legacy / warm csr
+  double rebuild_speedup = 0.0;  ///< fresh / warm csr (GridIndex recycling)
 };
 
-/// Splices a "certify" section into BENCH_scaling.json next to the
-/// sections x3_scaling wrote (creates the file if x3 has not run).
-void append_certify_json(const std::vector<CertifyRow>& rows) {
+struct ParallelRow {
+  int n = 0;
+  int threads = 0;
+  double ms = 0.0;
+  double speedup_vs_serial = 0.0;
+};
+
+/// Removes a previously spliced `"name": [...]` section (with its leading
+/// comma, if any) so reruns replace rather than accumulate.
+void drop_section(std::string& existing, const std::string& name) {
+  const std::string key = "\"" + name + "\"";
+  size_t pos;
+  while ((pos = existing.find(key)) != std::string::npos) {
+    size_t start = existing.rfind(',', pos);
+    if (start == std::string::npos) start = pos;
+    const size_t close = existing.find(']', pos);
+    const size_t end = close == std::string::npos ? pos + key.size()
+                                                  : close + 1;
+    existing.erase(start, end - start);
+  }
+}
+
+/// Splices the "certify" and "certify_parallel" sections into
+/// BENCH_scaling.json next to the sections x3_scaling wrote (creates the
+/// file if x3 has not run).
+void append_certify_json(const std::vector<CertifyRow>& rows,
+                         const std::vector<ParallelRow>& par_rows) {
   std::string existing;
   {
     std::ifstream in("BENCH_scaling.json");
@@ -219,26 +255,31 @@ void append_certify_json(const std::vector<CertifyRow>& rows) {
       existing = ss.str();
     }
   }
-  // Drop any certify section a previous run spliced in, so reruns replace
-  // rather than accumulate.  The section may or may not have a preceding
-  // comma (it has none when x6 created the file without x3's sections).
-  size_t pos;
-  while ((pos = existing.find("\"certify\"")) != std::string::npos) {
-    size_t start = existing.rfind(',', pos);
-    if (start == std::string::npos) start = pos;
-    const size_t close = existing.find(']', pos);
-    const size_t end = close == std::string::npos ? pos + 9 : close + 1;
-    existing.erase(start, end - start);
-  }
+  // Drop the longer-named section first: "certify" is a prefix of
+  // "certify_parallel" only as a name, not as a quoted key, but removing
+  // certify_parallel first keeps the comma bookkeeping simple either way.
+  drop_section(existing, "certify_parallel");
+  drop_section(existing, "certify");
   std::ostringstream section;
   section << "  \"certify\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     section << "    {\"n\": " << r.n << ", \"csr_ms\": " << r.csr_ms
+            << ", \"fresh_scratch_ms\": " << r.fresh_ms
             << ", \"legacy_adjlist_ms\": " << r.legacy_ms
             << ", \"scc_count\": " << r.scc_count
-            << ", \"speedup\": " << r.speedup << "}"
+            << ", \"speedup\": " << r.speedup
+            << ", \"rebuild_speedup\": " << r.rebuild_speedup << "}"
             << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  section << "  ],\n";
+  section << "  \"certify_parallel\": [\n";
+  for (size_t i = 0; i < par_rows.size(); ++i) {
+    const auto& r = par_rows[i];
+    section << "    {\"n\": " << r.n << ", \"threads\": " << r.threads
+            << ", \"ms\": " << r.ms
+            << ", \"speedup_vs_serial\": " << r.speedup_vs_serial << "}"
+            << (i + 1 < par_rows.size() ? ",\n" : "\n");
   }
   section << "  ]\n";
 
@@ -257,23 +298,44 @@ void append_certify_json(const std::vector<CertifyRow>& rows) {
   } else {
     outf << "{\n" << section.str() << "}\n";
   }
-  std::printf("appended certify section to BENCH_scaling.json\n");
+  std::printf(
+      "appended certify + certify_parallel sections to BENCH_scaling.json\n");
 }
 
 DIRANT_REPORT(x6) {
   using dirant::bench::section;
   const bool smoke = std::getenv("DIRANT_BENCH_SMOKE") != nullptr;
-  section("X6 — certification scaling: digraph build + SCC (k=2, phi=pi)");
+  section(
+      "X6 — certification scaling: digraph build + SCC (k=2, phi=pi), "
+      "warm vs fresh scratch, serial vs sharded");
   std::vector<int> sizes = smoke ? std::vector<int>{500, 1500}
                                  : std::vector<int>{10000, 50000, 200000,
                                                     1000000};
-  std::printf("n        csr-ms     legacy-ms   speedup   scc\n");
-  std::printf("---------------------------------------------\n");
+  // Shard counts for the parallel rows; threads=1 is the serial bar above.
+  std::vector<int> thread_set = smoke ? std::vector<int>{2}
+                                      : std::vector<int>{2, 4};
+  if (const char* env = std::getenv("DIRANT_X6_THREADS")) {
+    const int t = std::atoi(env);
+    if (t > 1 && std::find(thread_set.begin(), thread_set.end(), t) ==
+                     thread_set.end()) {
+      thread_set.push_back(t);
+    }
+  }
+  std::printf(
+      "n        threads  csr-ms     fresh-ms   legacy-ms   vs-legacy  "
+      "vs-fresh  scc\n");
+  std::printf(
+      "------------------------------------------------------------------"
+      "---------\n");
 
-  // Persistent scratch: the steady-state certify path allocates nothing.
+  // Persistent scratch: the steady-state certify path allocates nothing
+  // (the grid index is recycled via rebuild; "fresh" rows construct a cold
+  // scratch per call to price exactly that recycling).
   antenna::TransmissionScratch tx;
   graph::SccScratch scc_scratch;
+  std::vector<antenna::TransmissionScratch> par_tx(thread_set.size());
   std::vector<CertifyRow> rows;
+  std::vector<ParallelRow> par_rows;
   for (int n : sizes) {
     geom::Rng rng(61000 + n);
     const auto pts =
@@ -285,10 +347,18 @@ DIRANT_REPORT(x6) {
     CertifyRow row;
     row.n = n;
     row.csr_ms = std::numeric_limits<double>::infinity();
+    row.fresh_ms = std::numeric_limits<double>::infinity();
     row.legacy_ms = std::numeric_limits<double>::infinity();
+    std::vector<double> par_ms(thread_set.size(),
+                               std::numeric_limits<double>::infinity());
     int legacy_count = -1;
-    // Interleave the two paths rep by rep: on a shared box, frequency
-    // drift mid-row would otherwise bias whichever side ran second.
+    std::vector<std::unique_ptr<dirant::par::ThreadPool>> pools;
+    for (int t : thread_set) {
+      pools.push_back(std::make_unique<dirant::par::ThreadPool>(
+          static_cast<unsigned>(t)));
+    }
+    // Interleave every path rep by rep: on a shared box, frequency drift
+    // mid-row would otherwise bias whichever side ran last.
     for (int rep = 0; rep < reps; ++rep) {
       row.csr_ms = std::min(row.csr_ms, time_ms([&] {
                      graph::Digraph g = antenna::induced_digraph_fast(
@@ -299,6 +369,26 @@ DIRANT_REPORT(x6) {
                      row.scc_count = count;
                      std::move(g).release(tx.offsets, tx.targets);
                    }));
+      row.fresh_ms = std::min(row.fresh_ms, time_ms([&] {
+                       antenna::TransmissionScratch cold_tx;
+                       graph::SccScratch cold_scc;
+                       graph::Digraph g = antenna::induced_digraph_fast(
+                           pts, o, dirant::kAngleTol, dirant::kRadiusAbsTol,
+                           cold_tx);
+                       const int count = graph::scc_count(g, cold_scc);
+                       benchmark::DoNotOptimize(count);
+                     }));
+      for (size_t ti = 0; ti < thread_set.size(); ++ti) {
+        par_ms[ti] = std::min(par_ms[ti], time_ms([&] {
+                       graph::Digraph g = antenna::induced_digraph_fast(
+                           pts, o, dirant::kAngleTol, dirant::kRadiusAbsTol,
+                           par_tx[ti], thread_set[ti], pools[ti].get());
+                       const int count = graph::scc_count(g, scc_scratch);
+                       benchmark::DoNotOptimize(count);
+                       std::move(g).release(par_tx[ti].offsets,
+                                            par_tx[ti].targets);
+                     }));
+      }
       row.legacy_ms = std::min(row.legacy_ms, time_ms([&] {
                         const auto adj = legacy_induced_digraph(pts, o);
                         legacy_count = legacy_scc_count(adj);
@@ -310,15 +400,29 @@ DIRANT_REPORT(x6) {
                   row.scc_count, legacy_count);
     }
     row.speedup = row.legacy_ms / std::max(row.csr_ms, 1e-9);
-    std::printf("%-8d %8.2f   %9.2f   %6.2fx   %d\n", n, row.csr_ms,
-                row.legacy_ms, row.speedup, row.scc_count);
+    row.rebuild_speedup = row.fresh_ms / std::max(row.csr_ms, 1e-9);
+    std::printf("%-8d %-8d %8.2f   %8.2f   %9.2f   %7.2fx  %6.2fx   %d\n",
+                n, 1, row.csr_ms, row.fresh_ms, row.legacy_ms, row.speedup,
+                row.rebuild_speedup, row.scc_count);
+    for (size_t ti = 0; ti < thread_set.size(); ++ti) {
+      ParallelRow pr;
+      pr.n = n;
+      pr.threads = thread_set[ti];
+      pr.ms = par_ms[ti];
+      pr.speedup_vs_serial = row.csr_ms / std::max(par_ms[ti], 1e-9);
+      std::printf("%-8d %-8d %8.2f   %8s   %9s   %7s  %5.2fx*  (*vs serial "
+                  "csr)\n",
+                  n, pr.threads, pr.ms, "-", "-", "-",
+                  pr.speedup_vs_serial);
+      par_rows.push_back(pr);
+    }
     rows.push_back(row);
   }
   if (smoke) {
     // Throwaway tiny-n numbers must never land in the recorded trajectory.
     std::printf("smoke mode: BENCH_scaling.json left untouched\n");
   } else {
-    append_certify_json(rows);
+    append_certify_json(rows, par_rows);
   }
 }
 

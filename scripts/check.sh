@@ -27,10 +27,15 @@ CTEST_EXTRA=("$@")
 
 # The Release variant builds the bench binaries, so its ctest run includes
 # the bench_smoke entries (x3_scaling + x6_certify at tiny n with
-# DIRANT_BENCH_SMOKE=1) — benches can't silently bit-rot.  The sanitized
-# Debug variant skips benches for build time.  Both variants promote the
-# library's -Wall -Wextra diagnostics to errors (DIRANT_WERROR).
+# DIRANT_BENCH_SMOKE=1, plus the pooled sharded-certify x6 path) — benches
+# can't silently bit-rot.  The sanitized Debug variant skips benches for
+# build time and runs its suite with DIRANT_TEST_THREADS=4: the sharded
+# digraph-build tests then spin real 4-worker pools, so memory errors in
+# the concurrent shard path surface under asan/ubsan.  Both variants
+# promote the library's -Wall -Wextra diagnostics to errors
+# (DIRANT_WERROR).
 run_variant build-release -DCMAKE_BUILD_TYPE=Release -DDIRANT_WERROR=ON
+DIRANT_TEST_THREADS=4 \
 run_variant build-asan -DCMAKE_BUILD_TYPE=Debug -DDIRANT_SANITIZE=ON \
     -DDIRANT_WERROR=ON \
     -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF

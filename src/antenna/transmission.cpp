@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/assert.hpp"
 #include "common/constants.hpp"
-#include "spatial/grid_index.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace dirant::antenna {
 
@@ -18,116 +19,33 @@ constexpr unsigned kBeam = 1u;  ///< width == 0: pure tolerance-band test
 constexpr unsigned kFull = 2u;  ///< width >= 2*pi - tol: all directions
 constexpr unsigned kWide = 4u;  ///< width > pi: test the complement wedge
 
-}  // namespace
+using FlatSector = TransmissionScratch::FlatSector;
 
-graph::Digraph induced_digraph(std::span<const Point> pts,
-                               const Orientation& o, double angle_tol,
-                               double radius_tol) {
-  const int n = static_cast<int>(pts.size());
-  DIRANT_ASSERT(o.size() == n);
-  std::vector<int> offsets;
-  offsets.reserve(static_cast<size_t>(n) + 1);
-  offsets.push_back(0);
-  std::vector<int> targets;
-  for (int u = 0; u < n; ++u) {
-    for (int v = 0; v < n; ++v) {
-      if (u == v) continue;
-      for (const auto& s : o.antennas(u)) {
-        if (s.contains(pts[v], angle_tol, radius_tol)) {
-          targets.push_back(v);
-          break;
-        }
-      }
-    }
-    offsets.push_back(static_cast<int>(targets.size()));
-  }
-  return graph::Digraph(std::move(offsets), std::move(targets));
-}
+/// Immutable per-build inputs shared (read-only) by every shard.
+struct BuildCtx {
+  std::span<const Point> pts;
+  const spatial::GridIndex* grid;
+  const FlatSector* flat;
+  const int* sector_start;  ///< per-node prefix into flat (n+1 entries)
+  double exact_band;        ///< sin(angle_tol)^2, the tolerance accept band
+  int n;
+};
 
-graph::Digraph induced_digraph_fast(std::span<const Point> pts,
-                                    const Orientation& o, double angle_tol,
-                                    double radius_tol) {
-  TransmissionScratch scratch;
-  return induced_digraph_fast(pts, o, angle_tol, radius_tol, scratch);
-}
-
-/// Two-phase grid pipeline.  Phase 1 flattens every sector into a
-/// struct-of-array record: apex, cached boundary-ray directions (from
-/// Orientation::add — no per-query trigonometry), squared radius limit, and
-/// the clamped grid-cell window of the sector's bounding box (a zero-width
-/// beam's window is just the cells along its ray, not the whole disk
-/// square).  Phase 2 streams those records in source order, scans each
-/// window, and classifies candidates by cross products against the boundary
-/// directions — an atan2 only for candidates inside the thin angular
-/// tolerance band of a proper sector's boundary (the equivalence with
-/// `Sector::contains` is exact outside that band; for beams the band test
-/// IS the containment test, identical up to ~1e-16 rounding at the 1e-9
-/// tolerance boundary).  Sources ascend, so rows stream straight into CSR.
-graph::Digraph induced_digraph_fast(std::span<const Point> pts,
-                                    const Orientation& o, double angle_tol,
-                                    double radius_tol,
-                                    TransmissionScratch& scratch) {
-  const int n = static_cast<int>(pts.size());
-  DIRANT_ASSERT(o.size() == n);
-  auto& offsets = scratch.offsets;
-  auto& targets = scratch.targets;
-  offsets.clear();
-  offsets.reserve(static_cast<size_t>(n) + 1);
-  offsets.push_back(0);
-  targets.clear();
-  const double rmax = o.max_radius();
-  if (n == 0 || rmax <= 0.0) {
-    offsets.resize(static_cast<size_t>(n) + 1, 0);
-    return graph::Digraph(std::move(offsets), std::move(targets));
-  }
-  spatial::GridIndex grid(pts, std::max(rmax / 3.0, 1e-12));
-  auto& seen = scratch.seen;
-
-  // The cross-product classifier assumes a small tolerance cone; callers
-  // probing with huge angular tolerances take the exact test per candidate.
-  if (angle_tol > 0.5) {
-    seen.assign(n, 0);
-    auto& candidates = scratch.candidates;
-    for (int u = 0; u < n; ++u) {
-      const int row_begin = static_cast<int>(targets.size());
-      for (const auto& s : o.antennas(u)) {
-        candidates.clear();
-        // Query out to the same limit `contains` grants (relative +
-        // absolute slack), so no tolerance-accepted candidate is missed.
-        grid.within(pts[u],
-                    s.radius * (1.0 + kRadiusRelTol) + radius_tol + 1e-12, u,
-                    candidates);
-        for (int v : candidates) {
-          if (seen[v]) continue;
-          if (s.contains(pts[v], angle_tol, radius_tol)) {
-            seen[v] = 1;
-            targets.push_back(v);
-          }
-        }
-      }
-      for (int k = row_begin; k < static_cast<int>(targets.size()); ++k) {
-        seen[targets[k]] = 0;
-      }
-      offsets.push_back(static_cast<int>(targets.size()));
-    }
-    return graph::Digraph(std::move(offsets), std::move(targets));
-  }
-
+/// Phase 1 for nodes [u_lo, u_hi): flatten every sector into its FlatSector
+/// record — apex boundary directions, squared radius limit, clamped grid
+/// cell window.  Writes flat[sector_start[u] + j]; disjoint node ranges
+/// touch disjoint slices, so shards run this concurrently with no
+/// synchronization.  Indexed writes into the pre-sized array: push_back's
+/// per-element size bookkeeping stalls this store-heavy loop measurably.
+void flatten_range(const Orientation& o, const spatial::GridIndex& grid,
+                   std::span<const Point> pts, double angle_tol,
+                   double radius_tol, const int* sector_start,
+                   FlatSector* flat, int u_lo, int u_hi) {
   const double sin_tol = std::min(std::sin(angle_tol), 1.0);
-  const double exact_band = sin_tol * sin_tol;
   // Boxes inflate by the tolerance cone's sideways reach (<= r*sin(tol)),
   // doubled for margin.
   const double pad_scale = 2.0 * sin_tol;
-
-  // ---- Phase 1: flatten sectors + compute cell windows -----------------
-  // Indexed writes into a pre-sized array: push_back's per-element size
-  // bookkeeping stalls this store-heavy loop measurably.
-  using FlatSector = TransmissionScratch::FlatSector;
-  auto& flat = scratch.flat;
-  const size_t total_sectors = static_cast<size_t>(o.total_antennas());
-  if (flat.size() < total_sectors) flat.resize(total_sectors);
-  size_t flat_count = 0;
-  for (int u = 0; u < n; ++u) {
+  for (int u = u_lo; u < u_hi; ++u) {
     const auto& antennas = o.antennas(u);
     const auto& dirs = o.boundary_dirs(u);
     for (size_t j = 0; j < antennas.size(); ++j) {
@@ -190,105 +108,327 @@ graph::Digraph induced_digraph_fast(std::span<const Point> pts,
       f.x_hi = grid.cell_x(hi_x);
       f.y_lo = grid.cell_y(lo_y);
       f.y_hi = grid.cell_y(hi_y);
-      flat[flat_count++] = f;
+      flat[sector_start[u] + static_cast<int>(j)] = f;
     }
   }
+}
 
-  // ---- Phase 2: scan windows, classify, emit CSR rows ------------------
-  // Dedup strategy: geometry tests run first (they reject almost every
-  // candidate with arithmetic already in registers); only ACCEPTED
-  // candidates pay dedup.  Rows are short, so a linear scan of the row
-  // under construction beats the seen[] array's random memory access —
-  // seen[] marks take over only if a row grows past the threshold (dense
-  // overlapping sectors), and are wiped again afterwards so the array
-  // stays all-zero between rows and calls.
+/// Phase 2 for nodes [u_lo, u_hi): scan each sector's cell window, classify
+/// candidates by cross products, emit deduped rows.  Targets append into
+/// `targets` (indexed writes with doubling growth — shrunk to the emitted
+/// count on return) and the cumulative in-chunk edge count after each
+/// node's row lands in row_end[u - u_lo].  Returns the chunk's edge count.
+///
+/// This is the whole per-row computation: it depends only on the read-only
+/// BuildCtx and the node index, never on which chunk it runs in — the
+/// property the sharded build's bit-identity rests on.
+///
+/// Dedup strategy: geometry tests run first (they reject almost every
+/// candidate with arithmetic already in registers); only ACCEPTED
+/// candidates pay dedup.  Rows are short, so a linear scan of the row
+/// under construction beats the seen[] array's random memory access —
+/// seen[] marks take over only if a row grows past the threshold (dense
+/// overlapping sectors), and are wiped again afterwards so the array
+/// stays all-zero between rows and calls.
+int classify_range(const BuildCtx& ctx, int u_lo, int u_hi,
+                   std::vector<char>& seen, std::vector<int>& targets,
+                   int* row_end) {
   constexpr int kLinearDedup = 48;
   if (targets.capacity() < 1024) targets.reserve(1024);
   targets.resize(targets.capacity());  // emitted via indexed writes below
-  offsets.resize(static_cast<size_t>(n) + 1);  // offsets[0] == 0 already
   int tgt_count = 0;
-  int cur_u = 0;
-  int row_begin = 0;
-  int sector_of_row = 0;    // index of the current sector within its row
-  bool row_marked = false;  // true once this row's entries are in seen[]
-  const auto close_rows_until = [&](int next_u) {
-    // Emit offsets for cur_u and any sector-less vertices before next_u.
-    while (cur_u < next_u) {
-      if (row_marked) {  // wipe the marks so seen[] stays all-zero
-        for (int k = row_begin; k < tgt_count; ++k) seen[targets[k]] = 0;
-        row_marked = false;
-      }
-      offsets[++cur_u] = tgt_count;
-      row_begin = tgt_count;
-      sector_of_row = 0;
-    }
-  };
-  for (size_t fi = 0; fi < flat_count; ++fi) {
-    const FlatSector& f = flat[fi];
-    close_rows_until(f.u);
-    const bool first_sector = sector_of_row++ == 0;
-    // The window scan filters by limit2 directly (no separate query
-    // radius), and self-exclusion rides on the d2 == 0 coincidence check,
-    // so no per-hit exclude compare is needed.
-    grid.for_each_in_cell_window(
-        pts[f.u], f.limit2, f.x_lo, f.x_hi, f.y_lo, f.y_hi, /*exclude=*/-1,
-        [&](int v, double dx, double dy, double d2) {
-          if (d2 == 0.0) return;  // coincident point: no direction
-          bool ok;
-          const double cs = f.sx * dy - f.sy * dx;
-          if (f.flags & kBeam) {
-            // |cross| = |v| sin(angle to ray): within tolerance iff the
-            // cross is tiny and the dot positive.
-            ok = cs * cs <= d2 * exact_band && f.sx * dx + f.sy * dy > 0.0;
-          } else if (f.flags & kFull) {
-            ok = true;
-          } else {
-            const double ce = f.ex * dy - f.ey * dx;
-            const double band = d2 * exact_band;
-            // The tolerance-accept region is the wedge PLUS the tol-band
-            // around each boundary ray, so a candidate inside either band
-            // is accepted outright (MST orientations aim sector boundaries
-            // exactly at neighbours, making this the common accept path);
-            // outside the bands the strict cross tests decide exactly.
-            if ((cs * cs <= band && f.sx * dx + f.sy * dy > 0.0) ||
-                (ce * ce <= band && f.ex * dx + f.ey * dy > 0.0)) {
+  for (int u = u_lo; u < u_hi; ++u) {
+    const int row_begin = tgt_count;
+    bool row_marked = false;  // true once this row's entries are in seen[]
+    const int s_lo = ctx.sector_start[u];
+    const int s_hi = ctx.sector_start[u + 1];
+    for (int fi = s_lo; fi < s_hi; ++fi) {
+      const FlatSector& f = ctx.flat[fi];
+      const bool first_sector = fi == s_lo;
+      // The window scan filters by limit2 directly (no separate query
+      // radius), and self-exclusion rides on the d2 == 0 coincidence
+      // check, so no per-hit exclude compare is needed.
+      ctx.grid->for_each_in_cell_window(
+          ctx.pts[u], f.limit2, f.x_lo, f.x_hi, f.y_lo, f.y_hi,
+          /*exclude=*/-1, [&](int v, double dx, double dy, double d2) {
+            if (d2 == 0.0) return;  // coincident point: no direction
+            bool ok;
+            const double cs = f.sx * dy - f.sy * dx;
+            if (f.flags & kBeam) {
+              // |cross| = |v| sin(angle to ray): within tolerance iff the
+              // cross is tiny and the dot positive.
+              ok = cs * cs <= d2 * ctx.exact_band &&
+                   f.sx * dx + f.sy * dy > 0.0;
+            } else if (f.flags & kFull) {
               ok = true;
             } else {
-              ok = (f.flags & kWide) ? !(cs < 0.0 && ce > 0.0)
-                                     : (cs > 0.0 && ce < 0.0);
-            }
-          }
-          if (!ok) return;
-          // A sector never accepts v twice (each window cell is scanned
-          // once), so dedup is only needed against EARLIER sectors' rows.
-          if (!first_sector) {
-            if (row_marked) {
-              if (seen[v]) return;
-              seen[v] = 1;
-            } else if (tgt_count - row_begin <= kLinearDedup) {
-              for (int k = row_begin; k < tgt_count; ++k) {
-                if (targets[k] == v) return;
+              const double ce = f.ex * dy - f.ey * dx;
+              const double band = d2 * ctx.exact_band;
+              // The tolerance-accept region is the wedge PLUS the tol-band
+              // around each boundary ray, so a candidate inside either band
+              // is accepted outright (MST orientations aim sector
+              // boundaries exactly at neighbours, making this the common
+              // accept path); outside the bands the strict cross tests
+              // decide exactly.
+              if ((cs * cs <= band && f.sx * dx + f.sy * dy > 0.0) ||
+                  (ce * ce <= band && f.ex * dx + f.ey * dy > 0.0)) {
+                ok = true;
+              } else {
+                ok = (f.flags & kWide) ? !(cs < 0.0 && ce > 0.0)
+                                       : (cs > 0.0 && ce < 0.0);
               }
-            } else {
-              if (static_cast<int>(seen.size()) < n) seen.assign(n, 0);
-              for (int k = row_begin; k < tgt_count; ++k) {
-                seen[targets[k]] = 1;
-              }
-              // Flag BEFORE the duplicate test: returning without it would
-              // leak the marks just written past this row's wipe.
-              row_marked = true;
-              if (seen[v]) return;
-              seen[v] = 1;
             }
-          }
-          if (tgt_count == static_cast<int>(targets.size())) {
-            targets.resize(targets.size() * 2);
-          }
-          targets[tgt_count++] = v;
-        });
+            if (!ok) return;
+            // A sector never accepts v twice (each window cell is scanned
+            // once), so dedup is only needed against EARLIER sectors' rows.
+            if (!first_sector) {
+              if (row_marked) {
+                if (seen[v]) return;
+                seen[v] = 1;
+              } else if (tgt_count - row_begin <= kLinearDedup) {
+                for (int k = row_begin; k < tgt_count; ++k) {
+                  if (targets[k] == v) return;
+                }
+              } else {
+                if (static_cast<int>(seen.size()) < ctx.n) {
+                  seen.assign(ctx.n, 0);
+                }
+                for (int k = row_begin; k < tgt_count; ++k) {
+                  seen[targets[k]] = 1;
+                }
+                // Flag BEFORE the duplicate test: returning without it
+                // would leak the marks just written past this row's wipe.
+                row_marked = true;
+                if (seen[v]) return;
+                seen[v] = 1;
+              }
+            }
+            if (tgt_count == static_cast<int>(targets.size())) {
+              targets.resize(targets.size() * 2);
+            }
+            targets[tgt_count++] = v;
+          });
+    }
+    if (row_marked) {  // wipe the marks so seen[] stays all-zero
+      for (int k = row_begin; k < tgt_count; ++k) seen[targets[k]] = 0;
+    }
+    row_end[u - u_lo] = tgt_count;
   }
-  close_rows_until(n);
   targets.resize(tgt_count);
+  return tgt_count;
+}
+
+/// Run `body(s)` for s in [0, count): one task per shard on `pool` when it
+/// can actually run them concurrently, inline otherwise.  Inline execution
+/// takes the exact same sharded code path — only the interleaving differs,
+/// and no shard reads another shard's writes, so the choice is invisible in
+/// the output.
+template <typename F>
+void for_each_shard(par::ThreadPool* pool, int count, F&& body) {
+  if (pool == nullptr || pool->thread_count() <= 1 || count <= 1) {
+    for (int s = 0; s < count; ++s) body(s);
+    return;
+  }
+  for (int s = 0; s < count; ++s) {
+    pool->submit([&body, s] { body(s); });
+  }
+  pool->wait_idle();
+}
+
+}  // namespace
+
+graph::Digraph induced_digraph(std::span<const Point> pts,
+                               const Orientation& o, double angle_tol,
+                               double radius_tol) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT(o.size() == n);
+  std::vector<int> offsets;
+  offsets.reserve(static_cast<size_t>(n) + 1);
+  offsets.push_back(0);
+  std::vector<int> targets;
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;
+      for (const auto& s : o.antennas(u)) {
+        if (s.contains(pts[v], angle_tol, radius_tol)) {
+          targets.push_back(v);
+          break;
+        }
+      }
+    }
+    offsets.push_back(static_cast<int>(targets.size()));
+  }
+  return graph::Digraph(std::move(offsets), std::move(targets));
+}
+
+graph::Digraph induced_digraph_fast(std::span<const Point> pts,
+                                    const Orientation& o, double angle_tol,
+                                    double radius_tol) {
+  TransmissionScratch scratch;
+  return induced_digraph_fast(pts, o, angle_tol, radius_tol, scratch);
+}
+
+/// Two-phase grid pipeline.  Phase 1 flattens every sector into a
+/// struct-of-array record: apex, cached boundary-ray directions (from
+/// Orientation::add — no per-query trigonometry), squared radius limit, and
+/// the clamped grid-cell window of the sector's bounding box (a zero-width
+/// beam's window is just the cells along its ray, not the whole disk
+/// square).  Phase 2 scans those windows in node order and classifies
+/// candidates by cross products against the boundary directions — an atan2
+/// only for candidates inside the thin angular tolerance band of a proper
+/// sector's boundary (the equivalence with `Sector::contains` is exact
+/// outside that band; for beams the band test IS the containment test,
+/// identical up to ~1e-16 rounding at the 1e-9 tolerance boundary).
+///
+/// `threads > 1` shards both phases over contiguous node ranges (balanced
+/// by sector count); each shard classifies into its own row chunk and a
+/// deterministic prefix-sum stitch concatenates the chunks into the final
+/// CSR — bit-identical to the serial build for every shard count.
+graph::Digraph induced_digraph_fast(std::span<const Point> pts,
+                                    const Orientation& o, double angle_tol,
+                                    double radius_tol,
+                                    TransmissionScratch& scratch, int threads,
+                                    par::ThreadPool* pool) {
+  const int n = static_cast<int>(pts.size());
+  DIRANT_ASSERT(o.size() == n);
+  auto& offsets = scratch.offsets;
+  auto& targets = scratch.targets;
+  offsets.clear();
+  targets.clear();
+  const double rmax = o.max_radius();
+  if (n == 0 || rmax <= 0.0) {
+    offsets.assign(static_cast<size_t>(n) + 1, 0);
+    return graph::Digraph(std::move(offsets), std::move(targets));
+  }
+  scratch.grid.rebuild(pts, std::max(rmax / 3.0, 1e-12));
+  const spatial::GridIndex& grid = scratch.grid;
+  auto& seen = scratch.seen;
+
+  // The cross-product classifier assumes a small tolerance cone; callers
+  // probing with huge angular tolerances take the exact test per candidate.
+  // Rare probing path — always serial.
+  if (angle_tol > 0.5) {
+    offsets.reserve(static_cast<size_t>(n) + 1);
+    offsets.push_back(0);
+    seen.assign(n, 0);
+    auto& candidates = scratch.candidates;
+    for (int u = 0; u < n; ++u) {
+      const int row_begin = static_cast<int>(targets.size());
+      for (const auto& s : o.antennas(u)) {
+        candidates.clear();
+        // Query out to the same limit `contains` grants (relative +
+        // absolute slack), so no tolerance-accepted candidate is missed.
+        grid.within(pts[u],
+                    s.radius * (1.0 + kRadiusRelTol) + radius_tol + 1e-12, u,
+                    candidates);
+        for (int v : candidates) {
+          if (seen[v]) continue;
+          if (s.contains(pts[v], angle_tol, radius_tol)) {
+            seen[v] = 1;
+            targets.push_back(v);
+          }
+        }
+      }
+      for (int k = row_begin; k < static_cast<int>(targets.size()); ++k) {
+        seen[targets[k]] = 0;
+      }
+      offsets.push_back(static_cast<int>(targets.size()));
+    }
+    return graph::Digraph(std::move(offsets), std::move(targets));
+  }
+
+  const double sin_tol = std::min(std::sin(angle_tol), 1.0);
+
+  // Per-node sector prefix (the flat array's row index): phase 1 writes and
+  // phase 2 reads through it, and the shard boundaries balance on it.
+  auto& sector_start = scratch.sector_start;
+  sector_start.resize(static_cast<size_t>(n) + 1);
+  sector_start[0] = 0;
+  for (int u = 0; u < n; ++u) {
+    sector_start[u + 1] =
+        sector_start[u] + static_cast<int>(o.antennas(u).size());
+  }
+  const int total_sectors = sector_start[n];
+  auto& flat = scratch.flat;
+  if (static_cast<int>(flat.size()) < total_sectors) {
+    flat.resize(total_sectors);
+  }
+
+  const BuildCtx ctx{pts,          &grid, flat.data(), sector_start.data(),
+                     sin_tol * sin_tol, n};
+
+  const int shard_count = std::clamp(threads, 1, std::max(1, n));
+  if (shard_count <= 1) {
+    // ---- Serial build: rows stream straight into the final CSR ---------
+    offsets.resize(static_cast<size_t>(n) + 1);
+    offsets[0] = 0;
+    flatten_range(o, grid, pts, angle_tol, radius_tol, sector_start.data(),
+                  flat.data(), 0, n);
+    classify_range(ctx, 0, n, seen, targets, offsets.data() + 1);
+    return graph::Digraph(std::move(offsets), std::move(targets));
+  }
+
+  // ---- Sharded build -------------------------------------------------
+  // Contiguous node ranges, boundaries balanced by sector count (the unit
+  // of phase-2 work).  Boundaries depend only on (sector_start, threads),
+  // never on the pool, and the output does not depend on the boundaries at
+  // all — every row is computed by classify_range the same way regardless
+  // of which chunk holds it.
+  auto& shards = scratch.shards;
+  if (static_cast<int>(shards.size()) < shard_count) {
+    shards.resize(shard_count);
+  }
+  int prev = 0;
+  for (int s = 0; s < shard_count; ++s) {
+    const long long want =
+        static_cast<long long>(total_sectors) * (s + 1) / shard_count;
+    int hi = s + 1 == shard_count
+                 ? n
+                 : static_cast<int>(
+                       std::lower_bound(sector_start.data() + prev,
+                                        sector_start.data() + n,
+                                        static_cast<int>(want)) -
+                       sector_start.data());
+    hi = std::clamp(hi, prev, n);
+    shards[s].node_lo = prev;
+    shards[s].node_hi = hi;
+    prev = hi;
+  }
+
+  for_each_shard(pool, shard_count, [&](int s) {
+    auto& shard = shards[s];
+    const int lo = shard.node_lo, hi = shard.node_hi;
+    shard.row_end.resize(static_cast<size_t>(hi - lo));
+    flatten_range(o, grid, pts, angle_tol, radius_tol, sector_start.data(),
+                  flat.data(), lo, hi);
+    shard.edge_count =
+        classify_range(ctx, lo, hi, shard.seen, shard.targets,
+                       shard.row_end.data());
+  });
+
+  // ---- Deterministic prefix-sum stitch -------------------------------
+  // Chunk bases are the exclusive prefix sums of the shard edge counts;
+  // each shard then finalizes its slice of offsets/targets independently
+  // (disjoint writes, so the copy fans out over the same pool).
+  offsets.resize(static_cast<size_t>(n) + 1);
+  offsets[0] = 0;
+  int total_edges = 0;
+  for (int s = 0; s < shard_count; ++s) {
+    shards[s].base = total_edges;
+    total_edges += shards[s].edge_count;
+  }
+  targets.resize(static_cast<size_t>(total_edges));
+  for_each_shard(pool, shard_count, [&](int s) {
+    const auto& shard = shards[s];
+    const int base = shard.base;
+    for (int u = shard.node_lo; u < shard.node_hi; ++u) {
+      offsets[u + 1] = base + shard.row_end[u - shard.node_lo];
+    }
+    if (shard.edge_count > 0) {
+      std::memcpy(targets.data() + base, shard.targets.data(),
+                  static_cast<size_t>(shard.edge_count) * sizeof(int));
+    }
+  });
   return graph::Digraph(std::move(offsets), std::move(targets));
 }
 

@@ -10,13 +10,20 @@
 
 #include "antenna/orientation.hpp"
 #include "graph/digraph.hpp"
+#include "spatial/grid_index.hpp"
+
+namespace dirant::par {
+class ThreadPool;
+}
 
 namespace dirant::antenna {
 
 /// Reusable working memory for `induced_digraph_fast`.  The offsets/targets
 /// buffers become the CSR arrays of the returned graph (moved, not copied);
 /// callers that certify in a loop hand them back via `Digraph::release` so
-/// the steady state allocates nothing.
+/// the steady state allocates nothing.  The grid index itself is a member
+/// recycled via `GridIndex::rebuild` — a warm same-size build touches no
+/// heap at all.
 struct TransmissionScratch {
   /// One sector flattened for the scan pass: precomputed containment
   /// parameters plus its grid cell window.  Internal to
@@ -30,11 +37,28 @@ struct TransmissionScratch {
     unsigned flags;              ///< kBeam / kFull / kWide bits
   };
 
+  /// Per-worker buffers of the sharded build: each shard classifies a
+  /// contiguous node range into its own row chunk, then the stitch pass
+  /// prefix-sums the chunk sizes into the final CSR.  Nothing is shared
+  /// between shards during classification, so the build is race-free by
+  /// construction.
+  struct Shard {
+    std::vector<char> seen;     ///< per-shard dedup marks (n entries)
+    std::vector<int> row_end;   ///< per-node edge count, cumulative in-shard
+    std::vector<int> targets;   ///< this shard's edge heads
+    int node_lo = 0, node_hi = 0;  ///< node range [lo, hi)
+    int edge_count = 0;            ///< targets emitted by the last build
+    int base = 0;  ///< this chunk's offset in the stitched targets array
+  };
+
   std::vector<char> seen;      ///< per-vertex dedup marks across sectors
   std::vector<int> candidates; ///< grid range-query hit buffer
   std::vector<FlatSector> flat;  ///< prepass output, one entry per sector
+  std::vector<int> sector_start; ///< per-node prefix into `flat` (n+1)
   std::vector<int> offsets;    ///< CSR prefix table under construction
   std::vector<int> targets;    ///< CSR edge heads under construction
+  spatial::GridIndex grid;     ///< recycled spatial index (rebuild per call)
+  std::vector<Shard> shards;   ///< per-worker chunks of the sharded build
 };
 
 /// Build the induced digraph by brute force (O(n^2 * antennas)); reference
@@ -53,11 +77,22 @@ graph::Digraph induced_digraph_fast(std::span<const geom::Point> pts,
                                     double angle_tol = dirant::kAngleTol,
                                     double radius_tol = dirant::kRadiusAbsTol);
 
-/// Scratch-reusing variant for certification loops.
+/// Scratch-reusing variant for certification loops.  `threads` selects the
+/// sharded build (node ranges classified into per-worker row chunks, then a
+/// deterministic prefix-sum stitch assembles the CSR): the result is
+/// BIT-IDENTICAL to the serial build — same offsets, same targets, same
+/// order — for every shard count, because each row is produced by the same
+/// code on the same inputs and rows concatenate in node order.  Shard tasks
+/// run on `pool` when given (concurrency = min(threads, pool workers)) and
+/// inline otherwise (sharded code path, serial execution).  `threads <= 1`
+/// is the classic serial streaming build and performs zero heap allocations
+/// once `scratch` is warm.
 graph::Digraph induced_digraph_fast(std::span<const geom::Point> pts,
                                     const Orientation& o, double angle_tol,
                                     double radius_tol,
-                                    TransmissionScratch& scratch);
+                                    TransmissionScratch& scratch,
+                                    int threads = 1,
+                                    par::ThreadPool* pool = nullptr);
 
 /// Omnidirectional reference: edge (u, v) iff dist(u, v) <= radius.
 /// Symmetric by construction; used by the simulator as a baseline.

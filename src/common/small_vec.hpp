@@ -33,6 +33,11 @@ class SmallVec {
     data_[size_++] = T{static_cast<Args&&>(args)...};
   }
 
+  void pop_back() {
+    DIRANT_ASSERT(size_ > 0);
+    --size_;
+  }
+
   void clear() { size_ = 0; }
   void resize(int n) {
     DIRANT_ASSERT(n >= 0 && n <= N);

@@ -5,6 +5,8 @@
 #include "common/assert.hpp"
 #include "core/planner.hpp"
 #include "core/registry.hpp"
+#include "core/two_antennae.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace dirant::core {
 
@@ -28,6 +30,11 @@ void check_tree_spans(std::span<const geom::Point> pts,
 }
 
 }  // namespace
+
+PlanSession::PlanSession() = default;
+PlanSession::PlanSession(mst::EngineConfig engine_cfg)
+    : engine_(engine_cfg) {}
+PlanSession::~PlanSession() = default;
 
 const Result& PlanSession::orient(std::span<const geom::Point> pts,
                                   const ProblemSpec& spec) {
@@ -63,8 +70,28 @@ const Certificate& PlanSession::certify(std::span<const geom::Point> pts,
                                         const ProblemSpec& spec) {
   const int n = static_cast<int>(pts.size());
   certificate_ = core::certify(pts, result_, spec, n >= kCertifyFastThreshold,
-                               certify_scratch_);
+                               certify_scratch_, threads_, pool_.get());
   return certificate_;
+}
+
+const Result& PlanSession::orient_adaptive(std::span<const geom::Point> pts,
+                                           const mst::Tree& tree,
+                                           double phi) {
+  check_tree_spans(pts, tree);
+  orient_two_antennae_adaptive(pts, tree, phi, scratch_, adaptive_cands_,
+                               result_, result_alt_);
+  return result_;
+}
+
+void PlanSession::set_threads(int threads) {
+  threads_ = std::max(1, threads);
+  if (threads_ <= 1) {
+    pool_.reset();
+  } else if (!pool_ ||
+             pool_->thread_count() != static_cast<unsigned>(threads_)) {
+    pool_ = std::make_unique<par::ThreadPool>(
+        static_cast<unsigned>(threads_));
+  }
 }
 
 void PlanSession::set_budgets(std::span<const NodeBudget> budgets) {

@@ -8,8 +8,8 @@
 /// stream through EMST -> degree repair -> orient touching only warm
 /// buffers (enforced by tests/test_session_alloc.cpp).  This extends to the
 /// whole orientation pipeline the discipline CertifyScratch established for
-/// certification; `certify` itself reuses the CSR/SCC buffers but still
-/// builds a per-call grid index.
+/// certification; `certify` recycles the CSR/SCC buffers AND the grid index
+/// (GridIndex::rebuild), so a warm serial certify allocates nothing either.
 ///
 /// Lifecycle / reuse contract:
 ///   * A session is cheap to construct but expensive to warm up (first call
@@ -29,6 +29,7 @@
 /// remain the one-shot front door; they run over a thread-local session and
 /// copy the result out.
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -40,6 +41,10 @@
 #include "mst/engine.hpp"
 #include "mst/rooted.hpp"
 #include "mst/tree.hpp"
+
+namespace dirant::par {
+class ThreadPool;
+}
 
 namespace dirant::core {
 
@@ -59,9 +64,11 @@ struct OrienterScratch {
 
 class PlanSession {
  public:
-  PlanSession() = default;
-  explicit PlanSession(mst::EngineConfig engine_cfg)
-      : engine_(engine_cfg) {}
+  // Constructors/destructor out of line: the owned ThreadPool is an
+  // incomplete type here.
+  PlanSession();
+  explicit PlanSession(mst::EngineConfig engine_cfg);
+  ~PlanSession();
 
   /// Full pipeline: degree-5 EMST of `pts`, then the Table 1 regime
   /// `planned_algorithm(spec)` over it.  Equivalent to core::orient.
@@ -82,9 +89,30 @@ class PlanSession {
 
   /// Certify the last result against `spec` (independent reconstruction of
   /// the transmission digraph; see core/validate.hpp).  Allocation-free in
-  /// steady state via the session-owned CertifyScratch.
+  /// steady state via the session-owned CertifyScratch (grid index and CSR
+  /// buffers recycled) when `threads() <= 1`; with `set_threads(t > 1)` the
+  /// digraph build shards over the session-owned pool — bit-identical
+  /// output, parallel wall clock.
   const Certificate& certify(std::span<const geom::Point> pts,
                              const ProblemSpec& spec);
+
+  /// Instance-adaptive Theorem 3 planner over a caller-provided tree
+  /// (binary-searched radius cap; see two_antennae.hpp).  The probe loop
+  /// runs over a session-owned double-buffered Result — best and probe swap
+  /// instead of reallocating — plus a recycled candidate-cap buffer, so a
+  /// warm session's fleet-tuning probes allocate nothing.  The EMST is
+  /// caller-provided and radius-cap-invariant: reuse one tree across every
+  /// probe and call.
+  const Result& orient_adaptive(std::span<const geom::Point> pts,
+                                const mst::Tree& tree, double phi);
+
+  /// Parallel certification knob.  `threads <= 1` (the default) keeps the
+  /// serial, zero-allocation certify path; `threads > 1` spawns (or
+  /// resizes) a session-owned thread pool of that many workers and shards
+  /// the certification digraph build across it.  The knob never changes
+  /// results — the sharded CSR is bit-identical to the serial one.
+  void set_threads(int threads);
+  int threads() const { return threads_; }
 
   /// Per-node budgets for the kHeterogeneous registry entry.  When unset
   /// (or of mismatched size) the planner falls back to the uniform
@@ -121,11 +149,15 @@ class PlanSession {
   mst::Tree tree_;
   OrienterScratch scratch_;
   Result result_;
+  Result result_alt_;  ///< adaptive probe buffer (double-buffered Result)
+  std::vector<double> adaptive_cands_;  ///< candidate radius caps, recycled
   Certificate certificate_;
   CertifyScratch certify_scratch_;
   std::vector<NodeBudget> budgets_;
   std::vector<NodeBudget> uniform_budgets_;
   HeterogeneousReport hetero_report_;
+  int threads_ = 1;  ///< certify parallelism (1 = serial, allocation-free)
+  std::unique_ptr<par::ThreadPool> pool_;  ///< owned workers when threads_>1
 };
 
 }  // namespace dirant::core

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
 #include <optional>
 #include <string>
@@ -163,11 +162,21 @@ class NodePlanner {
 
   /// Exhaustive local search over all <=2-antenna plans with one-level
   /// delegations; returns true and commits the minimum-spread plan found.
+  /// Allocation-free (inline candidate/coverage buffers, explicit-recursion
+  /// matcher): the adaptive probe loop runs it on every failed probe.
   bool fallback();
 
+  /// Backtracking matcher for `fallback`: assign every uncovered child a
+  /// distinct coverer within chord range.  Records the successful matching
+  /// in `assignment` when non-null.
+  bool match_uncovered(const SmallVec<int, 5>& uncovered,
+                       const SmallVec<int, 5>& coverers, char* used_cov,
+                       int i,
+                       SmallVec<std::pair<int, int>, 5>* assignment) const;
+
   // Degree-bounded: every buffer is stack-inline, so a NodePlanner is
-  // allocation-free to construct and run (the fallback search below is the
-  // one exception and never fires at the paper's radius bound).
+  // allocation-free to construct and run, the exhaustive fallback search
+  // included (the adaptive probe loop fires it on every failed probe).
   SmallVec<Sector, 4> antennas;
   SmallVec<Point, 5> child_targets;
   std::string label;  // labels are <= 15 chars (SSO)
@@ -185,59 +194,88 @@ class NodePlanner {
   SmallVec<char, 6> covered_, is_coverer_, is_delegated_;
 };
 
+// Tiny degree-bounded sizes (m <= 5), explicit recursion — the
+// std::function + std::vector machinery this replaces allocated on every
+// call, and the adaptive probe loop runs the fallback on every failed
+// probe.
+bool NodePlanner::match_uncovered(
+    const SmallVec<int, 5>& uncovered, const SmallVec<int, 5>& coverers,
+    char* used_cov, int i,
+    SmallVec<std::pair<int, int>, 5>* assignment) const {
+  if (i == uncovered.size()) return true;
+  for (int j = 0; j < coverers.size(); ++j) {
+    if (used_cov[j]) continue;
+    if (chord(coverers[j], uncovered[i]) > R_) continue;
+    used_cov[j] = 1;
+    if (assignment) assignment->emplace_back(coverers[j], uncovered[i]);
+    if (match_uncovered(uncovered, coverers, used_cov, i + 1, assignment)) {
+      return true;
+    }
+    if (assignment) assignment->pop_back();
+    used_cov[j] = 0;
+  }
+  return false;
+}
+
 bool NodePlanner::fallback() {
   const int m = child_count();
   // Candidate single antennas: every ordered ray pair (arc; p==q is a beam),
-  // plus "unused".
+  // plus "unused".  m <= 5, so at most 1 + 6*6 = 37 candidates — inline.
   struct Cand {
     int p, q;
     bool used;
   };
-  std::vector<Cand> cands{{0, 0, false}};
+  SmallVec<Cand, 37> cands;
+  cands.push_back({0, 0, false});
   for (int p = -1; p < m; ++p) {
     for (int q = -1; q < m; ++q) cands.push_back({p, q, true});
   }
   double best_width = std::numeric_limits<double>::infinity();
   std::optional<std::pair<Cand, Cand>> best;
 
-  auto coverage_ok = [&](const Cand& a, const Cand& b, double& width) {
+  // Coverage of a candidate pair: slots 0..m-1 children, slot m the target.
+  const auto cover_with = [&](const Cand& a, const Cand& b, char* covered,
+                              double& width) {
     width = 0.0;
-    std::vector<char> covered(m + 1, 0);
+    for (int s = 0; s <= m; ++s) covered[s] = 0;
     for (const Cand* c : {&a, &b}) {
       if (!c->used) continue;
       width += arc_width(c->p, c->q);
       const double start = abs_angle(c->p);
       const double w = arc_width(c->p, c->q);
       for (int r = -1; r < m; ++r) {
+        // Zero-width beams need no special case: a ray is always inside
+        // its own [start, start] interval (ccw_delta == 0 <= tol).
         if (geom::in_ccw_interval(abs_angle(r), start, w)) {
           covered[r < 0 ? m : r] = 1;
         }
       }
     }
-    if (width > phi_ + kTol || !covered[m]) return false;
-    // Match uncovered children to distinct covered coverers.
-    std::vector<int> uncovered, coverers;
+  };
+  const auto split_covered = [&](const char* covered,
+                                 SmallVec<int, 5>& uncovered,
+                                 SmallVec<int, 5>& coverers) {
+    uncovered.clear();
+    coverers.clear();
     for (int c = 0; c < m; ++c) {
       if (!covered[c]) uncovered.push_back(c);
     }
     for (int c = 0; c < m; ++c) {
       if (covered[c]) coverers.push_back(c);
     }
+  };
+
+  char covered[6];
+  SmallVec<int, 5> uncovered, coverers;
+  char used_cov[5];
+  const auto coverage_ok = [&](const Cand& a, const Cand& b, double& width) {
+    cover_with(a, b, covered, width);
+    if (width > phi_ + kTol || !covered[m]) return false;
+    // Match uncovered children to distinct covered coverers.
+    split_covered(covered, uncovered, coverers);
     if (uncovered.size() > coverers.size()) return false;
-    // Brute-force matching (tiny sizes).
-    std::vector<char> used_cov(coverers.size(), 0);
-    std::function<bool(size_t)> match = [&](size_t i) {
-      if (i == uncovered.size()) return true;
-      for (size_t j = 0; j < coverers.size(); ++j) {
-        if (used_cov[j]) continue;
-        if (chord(coverers[j], uncovered[i]) > R_) continue;
-        used_cov[j] = 1;
-        if (match(i + 1)) return true;
-        used_cov[j] = 0;
-      }
-      return false;
-    };
-    return match(0);
+    for (int j = 0; j < coverers.size(); ++j) used_cov[j] = 0;
+    return match_uncovered(uncovered, coverers, used_cov, 0, nullptr);
   };
 
   for (const auto& a : cands) {
@@ -263,41 +301,14 @@ bool NodePlanner::fallback() {
     }
   }
   // Delegations: recompute coverage, then greedy-but-backtracking matching.
-  std::vector<char> covered(m + 1, 0);
-  for (const Cand* c : {&best->first, &best->second}) {
-    if (!c->used) continue;
-    const double start = abs_angle(c->p);
-    const double w = arc_width(c->p, c->q);
-    for (int r = -1; r < m; ++r) {
-      if (geom::in_ccw_interval(abs_angle(r), start, w)) {
-        covered[r < 0 ? m : r] = 1;
-      }
-    }
-    if (c->p == c->q) covered[c->p < 0 ? m : c->p] = 1;
-  }
-  std::vector<int> uncovered, coverers;
-  for (int c = 0; c < m; ++c) {
-    if (!covered[c]) uncovered.push_back(c);
-  }
-  for (int c = 0; c < m; ++c) {
-    if (covered[c]) coverers.push_back(c);
-  }
-  std::vector<char> used_cov(coverers.size(), 0);
-  std::vector<std::pair<int, int>> assignment;
-  std::function<bool(size_t)> match = [&](size_t i) {
-    if (i == uncovered.size()) return true;
-    for (size_t j = 0; j < coverers.size(); ++j) {
-      if (used_cov[j]) continue;
-      if (chord(coverers[j], uncovered[i]) > R_) continue;
-      used_cov[j] = 1;
-      assignment.emplace_back(coverers[j], uncovered[i]);
-      if (match(i + 1)) return true;
-      assignment.pop_back();
-      used_cov[j] = 0;
-    }
+  double width = 0.0;
+  cover_with(best->first, best->second, covered, width);
+  split_covered(covered, uncovered, coverers);
+  for (int j = 0; j < coverers.size(); ++j) used_cov[j] = 0;
+  SmallVec<std::pair<int, int>, 5> assignment;
+  if (!match_uncovered(uncovered, coverers, used_cov, 0, &assignment)) {
     return false;
-  };
-  if (!match(0)) return false;
+  }
   for (const auto& [cov, cee] : assignment) delegate(cov, cee);
   return commit("fallback");
 }
@@ -690,15 +701,23 @@ Result orient_two_antennae(std::span<const Point> pts, const mst::Tree& tree,
   return res;
 }
 
-Result orient_two_antennae_adaptive(std::span<const Point> pts,
-                                    const mst::Tree& tree, double phi) {
-  Result best = orient_two_antennae(pts, tree, phi);
+void orient_two_antennae_adaptive(std::span<const Point> pts,
+                                  const mst::Tree& tree, double phi,
+                                  OrienterScratch& scratch,
+                                  std::vector<double>& cands, Result& out,
+                                  Result& probe) {
+  // Paper-bound run first: it is both the fallback answer and the upper
+  // limit of the cap search.
+  const bool ok = detailed_orient(pts, tree, phi, -1.0, scratch, out);
+  DIRANT_ASSERT_MSG(ok, "Theorem 3 failed at its own radius bound");
   const double lmax = tree.lmax();
-  if (pts.size() <= 2 || lmax <= 0.0) return best;
-  const double upper = best.bound_factor * lmax;
+  if (pts.size() <= 2 || lmax <= 0.0) return;
+  const double upper = out.bound_factor * lmax;
 
   // Candidate caps: every pairwise distance in [lmax, paper bound).
-  std::vector<double> cands;
+  // `cands` is caller-owned so repeated tuning calls recycle its capacity;
+  // sort/unique are in-place and allocation-free.
+  cands.clear();
   for (size_t i = 0; i < pts.size(); ++i) {
     for (size_t j = i + 1; j < pts.size(); ++j) {
       const double d = geom::dist(pts[i], pts[j]);
@@ -708,21 +727,29 @@ Result orient_two_antennae_adaptive(std::span<const Point> pts,
   std::sort(cands.begin(), cands.end());
   cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
 
-  // One warm scratch across all probes: the binary search reuses the same
-  // traversal buffers and result arena probe after probe.
-  OrienterScratch scratch;
+  // Binary search over the double-buffered Result: each probe writes into
+  // `probe` (its arena recycled by reset_result inside detailed_orient),
+  // and a successful probe swaps the buffers — the previous best becomes
+  // the next probe arena.  No per-probe Result construction, no copies.
   int lo = 0, hi = static_cast<int>(cands.size()) - 1;
   while (lo <= hi) {
     const int mid = (lo + hi) / 2;
-    Result probe;
     if (detailed_orient(pts, tree, phi, cands[mid], scratch, probe)) {
-      best = std::move(probe);
-      best.bound_factor = cands[mid] / lmax;  // achieved cap, certified
+      std::swap(out, probe);
+      out.bound_factor = cands[mid] / lmax;  // achieved cap, certified
       hi = mid - 1;
     } else {
       lo = mid + 1;
     }
   }
+}
+
+Result orient_two_antennae_adaptive(std::span<const Point> pts,
+                                    const mst::Tree& tree, double phi) {
+  Result best, probe;
+  OrienterScratch scratch;
+  std::vector<double> cands;
+  orient_two_antennae_adaptive(pts, tree, phi, scratch, cands, best, probe);
   return best;
 }
 

@@ -14,6 +14,7 @@
 /// local search runs and the event is counted in CaseStats::fallback_plans.
 
 #include <span>
+#include <vector>
 
 #include "core/types.hpp"
 #include "mst/tree.hpp"
@@ -29,8 +30,8 @@ double theorem3_bound_factor(double phi);
 Result orient_two_antennae(std::span<const geom::Point> pts,
                            const mst::Tree& tree, double phi);
 
-/// Session variant (allocation-free once warm; the exhaustive fallback
-/// search is the one exception and never fires at the paper bound).
+/// Session variant (allocation-free once warm, exhaustive fallback search
+/// included — though it never fires at the paper bound).
 void orient_two_antennae(std::span<const geom::Point> pts,
                          const mst::Tree& tree, double phi,
                          OrienterScratch& scratch, Result& out);
@@ -43,5 +44,19 @@ void orient_two_antennae(std::span<const geom::Point> pts,
 /// `bound_factor` reports the achieved cap in lmax units.
 Result orient_two_antennae_adaptive(std::span<const geom::Point> pts,
                                     const mst::Tree& tree, double phi);
+
+/// Session variant of the adaptive search, built for fleet-tuning probe
+/// loops: the binary search runs over a double-buffered Result — each probe
+/// writes into `probe`, and a successful probe SWAPS with `out` instead of
+/// copying or reallocating — and `cands` recycles the candidate-cap list.
+/// With warm buffers (second call of the same size onwards) the whole
+/// search, failed probes included, performs zero heap allocations.  The
+/// EMST is radius-cap-invariant, so callers reuse one `tree` across every
+/// probe and every call.  `out` receives the best certified plan.
+void orient_two_antennae_adaptive(std::span<const geom::Point> pts,
+                                  const mst::Tree& tree, double phi,
+                                  OrienterScratch& scratch,
+                                  std::vector<double>& cands, Result& out,
+                                  Result& probe);
 
 }  // namespace dirant::core

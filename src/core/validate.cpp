@@ -8,13 +8,14 @@ namespace dirant::core {
 
 Certificate certify(std::span<const geom::Point> pts, const Result& res,
                     const ProblemSpec& spec, bool use_fast_graph,
-                    CertifyScratch& scratch) {
+                    CertifyScratch& scratch, int threads,
+                    par::ThreadPool* pool) {
   Certificate c;
   const auto& o = res.orientation;
   graph::Digraph g =
       use_fast_graph
           ? antenna::induced_digraph_fast(pts, o, kAngleTol, kRadiusAbsTol,
-                                          scratch.transmission)
+                                          scratch.transmission, threads, pool)
           : antenna::induced_digraph(pts, o);
   c.scc_count = graph::scc_count(g, scratch.scc);
   c.strongly_connected = c.scc_count <= 1;

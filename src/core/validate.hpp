@@ -13,6 +13,10 @@
 #include "geometry/point.hpp"
 #include "graph/scc.hpp"
 
+namespace dirant::par {
+class ThreadPool;
+}
+
 namespace dirant::core {
 
 struct Certificate {
@@ -46,10 +50,14 @@ Certificate certify(std::span<const geom::Point> pts, const Result& res,
                     const ProblemSpec& spec, bool use_fast_graph);
 
 /// Scratch-reusing variant for certification loops (core::orient_batch,
-/// Monte-Carlo sweeps).
+/// Monte-Carlo sweeps).  `threads > 1` selects the sharded digraph build
+/// (bit-identical to serial; see antenna/transmission.hpp), with shard
+/// tasks fanned out over `pool` when one is supplied.  The serial default
+/// performs zero heap allocations once `scratch` is warm.
 Certificate certify(std::span<const geom::Point> pts, const Result& res,
                     const ProblemSpec& spec, bool use_fast_graph,
-                    CertifyScratch& scratch);
+                    CertifyScratch& scratch, int threads = 1,
+                    par::ThreadPool* pool = nullptr);
 
 /// Same, selecting the digraph builder by instance size: brute force as the
 /// independent oracle on small instances, grid range queries beyond

@@ -39,7 +39,11 @@ class Digraph {
                   offsets_.back() == static_cast<int>(targets_.size()));
   }
 
-  int size() const { return static_cast<int>(offsets_.size()) - 1; }
+  /// A released-from graph has an empty offsets table; it reads as the
+  /// empty graph (size 0) rather than tripping the n+1 invariant.
+  int size() const {
+    return offsets_.empty() ? 0 : static_cast<int>(offsets_.size()) - 1;
+  }
   int edge_count() const { return static_cast<int>(targets_.size()); }
 
   std::span<const int> out(int u) const {
@@ -89,10 +93,13 @@ class Digraph {
 
   /// Moves the CSR arrays back out so a caller-owned scratch buffer can be
   /// reused for the next build (the inverse of the adopting constructor).
+  /// Leaves this graph empty without touching the heap — `offsets_ = {0}`
+  /// here used to cost one allocation per recycling round, the last one on
+  /// the warm certify path.
   void release(std::vector<int>& offsets, std::vector<int>& targets) && {
     offsets = std::move(offsets_);
     targets = std::move(targets_);
-    offsets_ = {0};
+    offsets_.clear();
     targets_.clear();
   }
 

@@ -12,11 +12,21 @@ namespace dirant::spatial {
 
 using geom::Point;
 
-GridIndex::GridIndex(std::span<const Point> pts, double cell)
-    : cell_(cell), inv_cell_(1.0 / cell) {
+GridIndex::GridIndex(std::span<const Point> pts, double cell) {
+  rebuild(pts, cell);
+}
+
+void GridIndex::rebuild(std::span<const Point> pts, double cell) {
   DIRANT_ASSERT(cell > 0.0);
+  cell_ = cell;
+  inv_cell_ = 1.0 / cell;
+  min_x_ = min_y_ = max_x_ = max_y_ = 0.0;
+  nx_ = ny_ = 1;
   if (pts.empty()) {
     cell_start_.assign(2, 0);
+    item_id_.clear();
+    item_x_.clear();
+    item_y_.clear();
     return;
   }
   min_x_ = max_x_ = pts[0].x;
@@ -33,10 +43,13 @@ GridIndex::GridIndex(std::span<const Point> pts, double cell)
   // so the fill pass reloads it instead of recomputing the coordinate
   // mapping), prefix-sum, fill (ascending i, so ids stay sorted within
   // each cell), then shift the advanced cursors back into prefix
-  // positions.
+  // positions.  Every buffer (including the cell-id cache) is a member
+  // recycled across rebuilds: assign/resize keep capacity, so a warm
+  // same-size rebuild performs zero heap allocations.
   const size_t cells = static_cast<size_t>(nx_) * ny_;
   cell_start_.assign(cells + 1, 0);
-  std::vector<int> cell_id(pts.size());
+  auto& cell_id = build_cell_id_;
+  cell_id.resize(pts.size());
   for (size_t i = 0; i < pts.size(); ++i) {
     const auto [cx, cy] = cell_of(pts[i]);
     const int c = cy * nx_ + cx;

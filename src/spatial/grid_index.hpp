@@ -16,8 +16,19 @@ namespace dirant::spatial {
 
 class GridIndex {
  public:
+  /// Empty grid; fill it with `rebuild`.  Lets long-lived scratch objects
+  /// (TransmissionScratch, batch workers) own an index and recycle it.
+  GridIndex() = default;
+
   /// Builds a grid with cell size `cell` (> 0) over `pts`.
   GridIndex(std::span<const geom::Point> pts, double cell);
+
+  /// Re-indexes `pts` in place, reusing the CSR bucket arrays and the
+  /// counting-sort scratch.  Same result as constructing a fresh
+  /// GridIndex(pts, cell); allocates nothing once the buffers are at least
+  /// as large as the instance (same-size recycling — the PlanSession /
+  /// certify steady state — touches only warm memory).
+  void rebuild(std::span<const geom::Point> pts, double cell);
 
   /// Indices of all points within `radius` of `q` (inclusive), excluding
   /// `exclude`.  Intended for radius <= a few cells.
@@ -168,8 +179,8 @@ class GridIndex {
     }
   }
 
-  double cell_;
-  double inv_cell_ = 0.0;  ///< 1 / cell_, for divide-free cell lookup
+  double cell_ = 1.0;
+  double inv_cell_ = 1.0;  ///< 1 / cell_, for divide-free cell lookup
   double min_x_ = 0.0, min_y_ = 0.0;
   double max_x_ = 0.0, max_y_ = 0.0;
   int nx_ = 1, ny_ = 1;
@@ -182,6 +193,7 @@ class GridIndex {
   std::vector<int> cell_start_;
   std::vector<int> item_id_;
   std::vector<double> item_x_, item_y_;
+  std::vector<int> build_cell_id_;  ///< counting-sort scratch, recycled
 };
 
 }  // namespace dirant::spatial

@@ -7,15 +7,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <random>
 #include <vector>
 
 #include "antenna/transmission.hpp"
 #include "common/constants.hpp"
 #include "core/planner.hpp"
+#include "core/session.hpp"
 #include "geometry/generators.hpp"
 #include "graph/scc.hpp"
 #include "graph/traversal.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace geom = dirant::geom;
 namespace core = dirant::core;
@@ -165,6 +168,130 @@ TEST(CsrEquivalence, LongRowsWithOverlappingSectors) {
     o.add(u, geom::make_arc(pts[u], 1.0, 2 * kPi, 2.0));
   }
   expect_equivalent(pts, o);
+}
+
+// --- sharded build: bit-identity with the serial CSR ----------------------
+
+/// Thread counts under test.  DIRANT_TEST_THREADS (set by scripts/check.sh
+/// for the sanitizer shakeout) adds an extra count on top of the fixed
+/// 1/2/4/8 sweep.
+std::vector<int> thread_counts() {
+  std::vector<int> counts = {1, 2, 4, 8};
+  if (const char* env = std::getenv("DIRANT_TEST_THREADS")) {
+    const int t = std::atoi(env);
+    if (t > 0 &&
+        std::find(counts.begin(), counts.end(), t) == counts.end()) {
+      counts.push_back(t);
+    }
+  }
+  return counts;
+}
+
+/// offsets+targets bit-identity: same row extents AND same order within
+/// every row (not just the same sets).
+void expect_bit_identical(const graph::Digraph& a, const graph::Digraph& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (int u = 0; u < a.size(); ++u) {
+    const auto ra = a.out(u);
+    const auto rb = b.out(u);
+    ASSERT_EQ(ra.size(), rb.size()) << "row " << u;
+    for (size_t k = 0; k < ra.size(); ++k) {
+      ASSERT_EQ(ra[k], rb[k]) << "row " << u << " slot " << k;
+    }
+  }
+}
+
+TEST(ShardedBuild, BitIdenticalToSerialAcrossThreadCounts) {
+  for (const auto& [dist, n] :
+       {std::pair{geom::Distribution::kUniformSquare, 400},
+        std::pair{geom::Distribution::kClusters, 350}}) {
+    geom::Rng rng(9100 + n);
+    const auto pts = geom::make_instance(dist, n, rng);
+    const auto res = core::orient(pts, {2, kPi});
+
+    antenna::TransmissionScratch serial_scratch;
+    const auto serial = antenna::induced_digraph_fast(
+        pts, res.orientation, dirant::kAngleTol, dirant::kRadiusAbsTol,
+        serial_scratch);
+
+    for (int t : thread_counts()) {
+      // Real workers: shard tasks actually run concurrently (the sanitizer
+      // suite leans on this to shake out races), and also inline with no
+      // pool — both must match the serial CSR exactly.
+      dirant::par::ThreadPool pool(static_cast<unsigned>(t));
+      antenna::TransmissionScratch pooled_scratch;
+      const auto pooled = antenna::induced_digraph_fast(
+          pts, res.orientation, dirant::kAngleTol, dirant::kRadiusAbsTol,
+          pooled_scratch, t, &pool);
+      expect_bit_identical(pooled, serial);
+
+      antenna::TransmissionScratch inline_scratch;
+      const auto inlined = antenna::induced_digraph_fast(
+          pts, res.orientation, dirant::kAngleTol, dirant::kRadiusAbsTol,
+          inline_scratch, t, nullptr);
+      expect_bit_identical(inlined, serial);
+    }
+  }
+}
+
+TEST(ShardedBuild, ScratchReuseAcrossThreadCountsAndSizes) {
+  // One scratch streaming through different shard counts and instance
+  // sizes: stale shard state (row_end tails, seen marks, old chunk bases)
+  // must never leak into a later build.
+  antenna::TransmissionScratch scratch;
+  for (const auto& [n, t] : {std::pair{300, 4}, std::pair{80, 8},
+                            std::pair{300, 2}, std::pair{300, 1}}) {
+    geom::Rng rng(9800 + n + t);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, n, rng);
+    const auto res = core::orient(pts, {2, kPi});
+    auto sharded = antenna::induced_digraph_fast(
+        pts, res.orientation, dirant::kAngleTol, dirant::kRadiusAbsTol,
+        scratch, t, nullptr);
+    const auto serial = antenna::induced_digraph_fast(pts, res.orientation);
+    expect_bit_identical(sharded, serial);
+    std::move(sharded).release(scratch.offsets, scratch.targets);
+  }
+}
+
+TEST(ShardedBuild, MoreShardsThanNodes) {
+  // threads > n must clamp, not crash or emit empty rows for real nodes.
+  geom::Rng rng(9901);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 5, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  antenna::TransmissionScratch scratch;
+  const auto sharded = antenna::induced_digraph_fast(
+      pts, res.orientation, dirant::kAngleTol, dirant::kRadiusAbsTol,
+      scratch, 16, nullptr);
+  expect_bit_identical(sharded,
+                       antenna::induced_digraph_fast(pts, res.orientation));
+}
+
+TEST(ShardedBuild, SessionCertifyParityAcrossThreads) {
+  // The user-facing knob: PlanSession::set_threads must never change the
+  // certificate, only the wall clock.
+  geom::Rng rng(9950);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 700, rng);
+  core::PlanSession serial_session;
+  serial_session.orient(pts, {2, kPi});
+  const auto serial_cert = serial_session.certify(pts, {2, kPi});
+
+  for (int t : thread_counts()) {
+    core::PlanSession session;
+    session.set_threads(t);
+    EXPECT_EQ(session.threads(), std::max(1, t));
+    session.orient(pts, {2, kPi});
+    const auto& cert = session.certify(pts, {2, kPi});
+    EXPECT_EQ(cert.strongly_connected, serial_cert.strongly_connected);
+    EXPECT_EQ(cert.scc_count, serial_cert.scc_count);
+    EXPECT_EQ(cert.max_radius, serial_cert.max_radius);
+    EXPECT_EQ(cert.max_spread_sum, serial_cert.max_spread_sum);
+    EXPECT_EQ(cert.max_antennas, serial_cert.max_antennas);
+    EXPECT_EQ(cert.ok(), serial_cert.ok());
+  }
 }
 
 TEST(CsrEquivalence, ScratchReuseAcrossInstances) {

@@ -7,8 +7,10 @@
 //
 // The bottleneck-cycle regimes (kBtspCycle / kBidirCycle: NP-hard machinery
 // with its own DP tables) and the Yao grid baseline are documented
-// exemptions, as is certification (it reuses the CSR/SCC buffers but builds
-// a per-call grid index).
+// exemptions.  Serial certification is NOT exempt: the CSR/SCC buffers and
+// the grid index (GridIndex::rebuild) are all recycled, so a warm
+// session's second certify() must allocate zero as well — and so must the
+// adaptive radius search's probe loop (double-buffered Result).
 
 #include <gtest/gtest.h>
 
@@ -22,6 +24,7 @@
 #include "core/planner.hpp"
 #include "core/registry.hpp"
 #include "core/session.hpp"
+#include "core/two_antennae.hpp"
 #include "geometry/generators.hpp"
 
 namespace {
@@ -150,6 +153,63 @@ TEST(SessionAllocation, SecondOrientIsAllocationFree) {
       // The recycled result is the same orientation, not a stale one.
       EXPECT_EQ(session.last_result().measured_radius, warm_radius);
     }
+  }
+}
+
+TEST(SessionAllocation, SecondCertifyIsAllocationFree) {
+  // n >= 512 selects the grid-accelerated certify path (the brute-force
+  // oracle below that threshold allocates by design).  The second
+  // orient+certify round through a warm session must not touch the heap:
+  // the transmission scratch recycles the CSR buffers AND the grid index.
+  geom::Rng rng(77);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 600, rng);
+  const core::ProblemSpec spec{2, kPi};
+
+  core::PlanSession session;
+  session.orient(pts, spec);
+  const auto warm_cert = session.certify(pts, spec);  // warm-up round
+  ASSERT_TRUE(warm_cert.ok());
+
+  const long long allocs = count_allocations([&] {
+    session.orient(pts, spec);
+    session.certify(pts, spec);
+  });
+  EXPECT_EQ(allocs, 0) << "warm-session certify allocated";
+  EXPECT_TRUE(session.certify(pts, spec).ok());
+}
+
+TEST(SessionAllocation, AdaptiveProbeLoopIsAllocationFree) {
+  // The fleet-tuning shape: repeated adaptive radius searches through one
+  // warm session.  The binary search runs dozens of probes (failed probes
+  // exercise the exhaustive fallback planner too); with the double-buffered
+  // Result and the recycled candidate list, the second call does zero heap
+  // work.  The EMST is radius-cap-invariant, so one tree serves every call.
+  for (const double phi : {kPi, 0.8 * kPi}) {
+    geom::Rng rng(555 + static_cast<int>(phi * 10));
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, 60, rng);
+    core::PlanSession session;
+    session.orient(pts, {2, phi});          // builds the session tree
+    const auto tree = session.last_tree();  // copy: orient_adaptive rewrites
+                                            // session state
+    const auto& first = session.orient_adaptive(pts, tree, phi);
+    const double warm_radius = first.measured_radius;
+    const double warm_bound = first.bound_factor;
+
+    const long long allocs = count_allocations(
+        [&] { session.orient_adaptive(pts, tree, phi); });
+    EXPECT_EQ(allocs, 0) << "adaptive probe loop allocated (phi=" << phi
+                         << ")";
+    // Determinism: the recycled buffers reproduce the same optimum.
+    EXPECT_EQ(session.last_result().measured_radius, warm_radius);
+    EXPECT_EQ(session.last_result().bound_factor, warm_bound);
+
+    // And the double-buffered path is observably identical to the one-shot
+    // free function.
+    const auto ref = core::orient_two_antennae_adaptive(pts, tree, phi);
+    EXPECT_EQ(session.last_result().measured_radius, ref.measured_radius);
+    EXPECT_EQ(session.last_result().bound_factor, ref.bound_factor);
   }
 }
 

@@ -192,6 +192,92 @@ TEST(GridIndex, ConeNearestMatchesBruteForce) {
   }
 }
 
+// A recycled index must be indistinguishable from a freshly constructed
+// one — same within() hit sets, same cone_nearest answers (which also
+// exercises cone_reach against the rebuilt bounding box).
+void expect_rebuild_matches_fresh(const spatial::GridIndex& rebuilt,
+                                  const std::vector<geom::Point>& pts,
+                                  double cell, unsigned seed) {
+  const spatial::GridIndex fresh(pts, cell);
+  ASSERT_EQ(rebuilt.size(), fresh.size());
+  geom::Rng rng(seed);
+  std::uniform_real_distribution<double> u(-2.0, 12.0);
+  std::vector<int> hits_a, hits_b;
+  spatial::GridIndex::ConeScratch cone_a, cone_b;
+  std::vector<int> near_a, near_b;
+  for (int q = 0; q < 40; ++q) {
+    const geom::Point query{u(rng), u(rng)};
+    for (double r : {0.4, 1.3, 5.0}) {
+      hits_a.clear();
+      hits_b.clear();
+      rebuilt.within(query, r, -1, hits_a);
+      fresh.within(query, r, -1, hits_b);
+      std::sort(hits_a.begin(), hits_a.end());
+      std::sort(hits_b.begin(), hits_b.end());
+      EXPECT_EQ(hits_a, hits_b) << "radius " << r;
+    }
+    for (int k : {1, 4, 7}) {
+      rebuilt.cone_nearest(query, k, 0.3, -1, near_a, cone_a);
+      fresh.cone_nearest(query, k, 0.3, -1, near_b, cone_b);
+      EXPECT_EQ(near_a, near_b) << "k " << k;
+    }
+  }
+}
+
+TEST(GridIndex, RebuildMatchesFreshAcrossInstances) {
+  // One index recycled through instances of different distributions, sizes
+  // (shrinking AND growing, so stale tails must be invisible), cell sizes,
+  // and a duplicate-heavy degenerate set.
+  spatial::GridIndex grid;
+  unsigned seed = 900;
+  struct Step {
+    geom::Distribution dist;
+    int n;
+    double cell;
+  };
+  const std::vector<Step> steps = {
+      {geom::Distribution::kUniformSquare, 220, 0.9},
+      {geom::Distribution::kClusters, 300, 0.5},
+      {geom::Distribution::kUniformSquare, 60, 1.7},  // shrink
+      {geom::Distribution::kClusters, 260, 0.8},      // regrow
+  };
+  for (const auto& step : steps) {
+    geom::Rng rng(++seed);
+    const auto pts = geom::make_instance(step.dist, step.n, rng);
+    grid.rebuild(pts, step.cell);
+    expect_rebuild_matches_fresh(grid, pts, step.cell, seed * 31);
+  }
+
+  // Duplicate points: several exact copies per site, rebuilt over a grid
+  // that previously held a larger spread-out instance.
+  std::vector<geom::Point> dupes;
+  for (int i = 0; i < 50; ++i) {
+    dupes.push_back({static_cast<double>(i % 5), static_cast<double>(i % 3)});
+  }
+  grid.rebuild(dupes, 1.0);
+  expect_rebuild_matches_fresh(grid, dupes, 1.0, 777);
+
+  // Empty rebuild: queries must come back clean, not crash or hit stale
+  // data.
+  grid.rebuild({}, 1.0);
+  EXPECT_EQ(grid.size(), 0);
+  EXPECT_TRUE(grid.within({0, 0}, 5.0).empty());
+}
+
+TEST(GridIndex, SameSizeRebuildIsStable) {
+  // The certify steady state: rebuild over same-size instances again and
+  // again; answers must match a fresh index every time (warm buffers, no
+  // stale cell boundaries).
+  spatial::GridIndex grid;
+  for (int round = 0; round < 4; ++round) {
+    geom::Rng rng(4400 + round);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, 180, rng);
+    grid.rebuild(pts, 0.75);
+    expect_rebuild_matches_fresh(grid, pts, 0.75, 500 + round);
+  }
+}
+
 TEST(GridIndex, ConeNearestEmptyOutwardCones) {
   // A corner point of a grid layout: the outward cones must come back
   // empty without scanning forever (reach bound), the inward ones full.
