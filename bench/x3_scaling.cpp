@@ -43,8 +43,8 @@ DIRANT_REPORT(x3) {
   // perf trajectory.
   const bool smoke = std::getenv("DIRANT_BENCH_SMOKE") != nullptr;
   section("X3 — EMST+orient wall time per engine (BENCH_scaling.json)");
-  // Preserve the certify / certify_parallel sections that bench_x6_certify
-  // may have spliced into an existing file: this bench owns
+  // Preserve the sections that bench_x6_certify may have spliced into an
+  // existing file (certify and scc sweeps): this bench owns
   // emst_orient+batch only.
   std::vector<std::string> preserved_sections;
   {
@@ -53,7 +53,8 @@ DIRANT_REPORT(x3) {
       std::ostringstream ss;
       ss << in.rdbuf();
       const std::string existing = ss.str();
-      for (const char* key : {"\"certify\"", "\"certify_parallel\""}) {
+      for (const char* key : {"\"certify\"", "\"certify_parallel\"",
+                              "\"scc\"", "\"scc_parallel\""}) {
         const size_t pos = existing.find(key);
         if (pos == std::string::npos) continue;
         const size_t close = existing.find(']', pos);

@@ -7,15 +7,21 @@
 //   * fresh-scratch certify (cold TransmissionScratch per call) vs the
 //     warm recycled path — the GridIndex::rebuild win;
 //   * the sharded build at several thread counts (real ThreadPool workers)
-//     vs the serial build — bit-identical output, parallel wall clock.
-// Appends "certify" / "certify_parallel" sections to BENCH_scaling.json so
-// the speedups are part of the recorded perf trajectory.
+//     vs the serial build — bit-identical output, parallel wall clock;
+//   * SCC-only rows on a prebuilt digraph: serial Tarjan vs the FW–BW
+//     engine (graph/scc_parallel.hpp) inline and at each thread count.
+//     The FW–BW timings include its internal transpose build — the honest
+//     cost when no cached transpose is available (core::certify's shape);
+//     AuditSession amortizes that across a whole metric sweep.
+// Appends "certify" / "certify_parallel" / "scc" / "scc_parallel" sections
+// to BENCH_scaling.json so the speedups are part of the recorded perf
+// trajectory.
 //
 // Smoke mode (DIRANT_BENCH_SMOKE=1): tiny sizes so ctest can keep this
 // binary from bit-rotting without paying the full sweep.
-// DIRANT_X6_THREADS=t adds a shard count to the parallel sweep (the
-// bench_smoke_x6_certify_parallel ctest entry exercises the pooled path
-// with it).
+// DIRANT_X6_THREADS=t / DIRANT_X6_SCC_THREADS=t add a shard count to the
+// parallel sweeps (the bench_smoke_x6_certify_parallel and
+// bench_smoke_x6_scc ctest entries exercise the pooled paths with them).
 
 #include <algorithm>
 #include <chrono>
@@ -37,6 +43,7 @@
 #include "common/constants.hpp"
 #include "core/planner.hpp"
 #include "graph/scc.hpp"
+#include "graph/scc_parallel.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace geom = dirant::geom;
@@ -226,6 +233,21 @@ struct ParallelRow {
   double speedup_vs_serial = 0.0;
 };
 
+struct SccRow {
+  int n = 0;
+  double tarjan_ms = 0.0;
+  double fb_serial_ms = 0.0;  ///< FW–BW inline, incl. its transpose build
+  int scc_count = 0;
+  double fb_vs_tarjan = 0.0;  ///< tarjan / fb_serial
+};
+
+struct SccParallelRow {
+  int n = 0;
+  int threads = 0;
+  double ms = 0.0;
+  double speedup_vs_tarjan = 0.0;
+};
+
 /// Removes a previously spliced `"name": [...]` section (with its leading
 /// comma, if any) so reruns replace rather than accumulate.
 void drop_section(std::string& existing, const std::string& name) {
@@ -241,11 +263,13 @@ void drop_section(std::string& existing, const std::string& name) {
   }
 }
 
-/// Splices the "certify" and "certify_parallel" sections into
-/// BENCH_scaling.json next to the sections x3_scaling wrote (creates the
-/// file if x3 has not run).
+/// Splices the "certify", "certify_parallel", "scc" and "scc_parallel"
+/// sections into BENCH_scaling.json next to the sections x3_scaling wrote
+/// (creates the file if x3 has not run).
 void append_certify_json(const std::vector<CertifyRow>& rows,
-                         const std::vector<ParallelRow>& par_rows) {
+                         const std::vector<ParallelRow>& par_rows,
+                         const std::vector<SccRow>& scc_rows,
+                         const std::vector<SccParallelRow>& scc_par_rows) {
   std::string existing;
   {
     std::ifstream in("BENCH_scaling.json");
@@ -255,11 +279,12 @@ void append_certify_json(const std::vector<CertifyRow>& rows,
       existing = ss.str();
     }
   }
-  // Drop the longer-named section first: "certify" is a prefix of
-  // "certify_parallel" only as a name, not as a quoted key, but removing
-  // certify_parallel first keeps the comma bookkeeping simple either way.
+  // Quoted keys, so no name is a prefix of another ("scc" never matches the
+  // "scc_count" fields inside certify rows); drop order is cosmetic.
   drop_section(existing, "certify_parallel");
   drop_section(existing, "certify");
+  drop_section(existing, "scc_parallel");
+  drop_section(existing, "scc");
   std::ostringstream section;
   section << "  \"certify\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -281,6 +306,25 @@ void append_certify_json(const std::vector<CertifyRow>& rows,
             << ", \"speedup_vs_serial\": " << r.speedup_vs_serial << "}"
             << (i + 1 < par_rows.size() ? ",\n" : "\n");
   }
+  section << "  ],\n";
+  section << "  \"scc\": [\n";
+  for (size_t i = 0; i < scc_rows.size(); ++i) {
+    const auto& r = scc_rows[i];
+    section << "    {\"n\": " << r.n << ", \"tarjan_ms\": " << r.tarjan_ms
+            << ", \"fb_serial_ms\": " << r.fb_serial_ms
+            << ", \"scc_count\": " << r.scc_count
+            << ", \"fb_vs_tarjan\": " << r.fb_vs_tarjan << "}"
+            << (i + 1 < scc_rows.size() ? ",\n" : "\n");
+  }
+  section << "  ],\n";
+  section << "  \"scc_parallel\": [\n";
+  for (size_t i = 0; i < scc_par_rows.size(); ++i) {
+    const auto& r = scc_par_rows[i];
+    section << "    {\"n\": " << r.n << ", \"threads\": " << r.threads
+            << ", \"ms\": " << r.ms
+            << ", \"speedup_vs_tarjan\": " << r.speedup_vs_tarjan << "}"
+            << (i + 1 < scc_par_rows.size() ? ",\n" : "\n");
+  }
   section << "  ]\n";
 
   const size_t close = existing.rfind('}');
@@ -299,7 +343,8 @@ void append_certify_json(const std::vector<CertifyRow>& rows,
     outf << "{\n" << section.str() << "}\n";
   }
   std::printf(
-      "appended certify + certify_parallel sections to BENCH_scaling.json\n");
+      "appended certify + certify_parallel + scc + scc_parallel sections to "
+      "BENCH_scaling.json\n");
 }
 
 DIRANT_REPORT(x6) {
@@ -314,12 +359,31 @@ DIRANT_REPORT(x6) {
   // Shard counts for the parallel rows; threads=1 is the serial bar above.
   std::vector<int> thread_set = smoke ? std::vector<int>{2}
                                       : std::vector<int>{2, 4};
-  if (const char* env = std::getenv("DIRANT_X6_THREADS")) {
-    const int t = std::atoi(env);
-    if (t > 1 && std::find(thread_set.begin(), thread_set.end(), t) ==
-                     thread_set.end()) {
-      thread_set.push_back(t);
+  // The knobs extend their own sweep only (the bench_smoke_x6_scc ctest
+  // entry exercises a pooled FW–BW path without re-running the sharded
+  // certify sweep at that count, and vice versa).
+  std::vector<int> scc_thread_set = thread_set;
+  const auto add_env_threads = [](const char* knob, std::vector<int>& set) {
+    if (const char* env = std::getenv(knob)) {
+      const int t = std::atoi(env);
+      if (t > 1 && std::find(set.begin(), set.end(), t) == set.end()) {
+        set.push_back(t);
+      }
     }
+  };
+  add_env_threads("DIRANT_X6_THREADS", thread_set);
+  add_env_threads("DIRANT_X6_SCC_THREADS", scc_thread_set);
+  // Pools are shared between the sweeps: one per distinct thread count.
+  std::vector<int> pool_threads = thread_set;
+  std::vector<size_t> scc_pool_idx;
+  for (const int t : scc_thread_set) {
+    auto it = std::find(pool_threads.begin(), pool_threads.end(), t);
+    if (it == pool_threads.end()) {
+      pool_threads.push_back(t);
+      it = pool_threads.end() - 1;
+    }
+    scc_pool_idx.push_back(
+        static_cast<size_t>(it - pool_threads.begin()));
   }
   std::printf(
       "n        threads  csr-ms     fresh-ms   legacy-ms   vs-legacy  "
@@ -336,6 +400,13 @@ DIRANT_REPORT(x6) {
   std::vector<antenna::TransmissionScratch> par_tx(thread_set.size());
   std::vector<CertifyRow> rows;
   std::vector<ParallelRow> par_rows;
+  // SCC-only scratches: one FW–BW scratch per variant so every row measures
+  // its warm steady state.
+  graph::ParSccScratch fb_serial;
+  std::vector<graph::ParSccScratch> fb_par(scc_thread_set.size());
+  antenna::TransmissionScratch scc_tx;  ///< prebuilt-digraph buffers
+  std::vector<SccRow> scc_rows;
+  std::vector<SccParallelRow> scc_par_rows;
   for (int n : sizes) {
     geom::Rng rng(61000 + n);
     const auto pts =
@@ -353,7 +424,7 @@ DIRANT_REPORT(x6) {
                                std::numeric_limits<double>::infinity());
     int legacy_count = -1;
     std::vector<std::unique_ptr<dirant::par::ThreadPool>> pools;
-    for (int t : thread_set) {
+    for (int t : pool_threads) {
       pools.push_back(std::make_unique<dirant::par::ThreadPool>(
           static_cast<unsigned>(t)));
     }
@@ -417,12 +488,74 @@ DIRANT_REPORT(x6) {
       par_rows.push_back(pr);
     }
     rows.push_back(row);
+
+    // ---- SCC-only rows: Tarjan vs FW–BW on the prebuilt digraph --------
+    // (isolates the decomposition from the digraph build the rows above
+    // already price).  The FW–BW timings include its internal transpose
+    // build — the cost the certify path pays when no cached transpose
+    // exists; AuditSession amortizes it across a whole metric sweep.
+    SccRow srow;
+    srow.n = n;
+    srow.tarjan_ms = std::numeric_limits<double>::infinity();
+    srow.fb_serial_ms = std::numeric_limits<double>::infinity();
+    std::vector<double> fb_ms(scc_thread_set.size(),
+                              std::numeric_limits<double>::infinity());
+    int fb_count = -1, fb_par_count = -1;
+    graph::Digraph g = antenna::induced_digraph_fast(
+        pts, o, dirant::kAngleTol, dirant::kRadiusAbsTol, scc_tx);
+    for (int rep = 0; rep < reps; ++rep) {
+      srow.tarjan_ms = std::min(srow.tarjan_ms, time_ms([&] {
+                         const int c = graph::scc_count(g, scc_scratch);
+                         benchmark::DoNotOptimize(c);
+                         srow.scc_count = c;
+                       }));
+      srow.fb_serial_ms =
+          std::min(srow.fb_serial_ms, time_ms([&] {
+                     fb_count =
+                         graph::parallel_scc_count(g, fb_serial, 1, nullptr);
+                     benchmark::DoNotOptimize(fb_count);
+                   }));
+      for (size_t ti = 0; ti < scc_thread_set.size(); ++ti) {
+        fb_ms[ti] = std::min(fb_ms[ti], time_ms([&] {
+                      fb_par_count = graph::parallel_scc_count(
+                          g, fb_par[ti], scc_thread_set[ti],
+                          pools[scc_pool_idx[ti]].get());
+                      benchmark::DoNotOptimize(fb_par_count);
+                    }));
+        if (fb_par_count != srow.scc_count) {
+          std::printf("WARNING: scc mismatch at n=%d (tarjan %d vs fb t=%d "
+                      "%d)\n",
+                      n, srow.scc_count, scc_thread_set[ti], fb_par_count);
+        }
+      }
+    }
+    if (fb_count != srow.scc_count) {
+      std::printf("WARNING: scc mismatch at n=%d (tarjan %d vs fb-serial %d)\n",
+                  n, srow.scc_count, fb_count);
+    }
+    std::move(g).release(scc_tx.offsets, scc_tx.targets);
+    srow.fb_vs_tarjan = srow.tarjan_ms / std::max(srow.fb_serial_ms, 1e-9);
+    std::printf(
+        "scc:     %-8d tarjan %8.2f   fb-serial %8.2f   (%5.2fx)   scc=%d\n",
+        n, srow.tarjan_ms, srow.fb_serial_ms, srow.fb_vs_tarjan,
+        srow.scc_count);
+    scc_rows.push_back(srow);
+    for (size_t ti = 0; ti < scc_thread_set.size(); ++ti) {
+      SccParallelRow spr;
+      spr.n = n;
+      spr.threads = scc_thread_set[ti];
+      spr.ms = fb_ms[ti];
+      spr.speedup_vs_tarjan = srow.tarjan_ms / std::max(fb_ms[ti], 1e-9);
+      std::printf("scc:     %-8d fb(t=%d) %7.2f   %5.2fx vs tarjan\n", n,
+                  spr.threads, spr.ms, spr.speedup_vs_tarjan);
+      scc_par_rows.push_back(spr);
+    }
   }
   if (smoke) {
     // Throwaway tiny-n numbers must never land in the recorded trajectory.
     std::printf("smoke mode: BENCH_scaling.json left untouched\n");
   } else {
-    append_certify_json(rows, par_rows);
+    append_certify_json(rows, par_rows, scc_rows, scc_par_rows);
   }
 }
 
@@ -459,6 +592,24 @@ void BM_scc_only_csr(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_scc_only_csr)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->Complexity();
+
+void BM_scc_fb_csr(benchmark::State& state) {
+  geom::Rng rng(63);  // same instances as BM_scc_only_csr for comparison
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  const auto res = core::orient(pts, {2, kPi});
+  const auto g = antenna::induced_digraph_fast(pts, res.orientation);
+  graph::ParSccScratch scratch;
+  for (auto _ : state) {
+    const int count = graph::parallel_scc_count(g, scratch, 1, nullptr);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_scc_fb_csr)
     ->RangeMultiplier(4)
     ->Range(1024, 65536)
     ->Complexity();

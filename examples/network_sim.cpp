@@ -8,12 +8,10 @@
 #include <cstdio>
 
 #include "antenna/metrics.hpp"
-#include "antenna/transmission.hpp"
 #include "common/constants.hpp"
 #include "core/planner.hpp"
 #include "geometry/generators.hpp"
-#include "sim/broadcast.hpp"
-#include "sim/energy.hpp"
+#include "sim/audit.hpp"
 
 int main() {
   namespace geom = dirant::geom;
@@ -43,16 +41,19 @@ int main() {
   std::printf(
       "----------------+---------------------------------------------------"
       "-----------------\n");
+  // One audit session for the whole sweep: each budget's digraph, omni
+  // reference and transpose are built once and every metric reuses them
+  // (the warm session allocates nothing after the first budget).
+  sim::AuditSession audit;
   for (const auto& b : budgets) {
     const auto res = core::orient(pts, b.spec);
-    const auto g = dirant::antenna::induced_digraph_fast(pts, res.orientation);
-    const auto omni =
-        dirant::antenna::unit_disk_digraph(pts, res.measured_radius);
-    const auto fl = sim::flood(g, 0);
-    const auto st = sim::hop_stretch(g, omni, 6);
+    audit.load(pts, res.orientation);
+    const auto& omni = audit.load_omni(pts, res.measured_radius);
+    const auto fl = audit.flood(0);
+    const auto st = audit.hop_stretch(omni, 6);
     const auto inter = dirant::antenna::interference_stats(pts, res.orientation);
     const auto en = sim::energy_report(res.orientation);
-    const int level = sim::strong_connectivity_level(g, 2);
+    const int level = audit.strong_connectivity_level(2);
     std::printf("%s   | %6.3f   %5d   %7.2f   %6.2f   %8.2fx  %9.2fx   %d\n",
                 b.label, res.measured_radius, fl.rounds, fl.mean_hops,
                 st.mean_stretch, inter.interference_reduction,

@@ -5,13 +5,12 @@
 
 #include <cstdio>
 
-#include "antenna/transmission.hpp"
 #include "common/constants.hpp"
 #include "core/planner.hpp"
 #include "core/resilient.hpp"
 #include "geometry/generators.hpp"
 #include "mst/degree5.hpp"
-#include "sim/broadcast.hpp"
+#include "sim/audit.hpp"
 
 int main() {
   namespace geom = dirant::geom;
@@ -41,11 +40,15 @@ int main() {
               "surviving@5%%fail  @15%%fail\n");
   std::printf("--------------------------------------------------------------"
               "--------\n");
+  // One audit session across constructions: each entry's digraph and
+  // transpose are built once and the deletion probes + Monte-Carlo trials
+  // all run off them.
+  sim::AuditSession audit;
   for (const auto& e : entries) {
-    const auto g = dirant::antenna::induced_digraph(pts, e.res.orientation);
-    const int level = sim::strong_connectivity_level(g, 3);
-    const auto f5 = sim::failure_resilience(g, 0.05, 40, 1);
-    const auto f15 = sim::failure_resilience(g, 0.15, 40, 2);
+    audit.load(pts, e.res.orientation);
+    const int level = audit.strong_connectivity_level(3);
+    const auto f5 = audit.failure_resilience(0.05, 40, 1);
+    const auto f15 = audit.failure_resilience(0.15, 40, 2);
     std::printf("%s  %8.3f       %d        %5.1f%%          %5.1f%%\n",
                 e.label, e.res.measured_radius / e.res.lmax, level,
                 100.0 * f5.mean_largest_scc, 100.0 * f15.mean_largest_scc);

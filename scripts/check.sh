@@ -12,14 +12,18 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 run_variant() {
   local dir="$1"; shift
+  local ctest_filter="$1"; shift
   local cmake_args=("$@")
   echo "==== configure ${dir} (${cmake_args[*]}) ===="
   cmake -B "${dir}" -S . "${cmake_args[@]}" >/dev/null
   echo "==== build ${dir} ===="
   cmake --build "${dir}" -j "${JOBS}"
   echo "==== ctest ${dir} ===="
+  local filter_args=()
+  [[ -n "${ctest_filter}" ]] && filter_args=(-R "${ctest_filter}")
   # ${arr[@]+...} keeps `set -u` happy on bash 3.2 when no args were given.
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" \
+      ${filter_args[@]+"${filter_args[@]}"} \
       ${CTEST_EXTRA[@]+"${CTEST_EXTRA[@]}"})
 }
 
@@ -27,17 +31,25 @@ CTEST_EXTRA=("$@")
 
 # The Release variant builds the bench binaries, so its ctest run includes
 # the bench_smoke entries (x3_scaling + x6_certify at tiny n with
-# DIRANT_BENCH_SMOKE=1, plus the pooled sharded-certify x6 path) — benches
-# can't silently bit-rot.  The sanitized Debug variant skips benches for
-# build time and runs its suite with DIRANT_TEST_THREADS=4: the sharded
-# digraph-build tests then spin real 4-worker pools, so memory errors in
-# the concurrent shard path surface under asan/ubsan.  Both variants
-# promote the library's -Wall -Wextra diagnostics to errors
-# (DIRANT_WERROR).
-run_variant build-release -DCMAKE_BUILD_TYPE=Release -DDIRANT_WERROR=ON
+# DIRANT_BENCH_SMOKE=1, plus the pooled sharded-certify and parallel-SCC
+# x6 paths) — benches can't silently bit-rot.  The sanitized Debug variant
+# skips benches for build time and runs its suite with
+# DIRANT_TEST_THREADS=4: the sharded digraph-build and parallel-SCC tests
+# then spin real 4-worker pools, so memory errors in the concurrent paths
+# surface under asan/ubsan.  The ThreadSanitizer variant (DIRANT_TSAN)
+# re-runs exactly the concurrency-heavy suites — parallel SCC, the sharded
+# certify build, and the batch fan-out — with the same 4-worker pools, so
+# data races (not just memory errors) surface too.  All variants promote
+# the library's -Wall -Wextra diagnostics to errors (DIRANT_WERROR).
+run_variant build-release "" -DCMAKE_BUILD_TYPE=Release -DDIRANT_WERROR=ON
 DIRANT_TEST_THREADS=4 \
-run_variant build-asan -DCMAKE_BUILD_TYPE=Debug -DDIRANT_SANITIZE=ON \
+run_variant build-asan "" -DCMAKE_BUILD_TYPE=Debug -DDIRANT_SANITIZE=ON \
     -DDIRANT_WERROR=ON \
+    -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF
+DIRANT_TEST_THREADS=4 \
+run_variant build-tsan \
+    "test_parallel_scc|test_csr_equivalence|test_batch" \
+    -DCMAKE_BUILD_TYPE=Debug -DDIRANT_TSAN=ON -DDIRANT_WERROR=ON \
     -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF
 
 echo "==== all checks passed ===="

@@ -433,17 +433,25 @@ graph::Digraph induced_digraph_fast(std::span<const Point> pts,
 }
 
 graph::Digraph unit_disk_digraph(std::span<const Point> pts, double radius) {
+  TransmissionScratch scratch;
+  return unit_disk_digraph(pts, radius, scratch);
+}
+
+graph::Digraph unit_disk_digraph(std::span<const Point> pts, double radius,
+                                 TransmissionScratch& scratch) {
   const int n = static_cast<int>(pts.size());
-  std::vector<int> offsets(static_cast<size_t>(n) + 1, 0);
-  std::vector<int> targets;
+  auto& offsets = scratch.offsets;
+  auto& targets = scratch.targets;
+  targets.clear();
   if (n == 0 || radius <= 0.0) {
+    offsets.assign(static_cast<size_t>(n) + 1, 0);
     return graph::Digraph(std::move(offsets), std::move(targets));
   }
-  spatial::GridIndex grid(pts, std::max(radius / 2.0, 1e-12));
+  scratch.grid.rebuild(pts, std::max(radius / 2.0, 1e-12));
   offsets.clear();
   offsets.push_back(0);
   for (int u = 0; u < n; ++u) {
-    grid.within(pts[u], radius, u, targets);  // appends u's row in place
+    scratch.grid.within(pts[u], radius, u, targets);  // appends u's row
     offsets.push_back(static_cast<int>(targets.size()));
   }
   return graph::Digraph(std::move(offsets), std::move(targets));

@@ -99,4 +99,12 @@ graph::Digraph induced_digraph_fast(std::span<const geom::Point> pts,
 graph::Digraph unit_disk_digraph(std::span<const geom::Point> pts,
                                  double radius);
 
+/// Scratch-reusing variant: the grid index is recycled via
+/// `GridIndex::rebuild` and the offsets/targets buffers become the CSR
+/// arrays of the returned graph.  Audit loops (sim::AuditSession) hand the
+/// buffers back through `Digraph::release`, so rebuilding the omni
+/// reference digraph per audit allocates nothing in steady state.
+graph::Digraph unit_disk_digraph(std::span<const geom::Point> pts,
+                                 double radius, TransmissionScratch& scratch);
+
 }  // namespace dirant::antenna

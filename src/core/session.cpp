@@ -84,14 +84,7 @@ const Result& PlanSession::orient_adaptive(std::span<const geom::Point> pts,
 }
 
 void PlanSession::set_threads(int threads) {
-  threads_ = std::max(1, threads);
-  if (threads_ <= 1) {
-    pool_.reset();
-  } else if (!pool_ ||
-             pool_->thread_count() != static_cast<unsigned>(threads_)) {
-    pool_ = std::make_unique<par::ThreadPool>(
-        static_cast<unsigned>(threads_));
-  }
+  threads_ = par::ensure_pool(pool_, threads);
 }
 
 void PlanSession::set_budgets(std::span<const NodeBudget> budgets) {

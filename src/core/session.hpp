@@ -91,8 +91,9 @@ class PlanSession {
   /// the transmission digraph; see core/validate.hpp).  Allocation-free in
   /// steady state via the session-owned CertifyScratch (grid index and CSR
   /// buffers recycled) when `threads() <= 1`; with `set_threads(t > 1)` the
-  /// digraph build shards over the session-owned pool — bit-identical
-  /// output, parallel wall clock.
+  /// digraph build shards over the session-owned pool AND the SCC pass runs
+  /// on the parallel FW–BW engine — identical certificate, parallel wall
+  /// clock.
   const Certificate& certify(std::span<const geom::Point> pts,
                              const ProblemSpec& spec);
 
@@ -108,9 +109,11 @@ class PlanSession {
 
   /// Parallel certification knob.  `threads <= 1` (the default) keeps the
   /// serial, zero-allocation certify path; `threads > 1` spawns (or
-  /// resizes) a session-owned thread pool of that many workers and shards
-  /// the certification digraph build across it.  The knob never changes
-  /// results — the sharded CSR is bit-identical to the serial one.
+  /// resizes) a session-owned thread pool of that many workers, shards the
+  /// certification digraph build across it, and runs the SCC pass on the
+  /// parallel FW–BW engine.  The knob never changes results — the sharded
+  /// CSR is bit-identical to the serial one and the SCC partition is a
+  /// graph property.
   void set_threads(int threads);
   int threads() const { return threads_; }
 

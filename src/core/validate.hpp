@@ -12,6 +12,7 @@
 #include "core/types.hpp"
 #include "geometry/point.hpp"
 #include "graph/scc.hpp"
+#include "graph/scc_parallel.hpp"
 
 namespace dirant::par {
 class ThreadPool;
@@ -36,11 +37,14 @@ struct Certificate {
 };
 
 /// Working memory for a certification: the digraph CSR buffers and the SCC
-/// decomposition.  Batch pipelines keep one per worker so certifying a
-/// stream of instances does zero steady-state allocation.
+/// decomposition — serial Tarjan scratch plus the parallel FW–BW engine's
+/// (transpose, marks, frontiers), which the `threads > 1` path uses.  Batch
+/// pipelines keep one per worker so certifying a stream of instances does
+/// zero steady-state allocation.
 struct CertifyScratch {
   antenna::TransmissionScratch transmission;
   graph::SccScratch scc;
+  graph::ParSccScratch par_scc;
 };
 
 /// Certify `res` against `spec`.  `use_fast_graph` forces the
@@ -51,7 +55,8 @@ Certificate certify(std::span<const geom::Point> pts, const Result& res,
 
 /// Scratch-reusing variant for certification loops (core::orient_batch,
 /// Monte-Carlo sweeps).  `threads > 1` selects the sharded digraph build
-/// (bit-identical to serial; see antenna/transmission.hpp), with shard
+/// (bit-identical to serial; see antenna/transmission.hpp) AND the parallel
+/// FW–BW SCC engine (identical count; see graph/scc_parallel.hpp), with
 /// tasks fanned out over `pool` when one is supplied.  The serial default
 /// performs zero heap allocations once `scratch` is warm.
 Certificate certify(std::span<const geom::Point> pts, const Result& res,

@@ -2,20 +2,27 @@
 
 #include <algorithm>
 
+#include "graph/scc_internal.hpp"
+
 namespace dirant::graph {
+
 namespace {
 
-// Reachability count from `s` following out-edges.
-int reach_count(const Digraph& g, int s) {
-  std::vector<char> seen(g.size(), 0);
-  std::vector<int> stack{s};
-  seen[s] = 1;
+/// Vertices reachable from `start` in `g`, skipping removed ones.
+int masked_reach_count(const Digraph& g, int start, const char* removed,
+                       ReachScratch& scratch) {
+  auto& seen = scratch.seen;
+  auto& stack = scratch.stack;
+  seen.assign(g.size(), 0);
+  stack.clear();
+  stack.push_back(start);
+  seen[start] = 1;
   int cnt = 1;
   while (!stack.empty()) {
     const int u = stack.back();
     stack.pop_back();
     for (int v : g.out(u)) {
-      if (!seen[v]) {
+      if (!seen[v] && (removed == nullptr || !removed[v])) {
         seen[v] = 1;
         ++cnt;
         stack.push_back(v);
@@ -30,79 +37,48 @@ int reach_count(const Digraph& g, int s) {
 bool is_strongly_connected(const Digraph& g) {
   const int n = g.size();
   if (n <= 1) return true;
-  if (reach_count(g, 0) != n) return false;
-  return reach_count(g.reversed(), 0) == n;
+  ReachScratch scratch;
+  // Forward pass first: a failed forward sweep answers without ever paying
+  // for the O(n + m) transpose.
+  if (masked_reach_count(g, 0, nullptr, scratch) != n) return false;
+  return masked_reach_count(g.reversed(), 0, nullptr, scratch) == n;
+}
+
+bool is_strongly_connected(const Digraph& g, const Digraph& transpose,
+                           ReachScratch& scratch, const char* removed) {
+  const int n = g.size();
+  DIRANT_ASSERT(transpose.size() == n);
+  int start = -1, alive = 0;
+  if (removed == nullptr) {
+    start = 0;
+    alive = n;
+  } else {
+    for (int v = 0; v < n; ++v) {
+      if (!removed[v]) {
+        if (start == -1) start = v;
+        ++alive;
+      }
+    }
+  }
+  if (alive <= 1) return true;
+  return masked_reach_count(g, start, removed, scratch) == alive &&
+         masked_reach_count(transpose, start, removed, scratch) == alive;
 }
 
 namespace {
 
-/// Shared iterative Tarjan core; `component` is null for count-only runs
-/// (the certification hot path skips the per-vertex label writes).
+/// Tarjan over the whole graph; `component` is null for count-only runs
+/// (the certification hot path skips the per-vertex label writes).  The
+/// algorithm itself lives in detail::tarjan_core (graph/scc_internal.hpp),
+/// shared with the parallel engine's masked fallback.
 template <bool kRecord>
 int tarjan_impl(const Digraph& g, SccScratch& scratch, int* component) {
   const int n = g.size();
-  DIRANT_ASSERT(n < (1 << 30));  // index and on-stack bit share an int
-  int count = 0;
-
-  constexpr int kOnStack = 1 << 30;
-  auto& state = scratch.state;
-  auto& low = scratch.low;
-  auto& stack = scratch.stack;
-  auto& frames = scratch.frames;
-  state.assign(n, -1);
-  low.resize(n);
-  stack.clear();
-  frames.clear();
-  int next_index = 0;
-
-  const auto push_vertex = [&](int v) {
-    state[v] = next_index | kOnStack;
-    low[v] = next_index;
-    ++next_index;
-    stack.push_back(v);
-    const auto outs = g.out(v);
-    frames.push_back({v, outs.data(), outs.data() + outs.size()});
-  };
-
-  for (int root = 0; root < n; ++root) {
-    if (state[root] != -1) continue;
-    push_vertex(root);
-    while (!frames.empty()) {
-      SccScratch::Frame& f = frames.back();
-      const int v = f.v;
-      bool descended = false;
-      const int* p = f.next;
-      const int* const e = f.end;
-      while (p != e) {
-        const int w = *p++;
-        const int st = state[w];
-        if (st == -1) {
-          f.next = p;  // before push_vertex: it may reallocate frames
-          push_vertex(w);
-          descended = true;
-          break;
-        }
-        if (st & kOnStack) low[v] = std::min(low[v], st & ~kOnStack);
-      }
-      if (descended) continue;
-      if (low[v] == (state[v] & ~kOnStack)) {
-        while (true) {
-          const int w = stack.back();
-          stack.pop_back();
-          state[w] &= ~kOnStack;
-          if constexpr (kRecord) component[w] = count;
-          if (w == v) break;
-        }
-        ++count;
-      }
-      frames.pop_back();
-      if (!frames.empty()) {
-        const int parent = frames.back().v;
-        low[parent] = std::min(low[parent], low[v]);
-      }
-    }
-  }
-  return count;
+  scratch.state.assign(n, -1);
+  scratch.low.resize(n);
+  return detail::tarjan_core<kRecord>(g, scratch, component,
+                                      /*roots=*/nullptr, n, /*first_id=*/0,
+                                      [](int) { return true; });
 }
 
 }  // namespace

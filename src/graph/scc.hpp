@@ -54,4 +54,25 @@ int scc_count(const Digraph& g, SccScratch& scratch);
 /// CSR transpose.
 bool is_strongly_connected(const Digraph& g);
 
+/// Caller-owned working memory for the reachability-based strong
+/// connectivity test (seen marks + DFS stack).  Audit loops that probe many
+/// vertex deletions keep one instance alive so every probe is
+/// allocation-free.
+struct ReachScratch {
+  std::vector<char> seen;
+  std::vector<int> stack;
+};
+
+/// Scratch-taking strong connectivity test over a precomputed transpose.
+/// The convenience overload above allocates two BFS buffers and rebuilds
+/// the O(m) transpose per call; this form hoists both — deletion-probe
+/// audits (sim::AuditSession::strong_connectivity_level) share one cached
+/// transpose across every probe.  `removed`, when non-null, is an n-entry
+/// mask of deleted vertices: the test then answers whether the surviving
+/// induced subgraph is strongly connected (<= 1 survivor counts as
+/// strongly connected).
+bool is_strongly_connected(const Digraph& g, const Digraph& transpose,
+                           ReachScratch& scratch,
+                           const char* removed = nullptr);
+
 }  // namespace dirant::graph

@@ -1,0 +1,259 @@
+#include "graph/scc_parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/assert.hpp"
+#include "graph/scc_internal.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace dirant::graph {
+namespace {
+
+/// Masked Tarjan over the vertices `members[begin, end)` of one region,
+/// following only edges whose head lies in the same region (every SCC of
+/// the open set lies entirely inside one region, so the mask never splits a
+/// component).  Appends component ids from `count`.  `state`/`low` are
+/// full-size arrays shared by all calls of one decomposition — regions are
+/// disjoint, so each call finds its own vertices still unvisited.  The
+/// algorithm is the shared detail::tarjan_core (graph/scc_internal.hpp).
+void tarjan_masked(const Digraph& g, const int* members, int begin, int end,
+                   int region_id, const std::vector<int>& region,
+                   std::vector<int>& comp, int& count, SccScratch& scratch) {
+  count += detail::tarjan_core<true>(
+      g, scratch, comp.data(), members + begin, end - begin, count,
+      [&region, region_id](int w) { return region[w] == region_id; });
+}
+
+/// Marks every vertex of `region_id` reachable from `pivot` along `adj`
+/// edges.  Level-synchronous BFS: levels of at least `scratch.par_frontier`
+/// vertices fan out over the pool in contiguous chunks, each worker
+/// claiming a vertex with an atomic CAS on its mark byte and collecting the
+/// claims into its own next-frontier slice.  The claim makes every vertex
+/// appear exactly once across worker slices, and the mark SET after each
+/// level is the BFS level set regardless of chunk interleaving — frontier
+/// order varies between runs, the marks never do.
+void mark_reachable(const Digraph& adj, int pivot, int region_id,
+                    const std::vector<int>& region, std::vector<char>& mark,
+                    ParSccScratch& s, int workers, par::ThreadPool* pool) {
+  auto& frontier = s.frontier;
+  auto& next = s.next_frontier;
+  frontier.clear();
+  mark[pivot] = 1;
+  frontier.push_back(pivot);
+  while (!frontier.empty()) {
+    next.clear();
+    const int fsz = static_cast<int>(frontier.size());
+    if (workers > 1 && fsz >= s.par_frontier) {
+      if (static_cast<int>(s.workers.size()) < workers) {
+        s.workers.resize(workers);
+      }
+      const int chunk = (fsz + workers - 1) / workers;
+      for (int w = 0; w < workers; ++w) {
+        s.workers[w].next.clear();
+        const int lo = w * chunk;
+        const int hi = std::min(fsz, lo + chunk);
+        if (lo >= hi) continue;
+        pool->submit([&adj, &region, &mark, &frontier, &s, region_id, lo, hi,
+                      w] {
+          auto& out = s.workers[w].next;
+          for (int i = lo; i < hi; ++i) {
+            for (int v : adj.out(frontier[i])) {
+              if (region[v] != region_id) continue;
+              std::atomic_ref<char> m(mark[v]);
+              if (m.load(std::memory_order_relaxed)) continue;
+              char expected = 0;
+              if (m.compare_exchange_strong(expected, 1,
+                                            std::memory_order_relaxed)) {
+                out.push_back(v);
+              }
+            }
+          }
+        });
+      }
+      pool->wait_idle();
+      for (int w = 0; w < workers; ++w) {
+        next.insert(next.end(), s.workers[w].next.begin(),
+                    s.workers[w].next.end());
+      }
+    } else {
+      for (const int u : frontier) {
+        for (int v : adj.out(u)) {
+          if (region[v] == region_id && !mark[v]) {
+            mark[v] = 1;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    std::swap(frontier, next);
+  }
+}
+
+/// The decomposition shared by `parallel_scc` and `parallel_scc_count`:
+/// trim, then FW–BW over an explicit task stack, masked Tarjan below the
+/// cutoff.  Fills `scratch.comp` with raw (non-canonical) component ids and
+/// returns the count.  Raw ids depend only on the graph — the task stack
+/// order, pivots and trim order are all deterministic, and BFS chunk
+/// interleaving affects no output — but callers should treat only the
+/// canonicalized form as stable across engine revisions.
+int decompose(const Digraph& g, ParSccScratch& s, int threads,
+              par::ThreadPool* pool, const Digraph* transpose) {
+  const int n = g.size();
+  auto& comp = s.comp;
+  comp.assign(n, -1);
+  if (n == 0) return 0;
+
+  const Digraph* gt = transpose;
+  if (gt == nullptr) {
+    g.reversed_into(s.transpose);
+    gt = &s.transpose;
+  }
+  DIRANT_ASSERT(gt->size() == n);
+  const int workers =
+      pool != nullptr && threads > 1
+          ? std::min(threads, static_cast<int>(pool->thread_count()))
+          : 1;
+
+  int count = 0;
+
+  // ---- Phase 1: trim.  A vertex whose restricted in- or out-degree is
+  // zero cannot sit in a non-trivial SCC: close it as a singleton and
+  // propagate the degree drop.  DAG-like graphs collapse entirely here.
+  auto& outdeg = s.outdeg;
+  auto& indeg = s.indeg;
+  auto& queue = s.trim_queue;
+  outdeg.resize(n);
+  indeg.resize(n);
+  queue.clear();
+  for (int v = 0; v < n; ++v) {
+    outdeg[v] = g.out_degree(v);
+    indeg[v] = gt->out_degree(v);
+    if (outdeg[v] == 0 || indeg[v] == 0) queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const int v = queue.back();
+    queue.pop_back();
+    if (comp[v] != -1) continue;
+    comp[v] = count++;
+    for (int w : g.out(v)) {
+      if (comp[w] == -1 && --indeg[w] == 0) queue.push_back(w);
+    }
+    for (int w : gt->out(v)) {
+      if (comp[w] == -1 && --outdeg[w] == 0) queue.push_back(w);
+    }
+  }
+
+  // ---- Collect the open set into the member array (region 0).
+  auto& region = s.region;
+  auto& members = s.members;
+  region.assign(n, -1);
+  members.clear();
+  for (int v = 0; v < n; ++v) {
+    if (comp[v] == -1) {
+      region[v] = 0;
+      members.push_back(v);
+    }
+  }
+  if (members.empty()) return count;
+
+  auto& fwd = s.fwd;
+  auto& bwd = s.bwd;
+  fwd.assign(n, 0);
+  bwd.assign(n, 0);
+  s.tarjan.state.assign(n, -1);
+  s.tarjan.low.resize(n);
+
+  auto& tasks = s.tasks;
+  tasks.clear();
+  tasks.push_back({0, static_cast<int>(members.size()), 0});
+  int next_region = 1;
+
+  // ---- Phase 2: FW–BW over the explicit task stack.
+  while (!tasks.empty()) {
+    const ParSccScratch::Task task = tasks.back();
+    tasks.pop_back();
+    const int size = task.end - task.begin;
+    if (size <= s.serial_cutoff) {
+      tarjan_masked(g, members.data(), task.begin, task.end, task.region,
+                    region, comp, count, s.tarjan);
+      continue;
+    }
+
+    const int pivot = members[task.begin];
+    mark_reachable(g, pivot, task.region, region, fwd, s, workers, pool);
+    mark_reachable(*gt, pivot, task.region, region, bwd, s, workers, pool);
+
+    // The pivot's SCC is FW ∩ BW; every other SCC lies entirely inside one
+    // of FW \ BW, BW \ FW, or the untouched rest (a cross-subset cycle
+    // would put its vertices in the intersection).  Stage the three
+    // subsets, close the intersection, wipe the marks, and compact the
+    // subsets back into the member range as fresh regions.
+    auto& pf = s.part_fwd;
+    auto& pb = s.part_bwd;
+    auto& pr = s.part_rest;
+    pf.clear();
+    pb.clear();
+    pr.clear();
+    const int scc_id = count++;  // pivot's SCC is never empty
+    for (int i = task.begin; i < task.end; ++i) {
+      const int v = members[i];
+      const bool f = fwd[v] != 0;
+      const bool b = bwd[v] != 0;
+      if (f && b) {
+        comp[v] = scc_id;
+        region[v] = -1;
+      } else if (f) {
+        pf.push_back(v);
+      } else if (b) {
+        pb.push_back(v);
+      } else {
+        pr.push_back(v);
+      }
+      fwd[v] = 0;  // marks stay all-zero between tasks
+      bwd[v] = 0;
+    }
+    int write = task.begin;
+    const auto emit = [&](const std::vector<int>& bucket) {
+      if (bucket.empty()) return;
+      const int rid = next_region++;
+      const int b0 = write;
+      for (const int v : bucket) {
+        region[v] = rid;
+        members[write++] = v;
+      }
+      tasks.push_back({b0, write, rid});
+    };
+    emit(pf);
+    emit(pb);
+    emit(pr);
+  }
+  return count;
+}
+
+}  // namespace
+
+void canonicalize_component_ids(SccResult& res, std::vector<int>& relabel) {
+  relabel.assign(res.count, -1);
+  int next = 0;
+  for (int& c : res.component) {
+    if (relabel[c] == -1) relabel[c] = next++;
+    c = relabel[c];
+  }
+  DIRANT_ASSERT(next == res.count);
+}
+
+void parallel_scc(const Digraph& g, ParSccScratch& scratch, SccResult& out,
+                  int threads, par::ThreadPool* pool,
+                  const Digraph* transpose) {
+  out.count = decompose(g, scratch, threads, pool, transpose);
+  out.component.assign(scratch.comp.begin(), scratch.comp.end());
+  canonicalize_component_ids(out, scratch.relabel);
+}
+
+int parallel_scc_count(const Digraph& g, ParSccScratch& scratch, int threads,
+                       par::ThreadPool* pool, const Digraph* transpose) {
+  return decompose(g, scratch, threads, pool, transpose);
+}
+
+}  // namespace dirant::graph

@@ -1,0 +1,112 @@
+#pragma once
+/// \file scc_parallel.hpp
+/// Parallel strongly-connected-components: a forward–backward reachability
+/// decomposition (FW–BW) with trivial-SCC trimming, running its BFS levels
+/// on the existing par::ThreadPool.  This is the certification lever the
+/// ROADMAP asked for: at n = 1M the transmission-digraph build and Tarjan
+/// are comparable cost, and the digraph build already shards — this engine
+/// parallelizes the other half.
+///
+/// Determinism contract (see docs/architecture.md):
+///   * The component PARTITION is a property of the graph; every run —
+///     any thread count, any pool, any scheduling interleaving — computes
+///     the same partition, and it equals Tarjan's (enforced by
+///     tests/test_parallel_scc.cpp at 1/2/4/8 threads).
+///   * Component IDS are canonicalized after the decomposition: components
+///     are numbered by their smallest vertex id (component of vertex 0 gets
+///     id 0's slot in first-seen order).  Canonical ids are a pure function
+///     of the partition, so they are bit-identical across thread counts.
+///     Tarjan's own ids follow reverse topological order instead; consumers
+///     that need that order keep using `strongly_connected_components`.
+///   * The COUNT is identical to Tarjan's by both of the above.
+///
+/// The algorithm: (1) trim — iteratively peel vertices whose restricted
+/// in- or out-degree is zero; each is a singleton SCC and DAG-like inputs
+/// collapse entirely here.  (2) FW–BW — pick a pivot in the remaining set,
+/// mark its forward and backward reachable sets (level-synchronous BFS,
+/// frontiers fanned out over the pool once they are large enough); the
+/// intersection is the pivot's SCC, and every other SCC lies entirely in
+/// one of {FW \ BW, BW \ FW, rest}, which recurse through an explicit task
+/// stack.  (3) subsets below `serial_cutoff` finish with a masked serial
+/// Tarjan.  On the certification workload (one giant SCC) the cost is the
+/// trim pass plus two parallel BFS sweeps.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+
+namespace dirant::par {
+class ThreadPool;
+}
+
+namespace dirant::graph {
+
+/// Caller-owned working memory for the parallel SCC engine.  Steady-state
+/// consumers (certification loops, AuditSession) keep one instance alive so
+/// repeated decompositions of same-size graphs allocate nothing — the
+/// transpose, the mark arrays, the frontiers and the per-worker buffers are
+/// all recycled.  Not thread-safe: one scratch per concurrent caller.
+struct ParSccScratch {
+  /// Tuning knobs, exposed so tests can force the deep code paths on tiny
+  /// graphs.  `serial_cutoff`: subsets smaller than this finish with a
+  /// masked serial Tarjan instead of further FW–BW splits.  `par_frontier`:
+  /// BFS levels with at least this many vertices fan out over the pool;
+  /// smaller levels run inline (per-level pool sync costs more than the
+  /// scan below this size).
+  int serial_cutoff = 4096;
+  int par_frontier = 2048;
+
+  Digraph transpose;  ///< built here when the caller has none cached
+
+  std::vector<int> comp;       ///< raw component id per vertex (-1 = open)
+  std::vector<int> outdeg, indeg;  ///< trim phase: restricted degrees
+  std::vector<int> trim_queue;
+  std::vector<int> members;  ///< open vertices, partitioned in place
+  std::vector<int> region;   ///< region id per vertex (-1 = closed)
+  std::vector<char> fwd, bwd;  ///< pivot reachability marks
+  std::vector<int> frontier, next_frontier;
+
+  /// One per pool worker: the slice of the next frontier this worker
+  /// discovered.  Claimed vertices are unique across workers (atomic
+  /// claim), so concatenation never duplicates.
+  struct Worker {
+    std::vector<int> next;
+  };
+  std::vector<Worker> workers;
+
+  /// FW–BW recursion replaced by an explicit stack of member-array ranges.
+  struct Task {
+    int begin, end, region;
+  };
+  std::vector<Task> tasks;
+  std::vector<int> part_fwd, part_bwd, part_rest;  ///< 3-way split staging
+
+  SccScratch tarjan;         ///< masked serial Tarjan for small subsets
+  std::vector<int> relabel;  ///< canonical id map (raw id -> canonical id)
+};
+
+/// Full decomposition into caller-owned result + scratch: `out.component`
+/// holds canonical ids (numbered by smallest member vertex), `out.count`
+/// the component count.  `threads <= 1` or a null `pool` runs the same
+/// FW–BW code inline (identical output by the determinism contract).
+/// `transpose`, when non-null, must be the exact transpose of `g` (callers
+/// with a cached transpose — AuditSession — pass it to skip the O(n + m)
+/// rebuild; otherwise it is built into the scratch).
+void parallel_scc(const Digraph& g, ParSccScratch& scratch, SccResult& out,
+                  int threads, par::ThreadPool* pool,
+                  const Digraph* transpose = nullptr);
+
+/// Component count only — the certification hot path (strongly connected
+/// iff count <= 1).  Same decomposition without the canonical relabel pass.
+int parallel_scc_count(const Digraph& g, ParSccScratch& scratch, int threads,
+                       par::ThreadPool* pool,
+                       const Digraph* transpose = nullptr);
+
+/// Renumbers `res.component` so components are ordered by their smallest
+/// vertex id — the canonical form `parallel_scc` emits.  Applying this to a
+/// Tarjan result makes the two engines' outputs directly comparable
+/// (tests/test_parallel_scc.cpp does exactly that).
+void canonicalize_component_ids(SccResult& res, std::vector<int>& relabel);
+
+}  // namespace dirant::graph

@@ -73,6 +73,16 @@ ThreadPool& global_pool() {
   return pool;
 }
 
+int ensure_pool(std::unique_ptr<ThreadPool>& pool, int threads) {
+  threads = std::max(1, threads);
+  if (threads <= 1) {
+    pool.reset();
+  } else if (!pool || pool->thread_count() != static_cast<unsigned>(threads)) {
+    pool = std::make_unique<ThreadPool>(static_cast<unsigned>(threads));
+  }
+  return threads;
+}
+
 void parallel_for(std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& fn,
                   std::int64_t min_chunk) {

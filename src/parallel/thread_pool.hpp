@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -52,6 +53,12 @@ class ThreadPool {
 
 /// Shared process-wide pool (lazily constructed).
 ThreadPool& global_pool();
+
+/// Session thread-knob policy, shared by PlanSession::set_threads and
+/// AuditSession::set_threads: clamps `threads` to >= 1 and makes `pool`
+/// match — reset when serial (<= 1), spawn or resize to exactly that many
+/// workers otherwise.  Returns the clamped count.
+int ensure_pool(std::unique_ptr<ThreadPool>& pool, int threads);
 
 /// Runs fn(i) for i in [begin, end) across the pool in contiguous chunks.
 /// Blocks until complete; rethrows the first task exception.

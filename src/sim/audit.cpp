@@ -1,0 +1,285 @@
+#include "sim/audit.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "common/assert.hpp"
+#include "common/constants.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace dirant::sim {
+
+AuditSession::AuditSession() = default;
+AuditSession::~AuditSession() = default;
+
+void AuditSession::bind(const graph::Digraph& g) {
+  bound_ = &g;
+  transpose_valid_ = false;
+}
+
+void AuditSession::unbind() {
+  bound_ = nullptr;
+  transpose_valid_ = false;
+}
+
+const graph::Digraph& AuditSession::load(std::span<const geom::Point> pts,
+                                         const antenna::Orientation& o) {
+  // Hand the previous build's CSR buffers back before rebuilding, so the
+  // steady state cycles one pair of arrays instead of allocating.
+  std::move(own_).release(tx_.offsets, tx_.targets);
+  own_ = antenna::induced_digraph_fast(pts, o, kAngleTol, kRadiusAbsTol, tx_,
+                                       threads_, pool_.get());
+  bind(own_);
+  return own_;
+}
+
+const graph::Digraph& AuditSession::load_omni(std::span<const geom::Point> pts,
+                                              double radius) {
+  // Rebuilt in place: a session currently bound to the omni digraph must
+  // not keep the previous build's transpose (load() is covered by its
+  // unconditional bind()).
+  if (bound_ == &omni_) transpose_valid_ = false;
+  std::move(omni_).release(omni_tx_.offsets, omni_tx_.targets);
+  omni_ = antenna::unit_disk_digraph(pts, radius, omni_tx_);
+  return omni_;
+}
+
+const graph::Digraph& AuditSession::digraph() const {
+  DIRANT_ASSERT_MSG(bound_ != nullptr,
+                    "AuditSession: no digraph bound (call bind or load)");
+  return *bound_;
+}
+
+const graph::Digraph& AuditSession::transpose() {
+  const auto& g = digraph();
+  if (!transpose_valid_) {
+    g.reversed_into(transpose_);
+    transpose_valid_ = true;
+  }
+  return transpose_;
+}
+
+bool AuditSession::strongly_connected() {
+  const auto& g = digraph();
+  if (g.size() <= 1) return true;
+  return graph::is_strongly_connected(g, transpose(), reach_);
+}
+
+int AuditSession::scc_count() {
+  const auto& g = digraph();
+  if (threads_ > 1) {
+    return graph::parallel_scc_count(g, par_scc_, threads_, pool_.get(),
+                                     &transpose());
+  }
+  return graph::scc_count(g, scc_);
+}
+
+BroadcastResult AuditSession::flood(int source) {
+  return sim::flood(digraph(), source, dist_, bfs_);
+}
+
+StretchResult AuditSession::hop_stretch(const graph::Digraph& omni,
+                                        int sample_sources) {
+  const auto& g = digraph();
+  StretchResult res;
+  const int n = g.size();
+  DIRANT_ASSERT(omni.size() == n);
+  if (n <= 1) return res;
+  const int step = std::max(1, n / std::max(1, sample_sources));
+  double total = 0.0;
+  for (int s = 0; s < n; s += step) {
+    graph::bfs_distances(g, s, dist_, bfs_);
+    graph::bfs_distances(omni, s, dist_omni_, bfs_);
+    for (int v = 0; v < n; ++v) {
+      if (v == s || dist_omni_[v] <= 0 || dist_[v] < 0) continue;
+      const double stretch = static_cast<double>(dist_[v]) / dist_omni_[v];
+      total += stretch;
+      res.max_stretch = std::max(res.max_stretch, stretch);
+      ++res.sampled_pairs;
+    }
+  }
+  res.mean_stretch = res.sampled_pairs > 0 ? total / res.sampled_pairs : 0.0;
+  return res;
+}
+
+int AuditSession::strong_connectivity_level(int max_level) {
+  const auto& g = digraph();
+  const int n = g.size();
+  if (n <= 1) return max_level;
+  // Every deletion probe shares the session-cached transpose and the reach
+  // scratch: one O(n + m) transpose per bind, zero allocations per probe.
+  const auto& gt = transpose();
+  removed_.assign(n, 0);
+  if (!graph::is_strongly_connected(g, gt, reach_, removed_.data())) {
+    return 0;
+  }
+  int level = 1;
+  if (max_level >= 2) {
+    bool survives_all = true;
+    for (int v = 0; v < n && survives_all; ++v) {
+      removed_[v] = 1;
+      survives_all =
+          graph::is_strongly_connected(g, gt, reach_, removed_.data());
+      removed_[v] = 0;
+    }
+    if (!survives_all) return level;
+    level = 2;
+  }
+  if (max_level >= 3 && n <= 80) {  // exhaustive pairs only when affordable
+    bool survives_all = true;
+    for (int a = 0; a < n && survives_all; ++a) {
+      for (int b = a + 1; b < n && survives_all; ++b) {
+        removed_[a] = removed_[b] = 1;
+        survives_all =
+            graph::is_strongly_connected(g, gt, reach_, removed_.data());
+        removed_[a] = removed_[b] = 0;
+      }
+    }
+    if (survives_all) level = 3;
+  }
+  return level;
+}
+
+FailureStats AuditSession::failure_resilience(double fraction, int trials,
+                                              std::uint64_t seed) {
+  const auto& g = digraph();
+  FailureStats st;
+  const int n = g.size();
+  if (n == 0 || trials <= 0) return st;
+  std::mt19937_64 rng(seed);
+  removed_.assign(n, 0);
+  remap_.assign(n, -1);
+  for (int t = 0; t < trials; ++t) {
+    std::fill(removed_.begin(), removed_.end(), 0);
+    int alive = n;
+    for (int v = 0; v < n; ++v) {
+      if ((rng() % 1000000) / 1e6 < fraction && alive > 1) {
+        removed_[v] = 1;
+        --alive;
+      }
+    }
+    // Largest SCC among survivors: build the survivor subgraph in CSR
+    // (sources ascend, so rows stream straight into offsets/targets; the
+    // arrays recycle through Digraph::release each trial).
+    int m = 0;
+    for (int v = 0; v < n; ++v) {
+      remap_[v] = removed_[v] ? -1 : m++;
+    }
+    sub_offsets_.clear();
+    sub_offsets_.push_back(0);
+    sub_targets_.clear();
+    for (int u = 0; u < n; ++u) {
+      if (removed_[u]) continue;
+      for (int v : g.out(u)) {
+        if (!removed_[v]) sub_targets_.push_back(remap_[v]);
+      }
+      sub_offsets_.push_back(static_cast<int>(sub_targets_.size()));
+    }
+    graph::Digraph sub(std::move(sub_offsets_), std::move(sub_targets_));
+    // The FW–BW engine only helps once its BFS levels can actually fan out;
+    // below the frontier threshold it would pay a per-trial transpose and
+    // trim pass with every level running inline, so small survivor graphs
+    // stay on Tarjan.
+    if (threads_ > 1 && sub.size() >= par_scc_.par_frontier) {
+      graph::parallel_scc(sub, par_scc_, scc_result_, threads_, pool_.get());
+    } else {
+      graph::strongly_connected_components(sub, scc_, scc_result_);
+    }
+    sizes_.assign(scc_result_.count, 0);
+    for (int c : scc_result_.component) ++sizes_[c];
+    const int largest =
+        m == 0 ? 0 : *std::max_element(sizes_.begin(), sizes_.end());
+    const double frac = m > 0 ? static_cast<double>(largest) / m : 0.0;
+    st.mean_largest_scc += frac;
+    st.worst_largest_scc = std::min(st.worst_largest_scc, frac);
+    ++st.trials;
+    std::move(sub).release(sub_offsets_, sub_targets_);
+  }
+  st.mean_largest_scc /= st.trials;
+  return st;
+}
+
+RoutingStats AuditSession::routing_stats(std::span<const geom::Point> pts,
+                                         int samples, std::uint64_t seed) {
+  const auto& g = digraph();
+  RoutingStats st;
+  const int n = g.size();
+  DIRANT_ASSERT(static_cast<int>(pts.size()) == n);
+  if (n < 2) return st;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  long long hops = 0;
+  double stretch = 0.0;
+  int delivered = 0, stretch_count = 0;
+  for (int i = 0; i < samples; ++i) {
+    int s = pick(rng), t = pick(rng);
+    while (t == s) t = pick(rng);
+    const auto r = greedy_route(g, pts, s, t);
+    ++st.attempted;
+    if (!r.delivered) continue;
+    ++delivered;
+    hops += r.hops;
+    graph::bfs_distances(g, s, dist_, bfs_);
+    if (dist_[t] > 0) {
+      stretch += static_cast<double>(r.hops) / dist_[t];
+      ++stretch_count;
+    }
+  }
+  st.delivery_rate =
+      st.attempted > 0 ? static_cast<double>(delivered) / st.attempted : 0.0;
+  st.mean_hops = delivered > 0 ? static_cast<double>(hops) / delivered : 0.0;
+  st.mean_stretch = stretch_count > 0 ? stretch / stretch_count : 0.0;
+  return st;
+}
+
+FullReport AuditSession::full_report(std::span<const geom::Point> pts,
+                                     const antenna::Orientation& o,
+                                     const AuditOptions& opts) {
+  FullReport rep;
+  const auto& g = load(pts, o);
+  const auto& omni = load_omni(pts, o.max_radius());
+  const int n = g.size();
+
+  rep.scc_count = scc_count();
+  rep.strongly_connected = rep.scc_count <= 1;
+
+  if (n > 0) {
+    const int step = std::max(1, n / std::max(1, opts.flood_sources));
+    for (int s = 0; s < n; s += step) {
+      const auto b = flood(s);
+      ++rep.flood.sources;
+      rep.flood.mean_rounds += b.rounds;
+      rep.flood.mean_hops += b.mean_hops;
+      rep.flood.mean_transmissions += static_cast<double>(b.transmissions);
+      rep.flood.min_delivery =
+          std::min(rep.flood.min_delivery, b.delivery_ratio);
+    }
+    rep.flood.mean_rounds /= rep.flood.sources;
+    rep.flood.mean_hops /= rep.flood.sources;
+    rep.flood.mean_transmissions /= rep.flood.sources;
+  }
+
+  rep.stretch = hop_stretch(omni, opts.stretch_sources);
+  rep.connectivity_level =
+      strong_connectivity_level(opts.max_connectivity_level);
+  rep.failure = failure_resilience(opts.failure_fraction, opts.failure_trials,
+                                   opts.seed);
+  rep.routing = routing_stats(pts, opts.routing_samples, opts.seed + 1);
+  rep.energy = energy_report(o, opts.energy);
+  return rep;
+}
+
+void AuditSession::set_threads(int threads) {
+  threads_ = par::ensure_pool(pool_, threads);
+}
+
+namespace detail {
+
+AuditSession& tls_audit_session() {
+  thread_local AuditSession session;
+  return session;
+}
+
+}  // namespace detail
+
+}  // namespace dirant::sim

@@ -1,0 +1,208 @@
+#pragma once
+/// \file audit.hpp
+/// AuditSession — the reusable network-analysis core.  One session owns the
+/// transmission digraph, its cached transpose, and every piece of metric
+/// working memory (BFS distance buffers, SCC scratch — serial Tarjan and
+/// the parallel FW–BW engine —, deletion-probe masks, the per-trial
+/// survivor-subgraph CSR arrays), so a warm session streams the whole
+/// metric set — flooding, hop stretch, k-level strong connectivity,
+/// failure resilience, routing stats, energy — off ONE digraph build and
+/// ONE transpose with zero steady-state heap allocations (enforced by
+/// tests/test_session_alloc.cpp, SecondAuditIsAllocationFree).  This
+/// extends to the analysis stack the discipline core::PlanSession
+/// established for planning: the Monte-Carlo connectivity audits the
+/// related work treats as the primary experiment (Damian–Flatland 2010,
+/// Georgiou–Nguyen 2015) rebuild nothing per trial.
+///
+/// Lifecycle / reuse contract (mirrors core::PlanSession):
+///   * Construct once per worker, not per call; the first audit sizes every
+///     buffer, subsequent same-size audits are allocation-free while
+///     `threads() <= 1` (pool fan-out allocates task closures by design).
+///   * `bind(g)` points the session at a caller-owned digraph (non-owning;
+///     the caller keeps `g` alive and unchanged while bound).  `load(...)`
+///     builds the induced transmission digraph into session storage and
+///     binds it; `load_omni(...)` builds the omnidirectional reference.
+///     Either invalidates the cached transpose, which rebuilds lazily.
+///   * Sessions are NOT thread-safe; share nothing, or one per thread.
+///     The free functions sim::flood / hop_stretch /
+///     strong_connectivity_level / failure_resilience / routing_stats run
+///     over a thread-local session (the core::orient pattern) — one-shot
+///     ergonomics, warm-session cost.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "antenna/orientation.hpp"
+#include "antenna/transmission.hpp"
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+#include "graph/scc_parallel.hpp"
+#include "graph/traversal.hpp"
+#include "sim/broadcast.hpp"
+#include "sim/energy.hpp"
+#include "sim/routing.hpp"
+
+namespace dirant::par {
+class ThreadPool;
+}
+
+namespace dirant::sim {
+
+/// Knobs for `AuditSession::full_report`.
+struct AuditOptions {
+  int flood_sources = 4;        ///< evenly spaced flood sample sources
+  int stretch_sources = 8;      ///< hop-stretch sample sources
+  int max_connectivity_level = 2;  ///< deletion-probe depth (2 = single)
+  double failure_fraction = 0.1;   ///< Monte-Carlo deletion fraction
+  int failure_trials = 20;
+  int routing_samples = 200;
+  std::uint64_t seed = 1;
+  EnergyModel energy{};
+};
+
+/// Flood metrics aggregated over the sampled sources.
+struct FloodSummary {
+  int sources = 0;
+  double mean_rounds = 0.0;
+  double mean_hops = 0.0;
+  double mean_transmissions = 0.0;
+  double min_delivery = 1.0;  ///< worst delivery ratio over the sources
+};
+
+/// Everything the analysis layer can say about one orientation, off one
+/// digraph build + one transpose.
+struct FullReport {
+  bool strongly_connected = false;
+  int scc_count = 0;
+  FloodSummary flood;
+  StretchResult stretch;
+  int connectivity_level = 0;
+  FailureStats failure;
+  RoutingStats routing;
+  EnergyReport energy;
+};
+
+class AuditSession {
+ public:
+  // Out of line: the owned ThreadPool is an incomplete type here.
+  AuditSession();
+  ~AuditSession();
+  AuditSession(const AuditSession&) = delete;
+  AuditSession& operator=(const AuditSession&) = delete;
+
+  /// Bind to a caller-owned digraph (non-owning view).  Invalidates the
+  /// cached transpose; metric calls then audit `g`.  The caller keeps `g`
+  /// alive while bound — `unbind()` drops the view when that lifetime
+  /// ends (the free-function wrappers do this so a temporary digraph never
+  /// leaves a dangling binding behind).
+  void bind(const graph::Digraph& g);
+
+  /// Drop the bound view; metric calls contract-fail until the next
+  /// bind/load.
+  void unbind();
+
+  /// Build the induced transmission digraph (antenna layer) into session
+  /// storage — CSR buffers and grid index recycled across loads, sharded
+  /// over the session pool when `threads() > 1` — and bind it.
+  const graph::Digraph& load(std::span<const geom::Point> pts,
+                             const antenna::Orientation& o);
+
+  /// Build the omnidirectional reference digraph (edge iff distance <=
+  /// radius) into session storage.  Does NOT rebind: the directional
+  /// digraph stays the audit subject; pass the returned reference to
+  /// `hop_stretch`.
+  const graph::Digraph& load_omni(std::span<const geom::Point> pts,
+                                  double radius);
+
+  /// The bound digraph (contract violation when nothing is bound).
+  const graph::Digraph& digraph() const;
+
+  /// The bound digraph's transpose, built on first use and cached until
+  /// the next bind/load.
+  const graph::Digraph& transpose();
+
+  /// Strong connectivity via forward+backward reachability over the cached
+  /// transpose (allocation-free warm).
+  bool strongly_connected();
+
+  /// SCC count: serial Tarjan, or the parallel FW–BW engine over the
+  /// session pool when `set_threads(t > 1)` — identical counts either way.
+  int scc_count();
+
+  BroadcastResult flood(int source);
+  StretchResult hop_stretch(const graph::Digraph& omni,
+                            int sample_sources = 8);
+  int strong_connectivity_level(int max_level = 3);
+  FailureStats failure_resilience(double fraction, int trials,
+                                  std::uint64_t seed);
+  RoutingStats routing_stats(std::span<const geom::Point> pts, int samples,
+                             std::uint64_t seed);
+
+  /// The one-call audit: loads the induced digraph (and the omni reference
+  /// at the orientation's max radius), then runs the full metric set off
+  /// that single build.  Deterministic for a fixed (pts, o, opts).
+  FullReport full_report(std::span<const geom::Point> pts,
+                         const antenna::Orientation& o,
+                         const AuditOptions& opts = {});
+
+  /// Audit parallelism knob (same contract as PlanSession::set_threads):
+  /// `threads <= 1` keeps every path serial and allocation-free;
+  /// `threads > 1` spawns a session-owned pool, shards `load`'s digraph
+  /// build, and routes SCC passes through the parallel engine.  Results
+  /// never change — only wall clock.
+  void set_threads(int threads);
+  int threads() const { return threads_; }
+
+ private:
+  const graph::Digraph* bound_ = nullptr;
+  graph::Digraph own_;    ///< storage behind load()
+  graph::Digraph omni_;   ///< storage behind load_omni()
+  graph::Digraph transpose_;
+  bool transpose_valid_ = false;
+
+  antenna::TransmissionScratch tx_;       ///< induced-digraph build buffers
+  antenna::TransmissionScratch omni_tx_;  ///< omni build buffers
+  graph::BfsScratch bfs_;
+  std::vector<int> dist_, dist_omni_;  ///< BFS distance buffers
+  graph::ReachScratch reach_;          ///< deletion-probe reachability
+  std::vector<char> removed_;          ///< deletion mask
+  graph::SccScratch scc_;              ///< serial Tarjan scratch
+  graph::SccResult scc_result_;
+  graph::ParSccScratch par_scc_;       ///< parallel FW–BW scratch
+  // Failure-resilience per-trial buffers (survivor subgraph CSR recycled
+  // through Digraph::release).
+  std::vector<int> remap_, sub_offsets_, sub_targets_, sizes_;
+
+  int threads_ = 1;
+  std::unique_ptr<par::ThreadPool> pool_;
+};
+
+namespace detail {
+/// The thread-local session behind the free-function forms.  Note the
+/// usual thread_local caveat: buffers persist for the thread's lifetime,
+/// sized to the largest instance audited on that thread.
+AuditSession& tls_audit_session();
+
+/// RAII binder for the thread-local session: binds on construction and
+/// always unbinds on scope exit — even when a metric throws a contract
+/// violation — so the session can never retain a dangling view of a
+/// caller's temporary digraph.
+class TlsBinding {
+ public:
+  explicit TlsBinding(const graph::Digraph& g)
+      : session_(tls_audit_session()) {
+    session_.bind(g);
+  }
+  ~TlsBinding() { session_.unbind(); }
+  TlsBinding(const TlsBinding&) = delete;
+  TlsBinding& operator=(const TlsBinding&) = delete;
+  AuditSession* operator->() { return &session_; }
+
+ private:
+  AuditSession& session_;
+};
+}  // namespace detail
+
+}  // namespace dirant::sim

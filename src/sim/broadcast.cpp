@@ -1,18 +1,17 @@
 #include "sim/broadcast.hpp"
 
 #include <algorithm>
-#include <random>
 
 #include "common/assert.hpp"
-#include "graph/scc.hpp"
+#include "sim/audit.hpp"
 
 namespace dirant::sim {
 
-BroadcastResult flood(const graph::Digraph& g, int source) {
-  std::vector<int> dist;
-  graph::BfsScratch scratch;
-  return flood(g, source, dist, scratch);
-}
+// The scratch-taking flood is the primitive; everything else in this file
+// is a thin wrapper over the thread-local AuditSession (sim/audit.hpp),
+// which owns the distance buffers, the cached transpose and the SCC
+// scratch — the free-function forms keep one-shot ergonomics at
+// warm-session cost (the core::orient pattern).
 
 BroadcastResult flood(const graph::Digraph& g, int source,
                       std::vector<int>& dist, graph::BfsScratch& scratch) {
@@ -36,161 +35,30 @@ BroadcastResult flood(const graph::Digraph& g, int source,
   return r;
 }
 
+// Each wrapper binds through the RAII TlsBinding: callers may pass a
+// temporary digraph, and the thread-local session must not keep a view
+// past the statement that owns it — even when the metric throws.
+
+BroadcastResult flood(const graph::Digraph& g, int source) {
+  detail::TlsBinding session(g);
+  return session->flood(source);
+}
+
 StretchResult hop_stretch(const graph::Digraph& directional,
                           const graph::Digraph& omni, int sample_sources) {
-  StretchResult res;
-  const int n = directional.size();
-  DIRANT_ASSERT(omni.size() == n);
-  if (n <= 1) return res;
-  const int step = std::max(1, n / std::max(1, sample_sources));
-  double total = 0.0;
-  // Per-source distance vectors and the BFS queue are hoisted out of the
-  // sampling loop; each iteration reuses their capacity.
-  std::vector<int> dd, od;
-  graph::BfsScratch scratch;
-  for (int s = 0; s < n; s += step) {
-    graph::bfs_distances(directional, s, dd, scratch);
-    graph::bfs_distances(omni, s, od, scratch);
-    for (int v = 0; v < n; ++v) {
-      if (v == s || od[v] <= 0 || dd[v] < 0) continue;
-      const double stretch = static_cast<double>(dd[v]) / od[v];
-      total += stretch;
-      res.max_stretch = std::max(res.max_stretch, stretch);
-      ++res.sampled_pairs;
-    }
-  }
-  res.mean_stretch = res.sampled_pairs > 0 ? total / res.sampled_pairs : 0.0;
-  return res;
-}
-
-namespace {
-
-/// Strong connectivity of g restricted to vertices not in `removed`.
-/// `grev` is the precomputed transpose of `g` (hoisted by the caller: the
-/// deletion probes share one transpose instead of rebuilding it per probe).
-bool strong_without(const graph::Digraph& g, const graph::Digraph& grev,
-                    const std::vector<char>& removed, std::vector<char>& seen,
-                    std::vector<int>& stack) {
-  const int n = g.size();
-  int start = -1, alive = 0;
-  for (int v = 0; v < n; ++v) {
-    if (!removed[v]) {
-      if (start == -1) start = v;
-      ++alive;
-    }
-  }
-  if (alive <= 1) return true;
-  auto reach = [&](const graph::Digraph& gr) {
-    seen.assign(n, 0);
-    stack.clear();
-    stack.push_back(start);
-    seen[start] = 1;
-    int cnt = 1;
-    while (!stack.empty()) {
-      const int u = stack.back();
-      stack.pop_back();
-      for (int v : gr.out(u)) {
-        if (!removed[v] && !seen[v]) {
-          seen[v] = 1;
-          ++cnt;
-          stack.push_back(v);
-        }
-      }
-    }
-    return cnt == alive;
-  };
-  return reach(g) && reach(grev);
-}
-
-}  // namespace
-
-FailureStats failure_resilience(const graph::Digraph& g, double fraction,
-                                int trials, std::uint64_t seed) {
-  FailureStats st;
-  const int n = g.size();
-  if (n == 0 || trials <= 0) return st;
-  std::mt19937_64 rng(seed);
-  // All per-trial buffers live outside the loop: deletion mask, vertex
-  // remap, the survivor subgraph's CSR arrays (recycled through
-  // Digraph::release), SCC scratch, and component-size counts.
-  std::vector<char> removed(n, 0);
-  std::vector<int> remap(n, -1);
-  std::vector<int> sub_offsets, sub_targets, sizes;
-  graph::SccScratch scc_scratch;
-  graph::SccResult scc;
-  for (int t = 0; t < trials; ++t) {
-    std::fill(removed.begin(), removed.end(), 0);
-    int alive = n;
-    for (int v = 0; v < n; ++v) {
-      if ((rng() % 1000000) / 1e6 < fraction && alive > 1) {
-        removed[v] = 1;
-        --alive;
-      }
-    }
-    // Largest SCC among survivors: build the survivor subgraph in CSR
-    // (sources ascend, so rows stream straight into offsets/targets).
-    int m = 0;
-    for (int v = 0; v < n; ++v) {
-      remap[v] = removed[v] ? -1 : m++;
-    }
-    sub_offsets.clear();
-    sub_offsets.push_back(0);
-    sub_targets.clear();
-    for (int u = 0; u < n; ++u) {
-      if (removed[u]) continue;
-      for (int v : g.out(u)) {
-        if (!removed[v]) sub_targets.push_back(remap[v]);
-      }
-      sub_offsets.push_back(static_cast<int>(sub_targets.size()));
-    }
-    graph::Digraph sub(std::move(sub_offsets), std::move(sub_targets));
-    graph::strongly_connected_components(sub, scc_scratch, scc);
-    sizes.assign(scc.count, 0);
-    for (int c : scc.component) ++sizes[c];
-    const int largest =
-        m == 0 ? 0 : *std::max_element(sizes.begin(), sizes.end());
-    const double frac = m > 0 ? static_cast<double>(largest) / m : 0.0;
-    st.mean_largest_scc += frac;
-    st.worst_largest_scc = std::min(st.worst_largest_scc, frac);
-    ++st.trials;
-    std::move(sub).release(sub_offsets, sub_targets);
-  }
-  st.mean_largest_scc /= st.trials;
-  return st;
+  detail::TlsBinding session(directional);
+  return session->hop_stretch(omni, sample_sources);
 }
 
 int strong_connectivity_level(const graph::Digraph& g, int max_level) {
-  const int n = g.size();
-  if (n <= 1) return max_level;
-  // One transpose for the whole audit; every deletion probe reuses it
-  // (the seed rebuilt g.reversed() inside each probe, O(n*m) copies).
-  const graph::Digraph grev = g.reversed();
-  std::vector<char> removed(n, 0), seen;
-  std::vector<int> stack;
-  if (!strong_without(g, grev, removed, seen, stack)) return 0;
-  int level = 1;
-  if (max_level >= 2) {
-    bool survives_all = true;
-    for (int v = 0; v < n && survives_all; ++v) {
-      removed[v] = 1;
-      survives_all = strong_without(g, grev, removed, seen, stack);
-      removed[v] = 0;
-    }
-    if (!survives_all) return level;
-    level = 2;
-  }
-  if (max_level >= 3 && n <= 80) {  // exhaustive pairs only when affordable
-    bool survives_all = true;
-    for (int a = 0; a < n && survives_all; ++a) {
-      for (int b = a + 1; b < n && survives_all; ++b) {
-        removed[a] = removed[b] = 1;
-        survives_all = strong_without(g, grev, removed, seen, stack);
-        removed[a] = removed[b] = 0;
-      }
-    }
-    if (survives_all) level = 3;
-  }
-  return level;
+  detail::TlsBinding session(g);
+  return session->strong_connectivity_level(max_level);
+}
+
+FailureStats failure_resilience(const graph::Digraph& g, double fraction,
+                                int trials, std::uint64_t seed) {
+  detail::TlsBinding session(g);
+  return session->failure_resilience(fraction, trials, seed);
 }
 
 }  // namespace dirant::sim

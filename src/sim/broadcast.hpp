@@ -28,10 +28,13 @@ struct BroadcastResult {
   long long transmissions = 0;
 };
 
-/// Flood from `source` over a prebuilt digraph.
+/// Flood from `source` over a prebuilt digraph.  Runs over the
+/// thread-local AuditSession (sim/audit.hpp), so repeated calls reuse the
+/// session's distance buffers; audits that want explicit buffer ownership
+/// use the session directly or the scratch-taking overload below.
 BroadcastResult flood(const graph::Digraph& g, int source);
 
-/// Scratch-reusing variant: `dist` and `scratch` are working memory only
+/// Scratch-reusing primitive: `dist` and `scratch` are working memory only
 /// (overwritten); loops flooding from many sources allocate nothing.
 BroadcastResult flood(const graph::Digraph& g, int source,
                       std::vector<int>& dist, graph::BfsScratch& scratch);
@@ -51,7 +54,8 @@ StretchResult hop_stretch(const graph::Digraph& directional,
 /// c such that the digraph stays strongly connected after deleting any
 /// tested set of fewer than c vertices.  Exhaustive for c <= 2, sampled
 /// above; returns the certified level (1 = strongly connected, 2 = survives
-/// every single-vertex deletion, ...).
+/// every single-vertex deletion, ...).  One transpose per audit; every
+/// deletion probe reuses it through the thread-local AuditSession.
 int strong_connectivity_level(const graph::Digraph& g, int max_level = 3);
 
 /// Monte-Carlo failure study: delete a uniformly random `fraction` of the

@@ -1,9 +1,7 @@
 #include "sim/routing.hpp"
 
-#include <random>
-
 #include "common/assert.hpp"
-#include "graph/traversal.hpp"
+#include "sim/audit.hpp"
 
 namespace dirant::sim {
 
@@ -41,35 +39,11 @@ RouteResult greedy_route(const graph::Digraph& g, std::span<const Point> pts,
 
 RoutingStats routing_stats(const graph::Digraph& g, std::span<const Point> pts,
                            int samples, std::uint64_t seed) {
-  RoutingStats st;
-  const int n = g.size();
-  if (n < 2) return st;
-  std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<int> pick(0, n - 1);
-  long long hops = 0;
-  double stretch = 0.0;
-  int delivered = 0, stretch_count = 0;
-  std::vector<int> d;  // per-sample BFS distances, capacity reused
-  graph::BfsScratch scratch;
-  for (int i = 0; i < samples; ++i) {
-    int s = pick(rng), t = pick(rng);
-    while (t == s) t = pick(rng);
-    const auto r = greedy_route(g, pts, s, t);
-    ++st.attempted;
-    if (!r.delivered) continue;
-    ++delivered;
-    hops += r.hops;
-    graph::bfs_distances(g, s, d, scratch);
-    if (d[t] > 0) {
-      stretch += static_cast<double>(r.hops) / d[t];
-      ++stretch_count;
-    }
-  }
-  st.delivery_rate =
-      st.attempted > 0 ? static_cast<double>(delivered) / st.attempted : 0.0;
-  st.mean_hops = delivered > 0 ? static_cast<double>(hops) / delivered : 0.0;
-  st.mean_stretch = stretch_count > 0 ? stretch / stretch_count : 0.0;
-  return st;
+  // Thin wrapper over the thread-local AuditSession, which owns the
+  // per-sample BFS buffers (the core::orient pattern).  The RAII binding
+  // unbinds on exit: `g` may be a temporary.
+  detail::TlsBinding session(g);
+  return session->routing_stats(pts, samples, seed);
 }
 
 }  // namespace dirant::sim

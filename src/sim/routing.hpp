@@ -29,7 +29,8 @@ struct RoutingStats {
   int attempted = 0;
 };
 
-/// Sample `samples` random (src, dst) pairs.
+/// Sample `samples` random (src, dst) pairs.  Runs over the thread-local
+/// AuditSession (sim/audit.hpp), which owns the per-sample BFS buffers.
 RoutingStats routing_stats(const graph::Digraph& g,
                            std::span<const geom::Point> pts, int samples,
                            std::uint64_t seed);

@@ -19,6 +19,7 @@
 #include "graph/scc.hpp"
 #include "graph/traversal.hpp"
 #include "parallel/thread_pool.hpp"
+#include "thread_counts.hpp"
 
 namespace geom = dirant::geom;
 namespace core = dirant::core;
@@ -172,20 +173,7 @@ TEST(CsrEquivalence, LongRowsWithOverlappingSectors) {
 
 // --- sharded build: bit-identity with the serial CSR ----------------------
 
-/// Thread counts under test.  DIRANT_TEST_THREADS (set by scripts/check.sh
-/// for the sanitizer shakeout) adds an extra count on top of the fixed
-/// 1/2/4/8 sweep.
-std::vector<int> thread_counts() {
-  std::vector<int> counts = {1, 2, 4, 8};
-  if (const char* env = std::getenv("DIRANT_TEST_THREADS")) {
-    const int t = std::atoi(env);
-    if (t > 0 &&
-        std::find(counts.begin(), counts.end(), t) == counts.end()) {
-      counts.push_back(t);
-    }
-  }
-  return counts;
-}
+using dirant::test::thread_counts;
 
 /// offsets+targets bit-identity: same row extents AND same order within
 /// every row (not just the same sets).

@@ -1,0 +1,298 @@
+// Parallel SCC parity: the forward–backward engine (graph/scc_parallel.hpp)
+// must produce the exact component partition Tarjan produces — count AND
+// canonical component ids — on every graph family and at every thread
+// count, with real pool workers and inline, through scratch reuse, and with
+// more threads than vertices.  Mirrors the ShardedBuild suite's shape in
+// test_csr_equivalence.cpp.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "antenna/transmission.hpp"
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "geometry/generators.hpp"
+#include "graph/scc.hpp"
+#include "graph/scc_parallel.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/audit.hpp"
+#include "thread_counts.hpp"
+
+namespace graph = dirant::graph;
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+using dirant::kPi;
+using dirant::test::thread_counts;
+
+namespace {
+
+/// Tarjan reference in the canonical numbering the parallel engine emits.
+graph::SccResult canonical_tarjan(const graph::Digraph& g) {
+  auto res = graph::strongly_connected_components(g);
+  std::vector<int> relabel;
+  graph::canonicalize_component_ids(res, relabel);
+  return res;
+}
+
+/// Runs the engine against Tarjan at every thread count, with a real pool
+/// and inline, forcing the FW–BW recursion and the parallel BFS levels down
+/// to tiny sizes (cutoff/frontier knobs) as well as at their defaults.
+void expect_parity(const graph::Digraph& g, const char* label) {
+  const auto ref = canonical_tarjan(g);
+  for (const int t : thread_counts()) {
+    dirant::par::ThreadPool pool(static_cast<unsigned>(t));
+    for (const bool use_pool : {true, false}) {
+      for (const auto& [cutoff, frontier] :
+           {std::pair{0, 1}, std::pair{16, 4}, std::pair{4096, 2048}}) {
+        graph::ParSccScratch scratch;
+        scratch.serial_cutoff = cutoff;
+        scratch.par_frontier = frontier;
+        graph::SccResult out;
+        graph::parallel_scc(g, scratch, out, t, use_pool ? &pool : nullptr);
+        ASSERT_EQ(out.count, ref.count)
+            << label << " t=" << t << " pool=" << use_pool
+            << " cutoff=" << cutoff;
+        ASSERT_EQ(out.component, ref.component)
+            << label << " t=" << t << " pool=" << use_pool
+            << " cutoff=" << cutoff;
+        // Count-only entry point agrees without the relabel pass.
+        graph::ParSccScratch count_scratch;
+        count_scratch.serial_cutoff = cutoff;
+        count_scratch.par_frontier = frontier;
+        EXPECT_EQ(graph::parallel_scc_count(g, count_scratch, t,
+                                            use_pool ? &pool : nullptr),
+                  ref.count)
+            << label << " t=" << t;
+      }
+    }
+  }
+}
+
+graph::Digraph random_digraph(int n, double edge_prob, unsigned seed,
+                              bool self_loops = false) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  graph::DigraphBuilder b(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v && !self_loops) continue;
+      if (coin(rng) < edge_prob) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+TEST(ParallelScc, RandomDigraphs) {
+  // Density sweep: sub-critical (many small SCCs), near-critical, and
+  // dense (one giant SCC).
+  for (const auto& [n, prob] : {std::pair{120, 0.005}, std::pair{120, 0.02},
+                                std::pair{90, 0.10}}) {
+    const auto g = random_digraph(n, prob, 7000 + n +
+                                               static_cast<int>(prob * 1000));
+    expect_parity(g, "random");
+  }
+}
+
+TEST(ParallelScc, ClusteredDigraph) {
+  // Four dense clusters, sparse one-way bridges between them: medium SCCs
+  // with a non-trivial condensation, the shape FW–BW splits on.
+  const int k = 4, per = 30, n = k * per;
+  std::mt19937 rng(4100);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  graph::DigraphBuilder b(n);
+  for (int c = 0; c < k; ++c) {
+    for (int i = 0; i < per; ++i) {
+      for (int j = 0; j < per; ++j) {
+        if (i != j && coin(rng) < 0.25) b.add_edge(c * per + i, c * per + j);
+      }
+    }
+  }
+  for (int c = 0; c + 1 < k; ++c) {  // forward bridges only: clusters stay
+    for (int e = 0; e < 3; ++e) {    // separate SCCs
+      b.add_edge(c * per + e, (c + 1) * per + e);
+    }
+  }
+  expect_parity(b.build(), "clustered");
+}
+
+TEST(ParallelScc, LongCycleAndChords) {
+  // One n-cycle: a single SCC with diameter n — the worst case for
+  // level-synchronous BFS — then with chords that keep it one SCC.
+  const int n = 400;
+  graph::DigraphBuilder cyc(n);
+  for (int i = 0; i < n; ++i) cyc.add_edge(i, (i + 1) % n);
+  expect_parity(cyc.build(), "cycle");
+
+  graph::DigraphBuilder chord(n);
+  for (int i = 0; i < n; ++i) {
+    chord.add_edge(i, (i + 1) % n);
+    if (i % 7 == 0) chord.add_edge(i, (i + n / 3) % n);
+  }
+  expect_parity(chord.build(), "cycle+chords");
+}
+
+TEST(ParallelScc, DagChain) {
+  // Pure DAG (chain plus forward jumps): every SCC is trivial, so the trim
+  // phase must collapse the whole graph without a single FW–BW step.
+  const int n = 300;
+  graph::DigraphBuilder b(n);
+  for (int i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  for (int i = 0; i + 10 < n; i += 3) b.add_edge(i, i + 10);
+  expect_parity(b.build(), "dag-chain");
+}
+
+TEST(ParallelScc, DisconnectedAndIsolated) {
+  // Three disjoint cycles of different sizes plus isolated vertices.
+  const int n = 100;
+  graph::DigraphBuilder b(n);
+  int base = 0;
+  for (const int len : {5, 17, 40}) {
+    for (int i = 0; i < len; ++i) b.add_edge(base + i, base + (i + 1) % len);
+    base += len;
+  }
+  expect_parity(b.build(), "disconnected");
+}
+
+TEST(ParallelScc, SelfLoops) {
+  // Self-loops keep a vertex out of the trim phase but never merge
+  // components; mix them into a sparse random graph.
+  const auto g = random_digraph(80, 0.01, 991, /*self_loops=*/true);
+  expect_parity(g, "self-loops");
+}
+
+TEST(ParallelScc, DegenerateSizes) {
+  expect_parity(graph::Digraph(0), "empty");
+  expect_parity(graph::Digraph(1), "single");
+  graph::DigraphBuilder two(2);
+  two.add_edge(0, 1);
+  two.add_edge(1, 0);
+  expect_parity(two.build(), "two-cycle");
+}
+
+TEST(ParallelScc, OrientationInducedDigraph) {
+  // The certification workload: a strongly connected transmission digraph
+  // (one giant SCC), plus the same instance with half the edges dropped so
+  // the decomposition is non-trivial.
+  geom::Rng rng(8800);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 350, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  const auto g = dirant::antenna::induced_digraph_fast(pts, res.orientation);
+  ASSERT_EQ(canonical_tarjan(g).count, 1);  // certified constructions hold
+  expect_parity(g, "transmission");
+
+  // Keep only edges u -> v with v > u: the DAG-ified transmission graph.
+  graph::DigraphBuilder dag(g.size());
+  for (int u = 0; u < g.size(); ++u) {
+    for (int v : g.out(u)) {
+      if (v > u) dag.add_edge(u, v);
+    }
+  }
+  expect_parity(dag.build(), "transmission-dag");
+}
+
+TEST(ParallelScc, CachedTransposeMatchesInternal) {
+  // Passing the caller-cached transpose (the AuditSession path) must change
+  // nothing but the rebuild cost.
+  const auto g = random_digraph(150, 0.02, 3141);
+  const auto gt = g.reversed();
+  const auto ref = canonical_tarjan(g);
+  for (const int t : {1, 4}) {
+    dirant::par::ThreadPool pool(static_cast<unsigned>(t));
+    graph::ParSccScratch scratch;
+    scratch.serial_cutoff = 8;
+    scratch.par_frontier = 2;
+    graph::SccResult out;
+    graph::parallel_scc(g, scratch, out, t, &pool, &gt);
+    EXPECT_EQ(out.count, ref.count);
+    EXPECT_EQ(out.component, ref.component);
+  }
+}
+
+TEST(ParallelScc, ScratchReuseAcrossSizesAndThreadCounts) {
+  // One scratch streaming through different graphs, sizes and thread
+  // counts: stale regions, marks, or trim state must never leak into a
+  // later decomposition.
+  graph::ParSccScratch scratch;
+  scratch.serial_cutoff = 4;
+  scratch.par_frontier = 2;
+  for (const auto& [n, prob, t] :
+       {std::tuple{200, 0.02, 4}, std::tuple{40, 0.05, 8},
+        std::tuple{200, 0.004, 2}, std::tuple{120, 0.03, 1}}) {
+    const auto g = random_digraph(n, prob, 5550 + n + t);
+    const auto ref = canonical_tarjan(g);
+    dirant::par::ThreadPool pool(static_cast<unsigned>(t));
+    graph::SccResult out;
+    graph::parallel_scc(g, scratch, out, t, &pool);
+    EXPECT_EQ(out.count, ref.count) << "n=" << n << " t=" << t;
+    EXPECT_EQ(out.component, ref.component) << "n=" << n << " t=" << t;
+  }
+}
+
+TEST(ParallelScc, MoreThreadsThanVertices) {
+  graph::DigraphBuilder b(5);
+  for (int i = 0; i < 5; ++i) b.add_edge(i, (i + 1) % 5);
+  const auto g = b.build();
+  const auto ref = canonical_tarjan(g);
+  dirant::par::ThreadPool pool(16);
+  graph::ParSccScratch scratch;
+  scratch.serial_cutoff = 0;
+  scratch.par_frontier = 1;
+  graph::SccResult out;
+  graph::parallel_scc(g, scratch, out, 16, &pool);
+  EXPECT_EQ(out.count, ref.count);
+  EXPECT_EQ(out.component, ref.component);
+}
+
+TEST(ParallelScc, AuditSessionThreadParity) {
+  // The user-facing knob: AuditSession::set_threads shards the digraph
+  // build and routes SCC passes through the parallel engine — the full
+  // report must be identical to the serial session's at every thread count.
+  geom::Rng rng(9090);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 300, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  dirant::sim::AuditOptions opts;
+  opts.failure_trials = 4;
+  opts.routing_samples = 50;
+  dirant::sim::AuditSession serial;
+  const auto ref = serial.full_report(pts, res.orientation, opts);
+  EXPECT_TRUE(ref.strongly_connected);
+
+  for (const int t : thread_counts()) {
+    dirant::sim::AuditSession session;
+    session.set_threads(t);
+    EXPECT_EQ(session.threads(), std::max(1, t));
+    const auto rep = session.full_report(pts, res.orientation, opts);
+    EXPECT_EQ(rep.strongly_connected, ref.strongly_connected);
+    EXPECT_EQ(rep.scc_count, ref.scc_count);
+    EXPECT_EQ(rep.connectivity_level, ref.connectivity_level);
+    EXPECT_EQ(rep.flood.mean_rounds, ref.flood.mean_rounds);
+    EXPECT_EQ(rep.flood.min_delivery, ref.flood.min_delivery);
+    EXPECT_EQ(rep.stretch.mean_stretch, ref.stretch.mean_stretch);
+    EXPECT_EQ(rep.failure.mean_largest_scc, ref.failure.mean_largest_scc);
+    EXPECT_EQ(rep.failure.worst_largest_scc, ref.failure.worst_largest_scc);
+    EXPECT_EQ(rep.routing.delivery_rate, ref.routing.delivery_rate);
+    EXPECT_EQ(rep.routing.mean_stretch, ref.routing.mean_stretch);
+    EXPECT_EQ(rep.energy.total, ref.energy.total);
+  }
+}
+
+TEST(ParallelScc, CanonicalizeIsIdempotentAndOrdersByFirstVertex) {
+  // Canonical ids are first-seen order over vertex ids: component of
+  // vertex 0 is id 0, the next new component id 1, and so on.
+  graph::SccResult res;
+  res.count = 3;
+  res.component = {2, 2, 0, 1, 0};
+  std::vector<int> relabel;
+  graph::canonicalize_component_ids(res, relabel);
+  EXPECT_EQ(res.component, (std::vector<int>{0, 0, 1, 2, 1}));
+  graph::canonicalize_component_ids(res, relabel);
+  EXPECT_EQ(res.component, (std::vector<int>{0, 0, 1, 2, 1}));
+}
+
+}  // namespace

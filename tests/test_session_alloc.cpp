@@ -26,6 +26,7 @@
 #include "core/session.hpp"
 #include "core/two_antennae.hpp"
 #include "geometry/generators.hpp"
+#include "sim/audit.hpp"
 
 namespace {
 
@@ -211,6 +212,40 @@ TEST(SessionAllocation, AdaptiveProbeLoopIsAllocationFree) {
     EXPECT_EQ(session.last_result().measured_radius, ref.measured_radius);
     EXPECT_EQ(session.last_result().bound_factor, ref.bound_factor);
   }
+}
+
+TEST(SessionAllocation, SecondAuditIsAllocationFree) {
+  // The analysis-layer counterpart of SecondCertifyIsAllocationFree: a warm
+  // sim::AuditSession runs the FULL metric set — digraph + omni + transpose
+  // rebuilds, SCC count, flood sweep, hop stretch, deletion-probe
+  // connectivity level, Monte-Carlo failure resilience, routing stats,
+  // energy — without touching the heap.  full_report covers every metric in
+  // one call, so the second report is the whole warm path.
+  geom::Rng rng(314);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 220, rng);
+  const core::ProblemSpec spec{2, kPi};
+  const auto res = core::orient(pts, spec);
+
+  dirant::sim::AuditSession session;
+  dirant::sim::AuditOptions opts;
+  opts.failure_trials = 6;
+  opts.routing_samples = 60;
+  const auto warm = session.full_report(pts, res.orientation, opts);
+  EXPECT_TRUE(warm.strongly_connected);
+
+  dirant::sim::FullReport second;
+  const long long allocs = count_allocations(
+      [&] { second = session.full_report(pts, res.orientation, opts); });
+  EXPECT_EQ(allocs, 0) << "warm-session full audit allocated";
+  // Determinism: the recycled buffers reproduce the same report.
+  EXPECT_EQ(second.scc_count, warm.scc_count);
+  EXPECT_EQ(second.connectivity_level, warm.connectivity_level);
+  EXPECT_EQ(second.flood.mean_rounds, warm.flood.mean_rounds);
+  EXPECT_EQ(second.stretch.mean_stretch, warm.stretch.mean_stretch);
+  EXPECT_EQ(second.failure.mean_largest_scc, warm.failure.mean_largest_scc);
+  EXPECT_EQ(second.routing.delivery_rate, warm.routing.delivery_rate);
+  EXPECT_EQ(second.energy.total, warm.energy.total);
 }
 
 TEST(SessionAllocation, BatchChunkPerWorkerIsAllocationFree) {

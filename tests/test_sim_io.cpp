@@ -11,6 +11,7 @@
 #include "io/csv.hpp"
 #include "io/svg.hpp"
 #include "mst/degree5.hpp"
+#include "sim/audit.hpp"
 #include "sim/broadcast.hpp"
 #include "sim/energy.hpp"
 
@@ -131,6 +132,20 @@ TEST(Connectivity, MstOrientationsAreLevelOne) {
   const auto res = core::orient(pts, {2, kPi});
   const auto g = dirant::antenna::induced_digraph(pts, res.orientation);
   EXPECT_GE(sim::strong_connectivity_level(g), 1);
+}
+
+TEST(Audit, LoadOmniRebuildInvalidatesCachedTranspose) {
+  // Regression: rebuilding the omni digraph in place while the session is
+  // bound to it must invalidate the cached transpose — the second
+  // strongly_connected() would otherwise sweep the OLD graph's transpose.
+  sim::AuditSession audit;
+  const std::vector<geom::Point> chain = {{0, 0}, {0.8, 0}, {1.6, 0}};
+  audit.bind(audit.load_omni(chain, 1.0));
+  EXPECT_TRUE(audit.strongly_connected());
+  const std::vector<geom::Point> split = {
+      {0, 0}, {0.8, 0}, {10, 0}, {10.8, 0}};
+  audit.load_omni(split, 1.0);  // rebuild in place, no rebind
+  EXPECT_FALSE(audit.strongly_connected());
 }
 
 TEST(Energy, DirectionalBeatsOmni) {

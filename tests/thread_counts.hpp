@@ -1,0 +1,25 @@
+#pragma once
+// Shared thread-count sweep for the concurrency suites (sharded digraph
+// build, parallel SCC).  The fixed 1/2/4/8 ladder plus whatever
+// DIRANT_TEST_THREADS adds — scripts/check.sh sets 4 so the sanitizer
+// variants (asan/tsan) shake the pooled paths with real workers.  One
+// definition so the sweep protocol cannot drift between suites.
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace dirant::test {
+
+inline std::vector<int> thread_counts() {
+  std::vector<int> counts = {1, 2, 4, 8};
+  if (const char* env = std::getenv("DIRANT_TEST_THREADS")) {
+    const int t = std::atoi(env);
+    if (t > 0 && std::find(counts.begin(), counts.end(), t) == counts.end()) {
+      counts.push_back(t);
+    }
+  }
+  return counts;
+}
+
+}  // namespace dirant::test
