@@ -4,11 +4,13 @@
 // speedup) so later PRs have a perf trajectory to regress against, and
 // uses core::orient_batch for the Monte-Carlo throughput measurement.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -42,10 +44,22 @@ DIRANT_REPORT(x3) {
   // and no JSON write, so throwaway numbers never clobber the recorded
   // perf trajectory.
   const bool smoke = std::getenv("DIRANT_BENCH_SMOKE") != nullptr;
+  // Every parallel row below records the box's hardware concurrency next to
+  // its pool size: a ~1x pooled speedup with hw_threads == 1 is the box,
+  // not a regression.  Say so loudly up front too.
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  if (hw_threads == 1) {
+    std::printf(
+        "*** WARNING: hardware_concurrency() == 1 — every pooled sweep in "
+        "this bench oversubscribes a single core.  Parallel speedups will "
+        "be ~1x BY CONSTRUCTION and say nothing about multi-core scaling; "
+        "read the hw_threads field before quoting any row. ***\n");
+  }
   section("X3 — EMST+orient wall time per engine (BENCH_scaling.json)");
   // Preserve the sections that bench_x6_certify may have spliced into an
-  // existing file (certify and scc sweeps): this bench owns
-  // emst_orient+batch only.
+  // existing file (certify/scc/audit/classifier sweeps): this bench owns
+  // emst_orient+emst_parallel+batch only.
   std::vector<std::string> preserved_sections;
   {
     std::ifstream in("BENCH_scaling.json");
@@ -54,7 +68,8 @@ DIRANT_REPORT(x3) {
       ss << in.rdbuf();
       const std::string existing = ss.str();
       for (const char* key : {"\"certify\"", "\"certify_parallel\"",
-                              "\"scc\"", "\"scc_parallel\""}) {
+                              "\"scc\"", "\"scc_parallel\"",
+                              "\"audit_parallel\"", "\"classifier\""}) {
         const size_t pos = existing.find(key);
         if (pos == std::string::npos) continue;
         const size_t close = existing.find(']', pos);
@@ -108,6 +123,101 @@ DIRANT_REPORT(x3) {
     }
   }
   if (json) std::fprintf(json, "\n  ],\n");
+
+  section("X3 — pool-parallel Boruvka EMST vs serial Kruskal "
+          "(emst_parallel)");
+  // End-to-end EMST (Delaunay + accept pass) through EmstEngine: threads=1
+  // is the serial Kruskal path, threads>1 routes to the pool-parallel
+  // filter-Boruvka over the same candidate set.  Identical tree either way
+  // (shared exact total order) — these rows price the wall clock only.
+  // DIRANT_X3_EMST_THREADS=t adds a shard count (the
+  // bench_smoke_x3_emst_parallel ctest entry exercises the pooled engine
+  // with it).
+  {
+    std::vector<int> emst_threads = smoke ? std::vector<int>{2}
+                                          : std::vector<int>{2, 4};
+    if (const char* env = std::getenv("DIRANT_X3_EMST_THREADS")) {
+      const int t = std::atoi(env);
+      if (t > 1 && std::find(emst_threads.begin(), emst_threads.end(), t) ==
+                       emst_threads.end()) {
+        emst_threads.push_back(t);
+      }
+    }
+    const std::vector<int> emst_sizes =
+        smoke ? std::vector<int>{400}
+              : std::vector<int>{2000, 10000, 50000};
+    if (json) std::fprintf(json, "  \"emst_parallel\": [\n");
+    bool first = true;
+    std::printf("n       threads  wall-ms    vs-serial  (hw=%u)\n",
+                hw_threads);
+    std::printf("---------------------------------------------\n");
+    mst::EmstScratch serial_scratch;
+    std::vector<mst::EmstScratch> par_scratch(emst_threads.size());
+    mst::Tree serial_tree, par_tree;
+    for (int en : emst_sizes) {
+      geom::Rng rng(53000 + en);
+      const auto pts =
+          geom::make_instance(geom::Distribution::kUniformSquare, en, rng);
+      std::vector<std::unique_ptr<dirant::par::ThreadPool>> pools;
+      for (int t : emst_threads) {
+        pools.push_back(std::make_unique<dirant::par::ThreadPool>(
+            static_cast<unsigned>(t)));
+      }
+      double serial_ms = std::numeric_limits<double>::infinity();
+      std::vector<double> par_ms(emst_threads.size(),
+                                 std::numeric_limits<double>::infinity());
+      // Interleave rep by rep so frequency drift cannot bias one side.
+      for (int rep = 0; rep < 3; ++rep) {
+        serial_ms = std::min(serial_ms, time_ms([&] {
+                      fast.emst(pts, serial_tree, serial_scratch);
+                      benchmark::DoNotOptimize(serial_tree.total_weight());
+                    }));
+        for (size_t ti = 0; ti < emst_threads.size(); ++ti) {
+          par_ms[ti] = std::min(par_ms[ti], time_ms([&] {
+                         fast.emst(pts, par_tree, par_scratch[ti],
+                                   emst_threads[ti], pools[ti].get());
+                         benchmark::DoNotOptimize(par_tree.total_weight());
+                       }));
+        }
+      }
+      // Relative tolerance, not exact: the serial baseline (Kruskal) and
+      // the parallel engine (Boruvka) accept the SAME unique edge set but
+      // sum it in different orders, so the last float bits of the total
+      // legitimately differ.  Edge-set identity is enforced exactly by
+      // tests/test_boruvka.cpp.
+      const double wdiff =
+          std::abs(par_tree.total_weight() - serial_tree.total_weight());
+      if (wdiff > 1e-9 * (1.0 + serial_tree.total_weight())) {
+        std::printf("WARNING: EMST weight mismatch at n=%d (serial %.17g "
+                    "vs parallel %.17g)\n",
+                    en, serial_tree.total_weight(),
+                    par_tree.total_weight());
+      }
+      std::printf("%-7d %-8d %8.2f   %8s\n", en, 1, serial_ms, "-");
+      if (json) {
+        std::fprintf(json,
+                     "%s    {\"n\": %d, \"threads\": 1, \"wall_ms\": %.3f, "
+                     "\"speedup_vs_serial\": 1.0, \"hw_threads\": %u}",
+                     first ? "" : ",\n", en, serial_ms, hw_threads);
+        first = false;
+      }
+      for (size_t ti = 0; ti < emst_threads.size(); ++ti) {
+        const double speedup = serial_ms / std::max(par_ms[ti], 1e-9);
+        std::printf("%-7d %-8d %8.2f   %7.2fx\n", en, emst_threads[ti],
+                    par_ms[ti], speedup);
+        if (json) {
+          std::fprintf(json,
+                       "%s    {\"n\": %d, \"threads\": %d, \"wall_ms\": "
+                       "%.3f, \"speedup_vs_serial\": %.3f, \"hw_threads\": "
+                       "%u}",
+                       first ? "" : ",\n", en, emst_threads[ti], par_ms[ti],
+                       speedup, hw_threads);
+          first = false;
+        }
+      }
+    }
+    if (json) std::fprintf(json, "\n  ],\n");
+  }
 
   section("X3 — session reuse (fresh orient() vs warm PlanSession)");
   // Per-call overhead of rebuilding every pipeline stage from scratch vs
@@ -175,8 +285,6 @@ DIRANT_REPORT(x3) {
   // row documents its own context so nobody quotes it against multi-core
   // expectations.
   const unsigned threads = dirant::par::global_pool().thread_count();
-  const unsigned hw_threads =
-      std::max(1u, std::thread::hardware_concurrency());
   const double batch_speedup = serial_ms / std::max(pooled_ms, 1e-9);
   std::printf(
       "batch (n=%d) x %d instances: serial %.1fms, pooled %.1fms "

@@ -13,15 +13,26 @@
 //     The FW–BW timings include its internal transpose build — the honest
 //     cost when no cached transpose is available (core::certify's shape);
 //     AuditSession amortizes that across a whole metric sweep.
-// Appends "certify" / "certify_parallel" / "scc" / "scc_parallel" sections
-// to BENCH_scaling.json so the speedups are part of the recorded perf
-// trajectory.
+// Two more sweeps ride along:
+//   * audit_parallel — AuditSession's probe-parallel
+//     strong_connectivity_level and trial-parallel failure_resilience at
+//     several thread counts vs the serial session (bit-identical metrics,
+//     verified in-run);
+//   * classifier — the phase-2 SoA batch classifier vs the fused scalar
+//     oracle on the serial digraph build (bit-identical CSR, verified
+//     in-run).
+// Appends "certify" / "certify_parallel" / "scc" / "scc_parallel" /
+// "audit_parallel" / "classifier" sections to BENCH_scaling.json so the
+// speedups are part of the recorded perf trajectory.  Every parallel row
+// carries the box's hw_threads so a ~1x speedup on a 1-core machine is
+// never mistaken for a regression.
 //
 // Smoke mode (DIRANT_BENCH_SMOKE=1): tiny sizes so ctest can keep this
 // binary from bit-rotting without paying the full sweep.
-// DIRANT_X6_THREADS=t / DIRANT_X6_SCC_THREADS=t add a shard count to the
-// parallel sweeps (the bench_smoke_x6_certify_parallel and
-// bench_smoke_x6_scc ctest entries exercise the pooled paths with them).
+// DIRANT_X6_THREADS=t / DIRANT_X6_SCC_THREADS=t / DIRANT_X6_AUDIT_THREADS=t
+// add a shard count to the parallel sweeps (the
+// bench_smoke_x6_certify_parallel, bench_smoke_x6_scc and
+// bench_smoke_x6_audit ctest entries exercise the pooled paths with them).
 
 #include <algorithm>
 #include <chrono>
@@ -34,6 +45,7 @@
 #include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <memory>
@@ -45,6 +57,7 @@
 #include "graph/scc.hpp"
 #include "graph/scc_parallel.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sim/audit.hpp"
 
 namespace geom = dirant::geom;
 namespace core = dirant::core;
@@ -248,6 +261,22 @@ struct SccParallelRow {
   double speedup_vs_tarjan = 0.0;
 };
 
+struct AuditRow {
+  int n = 0;
+  int threads = 0;          ///< 1 = the serial session baseline
+  double level_ms = 0.0;    ///< strong_connectivity_level (deletion probes)
+  double failure_ms = 0.0;  ///< failure_resilience Monte-Carlo trials
+  double level_speedup = 0.0;    ///< serial level_ms / this level_ms
+  double failure_speedup = 0.0;  ///< serial failure_ms / this failure_ms
+};
+
+struct ClassifierRow {
+  int n = 0;
+  double batch_ms = 0.0;   ///< SoA batch classifier (the default)
+  double scalar_ms = 0.0;  ///< fused scalar oracle
+  double speedup = 0.0;    ///< scalar / batch
+};
+
 /// Removes a previously spliced `"name": [...]` section (with its leading
 /// comma, if any) so reruns replace rather than accumulate.
 void drop_section(std::string& existing, const std::string& name) {
@@ -263,13 +292,16 @@ void drop_section(std::string& existing, const std::string& name) {
   }
 }
 
-/// Splices the "certify", "certify_parallel", "scc" and "scc_parallel"
-/// sections into BENCH_scaling.json next to the sections x3_scaling wrote
-/// (creates the file if x3 has not run).
+/// Splices the "certify", "certify_parallel", "scc", "scc_parallel",
+/// "audit_parallel" and "classifier" sections into BENCH_scaling.json next
+/// to the sections x3_scaling wrote (creates the file if x3 has not run).
 void append_certify_json(const std::vector<CertifyRow>& rows,
                          const std::vector<ParallelRow>& par_rows,
                          const std::vector<SccRow>& scc_rows,
-                         const std::vector<SccParallelRow>& scc_par_rows) {
+                         const std::vector<SccParallelRow>& scc_par_rows,
+                         const std::vector<AuditRow>& audit_rows,
+                         const std::vector<ClassifierRow>& cls_rows,
+                         unsigned hw_threads) {
   std::string existing;
   {
     std::ifstream in("BENCH_scaling.json");
@@ -285,6 +317,8 @@ void append_certify_json(const std::vector<CertifyRow>& rows,
   drop_section(existing, "certify");
   drop_section(existing, "scc_parallel");
   drop_section(existing, "scc");
+  drop_section(existing, "audit_parallel");
+  drop_section(existing, "classifier");
   std::ostringstream section;
   section << "  \"certify\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -303,7 +337,8 @@ void append_certify_json(const std::vector<CertifyRow>& rows,
     const auto& r = par_rows[i];
     section << "    {\"n\": " << r.n << ", \"threads\": " << r.threads
             << ", \"ms\": " << r.ms
-            << ", \"speedup_vs_serial\": " << r.speedup_vs_serial << "}"
+            << ", \"speedup_vs_serial\": " << r.speedup_vs_serial
+            << ", \"hw_threads\": " << hw_threads << "}"
             << (i + 1 < par_rows.size() ? ",\n" : "\n");
   }
   section << "  ],\n";
@@ -322,8 +357,30 @@ void append_certify_json(const std::vector<CertifyRow>& rows,
     const auto& r = scc_par_rows[i];
     section << "    {\"n\": " << r.n << ", \"threads\": " << r.threads
             << ", \"ms\": " << r.ms
-            << ", \"speedup_vs_tarjan\": " << r.speedup_vs_tarjan << "}"
+            << ", \"speedup_vs_tarjan\": " << r.speedup_vs_tarjan
+            << ", \"hw_threads\": " << hw_threads << "}"
             << (i + 1 < scc_par_rows.size() ? ",\n" : "\n");
+  }
+  section << "  ],\n";
+  section << "  \"audit_parallel\": [\n";
+  for (size_t i = 0; i < audit_rows.size(); ++i) {
+    const auto& r = audit_rows[i];
+    section << "    {\"n\": " << r.n << ", \"threads\": " << r.threads
+            << ", \"level_ms\": " << r.level_ms
+            << ", \"failure_ms\": " << r.failure_ms
+            << ", \"level_speedup\": " << r.level_speedup
+            << ", \"failure_speedup\": " << r.failure_speedup
+            << ", \"hw_threads\": " << hw_threads << "}"
+            << (i + 1 < audit_rows.size() ? ",\n" : "\n");
+  }
+  section << "  ],\n";
+  section << "  \"classifier\": [\n";
+  for (size_t i = 0; i < cls_rows.size(); ++i) {
+    const auto& r = cls_rows[i];
+    section << "    {\"n\": " << r.n << ", \"batch_ms\": " << r.batch_ms
+            << ", \"scalar_ms\": " << r.scalar_ms
+            << ", \"speedup\": " << r.speedup << "}"
+            << (i + 1 < cls_rows.size() ? ",\n" : "\n");
   }
   section << "  ]\n";
 
@@ -343,13 +400,22 @@ void append_certify_json(const std::vector<CertifyRow>& rows,
     outf << "{\n" << section.str() << "}\n";
   }
   std::printf(
-      "appended certify + certify_parallel + scc + scc_parallel sections to "
-      "BENCH_scaling.json\n");
+      "appended certify + certify_parallel + scc + scc_parallel + "
+      "audit_parallel + classifier sections to BENCH_scaling.json\n");
 }
 
 DIRANT_REPORT(x6) {
   using dirant::bench::section;
   const bool smoke = std::getenv("DIRANT_BENCH_SMOKE") != nullptr;
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  if (hw_threads == 1) {
+    std::printf(
+        "*** WARNING: hardware_concurrency() == 1 — every pooled sweep in "
+        "this bench oversubscribes a single core.  Parallel speedups will "
+        "be ~1x BY CONSTRUCTION and say nothing about multi-core scaling; "
+        "read the hw_threads field before quoting any row. ***\n");
+  }
   section(
       "X6 — certification scaling: digraph build + SCC (k=2, phi=pi), "
       "warm vs fresh scratch, serial vs sharded");
@@ -551,11 +617,174 @@ DIRANT_REPORT(x6) {
       scc_par_rows.push_back(spr);
     }
   }
+  // ---- Probe-parallel audits: AuditSession at several thread counts ----
+  // The serial session (threads=1) is the baseline; pooled sessions fan the
+  // n deletion probes and the Monte-Carlo trials over real workers.  The
+  // metrics are bit-identical at every thread count (per-trial RNG streams,
+  // order-independent reductions) — verified in-run, not assumed.
+  section("X6 — probe-parallel audits: connectivity level + failure "
+          "resilience (audit_parallel)");
+  std::vector<AuditRow> audit_rows;
+  {
+    std::vector<int> audit_threads = smoke ? std::vector<int>{2}
+                                           : std::vector<int>{2, 4};
+    add_env_threads("DIRANT_X6_AUDIT_THREADS", audit_threads);
+    const std::vector<int> audit_sizes = smoke ? std::vector<int>{300}
+                                               : std::vector<int>{2000, 5000};
+    const int trials = smoke ? 8 : 40;
+    const double fraction = 0.1;
+    const std::uint64_t audit_seed = 7;
+    std::printf("n       threads  level-ms   failure-ms  (hw=%u)\n",
+                hw_threads);
+    std::printf("-----------------------------------------------\n");
+    for (int an : audit_sizes) {
+      geom::Rng rng(67000 + an);
+      const auto pts =
+          geom::make_instance(geom::Distribution::kUniformSquare, an, rng);
+      const auto res = core::orient(pts, {2, kPi});
+      dirant::sim::AuditSession session;
+      session.load(pts, res.orientation);
+      const int reps = smoke ? 2 : 3;
+      AuditRow serial_row;
+      serial_row.n = an;
+      serial_row.threads = 1;
+      serial_row.level_ms = std::numeric_limits<double>::infinity();
+      serial_row.failure_ms = std::numeric_limits<double>::infinity();
+      int serial_level = -1;
+      double serial_mean = -1.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        serial_row.level_ms =
+            std::min(serial_row.level_ms, time_ms([&] {
+                       serial_level = session.strong_connectivity_level(2);
+                       benchmark::DoNotOptimize(serial_level);
+                     }));
+        serial_row.failure_ms =
+            std::min(serial_row.failure_ms, time_ms([&] {
+                       const auto st = session.failure_resilience(
+                           fraction, trials, audit_seed);
+                       serial_mean = st.mean_largest_scc;
+                       benchmark::DoNotOptimize(serial_mean);
+                     }));
+      }
+      serial_row.level_speedup = 1.0;
+      serial_row.failure_speedup = 1.0;
+      std::printf("%-7d %-8d %8.2f   %9.2f\n", an, 1, serial_row.level_ms,
+                  serial_row.failure_ms);
+      audit_rows.push_back(serial_row);
+      for (int t : audit_threads) {
+        session.set_threads(t);
+        AuditRow row;
+        row.n = an;
+        row.threads = t;
+        row.level_ms = std::numeric_limits<double>::infinity();
+        row.failure_ms = std::numeric_limits<double>::infinity();
+        int level = -1;
+        double mean = -1.0;
+        for (int rep = 0; rep < reps; ++rep) {
+          row.level_ms = std::min(row.level_ms, time_ms([&] {
+                           level = session.strong_connectivity_level(2);
+                           benchmark::DoNotOptimize(level);
+                         }));
+          row.failure_ms =
+              std::min(row.failure_ms, time_ms([&] {
+                         const auto st = session.failure_resilience(
+                             fraction, trials, audit_seed);
+                         mean = st.mean_largest_scc;
+                         benchmark::DoNotOptimize(mean);
+                       }));
+        }
+        if (level != serial_level || mean != serial_mean) {
+          std::printf("WARNING: audit mismatch at n=%d t=%d (level %d vs "
+                      "%d, mean %.17g vs %.17g)\n",
+                      an, t, serial_level, level, serial_mean, mean);
+        }
+        row.level_speedup =
+            serial_row.level_ms / std::max(row.level_ms, 1e-9);
+        row.failure_speedup =
+            serial_row.failure_ms / std::max(row.failure_ms, 1e-9);
+        std::printf("%-7d %-8d %8.2f   %9.2f   (%4.2fx / %4.2fx)\n", an, t,
+                    row.level_ms, row.failure_ms, row.level_speedup,
+                    row.failure_speedup);
+        audit_rows.push_back(row);
+      }
+      session.set_threads(1);
+    }
+  }
+
+  // ---- Phase-2 classifier: SoA batch loop vs fused scalar oracle -------
+  // Serial digraph build, identical CSR (checked below); the rows price
+  // the autovectorized batch loop against the branchy scalar path.
+  section("X6 — phase-2 classifier: SoA batch vs fused scalar "
+          "(classifier)");
+  std::vector<ClassifierRow> cls_rows;
+  {
+    const std::vector<int> cls_sizes =
+        smoke ? std::vector<int>{500}
+              : std::vector<int>{10000, 50000, 200000};
+    antenna::TransmissionScratch batch_tx, scalar_tx;
+    batch_tx.classifier = antenna::TransmissionScratch::Classifier::kBatch;
+    scalar_tx.classifier = antenna::TransmissionScratch::Classifier::kScalar;
+    std::printf("n        batch-ms   scalar-ms  speedup\n");
+    std::printf("---------------------------------------\n");
+    for (int cn : cls_sizes) {
+      geom::Rng rng(71000 + cn);
+      const auto pts =
+          geom::make_instance(geom::Distribution::kUniformSquare, cn, rng);
+      const auto res = core::orient(pts, {2, kPi});
+      const auto& o = res.orientation;
+      // Bit-identity check before timing: same offsets, same targets.
+      {
+        const graph::Digraph gb = antenna::induced_digraph_fast(
+            pts, o, dirant::kAngleTol, dirant::kRadiusAbsTol, batch_tx);
+        const graph::Digraph gs = antenna::induced_digraph_fast(
+            pts, o, dirant::kAngleTol, dirant::kRadiusAbsTol, scalar_tx);
+        bool same = gb.edge_count() == gs.edge_count() &&
+                    gb.size() == gs.size();
+        for (int u = 0; same && u < gb.size(); ++u) {
+          const auto bu = gb.out(u), su = gs.out(u);
+          same = bu.size() == su.size() &&
+                 std::equal(bu.begin(), bu.end(), su.begin());
+        }
+        if (!same) {
+          std::printf("WARNING: classifier CSR mismatch at n=%d\n", cn);
+        }
+      }
+      ClassifierRow row;
+      row.n = cn;
+      row.batch_ms = std::numeric_limits<double>::infinity();
+      row.scalar_ms = std::numeric_limits<double>::infinity();
+      const int reps = smoke ? 3 : (cn <= 50000 ? 5 : 3);
+      for (int rep = 0; rep < reps; ++rep) {
+        row.batch_ms = std::min(row.batch_ms, time_ms([&] {
+                         graph::Digraph g = antenna::induced_digraph_fast(
+                             pts, o, dirant::kAngleTol,
+                             dirant::kRadiusAbsTol, batch_tx);
+                         benchmark::DoNotOptimize(g.edge_count());
+                         std::move(g).release(batch_tx.offsets,
+                                              batch_tx.targets);
+                       }));
+        row.scalar_ms = std::min(row.scalar_ms, time_ms([&] {
+                          graph::Digraph g = antenna::induced_digraph_fast(
+                              pts, o, dirant::kAngleTol,
+                              dirant::kRadiusAbsTol, scalar_tx);
+                          benchmark::DoNotOptimize(g.edge_count());
+                          std::move(g).release(scalar_tx.offsets,
+                                               scalar_tx.targets);
+                        }));
+      }
+      row.speedup = row.scalar_ms / std::max(row.batch_ms, 1e-9);
+      std::printf("%-8d %8.2f   %8.2f   %5.2fx\n", cn, row.batch_ms,
+                  row.scalar_ms, row.speedup);
+      cls_rows.push_back(row);
+    }
+  }
+
   if (smoke) {
     // Throwaway tiny-n numbers must never land in the recorded trajectory.
     std::printf("smoke mode: BENCH_scaling.json left untouched\n");
   } else {
-    append_certify_json(rows, par_rows, scc_rows, scc_par_rows);
+    append_certify_json(rows, par_rows, scc_rows, scc_par_rows, audit_rows,
+                        cls_rows, hw_threads);
   }
 }
 

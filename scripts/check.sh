@@ -38,7 +38,8 @@ CTEST_EXTRA=("$@")
 # then spin real 4-worker pools, so memory errors in the concurrent paths
 # surface under asan/ubsan.  The ThreadSanitizer variant (DIRANT_TSAN)
 # re-runs exactly the concurrency-heavy suites — parallel SCC, the sharded
-# certify build, and the batch fan-out — with the same 4-worker pools, so
+# certify build, the batch fan-out, the pool-parallel Borůvka EMST, and
+# the probe/trial-parallel audits — with the same 4-worker pools, so
 # data races (not just memory errors) surface too.  All variants promote
 # the library's -Wall -Wextra diagnostics to errors (DIRANT_WERROR).
 run_variant build-release "" -DCMAKE_BUILD_TYPE=Release -DDIRANT_WERROR=ON
@@ -48,7 +49,7 @@ run_variant build-asan "" -DCMAKE_BUILD_TYPE=Debug -DDIRANT_SANITIZE=ON \
     -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF
 DIRANT_TEST_THREADS=4 \
 run_variant build-tsan \
-    "test_parallel_scc|test_csr_equivalence|test_batch" \
+    "test_parallel_scc|test_csr_equivalence|test_batch|test_boruvka|test_audit_parallel" \
     -DCMAKE_BUILD_TYPE=Debug -DDIRANT_TSAN=ON -DDIRANT_WERROR=ON \
     -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF
 

@@ -107,13 +107,16 @@ class PlanSession {
   const Result& orient_adaptive(std::span<const geom::Point> pts,
                                 const mst::Tree& tree, double phi);
 
-  /// Parallel certification knob.  `threads <= 1` (the default) keeps the
-  /// serial, zero-allocation certify path; `threads > 1` spawns (or
-  /// resizes) a session-owned thread pool of that many workers, shards the
-  /// certification digraph build across it, and runs the SCC pass on the
-  /// parallel FW–BW engine.  The knob never changes results — the sharded
-  /// CSR is bit-identical to the serial one and the SCC partition is a
-  /// graph property.
+  /// Session parallelism knob.  `threads <= 1` (the default) keeps the
+  /// serial, zero-allocation paths; `threads > 1` spawns (or resizes) a
+  /// session-owned thread pool of that many workers, shards the
+  /// certification digraph build across it, runs the SCC pass on the
+  /// parallel FW–BW engine, and routes `orient`'s EMST stage to the
+  /// pool-parallel Borůvka engine.  The knob never changes results — the
+  /// sharded CSR is bit-identical to the serial one, the SCC partition is
+  /// a graph property, and Borůvka accepts edges under the exact total
+  /// order Kruskal sorts by, so the EMST is the unique minimum tree under
+  /// that order at every thread count (mst/boruvka.hpp).
   void set_threads(int threads);
   int threads() const { return threads_; }
 

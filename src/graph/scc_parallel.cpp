@@ -49,29 +49,28 @@ void mark_reachable(const Digraph& adj, int pivot, int region_id,
         s.workers.resize(workers);
       }
       const int chunk = (fsz + workers - 1) / workers;
-      for (int w = 0; w < workers; ++w) {
-        s.workers[w].next.clear();
+      // run_job fan-out (one index per worker slice): no task closures are
+      // allocated, so a warm pooled decomposition stays allocation-free
+      // (the per-worker next-frontier slices only grow until they fit the
+      // largest level seen).
+      par::run_indexed(pool, workers, [&](int w) {
+        auto& out = s.workers[w].next;
+        out.clear();
         const int lo = w * chunk;
         const int hi = std::min(fsz, lo + chunk);
-        if (lo >= hi) continue;
-        pool->submit([&adj, &region, &mark, &frontier, &s, region_id, lo, hi,
-                      w] {
-          auto& out = s.workers[w].next;
-          for (int i = lo; i < hi; ++i) {
-            for (int v : adj.out(frontier[i])) {
-              if (region[v] != region_id) continue;
-              std::atomic_ref<char> m(mark[v]);
-              if (m.load(std::memory_order_relaxed)) continue;
-              char expected = 0;
-              if (m.compare_exchange_strong(expected, 1,
-                                            std::memory_order_relaxed)) {
-                out.push_back(v);
-              }
+        for (int i = lo; i < hi; ++i) {
+          for (int v : adj.out(frontier[i])) {
+            if (region[v] != region_id) continue;
+            std::atomic_ref<char> m(mark[v]);
+            if (m.load(std::memory_order_relaxed)) continue;
+            char expected = 0;
+            if (m.compare_exchange_strong(expected, 1,
+                                          std::memory_order_relaxed)) {
+              out.push_back(v);
             }
           }
-        });
-      }
-      pool->wait_idle();
+        }
+      });
       for (int w = 0; w < workers; ++w) {
         next.insert(next.end(), s.workers[w].next.begin(),
                     s.workers[w].next.end());

@@ -1,11 +1,9 @@
 #include "mst/boruvka.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "common/assert.hpp"
 #include "delaunay/delaunay.hpp"
-#include "graph/union_find.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace dirant::mst {
@@ -14,122 +12,156 @@ using geom::Point;
 
 namespace {
 
-struct Cand {
-  int u, v;
-  double len;
-};
+using Cand = BoruvkaScratch::Cand;
 
-// Total order on candidate edges: length, then index — makes every
-// "minimum outgoing edge" unique so equal-weight rounds stay acyclic.
-inline bool better(const Cand& a, int ia, const Cand& b, int ib) {
-  if (a.len != b.len) return a.len < b.len;
-  return ia < ib;
+/// The engine-wide strict total order on candidate edges: squared length,
+/// then min endpoint, then max endpoint (endpoints are normalized u < v at
+/// load).  Kruskal accepts edges in exactly this order, so the MST both
+/// engines compute is the unique minimum tree under it — the foundation of
+/// the Borůvka/Kruskal parity and thread-count bit-identity contracts.
+inline bool better(const Cand& a, const Cand& b) {
+  if (a.d2 != b.d2) return a.d2 < b.d2;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
 }
 
 }  // namespace
 
-Tree boruvka_emst(std::span<const Point> pts,
-                  std::span<const std::pair<int, int>> candidates,
-                  bool parallel) {
+void boruvka_emst(std::span<const Point> pts,
+                  std::span<const std::pair<int, int>> candidates, Tree& out,
+                  BoruvkaScratch& scratch, int threads,
+                  par::ThreadPool* pool) {
   const int n = static_cast<int>(pts.size());
   DIRANT_ASSERT(n >= 1);
-  Tree t;
-  t.n = n;
-  if (n == 1) return t;
+  out.n = n;
+  out.edges.clear();
+  if (n == 1) return;
 
-  std::vector<Cand> edges;
-  edges.reserve(candidates.size());
-  for (const auto& [u, v] : candidates) {
-    edges.push_back({u, v, geom::dist(pts[u], pts[v])});
+  const int workers =
+      pool != nullptr && threads > 1
+          ? std::min(threads, static_cast<int>(pool->thread_count()))
+          : 1;
+  // One reduction chunk per worker.  The merged winner of a component is
+  // the minimum of its incident candidates under the total order — a set
+  // property — so the chunk count (and which thread claims which chunk)
+  // cannot influence the output; it only sizes the reduction slabs.
+  const int chunks = workers;
+
+  auto& edges = scratch.edges;
+  edges.resize(candidates.size());
+  par::run_indexed(pool, workers, [&](int w) {
+    const size_t lo = candidates.size() * w / workers;
+    const size_t hi = candidates.size() * (w + 1) / workers;
+    for (size_t i = lo; i < hi; ++i) {
+      const auto [a, b] = candidates[i];
+      Cand& c = edges[i];
+      c.u = std::min(a, b);
+      c.v = std::max(a, b);
+      c.d2 = geom::dist2(pts[c.u], pts[c.v]);
+    }
+  });
+  int live = static_cast<int>(edges.size());
+
+  auto& uf = scratch.uf;
+  uf.reset(n);
+  auto& comp = scratch.comp;
+  comp.resize(n);
+  auto& best = scratch.best;
+  best.resize(n);
+
+  auto& chunk_best = scratch.chunk_best;
+  const size_t slab = static_cast<size_t>(chunks) * n;
+  if (chunk_best.size() < slab) {
+    // Newly grown entries start at -1; everything below the old size is
+    // already -1 by the touched-list reset invariant.
+    const size_t old = chunk_best.size();
+    chunk_best.resize(slab);
+    std::fill(chunk_best.begin() + static_cast<long>(old), chunk_best.end(),
+              -1);
   }
-  const int m = static_cast<int>(edges.size());
-
-  graph::UnionFind uf(n);
-  // best[c]: index of the best outgoing edge of component c this round.
-  std::vector<int> best(n);
-
-  const unsigned workers =
-      parallel ? dirant::par::global_pool().thread_count() : 1;
-  std::vector<std::vector<int>> local(workers);
+  auto& touched = scratch.touched;
+  if (static_cast<int>(touched.size()) < chunks) touched.resize(chunks);
 
   int guard = 0;
   while (uf.components() > 1) {
     DIRANT_ASSERT_MSG(++guard <= 64, "Borůvka did not converge");
-    std::fill(best.begin(), best.end(), -1);
 
-    auto scan = [&](int chunk, int lo, int hi) {
-      auto& mine = local[chunk];
-      mine.assign(n, -1);
-      for (int i = lo; i < hi; ++i) {
-        const auto& e = edges[i];
-        const int cu = uf.find(e.u);  // path-halving find is safe to race-
-        const int cv = uf.find(e.v);  // free read-modify here only because
-        if (cu == cv) continue;       // rounds don't unite concurrently
-        for (int c : {cu, cv}) {
-          if (mine[c] == -1 || better(e, i, edges[mine[c]], mine[c])) {
-            mine[c] = i;
-          }
+    // Freeze the component labelling (uf.find path-halving is not safe to
+    // race) and filter: an edge inside one component can never win again.
+    for (int v = 0; v < n; ++v) comp[v] = uf.find(v);
+    int w = 0;
+    for (int i = 0; i < live; ++i) {
+      if (comp[edges[i].u] != comp[edges[i].v]) edges[w++] = edges[i];
+    }
+    live = w;
+
+    // Per-chunk cheapest-edge reduction over contiguous slices of the live
+    // set.  Chunk ci owns slab row ci: no two chunks write the same entry,
+    // and each slab row returns to all -1 in the merge below.
+    std::fill(best.begin(), best.end(), -1);
+    if (chunks == 1 || live < 2048) {
+      for (int i = 0; i < live; ++i) {
+        const Cand& e = edges[i];
+        for (const int c : {comp[e.u], comp[e.v]}) {
+          if (best[c] == -1 || better(e, edges[best[c]])) best[c] = i;
         }
       }
-    };
-
-    if (workers > 1 && m > 4096) {
-      // NOTE: concurrent uf.find() compresses paths; the find operation is
-      // not thread-safe in general.  Use a frozen component labelling.
-      std::vector<int> comp(n);
-      for (int v = 0; v < n; ++v) comp[v] = uf.find(v);
-      auto scan_frozen = [&](int chunk, int lo, int hi) {
-        auto& mine = local[chunk];
-        mine.assign(n, -1);
+    } else {
+      const int step = (live + chunks - 1) / chunks;
+      par::run_indexed(pool, chunks, [&](int ci) {
+        int* mine = chunk_best.data() + static_cast<size_t>(ci) * n;
+        auto& marks = touched[ci];
+        marks.clear();
+        const int lo = ci * step;
+        const int hi = std::min(live, lo + step);
         for (int i = lo; i < hi; ++i) {
-          const auto& e = edges[i];
-          const int cu = comp[e.u], cv = comp[e.v];
-          if (cu == cv) continue;
-          for (int c : {cu, cv}) {
-            if (mine[c] == -1 || better(e, i, edges[mine[c]], mine[c])) {
+          const Cand& e = edges[i];
+          for (const int c : {comp[e.u], comp[e.v]}) {
+            if (mine[c] == -1) {
+              mine[c] = i;
+              marks.push_back(c);
+            } else if (better(e, edges[mine[c]])) {
               mine[c] = i;
             }
           }
         }
-      };
-      auto& pool = dirant::par::global_pool();
-      const int step = (m + workers - 1) / workers;
-      for (unsigned w = 0; w < workers; ++w) {
-        const int lo = static_cast<int>(w) * step;
-        const int hi = std::min(m, lo + step);
-        if (lo >= hi) {
-          local[w].assign(n, -1);
-          continue;
-        }
-        pool.submit([&, w, lo, hi] { scan_frozen(static_cast<int>(w), lo, hi); });
-      }
-      pool.wait_idle();
-      for (unsigned w = 0; w < workers; ++w) {
-        for (int c = 0; c < n; ++c) {
-          const int i = local[w][c];
-          if (i == -1) continue;
-          if (best[c] == -1 || better(edges[i], i, edges[best[c]], best[c])) {
-            best[c] = i;
-          }
+      });
+      for (int ci = 0; ci < chunks; ++ci) {
+        int* mine = chunk_best.data() + static_cast<size_t>(ci) * n;
+        for (const int c : touched[ci]) {
+          const int i = mine[c];
+          mine[c] = -1;  // restore the all -1 slab invariant
+          if (best[c] == -1 || better(edges[i], edges[best[c]])) best[c] = i;
         }
       }
-    } else {
-      scan(0, 0, m);
-      best = local[0];
     }
 
+    // Unite in ascending component id: the emitted edge sequence is a pure
+    // function of the merged winners, never of scheduling.
     int united = 0;
     for (int c = 0; c < n; ++c) {
       const int i = best[c];
       if (i == -1) continue;
-      if (uf.unite(edges[i].u, edges[i].v)) {
-        t.edges.push_back({edges[i].u, edges[i].v, edges[i].len});
+      const Cand& e = edges[i];
+      if (uf.unite(e.u, e.v)) {
+        out.edges.push_back({e.u, e.v, geom::dist(pts[e.u], pts[e.v])});
         ++united;
       }
     }
     DIRANT_ASSERT_MSG(united > 0, "candidate edges do not connect the points");
   }
-  DIRANT_ASSERT(static_cast<int>(t.edges.size()) == n - 1);
+  DIRANT_ASSERT(static_cast<int>(out.edges.size()) == n - 1);
+}
+
+Tree boruvka_emst(std::span<const Point> pts,
+                  std::span<const std::pair<int, int>> candidates,
+                  bool parallel) {
+  Tree t;
+  BoruvkaScratch scratch;
+  auto& pool = par::global_pool();
+  boruvka_emst(pts, candidates, t, scratch,
+               parallel ? static_cast<int>(pool.thread_count()) : 1,
+               parallel ? &pool : nullptr);
   return t;
 }
 

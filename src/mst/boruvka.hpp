@@ -1,20 +1,70 @@
 #pragma once
 /// \file boruvka.hpp
-/// Borůvka's algorithm over an explicit candidate edge set — the third,
+/// Filter-Borůvka over an explicit candidate edge set — the third,
 /// independently-implemented EMST engine (after Prim and Kruskal) and the
-/// parallel one: each round's minimum-outgoing-edge scan is partitioned
-/// across the thread pool and merged.  Ties are broken by a total order on
-/// edges (length, then index) so equal-weight rounds never create cycles.
+/// pool-parallel one: each round's minimum-outgoing-edge scan is
+/// partitioned into per-chunk reductions fanned out over the thread pool
+/// and merged deterministically, and the surviving candidate set is
+/// compacted (intra-component edges filtered) between rounds.
+///
+/// Determinism contract: candidate edges are ordered by the strict total
+/// order (squared length, min endpoint, max endpoint) — the SAME order the
+/// Kruskal engine accepts edges in — so the MST under that order is unique
+/// and the tree is bit-identical at every thread count AND identical to
+/// `kruskal_emst` over the same candidate set (docs/architecture.md,
+/// "Parallel EMST").  Per-chunk winners merge with that order, and the
+/// unite pass walks components in ascending id, so neither work claiming
+/// nor chunk interleaving can reach the output.
 
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "geometry/point.hpp"
+#include "graph/union_find.hpp"
 #include "mst/tree.hpp"
+
+namespace dirant::par {
+class ThreadPool;
+}
 
 namespace dirant::mst {
 
-/// Borůvka over `candidates` (must connect the points).  `parallel` enables
-/// the pooled scan; identical output either way.
+/// Caller-owned working memory for `boruvka_emst`.  Steady-state consumers
+/// (PlanSession via EmstScratch) keep one instance alive so repeated builds
+/// of same-size instances allocate nothing — the candidate array, the
+/// per-chunk reduction slabs and their touched-lists are all recycled.
+struct BoruvkaScratch {
+  /// One live candidate: endpoints normalized u < v, squared length cached
+  /// (the tie-break total order compares (d2, u, v), matching Kruskal).
+  struct Cand {
+    int u, v;
+    double d2;
+  };
+  std::vector<Cand> edges;      ///< live candidates, filter-compacted per round
+  std::vector<int> comp;        ///< frozen component label per vertex
+  std::vector<int> best;        ///< merged per-component winner (n entries)
+  /// Per-chunk winner slabs (chunks * n entries, stride n).  All -1 between
+  /// rounds and calls: the merge pass resets exactly the touched entries,
+  /// so per-round cleanup is O(edges scanned), not O(chunks * n).
+  std::vector<int> chunk_best;
+  std::vector<std::vector<int>> touched;  ///< per-chunk touched components
+  graph::UnionFind uf;
+};
+
+/// Filter-Borůvka over `candidates` (must connect the points; disconnected
+/// input throws dirant::contract_violation).  Scratch-reusing parallel
+/// form: chunk reductions fan out over `pool` (concurrency =
+/// min(threads, pool workers)) through the allocation-free run_job path,
+/// inline when `threads <= 1` or `pool` is null — bit-identical output
+/// either way.
+void boruvka_emst(std::span<const geom::Point> pts,
+                  std::span<const std::pair<int, int>> candidates, Tree& out,
+                  BoruvkaScratch& scratch, int threads = 1,
+                  par::ThreadPool* pool = nullptr);
+
+/// One-shot convenience (tests, oracles): call-local scratch, `parallel`
+/// runs over the process-global pool.
 Tree boruvka_emst(std::span<const geom::Point> pts,
                   std::span<const std::pair<int, int>> candidates,
                   bool parallel = true);

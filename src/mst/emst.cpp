@@ -73,12 +73,17 @@ void kruskal_emst(std::span<const Point> pts,
   // Sort candidate indices by squared length packed into flat uint64s:
   // non-negative doubles order identically to their bit patterns, so the
   // top 44 bits of dist2 plus a 20-bit index sort in one pass with no
-  // comparator indirection.  Dropping 20 mantissa bits can only reorder
-  // edges equal to within 2^-32 relative — a tie class whose members are
-  // interchangeable for MST weight and lmax at the 1e-9 tolerances the
-  // equivalence tests check.  Candidate sets too large for a 20-bit index
-  // (n beyond ~350k on the Delaunay path) sort (dist2, index) pairs
-  // instead — slower constants, same result, no size cliff.
+  // comparator indirection.  A refinement pass then re-sorts every run of
+  // entries sharing the truncated-dist2 prefix by the engine-wide exact
+  // total order (squared length, min endpoint, max endpoint — the order
+  // Borůvka reduces with, mst/boruvka.hpp), so acceptance follows that
+  // strict order exactly and the Kruskal tree is THE unique MST under it:
+  // bit-identical to the parallel Borůvka engine's, and independent of the
+  // candidate array's order.  Runs are almost always length 1; tie-heavy
+  // lattices pay a handful of tiny sorts.  Candidate sets too large for a
+  // 20-bit index (n beyond ~350k on the Delaunay path) sort (dist2, index)
+  // pairs instead and refine the equal-dist2 runs the same way — slower
+  // constants, same order, no size cliff.
   constexpr size_t kPackedIndexBits = 20;
   scratch.uf.reset(n);
   auto& uf = scratch.uf;
@@ -88,6 +93,19 @@ void kruskal_emst(std::span<const Point> pts,
       return static_cast<int>(out.edges.size()) == n - 1;
     }
     return false;
+  };
+  // Exact (d2, min, max) comparison of two candidate indices.
+  const auto exact_less = [&](std::uint32_t a, std::uint32_t b) {
+    const double da = geom::dist2(pts[candidates[a].first],
+                                  pts[candidates[a].second]);
+    const double db = geom::dist2(pts[candidates[b].first],
+                                  pts[candidates[b].second]);
+    if (da != db) return da < db;
+    const int ua = std::min(candidates[a].first, candidates[a].second);
+    const int ub = std::min(candidates[b].first, candidates[b].second);
+    if (ua != ub) return ua < ub;
+    return std::max(candidates[a].first, candidates[a].second) <
+           std::max(candidates[b].first, candidates[b].second);
   };
   if (candidates.size() < (1ull << kPackedIndexBits)) {
     auto& order = scratch.order;
@@ -100,8 +118,26 @@ void kruskal_emst(std::span<const Point> pts,
       order[i] = (bits & ~((1ull << kPackedIndexBits) - 1)) | i;
     }
     std::sort(order.begin(), order.end());
+    constexpr std::uint64_t kIdxMask = (1ull << kPackedIndexBits) - 1;
+    for (size_t lo = 0; lo < order.size();) {
+      size_t hi = lo + 1;
+      while (hi < order.size() && (order[hi] & ~kIdxMask) ==
+                                      (order[lo] & ~kIdxMask)) {
+        ++hi;
+      }
+      if (hi - lo > 1) {
+        std::sort(order.begin() + static_cast<long>(lo),
+                  order.begin() + static_cast<long>(hi),
+                  [&](std::uint64_t a, std::uint64_t b) {
+                    return exact_less(
+                        static_cast<std::uint32_t>(a & kIdxMask),
+                        static_cast<std::uint32_t>(b & kIdxMask));
+                  });
+      }
+      lo = hi;
+    }
     for (const std::uint64_t packed : order) {
-      const auto& [u, v] = candidates[packed & ((1ull << kPackedIndexBits) - 1)];
+      const auto& [u, v] = candidates[packed & kIdxMask];
       if (accept(u, v)) break;
     }
   } else {
@@ -113,6 +149,18 @@ void kruskal_emst(std::span<const Point> pts,
                   static_cast<std::uint32_t>(i)};
     }
     std::sort(order.begin(), order.end());
+    for (size_t lo = 0; lo < order.size();) {
+      size_t hi = lo + 1;
+      while (hi < order.size() && order[hi].first == order[lo].first) ++hi;
+      if (hi - lo > 1) {
+        std::sort(order.begin() + static_cast<long>(lo),
+                  order.begin() + static_cast<long>(hi),
+                  [&](const auto& a, const auto& b) {
+                    return exact_less(a.second, b.second);
+                  });
+      }
+      lo = hi;
+    }
     for (const auto& [d2, i] : order) {
       const auto& [u, v] = candidates[i];
       if (accept(u, v)) break;

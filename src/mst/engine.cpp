@@ -15,14 +15,16 @@ const char* to_string(EngineKind k) {
       return "prim";
     case EngineKind::kDelaunayKruskal:
       return "delaunay-kruskal";
+    case EngineKind::kBoruvka:
+      return "boruvka";
   }
   return "?";
 }
 
-EngineKind EmstEngine::selected(int n) const {
+EngineKind EmstEngine::selected(int n, int threads) const {
   if (cfg_.kind != EngineKind::kAuto) return cfg_.kind;
-  return n < cfg_.prim_cutoff ? EngineKind::kPrim
-                              : EngineKind::kDelaunayKruskal;
+  if (n < cfg_.prim_cutoff) return EngineKind::kPrim;
+  return threads > 1 ? EngineKind::kBoruvka : EngineKind::kDelaunayKruskal;
 }
 
 Tree EmstEngine::emst(std::span<const geom::Point> pts) const {
@@ -33,10 +35,12 @@ Tree EmstEngine::emst(std::span<const geom::Point> pts) const {
 }
 
 void EmstEngine::emst(std::span<const geom::Point> pts, Tree& out,
-                      EmstScratch& scratch) const {
+                      EmstScratch& scratch, int threads,
+                      par::ThreadPool* pool) const {
   const int n = static_cast<int>(pts.size());
   DIRANT_ASSERT(n >= 1);
-  if (selected(n) == EngineKind::kPrim) {
+  const EngineKind kind = selected(n, threads);
+  if (kind == EngineKind::kPrim) {
     prim_emst(pts, out, scratch.prim);
     return;
   }
@@ -47,9 +51,15 @@ void EmstEngine::emst(std::span<const geom::Point> pts, Tree& out,
     return;
   }
   // Duplicate-heavy or adversarial inputs can leave the candidate graph
-  // disconnected; Kruskal detects that and we fall back to Prim.
+  // disconnected; both engines detect that and we fall back to Prim.
+  // Kruskal and Borůvka accept edges under the same strict total order, so
+  // which one runs is invisible in the output (see mst/boruvka.hpp).
   try {
-    kruskal_emst(pts, dt_edges, out, scratch.kruskal);
+    if (kind == EngineKind::kBoruvka) {
+      boruvka_emst(pts, dt_edges, out, scratch.boruvka, threads, pool);
+    } else {
+      kruskal_emst(pts, dt_edges, out, scratch.kruskal);
+    }
   } catch (const contract_violation&) {
     prim_emst(pts, out, scratch.prim);
   }
@@ -63,8 +73,9 @@ Tree EmstEngine::degree5(std::span<const geom::Point> pts) const {
 }
 
 void EmstEngine::degree5(std::span<const geom::Point> pts, Tree& out,
-                         EmstScratch& scratch) const {
-  emst(pts, out, scratch);
+                         EmstScratch& scratch, int threads,
+                         par::ThreadPool* pool) const {
+  emst(pts, out, scratch, threads, pool);
   enforce_max_degree(pts, out, 5, scratch.repair);
 }
 

@@ -21,9 +21,14 @@
 
 #include "delaunay/delaunay.hpp"
 #include "geometry/point.hpp"
+#include "mst/boruvka.hpp"
 #include "mst/degree5.hpp"
 #include "mst/emst.hpp"
 #include "mst/tree.hpp"
+
+namespace dirant::par {
+class ThreadPool;
+}
 
 namespace dirant::mst {
 
@@ -32,6 +37,7 @@ enum class EngineKind {
   kAuto,             ///< size-based selection (the default policy)
   kPrim,             ///< force O(n^2) Prim (reference engine)
   kDelaunayKruskal,  ///< force Delaunay candidates + Kruskal
+  kBoruvka,          ///< force Delaunay candidates + (parallel) Borůvka
 };
 
 const char* to_string(EngineKind k);
@@ -50,6 +56,7 @@ struct EngineConfig {
 struct EmstScratch {
   PrimScratch prim;
   KruskalScratch kruskal;
+  BoruvkaScratch boruvka;
   DegreeRepairScratch repair;
   delaunay::Triangulator triangulator;
   delaunay::Triangulation candidates;
@@ -70,17 +77,25 @@ class EmstEngine {
   Tree degree5(std::span<const geom::Point> pts) const;
 
   /// Scratch-reusing variants: recycle `out` and every internal buffer.
-  /// Identical outputs to the plain overloads.
-  void emst(std::span<const geom::Point> pts, Tree& out,
-            EmstScratch& scratch) const;
+  /// Identical outputs to the plain overloads.  `threads > 1` (with a pool)
+  /// routes kAuto's large-n path to the pool-parallel Borůvka engine; the
+  /// tree is STILL bit-identical — Kruskal and Borůvka accept edges under
+  /// the same strict total order (d2, min endpoint, max endpoint), which
+  /// makes the MST unique — so the knob changes wall clock only
+  /// (PlanSession::set_threads's contract).
+  void emst(std::span<const geom::Point> pts, Tree& out, EmstScratch& scratch,
+            int threads = 1, par::ThreadPool* pool = nullptr) const;
   void degree5(std::span<const geom::Point> pts, Tree& out,
-               EmstScratch& scratch) const;
+               EmstScratch& scratch, int threads = 1,
+               par::ThreadPool* pool = nullptr) const;
 
   /// Longest MST edge — the universal range lower bound.  0 for n < 2.
   double lmax(std::span<const geom::Point> pts) const;
 
-  /// The engine kAuto would run for an instance of `n` points.
-  EngineKind selected(int n) const;
+  /// The engine kAuto would run for an instance of `n` points at the given
+  /// parallelism (threads > 1 swaps Kruskal for the pool-parallel Borůvka
+  /// above the Prim cutoff; identical tree by the shared total order).
+  EngineKind selected(int n, int threads = 1) const;
 
   const EngineConfig& config() const { return cfg_; }
 

@@ -45,12 +45,77 @@ void ThreadPool::wait_idle() {
   }
 }
 
+void ThreadPool::run_job(void (*fn)(void*, int), void* ctx, int count) {
+  if (count <= 0) return;
+  {
+    std::lock_guard lock(mu_);
+    DIRANT_ASSERT_MSG(!stopping_, "run_job on stopping pool");
+    DIRANT_ASSERT_MSG(job_fn_ == nullptr, "nested run_job on one pool");
+    job_fn_ = fn;
+    job_ctx_ = ctx;
+    job_count_ = count;
+    job_remaining_ = count;
+    job_next_.store(0, std::memory_order_relaxed);
+  }
+  cv_task_.notify_all();
+  // The calling thread claims indices too: a busy or single-worker pool
+  // still makes progress, and the common case finishes without a context
+  // switch when the job is smaller than the worker count.
+  const int mine = drain_job(fn, ctx, count);
+  std::unique_lock lock(mu_);
+  if ((job_remaining_ -= mine) > 0) {
+    cv_idle_.wait(lock, [this] { return job_remaining_ == 0; });
+  }
+  job_fn_ = nullptr;
+  job_ctx_ = nullptr;
+  job_count_ = 0;
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+int ThreadPool::drain_job(void (*fn)(void*, int), void* ctx, int count) {
+  int done = 0;
+  while (true) {
+    const int i = job_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return done;
+    try {
+      fn(ctx, i);
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    ++done;
+  }
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock lock(mu_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      cv_task_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() ||
+               (job_fn_ != nullptr &&
+                job_next_.load(std::memory_order_relaxed) < job_count_);
+      });
+      if (job_fn_ != nullptr &&
+          job_next_.load(std::memory_order_relaxed) < job_count_) {
+        // Snapshot the job under the lock (the slot is stable until
+        // job_remaining_ hits zero, which needs this worker's report).
+        auto* fn = job_fn_;
+        void* ctx = job_ctx_;
+        const int count = job_count_;
+        lock.unlock();
+        const int done = drain_job(fn, ctx, count);
+        lock.lock();
+        if (done > 0 && (job_remaining_ -= done) == 0) {
+          cv_idle_.notify_all();
+        }
+        continue;
+      }
       if (queue_.empty()) return;  // stopping
       task = std::move(queue_.front());
       queue_.pop();

@@ -8,6 +8,7 @@
 /// std::thread, no detached threads, join-on-destruction (RAII), exceptions
 /// from tasks are captured and rethrown on the calling thread.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -16,6 +17,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace dirant::par {
@@ -38,8 +40,22 @@ class ThreadPool {
   /// captured task exception, if any.
   void wait_idle();
 
+  /// Allocation-free pooled fan-out: runs `fn(ctx, i)` for every i in
+  /// [0, count), with workers AND the calling thread claiming indices off a
+  /// shared atomic counter.  Unlike `submit`, no per-task closure is heap-
+  /// allocated — the job is one function pointer + context installed in a
+  /// fixed slot — so the zero-allocation steady-state paths (pooled audits,
+  /// the sharded certify build, parallel Borůvka rounds) can fan out
+  /// without touching the allocator.  Blocks until every index has run;
+  /// rethrows the first captured exception.  One job at a time per pool:
+  /// job bodies must not call run_job/submit/wait_idle on the same pool.
+  void run_job(void (*fn)(void*, int), void* ctx, int count);
+
  private:
   void worker_loop();
+  /// Claim-and-run loop shared by workers and the run_job caller.  Returns
+  /// the number of indices this thread completed.
+  int drain_job(void (*fn)(void*, int), void* ctx, int count);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
@@ -49,6 +65,15 @@ class ThreadPool {
   std::uint64_t in_flight_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;
+
+  // Fixed run_job slot.  fn/ctx/count are written under mu_ before workers
+  // are woken and cleared only after job_remaining_ hits zero, so a worker
+  // that snapshots them under mu_ always sees a live job description.
+  void (*job_fn_)(void*, int) = nullptr;
+  void* job_ctx_ = nullptr;
+  int job_count_ = 0;
+  int job_remaining_ = 0;          ///< indices not yet completed (under mu_)
+  std::atomic<int> job_next_{0};   ///< next unclaimed index
 };
 
 /// Shared process-wide pool (lazily constructed).
@@ -65,5 +90,24 @@ int ensure_pool(std::unique_ptr<ThreadPool>& pool, int threads);
 void parallel_for(std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& fn,
                   std::int64_t min_chunk = 1);
+
+/// Runs `body(i)` for i in [0, count): through `pool->run_job` when the pool
+/// can actually run them concurrently, inline otherwise.  The callable is
+/// passed by address into a capture-free trampoline, so the pooled fan-out
+/// performs zero heap allocations (submit()'s std::function closures do
+/// not fit the small-buffer optimisation for multi-capture lambdas).  Both
+/// execution modes run the identical body in index order or interleaved —
+/// callers own determinism by making each index's work independent.
+template <typename F>
+void run_indexed(ThreadPool* pool, int count, F&& body) {
+  if (pool == nullptr || pool->thread_count() <= 1 || count <= 1) {
+    for (int i = 0; i < count; ++i) body(i);
+    return;
+  }
+  using Body = std::remove_reference_t<F>;
+  void* ctx = const_cast<void*>(static_cast<const void*>(std::addressof(body)));
+  pool->run_job([](void* c, int i) { (*static_cast<Body*>(c))(i); }, ctx,
+                count);
+}
 
 }  // namespace dirant::par

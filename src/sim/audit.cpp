@@ -1,6 +1,7 @@
 #include "sim/audit.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <random>
 
 #include "common/assert.hpp"
@@ -8,6 +9,24 @@
 #include "parallel/thread_pool.hpp"
 
 namespace dirant::sim {
+
+namespace {
+
+/// Seed for trial `t`'s independent RNG stream: splitmix64 over the user
+/// seed and the trial index.  A pure function of (seed, t) — the
+/// per-trial-RNG determinism contract (docs/architecture.md) rests on it.
+std::uint64_t trial_seed(std::uint64_t seed, int t) {
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(t) + 1);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z;
+}
+
+}  // namespace
 
 AuditSession::AuditSession() = default;
 AuditSession::~AuditSession() = default;
@@ -116,11 +135,46 @@ int AuditSession::strong_connectivity_level(int max_level) {
   int level = 1;
   if (max_level >= 2) {
     bool survives_all = true;
-    for (int v = 0; v < n && survives_all; ++v) {
-      removed_[v] = 1;
-      survives_all =
-          graph::is_strongly_connected(g, gt, reach_, removed_.data());
-      removed_[v] = 0;
+    if (threads_ > 1 && pool_ != nullptr) {
+      // Probe-parallel sweep: contiguous probe chunks claimed off the pool
+      // via the allocation-free run_job fan-out.  Each chunk owns its
+      // ReachScratch and deletion mask; the cached transpose is shared
+      // read-only.  The level is the AND of all probe outcomes — a set
+      // property — so chunking and scheduling cannot change it; the
+      // `failed` flag only lets chunks stop early once the answer is
+      // known.
+      const int chunks = threads_;
+      if (static_cast<int>(audit_workers_.size()) < chunks) {
+        audit_workers_.resize(chunks);
+      }
+      std::atomic<int> failed{0};
+      par::run_indexed(pool_.get(), chunks, [&](int ci) {
+        auto& w = audit_workers_[ci];
+        w.removed.assign(n, 0);
+        const int lo = static_cast<int>(
+            static_cast<long long>(n) * ci / chunks);
+        const int hi = static_cast<int>(
+            static_cast<long long>(n) * (ci + 1) / chunks);
+        for (int v = lo; v < hi; ++v) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          w.removed[v] = 1;
+          const bool ok =
+              graph::is_strongly_connected(g, gt, w.reach, w.removed.data());
+          w.removed[v] = 0;
+          if (!ok) {
+            failed.store(1, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+      survives_all = failed.load(std::memory_order_relaxed) == 0;
+    } else {
+      for (int v = 0; v < n && survives_all; ++v) {
+        removed_[v] = 1;
+        survives_all =
+            graph::is_strongly_connected(g, gt, reach_, removed_.data());
+        removed_[v] = 0;
+      }
     }
     if (!survives_all) return level;
     level = 2;
@@ -140,61 +194,101 @@ int AuditSession::strong_connectivity_level(int max_level) {
   return level;
 }
 
+namespace {
+
+/// One failure trial: draw deletions from the trial's own RNG stream,
+/// build the survivor subgraph in CSR (sources ascend, so rows stream
+/// straight into offsets/targets; the arrays recycle through
+/// Digraph::release each trial), and return the largest surviving SCC as a
+/// fraction of the survivors.  Depends only on (g, fraction, seed, t) and
+/// the caller-owned buffers — never on which worker runs it — which is
+/// what makes the trial-parallel sweep bit-identical to the serial one.
+/// Each trial runs serial Tarjan: trials are the parallel axis, and the
+/// SCC partition is a graph property either way.
+double failure_trial(const graph::Digraph& g, double fraction,
+                     std::uint64_t seed, int t, std::vector<char>& removed,
+                     std::vector<int>& remap, std::vector<int>& sub_offsets,
+                     std::vector<int>& sub_targets, std::vector<int>& sizes,
+                     graph::SccScratch& scc, graph::SccResult& scc_result) {
+  const int n = g.size();
+  std::mt19937_64 rng(trial_seed(seed, t));
+  removed.assign(n, 0);
+  remap.resize(n);
+  int alive = n;
+  for (int v = 0; v < n; ++v) {
+    if ((rng() % 1000000) / 1e6 < fraction && alive > 1) {
+      removed[v] = 1;
+      --alive;
+    }
+  }
+  int m = 0;
+  for (int v = 0; v < n; ++v) {
+    remap[v] = removed[v] ? -1 : m++;
+  }
+  sub_offsets.clear();
+  sub_offsets.push_back(0);
+  sub_targets.clear();
+  for (int u = 0; u < n; ++u) {
+    if (removed[u]) continue;
+    for (int v : g.out(u)) {
+      if (!removed[v]) sub_targets.push_back(remap[v]);
+    }
+    sub_offsets.push_back(static_cast<int>(sub_targets.size()));
+  }
+  graph::Digraph sub(std::move(sub_offsets), std::move(sub_targets));
+  graph::strongly_connected_components(sub, scc, scc_result);
+  sizes.assign(scc_result.count, 0);
+  for (int c : scc_result.component) ++sizes[c];
+  const int largest = m == 0 ? 0 : *std::max_element(sizes.begin(),
+                                                     sizes.end());
+  std::move(sub).release(sub_offsets, sub_targets);
+  return m > 0 ? static_cast<double>(largest) / m : 0.0;
+}
+
+}  // namespace
+
 FailureStats AuditSession::failure_resilience(double fraction, int trials,
                                               std::uint64_t seed) {
   const auto& g = digraph();
   FailureStats st;
   const int n = g.size();
   if (n == 0 || trials <= 0) return st;
-  std::mt19937_64 rng(seed);
-  removed_.assign(n, 0);
-  remap_.assign(n, -1);
-  for (int t = 0; t < trials; ++t) {
-    std::fill(removed_.begin(), removed_.end(), 0);
-    int alive = n;
-    for (int v = 0; v < n; ++v) {
-      if ((rng() % 1000000) / 1e6 < fraction && alive > 1) {
-        removed_[v] = 1;
-        --alive;
+  trial_frac_.resize(static_cast<size_t>(trials));
+  if (threads_ > 1 && pool_ != nullptr) {
+    // Trial-parallel sweep: contiguous trial chunks over the pool, each
+    // chunk on its own AuditWorker buffers.  Per-trial fractions land in
+    // trial_frac_[t]; the reduction below runs in trial order, so the
+    // float accumulation (and hence the report) matches the serial loop
+    // bit for bit.
+    const int chunks = threads_;
+    if (static_cast<int>(audit_workers_.size()) < chunks) {
+      audit_workers_.resize(chunks);
+    }
+    par::run_indexed(pool_.get(), chunks, [&](int ci) {
+      auto& w = audit_workers_[ci];
+      const int t_lo = static_cast<int>(
+          static_cast<long long>(trials) * ci / chunks);
+      const int t_hi = static_cast<int>(
+          static_cast<long long>(trials) * (ci + 1) / chunks);
+      for (int t = t_lo; t < t_hi; ++t) {
+        trial_frac_[t] =
+            failure_trial(g, fraction, seed, t, w.removed, w.remap,
+                          w.sub_offsets, w.sub_targets, w.sizes, w.scc,
+                          w.scc_result);
       }
+    });
+  } else {
+    for (int t = 0; t < trials; ++t) {
+      trial_frac_[t] =
+          failure_trial(g, fraction, seed, t, removed_, remap_, sub_offsets_,
+                        sub_targets_, sizes_, scc_, scc_result_);
     }
-    // Largest SCC among survivors: build the survivor subgraph in CSR
-    // (sources ascend, so rows stream straight into offsets/targets; the
-    // arrays recycle through Digraph::release each trial).
-    int m = 0;
-    for (int v = 0; v < n; ++v) {
-      remap_[v] = removed_[v] ? -1 : m++;
-    }
-    sub_offsets_.clear();
-    sub_offsets_.push_back(0);
-    sub_targets_.clear();
-    for (int u = 0; u < n; ++u) {
-      if (removed_[u]) continue;
-      for (int v : g.out(u)) {
-        if (!removed_[v]) sub_targets_.push_back(remap_[v]);
-      }
-      sub_offsets_.push_back(static_cast<int>(sub_targets_.size()));
-    }
-    graph::Digraph sub(std::move(sub_offsets_), std::move(sub_targets_));
-    // The FW–BW engine only helps once its BFS levels can actually fan out;
-    // below the frontier threshold it would pay a per-trial transpose and
-    // trim pass with every level running inline, so small survivor graphs
-    // stay on Tarjan.
-    if (threads_ > 1 && sub.size() >= par_scc_.par_frontier) {
-      graph::parallel_scc(sub, par_scc_, scc_result_, threads_, pool_.get());
-    } else {
-      graph::strongly_connected_components(sub, scc_, scc_result_);
-    }
-    sizes_.assign(scc_result_.count, 0);
-    for (int c : scc_result_.component) ++sizes_[c];
-    const int largest =
-        m == 0 ? 0 : *std::max_element(sizes_.begin(), sizes_.end());
-    const double frac = m > 0 ? static_cast<double>(largest) / m : 0.0;
-    st.mean_largest_scc += frac;
-    st.worst_largest_scc = std::min(st.worst_largest_scc, frac);
-    ++st.trials;
-    std::move(sub).release(sub_offsets_, sub_targets_);
   }
+  for (int t = 0; t < trials; ++t) {
+    st.mean_largest_scc += trial_frac_[t];
+    st.worst_largest_scc = std::min(st.worst_largest_scc, trial_frac_[t]);
+  }
+  st.trials = trials;
   st.mean_largest_scc /= st.trials;
   return st;
 }

@@ -16,8 +16,10 @@
 ///
 /// Lifecycle / reuse contract (mirrors core::PlanSession):
 ///   * Construct once per worker, not per call; the first audit sizes every
-///     buffer, subsequent same-size audits are allocation-free while
-///     `threads() <= 1` (pool fan-out allocates task closures by design).
+///     buffer, subsequent same-size audits are allocation-free at every
+///     thread count — pooled fan-outs go through ThreadPool::run_job (a
+///     fixed slot, no task closures) and the per-chunk AuditWorker scratch
+///     is session-owned and recycled.
 ///   * `bind(g)` points the session at a caller-owned digraph (non-owning;
 ///     the caller keeps `g` alive and unchanged while bound).  `load(...)`
 ///     builds the induced transmission digraph into session storage and
@@ -134,7 +136,22 @@ class AuditSession {
   BroadcastResult flood(int source);
   StretchResult hop_stretch(const graph::Digraph& omni,
                             int sample_sources = 8);
+
+  /// Deletion-probe connectivity depth.  The level-2 pass (n single-vertex
+  /// deletion probes, 2 BFS each) fans out over the session pool when
+  /// `threads() > 1`: contiguous probe chunks with per-chunk
+  /// ReachScratch + deletion mask, all sharing the one cached transpose.
+  /// The level is an AND over probe outcomes — order-independent — so the
+  /// result is identical at every thread count.
   int strong_connectivity_level(int max_level = 3);
+
+  /// Monte-Carlo random-failure resilience.  Each trial draws its
+  /// deletions from an independent RNG stream seeded deterministically
+  /// from (seed, trial index), so trial t sees the same failures no matter
+  /// which worker runs it or whether the loop is serial — the report is
+  /// bit-identical at every thread count (per-trial fractions are recorded
+  /// by index and reduced in trial order).  `threads() > 1` fans trials
+  /// out over the session pool with per-chunk subgraph CSR scratch.
   FailureStats failure_resilience(double fraction, int trials,
                                   std::uint64_t seed);
   RoutingStats routing_stats(std::span<const geom::Point> pts, int samples,
@@ -172,8 +189,23 @@ class AuditSession {
   graph::SccResult scc_result_;
   graph::ParSccScratch par_scc_;       ///< parallel FW–BW scratch
   // Failure-resilience per-trial buffers (survivor subgraph CSR recycled
-  // through Digraph::release).
+  // through Digraph::release) — the serial (threads <= 1) path.
   std::vector<int> remap_, sub_offsets_, sub_targets_, sizes_;
+
+  /// Per-chunk working memory for the pooled audit fan-outs (deletion
+  /// probes, failure trials): one entry per reduction chunk (= the session
+  /// thread count), each with its own reachability scratch, deletion mask,
+  /// Tarjan scratch and survivor-subgraph CSR arrays.  Warm after the
+  /// first pooled audit, so repeated pooled sweeps allocate nothing.
+  struct AuditWorker {
+    graph::ReachScratch reach;
+    std::vector<char> removed;
+    graph::SccScratch scc;
+    graph::SccResult scc_result;
+    std::vector<int> remap, sub_offsets, sub_targets, sizes;
+  };
+  std::vector<AuditWorker> audit_workers_;
+  std::vector<double> trial_frac_;  ///< per-trial largest-SCC fraction
 
   int threads_ = 1;
   std::unique_ptr<par::ThreadPool> pool_;

@@ -1,0 +1,164 @@
+// Probe-parallel audits: sim::AuditSession's strong_connectivity_level
+// (deletion probes fanned over the pool) and failure_resilience (Monte-Carlo
+// trials with per-trial RNG streams) must be BIT-IDENTICAL at every thread
+// count — same level, same mean/worst fractions to the last bit — because
+// probes reduce by AND and trial fractions are recorded by index and reduced
+// in trial order.  The sanitizer variants of scripts/check.sh run this suite
+// with DIRANT_TEST_THREADS=4 so the pooled fan-outs execute on real workers
+// under asan and tsan.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/constants.hpp"
+#include "core/planner.hpp"
+#include "geometry/generators.hpp"
+#include "sim/audit.hpp"
+#include "thread_counts.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+namespace sim = dirant::sim;
+using dirant::kPi;
+using dirant::test::thread_counts;
+
+namespace {
+
+struct Instance {
+  std::vector<geom::Point> pts;
+  core::Result oriented;
+};
+
+std::vector<Instance> audit_instances() {
+  std::vector<Instance> out;
+  for (const auto& [dist, n, seed] :
+       {std::tuple{geom::Distribution::kUniformSquare, 220, 1500},
+        std::tuple{geom::Distribution::kClusters, 180, 1600}}) {
+    geom::Rng rng(seed);
+    Instance inst;
+    inst.pts = geom::make_instance(dist, n, rng);
+    inst.oriented = core::orient(inst.pts, {2, kPi});
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+TEST(AuditParallel, ConnectivityLevelParityAcrossThreadCounts) {
+  for (const auto& inst : audit_instances()) {
+    sim::AuditSession serial;
+    serial.load(inst.pts, inst.oriented.orientation);
+    const int ref = serial.strong_connectivity_level(3);
+    for (int t : thread_counts()) {
+      sim::AuditSession session;
+      session.set_threads(t);
+      session.load(inst.pts, inst.oriented.orientation);
+      EXPECT_EQ(session.strong_connectivity_level(3), ref)
+          << "threads=" << t;
+    }
+  }
+}
+
+TEST(AuditParallel, FailureResilienceBitIdenticalAcrossThreadCounts) {
+  // EXPECT_EQ on the doubles, not EXPECT_NEAR: the per-trial RNG streams
+  // and the in-order reduction make the report exactly reproducible, and a
+  // weaker check would hide a worker-order-dependent reduction.
+  for (const auto& inst : audit_instances()) {
+    sim::AuditSession serial;
+    serial.load(inst.pts, inst.oriented.orientation);
+    const auto ref = serial.failure_resilience(0.15, 33, 99);
+    ASSERT_EQ(ref.trials, 33);
+    for (int t : thread_counts()) {
+      sim::AuditSession session;
+      session.set_threads(t);
+      session.load(inst.pts, inst.oriented.orientation);
+      const auto st = session.failure_resilience(0.15, 33, 99);
+      EXPECT_EQ(st.trials, ref.trials) << "threads=" << t;
+      EXPECT_EQ(st.mean_largest_scc, ref.mean_largest_scc)
+          << "threads=" << t;
+      EXPECT_EQ(st.worst_largest_scc, ref.worst_largest_scc)
+          << "threads=" << t;
+    }
+  }
+}
+
+TEST(AuditParallel, ThreadKnobRoundTripKeepsResults) {
+  // One session toggled serial -> pooled -> serial: the knob must never
+  // change what the metrics say, and per-chunk worker scratch left behind
+  // by the pooled pass must not leak into the serial one.
+  geom::Rng rng(1700);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 200, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  sim::AuditSession session;
+  session.load(pts, res.orientation);
+
+  const int level = session.strong_connectivity_level(3);
+  const auto fail = session.failure_resilience(0.1, 21, 7);
+
+  session.set_threads(4);
+  EXPECT_EQ(session.strong_connectivity_level(3), level);
+  const auto pooled = session.failure_resilience(0.1, 21, 7);
+  EXPECT_EQ(pooled.mean_largest_scc, fail.mean_largest_scc);
+  EXPECT_EQ(pooled.worst_largest_scc, fail.worst_largest_scc);
+
+  session.set_threads(1);
+  EXPECT_EQ(session.strong_connectivity_level(3), level);
+  const auto back = session.failure_resilience(0.1, 21, 7);
+  EXPECT_EQ(back.mean_largest_scc, fail.mean_largest_scc);
+  EXPECT_EQ(back.worst_largest_scc, fail.worst_largest_scc);
+}
+
+TEST(AuditParallel, RepeatedPooledSweepsAreStable) {
+  // Same pooled session, same inputs, repeated calls: recycled AuditWorker
+  // scratch (masks, reach buffers, survivor CSR arrays) must reproduce the
+  // exact same report every time.
+  geom::Rng rng(1800);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kClusters, 160, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  sim::AuditSession session;
+  session.set_threads(4);
+  session.load(pts, res.orientation);
+
+  const int level = session.strong_connectivity_level(3);
+  const auto first = session.failure_resilience(0.2, 25, 3);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(session.strong_connectivity_level(3), level) << "rep " << rep;
+    const auto again = session.failure_resilience(0.2, 25, 3);
+    EXPECT_EQ(again.mean_largest_scc, first.mean_largest_scc)
+        << "rep " << rep;
+    EXPECT_EQ(again.worst_largest_scc, first.worst_largest_scc)
+        << "rep " << rep;
+  }
+}
+
+TEST(AuditParallel, FullReportParityAcrossThreadCounts) {
+  // The one-call audit runs every metric off one digraph build; the pooled
+  // session must agree with the serial one on all of them.
+  geom::Rng rng(1900);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 150, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  sim::AuditOptions opts;
+  opts.failure_trials = 10;
+  opts.routing_samples = 50;
+
+  sim::AuditSession serial;
+  const auto ref = serial.full_report(pts, res.orientation, opts);
+  for (int t : thread_counts()) {
+    sim::AuditSession session;
+    session.set_threads(t);
+    const auto rep = session.full_report(pts, res.orientation, opts);
+    EXPECT_EQ(rep.strongly_connected, ref.strongly_connected);
+    EXPECT_EQ(rep.scc_count, ref.scc_count);
+    EXPECT_EQ(rep.connectivity_level, ref.connectivity_level);
+    EXPECT_EQ(rep.failure.mean_largest_scc, ref.failure.mean_largest_scc);
+    EXPECT_EQ(rep.failure.worst_largest_scc, ref.failure.worst_largest_scc);
+    EXPECT_EQ(rep.flood.mean_rounds, ref.flood.mean_rounds);
+    EXPECT_EQ(rep.routing.delivery_rate, ref.routing.delivery_rate);
+    EXPECT_EQ(rep.energy.total, ref.energy.total);
+  }
+}
+
+}  // namespace

@@ -1,11 +1,21 @@
 // Borůvka EMST engine: agreement with Prim across families (including
-// tie-heavy lattices), serial/parallel equivalence, Delaunay-candidate path.
+// tie-heavy lattices), serial/parallel equivalence, Delaunay-candidate path,
+// and exact edge-set parity with the Kruskal engine at every thread count
+// (the two accept edges under the same strict total order, so the MST is
+// unique and the engines interchangeable).
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "geometry/generators.hpp"
 #include "mst/boruvka.hpp"
 #include "mst/emst.hpp"
+#include "mst/engine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "thread_counts.hpp"
 
 namespace geom = dirant::geom;
 namespace mst = dirant::mst;
@@ -18,6 +28,16 @@ std::vector<std::pair<int, int>> complete_edges(int n) {
     for (int j = i + 1; j < n; ++j) e.emplace_back(i, j);
   }
   return e;
+}
+
+/// Canonical edge-set key: exact identity, not just matching weights.
+std::vector<std::pair<int, int>> edge_key(const mst::Tree& t) {
+  std::vector<std::pair<int, int>> k;
+  for (const auto& e : t.edges) {
+    k.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  }
+  std::sort(k.begin(), k.end());
+  return k;
 }
 
 class BoruvkaSweep
@@ -99,6 +119,130 @@ TEST(Boruvka, DisconnectedCandidatesRejected) {
   const std::vector<geom::Point> pts = {{0, 0}, {1, 0}, {5, 5}, {6, 5}};
   const std::vector<std::pair<int, int>> edges = {{0, 1}, {2, 3}};
   EXPECT_THROW(mst::boruvka_emst(pts, edges), dirant::contract_violation);
+}
+
+// --- engine parity: Borůvka vs Kruskal under the shared total order -------
+
+using dirant::test::thread_counts;
+
+/// The instance families the engine-routing contract must hold on: random,
+/// clustered, collinear (degenerate Delaunay -> both engines fall back to
+/// Prim identically), and duplicate-heavy (zero-length edge ties).
+std::vector<std::vector<geom::Point>> parity_instances() {
+  std::vector<std::vector<geom::Point>> out;
+  {
+    geom::Rng rng(301);
+    out.push_back(
+        geom::make_instance(geom::Distribution::kUniformSquare, 300, rng));
+  }
+  {
+    geom::Rng rng(302);
+    out.push_back(
+        geom::make_instance(geom::Distribution::kClusters, 250, rng));
+  }
+  {
+    std::vector<geom::Point> collinear;
+    for (int i = 0; i < 150; ++i) {
+      collinear.push_back({0.31 * i, 2.0});
+    }
+    out.push_back(std::move(collinear));
+  }
+  {
+    geom::Rng rng(303);
+    auto base =
+        geom::make_instance(geom::Distribution::kUniformSquare, 120, rng);
+    auto dup = base;
+    dup.insert(dup.end(), base.begin(), base.end());
+    out.push_back(std::move(dup));
+  }
+  return out;
+}
+
+TEST(BoruvkaEngineParity, ExactEdgeSetMatchesKruskalAcrossFamilies) {
+  // Serial Borůvka vs the Kruskal engine over the same Delaunay candidate
+  // set: the strict total order (d2, min endpoint, max endpoint) makes the
+  // MST unique, so the trees must be THE SAME EDGE SET — weight agreement
+  // alone would hide tie-break divergence on duplicate-heavy inputs.
+  const mst::EmstEngine kruskal({mst::EngineKind::kDelaunayKruskal});
+  const mst::EmstEngine boruvka({mst::EngineKind::kBoruvka});
+  for (const auto& pts : parity_instances()) {
+    mst::Tree kt, bt;
+    mst::EmstScratch ks, bs;
+    kruskal.emst(pts, kt, ks);
+    boruvka.emst(pts, bt, bs);  // threads=1: serial Borůvka
+    bt.validate(pts);
+    // Exact SET identity; the weight is only NEAR because the two engines
+    // append edges in different orders (sorted vs per-round) and the sum's
+    // rounding follows the order.
+    EXPECT_EQ(edge_key(kt), edge_key(bt));
+    EXPECT_NEAR(kt.total_weight(), bt.total_weight(),
+                1e-12 * (1.0 + kt.total_weight()));
+  }
+}
+
+TEST(BoruvkaEngineParity, ThreadCountsProduceIdenticalTrees) {
+  // The pool-parallel engine (real workers AND the inline no-pool path)
+  // must reproduce the serial tree bit for bit at every thread count —
+  // chunk boundaries and work-claiming order must be invisible.
+  const mst::EmstEngine engine;  // kAuto: threads>1 routes to Borůvka
+  for (const auto& pts : parity_instances()) {
+    mst::Tree serial;
+    mst::EmstScratch serial_scratch;
+    engine.emst(pts, serial, serial_scratch);
+    for (int t : thread_counts()) {
+      dirant::par::ThreadPool pool(static_cast<unsigned>(t));
+      mst::Tree pooled, inlined;
+      mst::EmstScratch pooled_scratch, inline_scratch;
+      engine.emst(pts, pooled, pooled_scratch, t, &pool);
+      engine.emst(pts, inlined, inline_scratch, t, nullptr);
+      EXPECT_EQ(edge_key(serial), edge_key(pooled)) << "threads=" << t;
+      EXPECT_EQ(edge_key(serial), edge_key(inlined)) << "threads=" << t;
+    }
+  }
+}
+
+TEST(BoruvkaEngineParity, TieHeavyLatticeIdenticalAcrossThreadCounts) {
+  // Equal-weight lattices are where a nondeterministic winner merge would
+  // first show: every chunk sees dozens of equal-d2 edges per component.
+  geom::Rng rng(4);
+  std::vector<std::vector<geom::Point>> lattices;
+  lattices.push_back(geom::triangular_lattice(10, 10, 1.0));
+  lattices.push_back(geom::grid_points(9, 9, 1.0, 0.0, rng));
+  for (const auto& pts : lattices) {
+    const auto edges = complete_edges(static_cast<int>(pts.size()));
+    mst::BoruvkaScratch serial_scratch;
+    mst::Tree serial;
+    mst::boruvka_emst(pts, edges, serial, serial_scratch, /*threads=*/1);
+    serial.validate(pts);
+    for (int t : thread_counts()) {
+      dirant::par::ThreadPool pool(static_cast<unsigned>(t));
+      mst::BoruvkaScratch scratch;
+      mst::Tree pooled;
+      mst::boruvka_emst(pts, edges, pooled, scratch, t, &pool);
+      EXPECT_EQ(edge_key(serial), edge_key(pooled)) << "threads=" << t;
+    }
+  }
+}
+
+TEST(BoruvkaEngineParity, ScratchReuseAcrossSizesAndThreadCounts) {
+  // One BoruvkaScratch streaming through different sizes and shard counts:
+  // the winner-slab touched-list invariant (all -1 between calls) must hold
+  // across shrinking instances and thread-count changes.
+  mst::BoruvkaScratch scratch;
+  dirant::par::ThreadPool pool(4);
+  for (const auto& [n, t] : {std::pair{300, 4}, std::pair{80, 8},
+                             std::pair{300, 2}, std::pair{150, 1}}) {
+    geom::Rng rng(880 + n + t);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, n, rng);
+    const auto edges = complete_edges(n);
+    mst::Tree reused;
+    mst::boruvka_emst(pts, edges, reused, scratch, t, &pool);
+    reused.validate(pts);
+    const auto fresh = mst::boruvka_emst(pts, edges, /*parallel=*/false);
+    EXPECT_EQ(edge_key(fresh), edge_key(reused))
+        << "n=" << n << " threads=" << t;
+  }
 }
 
 }  // namespace

@@ -248,6 +248,36 @@ TEST(SessionAllocation, SecondAuditIsAllocationFree) {
   EXPECT_EQ(second.energy.total, warm.energy.total);
 }
 
+TEST(SessionAllocation, WarmPooledAuditSweepIsAllocationFree) {
+  // The pooled counterpart of SecondAuditIsAllocationFree: with
+  // set_threads(4), the deletion probes and Monte-Carlo trials fan out over
+  // the session pool through ThreadPool::run_job (a fixed slot — no task
+  // closures) into per-chunk AuditWorker scratch.  After one warm sweep,
+  // repeating both metrics must do zero heap work ON ANY THREAD (the
+  // counting hook is global, so a worker that allocates fails this too).
+  geom::Rng rng(2718);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 260, rng);
+  const auto res = core::orient(pts, {2, kPi});
+
+  dirant::sim::AuditSession session;
+  session.set_threads(4);
+  session.load(pts, res.orientation);
+  const int warm_level = session.strong_connectivity_level(2);
+  const auto warm_fail = session.failure_resilience(0.1, 8, 5);
+
+  int level = -1;
+  dirant::sim::FailureStats fail;
+  const long long allocs = count_allocations([&] {
+    level = session.strong_connectivity_level(2);
+    fail = session.failure_resilience(0.1, 8, 5);
+  });
+  EXPECT_EQ(allocs, 0) << "warm probe-parallel audit sweep allocated";
+  EXPECT_EQ(level, warm_level);
+  EXPECT_EQ(fail.mean_largest_scc, warm_fail.mean_largest_scc);
+  EXPECT_EQ(fail.worst_largest_scc, warm_fail.worst_largest_scc);
+}
+
 TEST(SessionAllocation, BatchChunkPerWorkerIsAllocationFree) {
   // A batch worker's inner loop: one warm session streaming a chunk of
   // same-size instances (core::orient_batch keeps exactly this shape per
