@@ -1,0 +1,292 @@
+// X7 — churn throughput study: sustained certified updates/sec through
+// sim::ChurnEngine under a sustained-attrition workload, incremental
+// recertification (candidate-pool Kruskal + digraph row patching) against
+// the same engine pinned to the full-rebuild path (force_full).  The two
+// engines consume the SAME event batches in lock step and must agree bit
+// for bit on every certificate and every oriented sector — verified
+// in-run, not assumed (the incremental path is an exact acceleration; see
+// tests/test_churn.cpp for the from-scratch parity proof).
+//
+// Appends a "churn" section to BENCH_scaling.json: one row per n with the
+// sustained updates/sec of both paths, their ratio, and the incremental
+// hit rate (fraction of batches that stayed on both incremental paths —
+// the pool degrades under churn and escalation is part of the design, so
+// the hit rate is the honest context for the speedup).  Every row carries
+// hw_threads so numbers from a throttled 1-core box are never mistaken
+// for the real trajectory.
+//
+// Smoke mode (DIRANT_BENCH_SMOKE=1): tiny n / few batches so the
+// bench_smoke_x7_churn ctest entry keeps this binary from bit-rotting.
+// DIRANT_X7_THREADS=t runs both engines with a t-worker pool (sharded
+// full rebuilds + parallel SCC; results unchanged by contract).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/constants.hpp"
+#include "core/session.hpp"
+#include "geometry/generators.hpp"
+#include "sim/churn.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+namespace sim = dirant::sim;
+using dirant::kPi;
+
+namespace {
+
+using dirant::bench::time_ms;
+
+struct ChurnRow {
+  int n = 0;
+  double events_per_batch = 0.0;      ///< mean applied events per batch
+  double updates_per_sec = 0.0;       ///< incremental engine
+  double full_updates_per_sec = 0.0;  ///< force_full engine, same events
+  double speedup = 0.0;               ///< updates_per_sec / full_...
+  double incremental_hit_rate = 0.0;  ///< batches on both incremental paths
+};
+
+/// Removes a previously spliced `"name": [...]` section (with its leading
+/// comma, if any) so reruns replace rather than accumulate.
+void drop_section(std::string& existing, const std::string& name) {
+  const std::string key = "\"" + name + "\"";
+  size_t pos;
+  while ((pos = existing.find(key)) != std::string::npos) {
+    size_t start = existing.rfind(',', pos);
+    if (start == std::string::npos) start = pos;
+    const size_t close = existing.find(']', pos);
+    const size_t end = close == std::string::npos ? pos + key.size()
+                                                  : close + 1;
+    existing.erase(start, end - start);
+  }
+}
+
+/// Splices the "churn" section into BENCH_scaling.json next to whatever
+/// x3/x6 wrote (creates the file if neither has run).
+void append_churn_json(const std::vector<ChurnRow>& rows,
+                       unsigned hw_threads) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_scaling.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  drop_section(existing, "churn");
+  std::ostringstream section;
+  section << "  \"churn\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    section << "    {\"n\": " << r.n
+            << ", \"events_per_batch\": " << r.events_per_batch
+            << ", \"updates_per_sec\": " << r.updates_per_sec
+            << ", \"full_updates_per_sec\": " << r.full_updates_per_sec
+            << ", \"speedup\": " << r.speedup
+            << ", \"incremental_hit_rate\": " << r.incremental_hit_rate
+            << ", \"hw_threads\": " << hw_threads << "}"
+            << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  section << "  ]\n";
+
+  const size_t close = existing.rfind('}');
+  std::ofstream outf("BENCH_scaling.json", std::ios::trunc);
+  if (close != std::string::npos) {
+    std::string head = existing.substr(0, close);
+    while (!head.empty() && (head.back() == '\n' || head.back() == ' ' ||
+                             head.back() == ',')) {
+      head.pop_back();
+    }
+    const bool only_member = !head.empty() && head.back() == '{';
+    outf << head << (only_member ? "\n" : ",\n") << section.str() << "}\n";
+  } else {
+    outf << "{\n" << section.str() << "}\n";
+  }
+  std::printf("appended churn section to BENCH_scaling.json\n");
+}
+
+/// Lock-step parity: the incremental engine and the force_full engine ran
+/// the same batch and must agree exactly.  Prints a WARNING (never
+/// aborts) so a broken run is loud in the log and in the recorded table.
+void check_parity(const sim::ChurnEngine& inc, const sim::ChurnEngine& full,
+                  int n, int batch) {
+  const auto& a = inc.last_report();
+  const auto& b = full.last_report();
+  const auto& ca = a.certificate;
+  const auto& cb = b.certificate;
+  bool same = a.alive == b.alive &&
+              ca.strongly_connected == cb.strongly_connected &&
+              ca.scc_count == cb.scc_count &&
+              ca.max_radius == cb.max_radius &&
+              ca.max_spread_sum == cb.max_spread_sum &&
+              ca.max_antennas == cb.max_antennas;
+  const auto& oa = inc.last_result().orientation;
+  const auto& ob = full.last_result().orientation;
+  for (int c = 0; same && c < inc.alive_count(); ++c) {
+    same = oa.node_equals(c, ob, c);
+  }
+  if (!same) {
+    std::printf(
+        "WARNING: incremental/full mismatch at n=%d batch=%d — the "
+        "incremental path stopped being exact\n",
+        n, batch);
+  }
+}
+
+DIRANT_REPORT(x7) {
+  using dirant::bench::section;
+  const bool smoke = std::getenv("DIRANT_BENCH_SMOKE") != nullptr;
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  if (hw_threads == 1) {
+    std::printf(
+        "*** WARNING: hardware_concurrency() == 1 — churn throughput on "
+        "this box reflects a single core; pooled rebuilds oversubscribe "
+        "it and updates/sec will be pessimistic.  Read the hw_threads "
+        "field before quoting any row. ***\n");
+  }
+  section(
+      "X7 — churn engine: sustained certified updates/sec, incremental "
+      "recertification vs full re-plan (k=2, phi=pi)");
+  const std::vector<int> sizes = smoke ? std::vector<int>{300}
+                                       : std::vector<int>{2000, 10000, 50000};
+  const int batches = smoke ? 6 : 40;
+  int threads = 1;
+  if (const char* env = std::getenv("DIRANT_X7_THREADS")) {
+    threads = std::max(1, std::atoi(env));
+  }
+  const core::ProblemSpec spec{2, kPi};
+  std::printf(
+      "n        ev/batch  inc-upd/s    full-upd/s   speedup  hit-rate  "
+      "(threads=%d, hw=%u)\n",
+      threads, hw_threads);
+  std::printf(
+      "--------------------------------------------------------------------"
+      "----\n");
+
+  std::vector<ChurnRow> rows;
+  for (int n : sizes) {
+    geom::Rng rng(73000 + n);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, n, rng);
+    sim::ChurnEngine inc;
+    sim::ChurnEngine full;
+    sim::ChurnOptions full_opts;
+    full_opts.force_full = true;
+    inc.set_threads(threads);
+    full.set_threads(threads);
+    inc.init(pts, spec);
+    full.init(pts, spec, full_opts);
+
+    double inc_ms = 0.0, full_ms = 0.0;
+    long long applied = 0;
+    int incremental_batches = 0;
+    std::vector<sim::ChurnEvent> events;
+    for (int b = 1; b <= batches; ++b) {
+      events.clear();
+      // Sustained attrition: ~1% of the survivors drop per batch, no
+      // rejoins, no mobility.  This is the workload the incremental path
+      // exists for — a recover inserts ~alive candidate edges into the
+      // pool, so recover/move-heavy batches escalate to the full re-plan
+      // by design (and would make this row measure escalation overhead,
+      // not incremental throughput; the hit-rate column keeps it honest).
+      inc.poisson_schedule(4242, b, 0.01, 0.0, 0.0, 0.0, events);
+      inc_ms += time_ms([&] {
+        const auto& rep = inc.step(events);
+        benchmark::DoNotOptimize(rep.certificate.scc_count);
+      });
+      full_ms += time_ms([&] {
+        const auto& rep = full.step(events);
+        benchmark::DoNotOptimize(rep.certificate.scc_count);
+      });
+      check_parity(inc, full, n, b);
+      for (const auto& ev : inc.last_report().events) {
+        if (ev.applied) ++applied;
+      }
+      const auto& rep = inc.last_report();
+      if (rep.incremental_plan && rep.incremental_digraph) {
+        ++incremental_batches;
+      }
+    }
+    ChurnRow row;
+    row.n = n;
+    row.events_per_batch = static_cast<double>(applied) / batches;
+    row.updates_per_sec =
+        static_cast<double>(applied) / std::max(inc_ms / 1000.0, 1e-12);
+    row.full_updates_per_sec =
+        static_cast<double>(applied) / std::max(full_ms / 1000.0, 1e-12);
+    row.speedup = row.updates_per_sec /
+                  std::max(row.full_updates_per_sec, 1e-12);
+    row.incremental_hit_rate =
+        static_cast<double>(incremental_batches) / batches;
+    std::printf("%-8d %7.1f   %10.1f   %10.1f   %6.2fx   %6.2f\n", n,
+                row.events_per_batch, row.updates_per_sec,
+                row.full_updates_per_sec, row.speedup,
+                row.incremental_hit_rate);
+    rows.push_back(row);
+  }
+
+  if (smoke) {
+    // Throwaway tiny-n numbers must never land in the recorded trajectory.
+    std::printf("smoke mode: BENCH_scaling.json left untouched\n");
+  } else {
+    append_churn_json(rows, hw_threads);
+  }
+}
+
+void BM_churn_step_incremental(benchmark::State& state) {
+  geom::Rng rng(74);
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  sim::ChurnEngine eng;
+  eng.init(pts, {2, kPi});
+  std::vector<sim::ChurnEvent> events;
+  int b = 0;
+  for (auto _ : state) {
+    events.clear();
+    eng.poisson_schedule(4242, ++b, 0.01, 0.0, 0.0, 0.0, events);
+    const auto& rep = eng.step(events);
+    benchmark::DoNotOptimize(rep.certificate.scc_count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_churn_step_incremental)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Complexity();
+
+void BM_churn_step_full(benchmark::State& state) {
+  geom::Rng rng(74);  // same instances as the incremental variant
+  const auto pts = geom::make_instance(geom::Distribution::kUniformSquare,
+                                       static_cast<int>(state.range(0)), rng);
+  sim::ChurnEngine eng;
+  sim::ChurnOptions opts;
+  opts.force_full = true;
+  eng.init(pts, {2, kPi}, opts);
+  std::vector<sim::ChurnEvent> events;
+  int b = 0;
+  for (auto _ : state) {
+    events.clear();
+    eng.poisson_schedule(4242, ++b, 0.01, 0.0, 0.0, 0.0, events);
+    const auto& rep = eng.step(events);
+    benchmark::DoNotOptimize(rep.certificate.scc_count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_churn_step_full)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Complexity();
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

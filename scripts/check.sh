@@ -30,17 +30,18 @@ run_variant() {
 CTEST_EXTRA=("$@")
 
 # The Release variant builds the bench binaries, so its ctest run includes
-# the bench_smoke entries (x3_scaling + x6_certify at tiny n with
-# DIRANT_BENCH_SMOKE=1, plus the pooled sharded-certify and parallel-SCC
-# x6 paths) — benches can't silently bit-rot.  The sanitized Debug variant
+# the bench_smoke entries (x3_scaling + x6_certify + x7_churn at tiny n
+# with DIRANT_BENCH_SMOKE=1, plus the pooled sharded-certify and
+# parallel-SCC x6 paths) — benches can't silently bit-rot.  The sanitized Debug variant
 # skips benches for build time and runs its suite with
 # DIRANT_TEST_THREADS=4: the sharded digraph-build and parallel-SCC tests
 # then spin real 4-worker pools, so memory errors in the concurrent paths
 # surface under asan/ubsan.  The ThreadSanitizer variant (DIRANT_TSAN)
 # re-runs exactly the concurrency-heavy suites — parallel SCC, the sharded
-# certify build, the batch fan-out, the pool-parallel Borůvka EMST, and
-# the probe/trial-parallel audits — with the same 4-worker pools, so
-# data races (not just memory errors) surface too.  All variants promote
+# certify build, the batch fan-out, the pool-parallel Borůvka EMST, the
+# probe/trial-parallel audits, and the churn engine's pooled
+# recertification — with the same 4-worker pools, so data races (not just
+# memory errors) surface too.  All variants promote
 # the library's -Wall -Wextra diagnostics to errors (DIRANT_WERROR).
 run_variant build-release "" -DCMAKE_BUILD_TYPE=Release -DDIRANT_WERROR=ON
 DIRANT_TEST_THREADS=4 \
@@ -49,7 +50,7 @@ run_variant build-asan "" -DCMAKE_BUILD_TYPE=Debug -DDIRANT_SANITIZE=ON \
     -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF
 DIRANT_TEST_THREADS=4 \
 run_variant build-tsan \
-    "test_parallel_scc|test_csr_equivalence|test_batch|test_boruvka|test_audit_parallel" \
+    "test_parallel_scc|test_csr_equivalence|test_batch|test_boruvka|test_audit_parallel|test_churn" \
     -DCMAKE_BUILD_TYPE=Debug -DDIRANT_TSAN=ON -DDIRANT_WERROR=ON \
     -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF
 

@@ -91,6 +91,53 @@ class Orientation {
   /// Maintained incrementally by `add` — O(1).
   int total_antennas() const { return total_antennas_; }
 
+  /// True iff node `ua`'s antenna list is bit-identical to `b`'s node `ub`:
+  /// same count, and every sector equal in apex, start, width, and radius
+  /// (exact double compares — this is a change-detection primitive, not a
+  /// geometric one).  Boundary-ray caches are derived deterministically from
+  /// (start, width) at `add` time, so sector equality implies dir equality.
+  bool node_equals(int ua, const Orientation& b, int ub) const {
+    const auto& sa = at_[ua];
+    const auto& sb = b.at_[ub];
+    if (sa.size() != sb.size()) return false;
+    for (size_t j = 0; j < sa.size(); ++j) {
+      const geom::Sector& x = sa[j];
+      const geom::Sector& y = sb[j];
+      if (x.apex.x != y.apex.x || x.apex.y != y.apex.y ||
+          x.start != y.start || x.width != y.width || x.radius != y.radius) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Overwrite node `dst_u`'s antenna list with a copy of `src`'s node
+  /// `src_u` (sectors and cached boundary dirs — no trigonometry).  Reuses
+  /// the destination buckets' capacity, so snapshot maintenance through a
+  /// warm orientation is allocation-free once buckets have grown.
+  /// `total_antennas` is adjusted by the delta; `max_radius` only ratchets
+  /// up (recomputing a shrink would cost O(total sectors) — snapshot
+  /// consumers don't read it).
+  void copy_node(int dst_u, const Orientation& src, int src_u) {
+    const auto& ss = src.at_[src_u];
+    total_antennas_ +=
+        static_cast<int>(ss.size()) - static_cast<int>(at_[dst_u].size());
+    at_[dst_u].assign(ss.begin(), ss.end());
+    const auto& sd = src.dirs_[src_u];
+    dirs_[dst_u].assign(sd.begin(), sd.end());
+    for (const geom::Sector& s : ss) {
+      max_radius_ = std::max(max_radius_, s.radius);
+    }
+  }
+
+  /// Clear node `u`'s antenna list (capacity kept).  Snapshot maintenance
+  /// for nodes that leave the alive set.
+  void clear_node(int u) {
+    total_antennas_ -= static_cast<int>(at_[u].size());
+    at_[u].clear();
+    dirs_[u].clear();
+  }
+
  private:
   std::vector<std::vector<geom::Sector>> at_;
   std::vector<std::vector<BoundaryDirs>> dirs_;

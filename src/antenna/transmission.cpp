@@ -692,6 +692,46 @@ graph::Digraph induced_digraph_fast(std::span<const Point> pts,
   return graph::Digraph(std::move(offsets), std::move(targets));
 }
 
+bool sector_accepts(std::span<const Point> pts, const Orientation& o, int u,
+                    int v, double angle_tol, double radius_tol) {
+  const double dx = pts[v].x - pts[u].x;
+  const double dy = pts[v].y - pts[u].y;
+  const double d2 = dx * dx + dy * dy;
+  if (d2 == 0.0) return false;  // coincident point: no direction
+  const auto& antennas = o.antennas(u);
+  if (angle_tol > 0.5) {  // huge-tolerance probing path: exact test
+    for (const auto& s : antennas) {
+      if (s.contains(pts[v], angle_tol, radius_tol)) return true;
+    }
+    return false;
+  }
+  const double sin_tol = std::min(std::sin(angle_tol), 1.0);
+  const double exact_band = sin_tol * sin_tol;
+  const auto& dirs = o.boundary_dirs(u);
+  for (size_t j = 0; j < antennas.size(); ++j) {
+    const auto& s = antennas[j];
+    const double limit = s.radius * (1.0 + kRadiusRelTol) + radius_tol;
+    if (d2 > limit * limit) continue;
+    const double sx = dirs[j].sx, sy = dirs[j].sy;
+    const double cs = sx * dy - sy * dx;
+    if (s.width == 0.0) {  // kBeam
+      if (cs * cs <= d2 * exact_band && sx * dx + sy * dy > 0.0) return true;
+      continue;
+    }
+    if (s.width >= kTwoPi - angle_tol) return true;  // kFull
+    const double ex = dirs[j].ex, ey = dirs[j].ey;
+    const double ce = ex * dy - ey * dx;
+    const double band = d2 * exact_band;
+    if ((cs * cs <= band && sx * dx + sy * dy > 0.0) ||
+        (ce * ce <= band && ex * dx + ey * dy > 0.0)) {
+      return true;
+    }
+    const bool wide = s.width > kPi;
+    if (wide ? !(cs < 0.0 && ce > 0.0) : (cs > 0.0 && ce < 0.0)) return true;
+  }
+  return false;
+}
+
 graph::Digraph unit_disk_digraph(std::span<const Point> pts, double radius) {
   TransmissionScratch scratch;
   return unit_disk_digraph(pts, radius, scratch);

@@ -121,6 +121,17 @@ graph::Digraph induced_digraph_fast(std::span<const geom::Point> pts,
                                     int threads = 1,
                                     par::ThreadPool* pool = nullptr);
 
+/// Single-edge membership test: does any antenna at `u` cover `v`?  This is
+/// the digraph builders' accept predicate factored out per edge — same
+/// arithmetic, same tolerance semantics, compiled in the same translation
+/// unit (with contraction off), so `sector_accepts(pts, o, u, v) == (v in
+/// induced_digraph(pts, o).out(u))` bit for bit.  Incremental recertifiers
+/// (sim::ChurnEngine) use it to retest only the edges incident to dirty
+/// sectors instead of rebuilding whole rows.  O(antennas at u).
+bool sector_accepts(std::span<const geom::Point> pts, const Orientation& o,
+                    int u, int v, double angle_tol = dirant::kAngleTol,
+                    double radius_tol = dirant::kRadiusAbsTol);
+
 /// Omnidirectional reference: edge (u, v) iff dist(u, v) <= radius.
 /// Symmetric by construction; used by the simulator as a baseline.
 graph::Digraph unit_disk_digraph(std::span<const geom::Point> pts,

@@ -50,6 +50,18 @@ const Result& PlanSession::orient_on_tree(std::span<const geom::Point> pts,
   return run(planned_algorithm(spec), pts, tree, spec);
 }
 
+const Result& PlanSession::orient_on_emst(std::span<const geom::Point> pts,
+                                          const mst::Tree& emst,
+                                          const ProblemSpec& spec) {
+  check_tree_spans(pts, emst);
+  // Copy into the session tree so degree repair can rewire in place without
+  // mutating the caller's tree; assign reuses the warm edge capacity.
+  tree_.n = emst.n;
+  tree_.edges.assign(emst.edges.begin(), emst.edges.end());
+  enforce_max_degree(pts, tree_, 5, emst_scratch_.repair);
+  return run(planned_algorithm(spec), pts, tree_, spec);
+}
+
 const Result& PlanSession::orient_with(Algorithm algo,
                                        std::span<const geom::Point> pts,
                                        const mst::Tree& tree,

@@ -87,6 +87,19 @@ class PlanSession {
   const Result& orient_with(Algorithm algo, std::span<const geom::Point> pts,
                             const mst::Tree& tree, const ProblemSpec& spec);
 
+  /// Incremental orient entry point: skip EMST construction and start the
+  /// pipeline from a caller-provided *exact Euclidean MST* of `pts` (the
+  /// unique minimum tree under the (d2, min, max) total order — e.g. a
+  /// Kruskal run over any candidate superset of the Delaunay edges, which
+  /// is how sim::ChurnEngine repairs locally).  The tree is copied into the
+  /// session tree buffer (capacity reused), degree-5 repair runs exactly as
+  /// in `orient`, and the same regime dispatch follows — so the Result is
+  /// bit-identical to `orient(pts, spec)` whenever `emst` equals the tree
+  /// the engine would have built.  Unlike `orient_on_tree`, the input here
+  /// is the raw EMST, not a degree-bounded tree.
+  const Result& orient_on_emst(std::span<const geom::Point> pts,
+                               const mst::Tree& emst, const ProblemSpec& spec);
+
   /// Certify the last result against `spec` (independent reconstruction of
   /// the transmission digraph; see core/validate.hpp).  Allocation-free in
   /// steady state via the session-owned CertifyScratch (grid index and CSR
@@ -143,6 +156,11 @@ class PlanSession {
   const mst::EmstEngine& engine() const { return engine_; }
   OrienterScratch& scratch() { return scratch_; }
   CertifyScratch& certify_scratch() { return certify_scratch_; }
+  /// The EMST stage's working memory.  Incremental consumers
+  /// (sim::ChurnEngine) read `candidates`/`last_kind` after a full plan to
+  /// seed their candidate pool, and borrow the Kruskal scratch for local
+  /// repairs between plans.
+  mst::EmstScratch& emst_scratch() { return emst_scratch_; }
 
  private:
   /// Dispatch without the spanning-tree scan (internal trees are valid by

@@ -6,29 +6,12 @@
 
 namespace dirant::core {
 
-Certificate certify(std::span<const geom::Point> pts, const Result& res,
-                    const ProblemSpec& spec, bool use_fast_graph,
-                    CertifyScratch& scratch, int threads,
-                    par::ThreadPool* pool) {
+Certificate make_certificate(const Result& res, const ProblemSpec& spec,
+                             int scc_count) {
   Certificate c;
   const auto& o = res.orientation;
-  graph::Digraph g =
-      use_fast_graph
-          ? antenna::induced_digraph_fast(pts, o, kAngleTol, kRadiusAbsTol,
-                                          scratch.transmission, threads, pool)
-          : antenna::induced_digraph(pts, o);
-  // threads > 1 routes the SCC pass through the parallel FW–BW engine
-  // (identical count by its determinism contract); the serial default stays
-  // Tarjan, which needs no transpose and holds the zero-allocation bar.
-  c.scc_count = threads > 1 ? graph::parallel_scc_count(g, scratch.par_scc,
-                                                        threads, pool)
-                            : graph::scc_count(g, scratch.scc);
-  c.strongly_connected = c.scc_count <= 1;
-  if (use_fast_graph) {
-    // Hand the CSR buffers back so the next certification reuses them.
-    std::move(g).release(scratch.transmission.offsets,
-                         scratch.transmission.targets);
-  }
+  c.scc_count = scc_count;
+  c.strongly_connected = scc_count <= 1;
 
   c.max_radius = o.max_radius();
   c.max_spread_sum = o.max_spread_sum();
@@ -44,6 +27,30 @@ Certificate certify(std::span<const geom::Point> pts, const Result& res,
     c.radius_within_bound = true;  // heuristic regime: no a-priori bound
   }
   return c;
+}
+
+Certificate certify(std::span<const geom::Point> pts, const Result& res,
+                    const ProblemSpec& spec, bool use_fast_graph,
+                    CertifyScratch& scratch, int threads,
+                    par::ThreadPool* pool) {
+  const auto& o = res.orientation;
+  graph::Digraph g =
+      use_fast_graph
+          ? antenna::induced_digraph_fast(pts, o, kAngleTol, kRadiusAbsTol,
+                                          scratch.transmission, threads, pool)
+          : antenna::induced_digraph(pts, o);
+  // threads > 1 routes the SCC pass through the parallel FW–BW engine
+  // (identical count by its determinism contract); the serial default stays
+  // Tarjan, which needs no transpose and holds the zero-allocation bar.
+  const int sccs = threads > 1 ? graph::parallel_scc_count(g, scratch.par_scc,
+                                                           threads, pool)
+                               : graph::scc_count(g, scratch.scc);
+  if (use_fast_graph) {
+    // Hand the CSR buffers back so the next certification reuses them.
+    std::move(g).release(scratch.transmission.offsets,
+                         scratch.transmission.targets);
+  }
+  return make_certificate(res, spec, sccs);
 }
 
 Certificate certify(std::span<const geom::Point> pts, const Result& res,

@@ -47,6 +47,14 @@ struct CertifyScratch {
   graph::ParSccScratch par_scc;
 };
 
+/// Assemble a Certificate from a result and a precomputed SCC count — the
+/// non-graph half of `certify` (budget, antenna, and radius checks), shared
+/// with callers that obtain the SCC count from their own digraph
+/// (sim::ChurnEngine's incremental recertification).  `certify` routes
+/// through this, so the arithmetic cannot drift between the two paths.
+Certificate make_certificate(const Result& res, const ProblemSpec& spec,
+                             int scc_count);
+
 /// Certify `res` against `spec`.  `use_fast_graph` forces the
 /// grid-accelerated digraph builder (true) or the brute-force reference
 /// (false); identical output either way.

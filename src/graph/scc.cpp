@@ -93,6 +93,19 @@ int scc_count(const Digraph& g, SccScratch& scratch) {
   return tarjan_impl<false>(g, scratch, nullptr);
 }
 
+int largest_scc(const Digraph& g, SccScratch& scratch, SccResult& out,
+                std::vector<int>& sizes) {
+  strongly_connected_components(g, scratch, out);
+  if (out.count == 0) return -1;
+  sizes.assign(static_cast<size_t>(out.count), 0);
+  for (int c : out.component) ++sizes[c];
+  int best = 0;
+  for (int c = 1; c < out.count; ++c) {
+    if (sizes[c] > sizes[best]) best = c;  // strict: ties keep smallest id
+  }
+  return best;
+}
+
 SccResult strongly_connected_components(const Digraph& g) {
   SccScratch scratch;
   SccResult res;

@@ -49,6 +49,15 @@ SccResult strongly_connected_components(const Digraph& g);
 /// (strongly connected iff the count is <= 1) uses this.
 int scc_count(const Digraph& g, SccScratch& scratch);
 
+/// Full decomposition plus the id of a largest component (ties broken by
+/// smallest component id, so the answer is deterministic for a fixed
+/// graph).  `sizes` is caller-owned scratch filled with per-component
+/// vertex counts; returns -1 for the empty graph.  Degradation reporting
+/// (sim::ChurnEngine) reads coverage as sizes[returned id] / n and collects
+/// the stranded vertices as those labelled otherwise.
+int largest_scc(const Digraph& g, SccScratch& scratch, SccResult& out,
+                std::vector<int>& sizes);
+
 /// True iff `g` is strongly connected (n <= 1 counts as strongly connected).
 /// Fast path: forward BFS from vertex 0, then backward BFS on the O(m)
 /// CSR transpose.

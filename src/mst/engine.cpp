@@ -41,12 +41,14 @@ void EmstEngine::emst(std::span<const geom::Point> pts, Tree& out,
   DIRANT_ASSERT(n >= 1);
   const EngineKind kind = selected(n, threads);
   if (kind == EngineKind::kPrim) {
+    scratch.last_kind = EngineKind::kPrim;
     prim_emst(pts, out, scratch.prim);
     return;
   }
   scratch.triangulator.triangulate(pts, scratch.candidates);
   const auto& dt_edges = scratch.candidates.edges;
   if (dt_edges.empty() && n > 1) {  // degenerate input
+    scratch.last_kind = EngineKind::kPrim;
     prim_emst(pts, out, scratch.prim);
     return;
   }
@@ -57,10 +59,13 @@ void EmstEngine::emst(std::span<const geom::Point> pts, Tree& out,
   try {
     if (kind == EngineKind::kBoruvka) {
       boruvka_emst(pts, dt_edges, out, scratch.boruvka, threads, pool);
+      scratch.last_kind = EngineKind::kBoruvka;
     } else {
       kruskal_emst(pts, dt_edges, out, scratch.kruskal);
+      scratch.last_kind = EngineKind::kDelaunayKruskal;
     }
   } catch (const contract_violation&) {
+    scratch.last_kind = EngineKind::kPrim;
     prim_emst(pts, out, scratch.prim);
   }
 }

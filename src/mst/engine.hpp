@@ -60,6 +60,14 @@ struct EmstScratch {
   DegreeRepairScratch repair;
   delaunay::Triangulator triangulator;
   delaunay::Triangulation candidates;
+  /// Which builder the last `EmstEngine::emst` call actually ran (kAuto
+  /// until the first call).  kDelaunayKruskal / kBoruvka certify that
+  /// `candidates.edges` holds the full Delaunay edge set of the last input —
+  /// the precondition for seeding an incremental candidate pool
+  /// (sim::ChurnEngine).  kPrim means the candidates are absent or stale
+  /// (small input, degenerate triangulation, or a disconnected-candidate
+  /// fallback) and must not be reused.
+  EngineKind last_kind = EngineKind::kAuto;
 };
 
 /// Stateless facade over the EMST builders; cheap to copy.  Use

@@ -1,0 +1,153 @@
+#include "mst/repair.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dirant::mst {
+
+void DelaunayEdgePool::reset() {
+  pool_.clear();
+  valid_ = false;
+}
+
+void DelaunayEdgePool::seed(std::span<const std::pair<int, int>> edges,
+                            const int* orig_of) {
+  pool_.clear();
+  pool_.reserve(edges.size());
+  for (const auto& [a, b] : edges) {
+    const int u = orig_of == nullptr ? a : orig_of[a];
+    const int v = orig_of == nullptr ? b : orig_of[b];
+    pool_.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(pool_.begin(), pool_.end());
+  pool_.erase(std::unique(pool_.begin(), pool_.end()), pool_.end());
+  valid_ = true;
+}
+
+void DelaunayEdgePool::erase_node(int w) {
+  if (!valid_) return;
+  nbrs_.clear();
+  size_t keep = 0;
+  for (const auto& e : pool_) {
+    if (e.first == w) {
+      nbrs_.push_back(e.second);
+    } else if (e.second == w) {
+      nbrs_.push_back(e.first);
+    } else {
+      pool_[keep++] = e;
+    }
+  }
+  pool_.resize(keep);
+  if (static_cast<int>(nbrs_.size()) > cfg_.degree_cap) {
+    // O(deg²) closure would blow up; hand the problem to the full re-plan.
+    valid_ = false;
+    return;
+  }
+  // Deleting w retriangulates its star with edges among its (Delaunay ⊆
+  // pool) neighbours; adding every pair keeps the superset invariant.
+  additions_.clear();
+  for (size_t i = 0; i < nbrs_.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs_.size(); ++j) {
+      additions_.emplace_back(std::min(nbrs_[i], nbrs_[j]),
+                              std::max(nbrs_[i], nbrs_[j]));
+    }
+  }
+  merge_additions();
+}
+
+void DelaunayEdgePool::erase_nodes(std::span<const int> ws) {
+  if (!valid_ || ws.empty()) return;
+  if (ws.size() == 1) {
+    erase_node(ws.front());
+    return;
+  }
+  int max_id = 0;
+  for (int w : ws) max_id = std::max(max_id, w);
+  if (static_cast<int>(mark_.size()) < max_id + 1) mark_.resize(max_id + 1, 0);
+  const int m = static_cast<int>(ws.size());
+  for (int i = 0; i < m; ++i) mark_[ws[i]] = i + 1;
+  uf_.resize(m);
+  for (int i = 0; i < m; ++i) uf_[i] = i;
+  auto find = [this](int x) {
+    while (uf_[x] != x) x = uf_[x] = uf_[uf_[x]];
+    return x;
+  };
+  boundary_.clear();
+  size_t keep = 0;
+  for (const auto& e : pool_) {
+    const int mu = e.first <= max_id ? mark_[e.first] : 0;
+    const int mv = e.second <= max_id ? mark_[e.second] : 0;
+    if (mu == 0 && mv == 0) {
+      pool_[keep++] = e;
+    } else if (mu != 0 && mv != 0) {
+      const int ra = find(mu - 1), rb = find(mv - 1);
+      if (ra != rb) uf_[ra] = rb;
+    } else if (mu != 0) {
+      boundary_.emplace_back(mu - 1, e.second);
+    } else {
+      boundary_.emplace_back(mv - 1, e.first);
+    }
+  }
+  pool_.resize(keep);
+  for (auto& [local, survivor] : boundary_) local = find(local);
+  std::sort(boundary_.begin(), boundary_.end());
+  boundary_.erase(std::unique(boundary_.begin(), boundary_.end()),
+                  boundary_.end());
+  additions_.clear();
+  for (size_t i = 0, j = 0; i < boundary_.size(); i = j) {
+    while (j < boundary_.size() && boundary_[j].first == boundary_[i].first) {
+      ++j;
+    }
+    if (static_cast<int>(j - i) > cfg_.degree_cap) {
+      for (int w : ws) mark_[w] = 0;
+      valid_ = false;
+      return;
+    }
+    for (size_t a = i; a < j; ++a) {
+      for (size_t b = a + 1; b < j; ++b) {
+        additions_.emplace_back(
+            std::min(boundary_[a].second, boundary_[b].second),
+            std::max(boundary_[a].second, boundary_[b].second));
+      }
+    }
+  }
+  for (int w : ws) mark_[w] = 0;
+  merge_additions();
+}
+
+void DelaunayEdgePool::insert_node(int v, std::span<const char> alive) {
+  if (!valid_) return;
+  DIRANT_ASSERT(v >= 0 && v < static_cast<int>(alive.size()) && alive[v]);
+  additions_.clear();
+  const int n = static_cast<int>(alive.size());
+  for (int u = 0; u < n; ++u) {
+    if (u == v || !alive[u]) continue;
+    additions_.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  merge_additions();
+}
+
+void DelaunayEdgePool::merge_additions() {
+  if (additions_.empty()) return;
+  std::sort(additions_.begin(), additions_.end());
+  additions_.erase(std::unique(additions_.begin(), additions_.end()),
+                   additions_.end());
+  merged_.clear();
+  merged_.reserve(pool_.size() + additions_.size());
+  size_t i = 0, j = 0;
+  while (i < pool_.size() || j < additions_.size()) {
+    if (j == additions_.size() ||
+        (i < pool_.size() && pool_[i] < additions_[j])) {
+      merged_.push_back(pool_[i++]);
+    } else if (i == pool_.size() || additions_[j] < pool_[i]) {
+      merged_.push_back(additions_[j++]);
+    } else {  // equal: keep one
+      merged_.push_back(pool_[i++]);
+      ++j;
+    }
+  }
+  pool_.swap(merged_);
+}
+
+}  // namespace dirant::mst

@@ -1,0 +1,117 @@
+#pragma once
+/// \file repair.hpp
+/// Localized EMST repair between full plans: a conservative Delaunay
+/// candidate pool over the alive point set.
+///
+/// The pool is a sorted, duplicate-free list of undirected edges (original
+/// ids, u < v, both endpoints alive) maintained under node deletion,
+/// insertion, and movement so that the invariant
+///
+///     pool  ⊇  Delaunay(alive)  ⊇  EMST(alive)
+///
+/// always holds.  That makes incremental re-planning exact: Kruskal over the
+/// pool yields the *unique* Euclidean MST of the alive set under the
+/// library's strict (d2, min, max) total order — byte-identical to the tree
+/// a from-scratch triangulate-plus-Kruskal run would build — without
+/// re-triangulating (sim::ChurnEngine feeds the result to
+/// core::PlanSession::orient_on_emst).
+///
+/// The maintenance rules are the classical incremental-Delaunay containments
+/// (no exact predicates needed because the pool is allowed to be a
+/// superset):
+///   * delete w:  Del(S∖{w}) ⊆ Del(S) ∪ {pairs of w's Delaunay neighbours},
+///     and w's Delaunay neighbours are among w's pool neighbours — so drop
+///     w's incident edges and add all pairs of its former pool neighbours.
+///   * insert v:  Del(S∪{v}) ⊆ Del(S) ∪ {v-incident edges} — so add v×alive.
+///   * move = delete(old id) + insert(new position), ids unchanged.
+///
+/// Superset-ness is free but not unbounded: inserts add O(alive) edges and
+/// deletes add O(deg²), so the pool degrades toward the complete graph under
+/// sustained churn.  Guards invalidate the pool (forcing the caller to
+/// escalate to a full re-plan, which reseeds it from a fresh triangulation)
+/// when an erased node's pool degree exceeds `degree_cap` or the pool size
+/// crosses `size_factor * alive + size_slack`.  All guards are functions of
+/// the event sequence alone — deterministic and thread-count independent.
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dirant::mst {
+
+struct EdgePoolConfig {
+  /// Erasing a node whose pool degree exceeds this invalidates the pool
+  /// instead of adding O(deg²) closure pairs.
+  int degree_cap = 64;
+  /// Pool is oversized (escalate + reseed) when
+  /// size > size_factor * alive + size_slack.  A planar triangulation has
+  /// < 3n edges, so 6n leaves room for a few batches of insert fill-in.
+  double size_factor = 6.0;
+  int size_slack = 32;
+};
+
+/// See file comment.  All buffers are recycled; a warm pool performs zero
+/// heap allocations once its edge and scratch vectors have grown to the
+/// churn steady state.
+class DelaunayEdgePool {
+ public:
+  explicit DelaunayEdgePool(EdgePoolConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Drop all edges and mark the pool invalid (caller must reseed).
+  void reset();
+
+  /// Seed from a triangulation's edge list given in a compact index space;
+  /// `orig_of` maps compact ids to original ids (nullptr = identity).  The
+  /// pool becomes valid.
+  void seed(std::span<const std::pair<int, int>> edges, const int* orig_of);
+
+  /// True while the maintained superset invariant holds.  Operations on an
+  /// invalid pool are no-ops; `seed` restores validity.
+  bool valid() const { return valid_; }
+  void invalidate() { valid_ = false; }
+
+  /// Remove every edge incident to `w` and close its neighbour set (all
+  /// pairs).  Invalidates the pool instead when w's degree exceeds the cap.
+  void erase_node(int w);
+
+  /// Batched erase: one pool scan for the whole set instead of one per
+  /// node.  The closure is computed per *connected component* of the
+  /// erased set (through pool edges): all pairs of each component's
+  /// surviving boundary — exactly the edge set sequential `erase_node`
+  /// calls would leave behind, since intermediate pairs between erased
+  /// nodes are themselves erased later in the sequence.  Invalidates the
+  /// pool when a component's boundary exceeds the degree cap.
+  void erase_nodes(std::span<const int> ws);
+
+  /// Add v × {u : alive[u], u != v}.  Call with alive[v] already set; the
+  /// pool's endpoints-alive invariant is the caller's event loop contract.
+  void insert_node(int v, std::span<const char> alive);
+
+  /// Size guard against the alive count (see EdgePoolConfig).
+  bool oversized(int alive_count) const {
+    return static_cast<double>(pool_.size()) >
+           cfg_.size_factor * alive_count + cfg_.size_slack;
+  }
+
+  /// The candidate edges, sorted by (u, v) with u < v, unique.
+  std::span<const std::pair<int, int>> edges() const { return pool_; }
+
+  const EdgePoolConfig& config() const { return cfg_; }
+
+ private:
+  /// Sort+dedup `additions_` and merge it into the sorted pool (one pass
+  /// into the double buffer, adjacent-duplicate skip).
+  void merge_additions();
+
+  std::vector<std::pair<int, int>> pool_;       ///< sorted, unique, u < v
+  std::vector<std::pair<int, int>> additions_;  ///< staged new edges
+  std::vector<std::pair<int, int>> merged_;     ///< merge double buffer
+  std::vector<int> nbrs_;                       ///< erase-scan neighbour list
+  std::vector<int> mark_;      ///< orig id -> local erased index + 1 (0 = no)
+  std::vector<int> uf_;        ///< union-find over the erased set
+  std::vector<std::pair<int, int>> boundary_;   ///< (component root, survivor)
+  bool valid_ = false;
+  EdgePoolConfig cfg_;
+};
+
+}  // namespace dirant::mst

@@ -249,6 +249,13 @@ double failure_trial(const graph::Digraph& g, double fraction,
 
 FailureStats AuditSession::failure_resilience(double fraction, int trials,
                                               std::uint64_t seed) {
+  // Degenerate fractions clamp to the unit interval: fraction <= 0 deletes
+  // nothing, fraction >= 1 deletes every node the alive > 1 guard allows.
+  // The per-trial draw is (rng() % 1e6) / 1e6 in [0, 1), so the clamped
+  // endpoints consume the same RNG stream as any out-of-range input — the
+  // clamp pins the documented semantics without changing any in-range
+  // result (tests/test_audit_parallel.cpp, DegenerateFractions).
+  fraction = std::clamp(fraction, 0.0, 1.0);
   const auto& g = digraph();
   FailureStats st;
   const int n = g.size();

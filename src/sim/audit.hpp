@@ -152,6 +152,10 @@ class AuditSession {
   /// bit-identical at every thread count (per-trial fractions are recorded
   /// by index and reduced in trial order).  `threads() > 1` fans trials
   /// out over the session pool with per-chunk subgraph CSR scratch.
+  /// `fraction` is clamped to [0, 1]: <= 0 deletes nothing (mean and worst
+  /// read 1.0 on a connected graph), >= 1 deletes everything the
+  /// one-survivor guard allows — no out-of-range input changes the RNG
+  /// stream or trips UB.
   FailureStats failure_resilience(double fraction, int trials,
                                   std::uint64_t seed);
   RoutingStats routing_stats(std::span<const geom::Point> pts, int samples,

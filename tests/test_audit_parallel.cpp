@@ -82,6 +82,46 @@ TEST(AuditParallel, FailureResilienceBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(AuditParallel, DegenerateFractionsClampAndStayDeterministic) {
+  // failure_resilience clamps its fraction to [0, 1]: out-of-range inputs
+  // must behave exactly like the endpoints — same RNG stream, same report
+  // bits — and the endpoints themselves have fixed semantics (<= 0 deletes
+  // nothing; >= 1 deletes everything the one-survivor guard allows).
+  const auto insts = audit_instances();
+  const auto& inst = insts.front();
+  sim::AuditSession session;
+  session.load(inst.pts, inst.oriented.orientation);
+
+  const auto zero = session.failure_resilience(0.0, 15, 42);
+  const auto below = session.failure_resilience(-0.5, 15, 42);
+  EXPECT_EQ(below.mean_largest_scc, zero.mean_largest_scc);
+  EXPECT_EQ(below.worst_largest_scc, zero.worst_largest_scc);
+  // Deleting nothing from a strongly connected graph keeps everything.
+  EXPECT_EQ(zero.mean_largest_scc, 1.0);
+  EXPECT_EQ(zero.worst_largest_scc, 1.0);
+
+  const auto one = session.failure_resilience(1.0, 15, 42);
+  const auto above = session.failure_resilience(1.5, 15, 42);
+  EXPECT_EQ(above.mean_largest_scc, one.mean_largest_scc);
+  EXPECT_EQ(above.worst_largest_scc, one.worst_largest_scc);
+  // fraction 1 deletes all but the guard's lone survivor; the reported
+  // fraction is largest SCC over SURVIVORS, and one node is trivially its
+  // own SCC.
+  EXPECT_EQ(one.worst_largest_scc, 1.0);
+  EXPECT_EQ(one.mean_largest_scc, 1.0);
+
+  // The clamp must not disturb thread-count parity either.
+  for (int t : thread_counts()) {
+    sim::AuditSession pooled;
+    pooled.set_threads(t);
+    pooled.load(inst.pts, inst.oriented.orientation);
+    const auto st = pooled.failure_resilience(1.5, 15, 42);
+    EXPECT_EQ(st.mean_largest_scc, one.mean_largest_scc) << "threads=" << t;
+    EXPECT_EQ(st.worst_largest_scc, one.worst_largest_scc)
+        << "threads=" << t;
+  }
+}
+
 TEST(AuditParallel, ThreadKnobRoundTripKeepsResults) {
   // One session toggled serial -> pooled -> serial: the knob must never
   // change what the metrics say, and per-chunk worker scratch left behind

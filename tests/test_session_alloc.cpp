@@ -27,6 +27,7 @@
 #include "core/two_antennae.hpp"
 #include "geometry/generators.hpp"
 #include "sim/audit.hpp"
+#include "sim/churn.hpp"
 
 namespace {
 
@@ -276,6 +277,57 @@ TEST(SessionAllocation, WarmPooledAuditSweepIsAllocationFree) {
   EXPECT_EQ(level, warm_level);
   EXPECT_EQ(fail.mean_largest_scc, warm_fail.mean_largest_scc);
   EXPECT_EQ(fail.worst_largest_scc, warm_fail.worst_largest_scc);
+}
+
+TEST(SessionAllocation, WarmChurnLoopIsAllocationFree) {
+  // The long-lived-session contract: a warm sim::ChurnEngine absorbs a
+  // steady-state batch — event application, pool maintenance, frozen-graph
+  // audit, re-plan, digraph patch (or full rebuild), SCC, certificate,
+  // snapshot — without touching the heap, on BOTH the incremental and the
+  // escalated path.  The workload keeps the alive count constant (moves
+  // only): shrinking and regrowing the alive set resizes the per-node
+  // output arena, which allocates by design (see sim/churn.hpp).  The
+  // same three nodes shuttle between two fixed positions, so every batch
+  // has identical shape and the candidate pool cycles through the same
+  // grow -> oversized -> reseed rhythm: the warm-up batches visit every
+  // buffer high-water mark the measured batches will.
+  geom::Rng rng(4242);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 300, rng);
+  const dirant::core::ProblemSpec spec{2, kPi};
+
+  auto batch_for = [&](const dirant::sim::ChurnEngine& eng, int b) {
+    std::vector<dirant::sim::ChurnEvent> events;
+    for (int node : {5, 17, 42}) {
+      geom::Point to = pts[node];
+      if (b % 2 == 1) to.x += 0.02;
+      events.push_back({dirant::sim::ChurnEventKind::kMove, node, to});
+    }
+    (void)eng;
+    return events;
+  };
+
+  for (const bool force_full : {false, true}) {
+    dirant::sim::ChurnEngine eng;
+    dirant::sim::ChurnOptions opts;
+    opts.force_full = force_full;
+    eng.init(pts, spec, opts);
+    // Warm-up: enough batches to cycle the pool's escalate/reseed rhythm
+    // and ratchet every scratch buffer (events pre-built so schedule
+    // generation never counts).
+    std::vector<std::vector<dirant::sim::ChurnEvent>> warm, measured;
+    for (int b = 1; b <= 6; ++b) warm.push_back(batch_for(eng, b));
+    for (int b = 7; b <= 12; ++b) measured.push_back(batch_for(eng, b));
+    for (const auto& events : warm) eng.step(events);
+
+    const long long allocs = count_allocations([&] {
+      for (const auto& events : measured) eng.step(events);
+    });
+    EXPECT_EQ(allocs, 0) << "warm churn loop allocated (force_full="
+                         << force_full << ")";
+    EXPECT_EQ(eng.alive_count(), 300);
+    EXPECT_TRUE(eng.last_report().certificate.ok());
+  }
 }
 
 TEST(SessionAllocation, BatchChunkPerWorkerIsAllocationFree) {

@@ -22,4 +22,13 @@ inline std::vector<int> thread_counts() {
   return counts;
 }
 
+// The sweep protocol as a harness: run `body(t)` once per thread count.
+// Suites that rebuild their fixture per count (churn determinism, sharded
+// certify) use this so the ladder and the env extension cannot drift from
+// thread_counts().
+template <typename F>
+inline void for_each_thread_count(F&& body) {
+  for (int t : thread_counts()) body(t);
+}
+
 }  // namespace dirant::test
