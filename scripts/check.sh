@@ -40,8 +40,9 @@ CTEST_EXTRA=("$@")
 # re-runs exactly the concurrency-heavy suites — parallel SCC, the sharded
 # certify build, the batch fan-out, the pool-parallel Borůvka EMST, the
 # probe/trial-parallel audits, and the churn engine's pooled
-# recertification — with the same 4-worker pools, so data races (not just
-# memory errors) surface too.  All variants promote
+# recertification (both churn suites, including the sub-linear warm-path
+# acceptance tests) — with the same 4-worker pools, so data races (not
+# just memory errors) surface too.  All variants promote
 # the library's -Wall -Wextra diagnostics to errors (DIRANT_WERROR).
 run_variant build-release "" -DCMAKE_BUILD_TYPE=Release -DDIRANT_WERROR=ON
 DIRANT_TEST_THREADS=4 \
@@ -50,7 +51,7 @@ run_variant build-asan "" -DCMAKE_BUILD_TYPE=Debug -DDIRANT_SANITIZE=ON \
     -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF
 DIRANT_TEST_THREADS=4 \
 run_variant build-tsan \
-    "test_parallel_scc|test_csr_equivalence|test_batch|test_boruvka|test_audit_parallel|test_churn" \
+    "test_parallel_scc|test_csr_equivalence|test_batch|test_boruvka|test_audit_parallel|test_churn|test_churn_sublinear" \
     -DCMAKE_BUILD_TYPE=Debug -DDIRANT_TSAN=ON -DDIRANT_WERROR=ON \
     -DDIRANT_BUILD_BENCHES=OFF -DDIRANT_BUILD_EXAMPLES=OFF
 

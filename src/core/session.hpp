@@ -46,7 +46,14 @@ namespace dirant::par {
 class ThreadPool;
 }
 
+namespace dirant::antenna {
+class Orientation;
+}
+
 namespace dirant::core {
+
+struct TwoAntennaeMemory;
+struct OrientWarmDelta;
 
 /// Working memory shared by the per-k orienters.  Owned by PlanSession;
 /// every orienter's `*_into` variant takes one of these and must not
@@ -59,6 +66,7 @@ struct OrienterScratch {
   std::vector<int> degrees;                       ///< per-vertex degrees
   std::vector<geom::Point> targets;               ///< per-node cover targets
   std::vector<geom::Sector> cover;                ///< lemma1_cover output
+  std::vector<int> parent_hint;  ///< warm orienter's per-vertex parent view
   Lemma1Scratch lemma1;
 };
 
@@ -99,6 +107,35 @@ class PlanSession {
   /// is the raw EMST, not a degree-bounded tree.
   const Result& orient_on_emst(std::span<const geom::Point> pts,
                                const mst::Tree& emst, const ProblemSpec& spec);
+
+  /// Dirty-subtree variant of `orient_on_emst` for churn consumers: when the
+  /// planned regime is a Theorem 3 two-antennae planner and the raw EMST is
+  /// already degree-≤5 (so degree repair is an exact no-op), one DFS
+  /// re-plans only the vertices whose recorded inputs changed and copies
+  /// every other sector row from `prev` — the caller's original-space
+  /// snapshot of the previous plan (see core/two_antennae.hpp).  Returns
+  /// true when that path ran; `mem.planned` then lists the compact ids that
+  /// were re-planned (the only rows that can differ from the snapshot).
+  /// Returns false after falling back to the full `orient_on_emst` pipeline
+  /// (other regime, tiny instance, or a degree-6 EMST node), invalidating
+  /// `mem`.  Either way the Result is bit-identical to `orient(pts, spec)`
+  /// whenever `emst` is the tree the engine would build — CaseStats aside,
+  /// which reports copied vertices under "reused".
+  ///
+  /// When `delta` is non-null it carries the batch's net MST edge delta and
+  /// the sub-linear warm orienter (orient_two_antennae_warm) is tried first:
+  /// it re-hangs the recorded tree from the delta and re-plans only the
+  /// affected frontier, falling back to the full dirty-subtree traversal —
+  /// same Result either way — whenever a gate fails.
+  bool orient_on_emst_incremental(std::span<const geom::Point> pts,
+                                  const mst::Tree& emst,
+                                  const ProblemSpec& spec,
+                                  TwoAntennaeMemory& mem,
+                                  std::span<const int> orig_of,
+                                  std::span<const int> comp_of,
+                                  std::span<const char> changed_pos,
+                                  const antenna::Orientation& prev,
+                                  const OrientWarmDelta* delta = nullptr);
 
   /// Certify the last result against `spec` (independent reconstruction of
   /// the transmission digraph; see core/validate.hpp).  Allocation-free in

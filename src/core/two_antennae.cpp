@@ -317,7 +317,8 @@ bool NodePlanner::fallback() {
 
 struct Ctx {
   std::span<const Point> pts;
-  const mst::RootedTree* rt;
+  std::span<const int> parent_of;  ///< tree parent per vertex (same index
+                                   ///< space as `pts`; only read at degree 5)
   double phi;
   double R;
   bool part1;
@@ -441,7 +442,7 @@ bool plan_vertex(Ctx& ctx, NodePlanner& pl, int u) {
   } else if (m == 4) {
     // Degree 5.  The proof splits on whether the tree parent's direction
     // falls inside the sector [c4 -> c1] that contains the target ray.
-    const int parent = ctx.rt->parent[u];
+    const int parent = ctx.parent_of[u];
     DIRANT_ASSERT_MSG(parent >= 0, "degree-5 vertex cannot be the leaf root");
     const double th_par =
         geom::ccw_delta(geom::angle_to(ctx.pts[u], pl.point_of(-1)),
@@ -644,7 +645,8 @@ bool detailed_orient(std::span<const Point> pts, const mst::Tree& tree,
                 kRadiusAbsTol;
   scratch.rooted.rebuild_at_leaf(tree);
   const auto& rt = scratch.rooted;
-  Ctx ctx{pts, &rt, phi, R, phi >= kPi, &res.orientation, &res.cases};
+  Ctx ctx{pts,        rt.parent, phi, R, phi >= kPi, &res.orientation,
+          &res.cases};
 
   // Root (a leaf): one beam to its only child; the child covers the root.
   const int root = rt.root;
@@ -699,6 +701,473 @@ Result orient_two_antennae(std::span<const Point> pts, const mst::Tree& tree,
   OrienterScratch scratch;
   orient_two_antennae(pts, tree, phi, scratch, res);
   return res;
+}
+
+void orient_two_antennae_incremental(
+    std::span<const Point> pts, const mst::Tree& tree, double phi,
+    OrienterScratch& scratch, TwoAntennaeMemory& mem,
+    std::span<const int> orig_of, std::span<const int> comp_of,
+    std::span<const char> changed_pos, const antenna::Orientation& prev,
+    Result& res) {
+  tree.degrees_into(scratch.degrees);
+  int max_deg = 0;
+  for (int d : scratch.degrees) max_deg = std::max(max_deg, d);
+  DIRANT_ASSERT_MSG(max_deg <= 5, "theorem 3 needs a degree-5 MST");
+  const int n = static_cast<int>(pts.size());
+  reset_result(res, n, /*reserve_per_node=*/2,
+               phi >= kPi ? Algorithm::kTwoPart1 : Algorithm::kTwoPart2,
+               bound_factor_impl(phi), tree.lmax());
+  mem.planned.clear();
+  mem.last_warm = false;
+  mem.nodes.resize(changed_pos.size());
+  if (n <= 1) {
+    mem.valid = false;
+    return;
+  }
+  const double R =
+      res.bound_factor * res.lmax * (1.0 + kRadiusRelTol) + kRadiusAbsTol;
+  scratch.rooted.rebuild_at_leaf(tree);
+  const auto& rt = scratch.rooted;
+  Ctx ctx{pts,        rt.parent, phi, R, phi >= kPi, &res.orientation,
+          &res.cases};
+
+  const int root = rt.root;
+  DIRANT_ASSERT(rt.children[root].size() == 1);
+  const int root_orig = orig_of[root];
+  // Every plan depends on (phi, R) and the traversal depends on the rooting,
+  // so a change in any global gate dirties every record at once.
+  const bool all_dirty = !mem.valid || mem.phi != phi || mem.radius != R ||
+                         mem.root_orig != root_orig;
+
+  const int first = rt.children[root][0];
+  res.orientation.add(root, geom::beam_to(pts[root], pts[first]));
+  res.cases.bump("root");
+  mem.planned.push_back(root);  // re-emitted every run, so always checkable
+  // The warm orienter re-hangs the recorded tree directly, so the root's
+  // record must exist too (the traversal below never visits the root).
+  {
+    TwoAntennaeMemory::Node& rn = mem.nodes[root_orig];
+    rn.parent = -1;
+    rn.target = pts[root];
+    rn.nkids = 1;
+    rn.kids[0] = orig_of[first];
+    rn.kid_targets[0] = pts[root];
+  }
+
+  auto& work = scratch.work;
+  work.clear();
+  work.emplace_back(first, pts[root]);
+  NodePlanner pl(pts, phi, R);
+  auto& kids = scratch.kids;
+  while (!work.empty()) {
+    const auto [u, target] = work.back();
+    work.pop_back();
+    const int uo = orig_of[u];
+    TwoAntennaeMemory::Node& nm = mem.nodes[uo];
+    // Clean iff every input plan_vertex reads is unchanged: same parent
+    // (identity AND position — the degree-5 split reads it), same incoming
+    // target bitwise, same child set with unmoved positions, own position
+    // unmoved.  Equal ccw inputs reproduce the recorded ccw child order.
+    bool clean = !all_dirty && !changed_pos[uo] && nm.parent >= 0 &&
+                 orig_of[rt.parent[u]] == nm.parent &&
+                 !changed_pos[nm.parent] && nm.target.x == target.x &&
+                 nm.target.y == target.y &&
+                 static_cast<int>(rt.children[u].size()) == nm.nkids;
+    if (clean) {
+      for (int c : rt.children[u]) {
+        const int co = orig_of[c];
+        bool known = !changed_pos[co];
+        if (known) {
+          known = false;
+          for (int i = 0; i < nm.nkids; ++i) {
+            if (nm.kids[i] == co) {
+              known = true;
+              break;
+            }
+          }
+        }
+        if (!known) {
+          clean = false;
+          break;
+        }
+      }
+    }
+    if (clean) {
+      // Identical inputs: the deterministic planner would re-derive the
+      // identical plan — copy the snapshot row and hand the recorded
+      // obligations to the children in their recorded ccw order.
+      res.orientation.copy_node(u, prev, uo);
+      res.cases.bump("reused");
+      for (int i = 0; i < nm.nkids; ++i) {
+        work.emplace_back(comp_of[nm.kids[i]], nm.kid_targets[i]);
+      }
+      continue;
+    }
+    mst::children_ccw_from(pts, rt, u, geom::angle_to(pts[u], target), kids);
+    pl.init(u, target, {kids.data(), kids.size()});
+    const bool ok = plan_vertex(ctx, pl, u);
+    DIRANT_ASSERT_MSG(ok, "Theorem 3 failed at its own radius bound");
+    res.cases.bump(pl.label);
+    for (const auto& s : pl.antennas) res.orientation.add(u, s);
+    nm.parent = orig_of[rt.parent[u]];
+    nm.target = target;
+    nm.nkids = pl.child_count();
+    for (int slot = 0; slot < pl.child_count(); ++slot) {
+      nm.kids[slot] = orig_of[pl.kid(slot)];
+      nm.kid_targets[slot] = pl.child_targets[slot];
+      work.emplace_back(pl.kid(slot), pl.child_targets[slot]);
+    }
+    mem.planned.push_back(u);
+  }
+  res.measured_radius = res.orientation.max_radius();
+  std::sort(mem.planned.begin(), mem.planned.end());
+  mem.member.assign(changed_pos.size(), 0);
+  for (int c = 0; c < n; ++c) mem.member[orig_of[c]] = 1;
+  mem.valid = true;
+  mem.phi = phi;
+  mem.radius = R;
+  mem.root_orig = root_orig;
+}
+
+bool orient_two_antennae_warm(std::span<const Point> pts,
+                              const mst::Tree& tree, double phi,
+                              OrienterScratch& scratch, TwoAntennaeMemory& mem,
+                              std::span<const int> orig_of,
+                              std::span<const int> comp_of,
+                              const OrientWarmDelta& delta,
+                              const antenna::Orientation& prev, Result& res) {
+  const int n = static_cast<int>(pts.size());
+  const int n_orig = static_cast<int>(delta.positions.size());
+  if (n <= 1 || !mem.valid ||
+      static_cast<int>(mem.nodes.size()) != n_orig ||
+      static_cast<int>(mem.member.size()) != n_orig) {
+    return false;
+  }
+  // Global gates, identical to the incremental orienter's all_dirty test:
+  // phi, the resolved radius cap R (folds in lmax), and the root identity
+  // (rebuild_at_leaf picks the first degree-1 vertex).  All read-only — a
+  // failure here leaves the records intact for the fallback traversal.
+  const double bf = bound_factor_impl(phi);
+  const double R = bf * tree.lmax() * (1.0 + kRadiusRelTol) + kRadiusAbsTol;
+  if (mem.phi != phi || mem.radius != R) return false;
+  tree.degrees_into(scratch.degrees);
+  int root = -1;
+  for (int c = 0; c < n; ++c) {
+    if (scratch.degrees[c] > 5) return false;
+    if (root < 0 && scratch.degrees[c] == 1) root = c;
+  }
+  if (root < 0 || orig_of[root] != mem.root_orig) return false;
+  const int root_o = mem.root_orig;
+
+  auto& nodes = mem.nodes;
+  auto& member = mem.member;
+  const std::span<const Point> pos = delta.positions;
+  if (static_cast<int>(mem.mark_stamp.size()) != n_orig) {
+    mem.mark_stamp.assign(static_cast<size_t>(n_orig), 0);
+    mem.up_stamp.assign(static_cast<size_t>(n_orig), 0);
+    mem.anchor_stamp.assign(static_cast<size_t>(n_orig), 0);
+    mem.warm_epoch = 0;
+  }
+  const int epoch = ++mem.warm_epoch;
+  mem.dirty_list.clear();
+  // Safety net against torn records (parent cycles, runaway fragments):
+  // a pure function of the alive count, so escalation stays deterministic.
+  int budget = 4 * n + 1024;
+
+  const auto marked = [&](int u) { return mem.mark_stamp[u] == epoch; };
+  const auto mark = [&](int u) {
+    if (mem.mark_stamp[u] != epoch) {
+      mem.mark_stamp[u] = epoch;
+      mem.dirty_list.push_back(u);
+    }
+  };
+  const auto tear = [&] {
+    mem.valid = false;  // records are mid-surgery: force the full rebuild
+    return false;
+  };
+  using Node = TwoAntennaeMemory::Node;
+  const auto kid_remove = [](Node& p, int k) {
+    for (int i = 0; i < p.nkids; ++i) {
+      if (p.kids[i] == k) {
+        for (int j = i + 1; j < p.nkids; ++j) {
+          p.kids[j - 1] = p.kids[j];
+          p.kid_targets[j - 1] = p.kid_targets[j];
+        }
+        --p.nkids;
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto kid_add = [](Node& p, int k) {
+    if (p.nkids >= 5) return false;  // transient cap; final degrees are <= 5
+    p.kids[p.nkids++] = k;  // target slot is refreshed when p re-plans
+    return true;
+  };
+
+  // ---- Phase A: detach removed edges.  One endpoint is the other's
+  // recorded parent; both lose their plan.  A node that died this batch has
+  // every incident recorded edge in `removed`, so its record is fully
+  // detached before it leaves the membership.
+  for (const auto& [a, b] : delta.removed) {
+    if (a < 0 || b < 0 || a >= n_orig || b >= n_orig || !member[a] ||
+        !member[b]) {
+      return tear();
+    }
+    int child, par;
+    if (nodes[a].parent == b) {
+      child = a;
+      par = b;
+    } else if (nodes[b].parent == a) {
+      child = b;
+      par = a;
+    } else {
+      return tear();
+    }
+    if (!kid_remove(nodes[par], child)) return tear();
+    nodes[child].parent = -1;
+    mark(par);
+    mark(child);
+  }
+  for (const auto& [a, b] : delta.removed) {
+    if (comp_of[a] < 0) member[a] = 0;
+    if (comp_of[b] < 0) member[b] = 0;
+  }
+
+  // ---- Phase B: re-hang added edges.  Recovered nodes enter as isolated
+  // singletons; each edge welds an unanchored fragment onto the anchored
+  // component by re-rooting the fragment at its joining endpoint (the
+  // parent chain above it flips).  Rounds repeat until every edge attaches;
+  // a round without progress, or two anchored endpoints, means the delta
+  // contradicts the records.
+  const auto ensure_member = [&](int u) {
+    if (u < 0 || u >= n_orig || comp_of[u] < 0) return false;
+    if (!member[u]) {
+      nodes[u].parent = -1;
+      nodes[u].nkids = 0;
+      member[u] = 1;
+      mark(u);
+    }
+    return true;
+  };
+  const auto anchored = [&](int s) -> int {  // 1 yes / 0 no / -1 budget
+    auto& walk = mem.walk_buf;
+    walk.clear();
+    int x = s;
+    while (x != root_o && mem.anchor_stamp[x] != epoch) {
+      walk.push_back(x);
+      const int p = nodes[x].parent;
+      if (p < 0) return 0;
+      if (--budget < 0) return -1;
+      x = p;
+    }
+    for (int w : walk) mem.anchor_stamp[w] = epoch;
+    return 1;
+  };
+  auto& pend = mem.pend_edges;
+  pend.clear();
+  for (size_t i = 0; i < delta.added.size(); ++i) {
+    if (!ensure_member(delta.added[i].first) ||
+        !ensure_member(delta.added[i].second)) {
+      return tear();
+    }
+    pend.push_back(static_cast<int>(i));
+  }
+  while (!pend.empty()) {
+    size_t kept = 0;
+    bool progress = false;
+    for (size_t i = 0; i < pend.size(); ++i) {
+      const auto& [a, b] = delta.added[pend[i]];
+      const int aa = anchored(a);
+      const int ab = aa == 1 ? 0 : anchored(b);
+      if (aa < 0 || ab < 0) return tear();
+      if (aa == 0 && ab == 0) {
+        pend[kept++] = pend[i];
+        continue;
+      }
+      const int c = aa ? a : b;  // anchored side keeps its orientation
+      int cur = aa ? b : a;      // fragment re-roots here
+      int par_new = c;
+      while (cur >= 0) {
+        if (--budget < 0) return tear();
+        const int old_par = nodes[cur].parent;
+        if (old_par >= 0 && !kid_remove(nodes[old_par], cur)) return tear();
+        nodes[cur].parent = par_new;
+        if (!kid_add(nodes[par_new], cur)) return tear();
+        mark(par_new);
+        mark(cur);
+        par_new = cur;
+        cur = old_par;
+      }
+      progress = true;
+    }
+    pend.resize(kept);
+    if (!pend.empty() && !progress) return tear();
+  }
+
+  // ---- Phase C: position-dirty closure.  A moved vertex invalidates its
+  // own plan, its parent's (child positions are planner inputs) and its
+  // children's (the incoming obligation and the degree-5 split read the
+  // parent's position).
+  for (int u : delta.moved) {
+    if (u < 0 || u >= n_orig || !member[u]) return tear();
+    mark(u);
+    const Node& nd = nodes[u];
+    if (nd.parent >= 0) mark(nd.parent);
+    for (int i = 0; i < nd.nkids; ++i) mark(nd.kids[i]);
+  }
+
+  // Ancestor closure: stamp every marked node's chain to the root so the
+  // top-down sweep below knows which clean vertices still shelter dirty
+  // descendants.  Memoized — each chain node is stamped once per batch.
+  for (int u : mem.dirty_list) {
+    int x = u;
+    while (x >= 0 && x != root_o && mem.up_stamp[x] != epoch) {
+      mem.up_stamp[x] = epoch;
+      if (--budget < 0) return tear();
+      x = nodes[x].parent;
+    }
+  }
+  const auto in_chain = [&](int u) { return mem.up_stamp[u] == epoch; };
+
+  // ---- Phase D: frontier re-plan.  Exactly the incremental traversal,
+  // restricted to the marked closure: a visited vertex either re-plans
+  // (marked, or its freshly handed obligation differs bitwise from its
+  // record) or merely descends towards marked descendants.  Subtrees
+  // outside the closure are never visited; their rows copy flat below.
+  reset_result(res, n, /*reserve_per_node=*/2,
+               phi >= kPi ? Algorithm::kTwoPart1 : Algorithm::kTwoPart2, bf,
+               tree.lmax());
+  mem.planned.clear();
+  Node& rn = nodes[root_o];
+  if (rn.parent != -1 || rn.nkids != 1) return tear();
+  res.orientation.add(root, geom::beam_to(pos[root_o], pos[rn.kids[0]]));
+  res.cases.bump("root");
+  rn.target = pos[root_o];
+  rn.kid_targets[0] = pos[root_o];
+  mem.planned.push_back(root);
+
+  auto& work = scratch.work;          // (orig id, obligation) re-plan stack
+  auto& down = mem.descend_stack;     // clean chain vertices to walk through
+  work.clear();
+  down.clear();
+  {
+    const int k = rn.kids[0];
+    const Point t = pos[root_o];
+    if (marked(k) || nodes[k].target.x != t.x || nodes[k].target.y != t.y) {
+      work.emplace_back(k, t);
+    } else if (in_chain(k)) {
+      down.push_back(k);
+    }
+  }
+
+  auto& ph = scratch.parent_hint;
+  if (static_cast<int>(ph.size()) < n_orig) ph.resize(n_orig);
+  Ctx ctx{pos, ph,        phi, R, phi >= kPi, &res.orientation,
+          &res.cases};
+  NodePlanner pl(pos, phi, R);
+  int kid_buf[5];
+  while (!work.empty() || !down.empty()) {
+    if (!down.empty()) {
+      const int u = down.back();
+      down.pop_back();
+      const Node& nd = nodes[u];
+      for (int i = 0; i < nd.nkids; ++i) {
+        const int k = nd.kids[i];
+        if (marked(k)) {
+          // u keeps its plan, so the recorded hand-down is still exact.
+          work.emplace_back(k, nd.kid_targets[i]);
+        } else if (in_chain(k)) {
+          down.push_back(k);
+        }
+      }
+      continue;
+    }
+    const auto [u, target] = work.back();
+    work.pop_back();
+    Node& nm = nodes[u];
+    const int m = nm.nkids;
+    // Reproduce the fresh ccw child order: adjacency lists list incident
+    // edges in the tree's canonical (d2, min, max) edge order (compact ids
+    // are a monotone relabeling of original ids, so the key compares
+    // identically in either space), and children_ccw_from then sorts them
+    // stably by ccw offset with collinear-with-target last.
+    for (int i = 0; i < m; ++i) {
+      const int k = nm.kids[i];
+      const double dk = geom::dist2(pos[u], pos[k]);
+      int j = i;
+      while (j > 0) {
+        const int o = kid_buf[j - 1];
+        const double od = geom::dist2(pos[u], pos[o]);
+        if (od < dk) break;
+        if (od == dk) {
+          const int oa = std::min(u, o), ob = std::max(u, o);
+          const int ka = std::min(u, k), kb = std::max(u, k);
+          if (oa < ka || (oa == ka && ob < kb)) break;
+        }
+        kid_buf[j] = kid_buf[j - 1];
+        --j;
+      }
+      kid_buf[j] = k;
+    }
+    {
+      const double ref = geom::angle_to(pos[u], target);
+      double offs[5];
+      for (int i = 0; i < m; ++i) {
+        const int k = kid_buf[i];
+        double d = geom::ccw_delta(ref, geom::angle_to(pos[u], pos[k]));
+        if (d == 0.0) d = kTwoPi;  // on the target ray: sorts last
+        int j = i;
+        while (j > 0 && offs[j - 1] > d) {
+          kid_buf[j] = kid_buf[j - 1];
+          offs[j] = offs[j - 1];
+          --j;
+        }
+        kid_buf[j] = k;
+        offs[j] = d;
+      }
+    }
+    ph[u] = nm.parent;
+    pl.init(u, target, {kid_buf, static_cast<size_t>(m)});
+    const bool ok = plan_vertex(ctx, pl, u);
+    DIRANT_ASSERT_MSG(ok, "Theorem 3 failed at its own radius bound");
+    res.cases.bump(pl.label);
+    const int uc = comp_of[u];
+    for (const auto& s : pl.antennas) res.orientation.add(uc, s);
+    mem.planned.push_back(uc);
+    nm.target = target;
+    for (int slot = 0; slot < m; ++slot) {
+      const int k = pl.kid(slot);
+      const Point t = pl.child_targets[slot];
+      const Point old_t = nodes[k].target;
+      nm.kids[slot] = k;
+      nm.kid_targets[slot] = t;
+      if (marked(k) || old_t.x != t.x || old_t.y != t.y) {
+        work.emplace_back(k, t);
+      } else if (in_chain(k)) {
+        down.push_back(k);
+      }
+    }
+  }
+
+  // ---- Flat reuse: every alive row not re-planned copies verbatim from
+  // the snapshot (identical planner inputs re-derive the identical plan).
+  std::sort(mem.planned.begin(), mem.planned.end());
+  size_t pi = 0;
+  for (int c = 0; c < n; ++c) {
+    if (pi < mem.planned.size() && mem.planned[pi] == c) {
+      ++pi;
+      continue;
+    }
+    res.orientation.copy_node(c, prev, orig_of[c]);
+  }
+  if (const int reused = n - static_cast<int>(mem.planned.size());
+      reused > 0) {
+    res.cases.counts["reused"] += reused;
+  }
+  res.measured_radius = res.orientation.max_radius();
+  mem.last_warm = true;
+  return true;
 }
 
 void orient_two_antennae_adaptive(std::span<const Point> pts,

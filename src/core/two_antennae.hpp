@@ -17,7 +17,12 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "geometry/point.hpp"
 #include "mst/tree.hpp"
+
+namespace dirant::antenna {
+class Orientation;
+}
 
 namespace dirant::core {
 
@@ -35,6 +40,97 @@ Result orient_two_antennae(std::span<const geom::Point> pts,
 void orient_two_antennae(std::span<const geom::Point> pts,
                          const mst::Tree& tree, double phi,
                          OrienterScratch& scratch, Result& out);
+
+/// Per-node plan memory for the dirty-subtree incremental orienter, kept in
+/// *original* (churn-stable) index space by the caller.  A node whose
+/// recorded inputs — parent identity, incoming target point (bitwise),
+/// ccw-ordered child set — are unchanged, whose own / parent / child
+/// positions did not move, and whose global gates (phi, resolved radius cap,
+/// root identity) match, re-emits its previous sectors verbatim; everything
+/// else re-runs the per-degree case analysis and refreshes its record.
+struct TwoAntennaeMemory {
+  struct Node {
+    int parent = -1;        ///< original id of the tree parent at plan time
+    geom::Point target{};   ///< incoming cover obligation (bitwise compare)
+    int nkids = 0;
+    int kids[5] = {-1, -1, -1, -1, -1};  ///< children, ccw from the target
+    geom::Point kid_targets[5]{};        ///< obligations handed down
+  };
+  bool valid = false;  ///< records describe the previous incremental plan
+  double phi = 0.0;
+  double radius = 0.0;  ///< resolved cap R (folds in lmax and tolerances)
+  int root_orig = -1;   ///< traversal root; a change dirties the whole tree
+  std::vector<int> planned;  ///< compact ids re-planned by the last run
+  std::vector<Node> nodes;   ///< original index space
+
+  // Warm-path state (orient_two_antennae_warm): the records above double as
+  // a persistent original-space rooted tree that the net MST edge delta is
+  // applied to directly, skipping the O(n) reroot + traversal.  `member[u]`
+  // flags original ids present in the recorded tree; the stamp vectors are
+  // epoch-versioned so a warm batch touches only the affected region.
+  std::vector<char> member;      ///< original id is in the recorded tree
+  std::vector<int> mark_stamp;   ///< == warm_epoch: node must re-plan
+  std::vector<int> up_stamp;     ///< == warm_epoch: marked node or ancestor
+  std::vector<int> anchor_stamp; ///< == warm_epoch: known root-connected
+  std::vector<int> dirty_list;   ///< marked nodes, in mark order
+  std::vector<int> pend_edges;   ///< added-edge worklist (re-hang rounds)
+  std::vector<int> walk_buf;     ///< parent-chain walk scratch
+  std::vector<int> descend_stack;  ///< clean ancestors still to traverse
+  int warm_epoch = 0;
+  /// The last successful incremental plan came from the warm frontier path
+  /// (orient_two_antennae_warm), not the full dirty-subtree traversal.
+  /// Observability only — never read by the planners themselves.
+  bool last_warm = false;
+};
+
+/// Inputs for the warm frontier orienter: the net MST edge delta of the
+/// batch (original ids, u < v) plus the alive nodes whose positions changed.
+/// `positions` is the caller's full original-index-space position array.
+struct OrientWarmDelta {
+  std::span<const geom::Point> positions;
+  std::span<const std::pair<int, int>> removed;
+  std::span<const std::pair<int, int>> added;
+  std::span<const int> moved;  ///< alive, position changed; ascending
+};
+
+/// Frontier-driven warm re-orientation: instead of walking the whole tree
+/// and testing each vertex against its record (orient_two_antennae_incremental),
+/// apply the batch's net MST edge delta to the persistent rooted tree the
+/// records encode — detach removed edges, re-hang added ones by re-rooting
+/// the detached fragment at its joining endpoint — then re-plan only the
+/// closure of structurally- or positionally-dirty vertices under bitwise
+/// target propagation.  Every untouched row is copied flat from `prev`.
+/// Output is bit-identical to the incremental orienter (hence to the fresh
+/// plan) whenever it runs; cost is O(affected region + its root chain), not
+/// O(n).  Returns false — without touching `res` — when a global gate fails
+/// (stale memory, phi/R/root change), and false with `mem.valid` cleared
+/// when the delta contradicts the records mid-surgery; either way the
+/// caller falls back to the full incremental traversal.
+bool orient_two_antennae_warm(std::span<const geom::Point> pts,
+                              const mst::Tree& tree, double phi,
+                              OrienterScratch& scratch, TwoAntennaeMemory& mem,
+                              std::span<const int> orig_of,
+                              std::span<const int> comp_of,
+                              const OrientWarmDelta& delta,
+                              const antenna::Orientation& prev, Result& res);
+
+/// Dirty-subtree re-orientation: one DFS over the degree-<=5 tree where
+/// clean vertices (see TwoAntennaeMemory) copy their sector rows from
+/// `prev` — the caller's original-space snapshot of the last plan — instead
+/// of re-running the case analysis, and are counted under the "reused"
+/// case label.  The emitted Result is bit-identical to the full
+/// `orient_two_antennae` run on the same tree (sectors, radii, bound
+/// metadata) except for CaseStats, which reports "reused" for copied
+/// nodes.  `orig_of` / `comp_of` map between compact and original ids;
+/// `changed_pos[u]` flags original nodes whose position changed this batch.
+/// `mem.planned` receives the compact ids that were actually re-planned
+/// (ascending) — the only rows that can differ from the snapshot.
+void orient_two_antennae_incremental(
+    std::span<const geom::Point> pts, const mst::Tree& tree, double phi,
+    OrienterScratch& scratch, TwoAntennaeMemory& mem,
+    std::span<const int> orig_of, std::span<const int> comp_of,
+    std::span<const char> changed_pos, const antenna::Orientation& prev,
+    Result& out);
 
 /// Instance-adaptive extension (beyond the paper): binary-search the
 /// smallest radius cap R under which the Theorem 3 plan space (the proof's

@@ -1,0 +1,388 @@
+#include "graph/recert.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dirant::graph {
+
+bool IncrementalSccCert::row_has(const Digraph& dg,
+                                 std::span<const int> comp_of, int from,
+                                 int to) {
+  const int fc = comp_of[from], tc = comp_of[to];
+  if (fc < 0 || tc < 0) return false;
+  for (int t : dg.out(fc)) {
+    if (t == tc) return true;
+  }
+  return false;
+}
+
+void IncrementalSccCert::rebuild(const Digraph& dg, Digraph& transpose_scratch,
+                                 std::span<const int> orig_of,
+                                 std::span<const int> comp_of, int n_orig) {
+  (void)comp_of;
+  n_ = n_orig;
+  const int m = dg.size();
+  DIRANT_ASSERT(m == static_cast<int>(orig_of.size()));
+  if (m == 0) {
+    valid_ = false;
+    return;
+  }
+  if (static_cast<int>(out_parent_.size()) < n_) {
+    out_parent_.resize(n_, -1);
+    in_next_.resize(n_, -1);
+    out_kids_.resize(n_);
+    in_kids_.resize(n_);
+    member_.resize(n_, 0);
+    mark_out_.resize(n_, 0);
+    mark_in_.resize(n_, 0);
+    anchor_out_.resize(n_, 0);
+    anchor_in_.resize(n_, 0);
+    gvis_.resize(n_, 0);
+    gpred_.resize(n_, -1);
+  }
+  std::fill(member_.begin(), member_.end(), 0);
+  hub_ = orig_of[0];
+  for (int c = 0; c < m; ++c) {
+    const int u = orig_of[c];
+    member_[u] = 1;
+    out_kids_.head[u] = -1;
+    in_kids_.head[u] = -1;
+  }
+  // Out-tree: BFS from the hub over dg — visit order is a pure function of
+  // the row contents, which are bit-identical at every thread count.
+  ++epoch_;
+  bfs_.clear();
+  bfs_.push_back(0);
+  mark_out_[hub_] = epoch_;
+  out_parent_[hub_] = -1;
+  for (size_t i = 0; i < bfs_.size(); ++i) {
+    const int c = bfs_[i];
+    const int uo = orig_of[c];
+    for (int t : dg.out(c)) {
+      const int vo = orig_of[t];
+      if (mark_out_[vo] == epoch_) continue;
+      mark_out_[vo] = epoch_;
+      out_parent_[vo] = uo;
+      out_kids_.link(uo, vo);
+      bfs_.push_back(t);
+    }
+  }
+  bool ok = static_cast<int>(bfs_.size()) == m;
+  // In-tree: BFS from the hub over the transpose (a transpose edge c→t
+  // means t→c in dg, so t reaches the hub through c).
+  dg.reversed_into(transpose_scratch);
+  bfs_.clear();
+  bfs_.push_back(0);
+  mark_in_[hub_] = epoch_;
+  in_next_[hub_] = -1;
+  for (size_t i = 0; i < bfs_.size(); ++i) {
+    const int c = bfs_[i];
+    const int uo = orig_of[c];
+    for (int t : transpose_scratch.out(c)) {
+      const int vo = orig_of[t];
+      if (mark_in_[vo] == epoch_) continue;
+      mark_in_[vo] = epoch_;
+      in_next_[vo] = uo;
+      in_kids_.link(uo, vo);
+      bfs_.push_back(t);
+    }
+  }
+  ok = ok && static_cast<int>(bfs_.size()) == m;
+  valid_ = ok;  // callers pass strongly connected graphs; stay defensive
+}
+
+bool IncrementalSccCert::anchored(int w, const std::vector<int>& parent,
+                                  std::vector<int>& memo, int* walk_budget) {
+  // Walk the hub chain until the hub / a stamped ancestor (anchored) or a
+  // detached node (not anchored — some orphan root is still in the way).
+  // Anchorage is monotone within a repair, so positive verdicts stamp the
+  // whole walked path (path compression); negative ones never stamp.
+  path_.clear();
+  int x = w;
+  for (;;) {
+    if (x == hub_ || memo[x] == epoch_) {
+      for (int p : path_) memo[p] = epoch_;
+      return true;
+    }
+    const int up = parent[x];
+    if (up < 0) return false;
+    path_.push_back(x);
+    x = up;
+    if (--*walk_budget < 0) return false;
+  }
+}
+
+bool IncrementalSccCert::repair(const Digraph& dg,
+                                std::span<const int> orig_of,
+                                std::span<const int> comp_of,
+                                std::span<const geom::Point> compact_pts,
+                                const spatial::GridIndex& grid,
+                                double query_radius,
+                                std::span<const int> suspects,
+                                std::span<const char> changed_pos,
+                                std::vector<int>& hits) {
+  if (!valid_) return false;
+  const int alive = static_cast<int>(orig_of.size());
+  const int budget = cfg_.budget_slack + alive / cfg_.budget_divisor;
+  if (alive == 0 || comp_of[hub_] < 0 ||
+      static_cast<int>(suspects.size()) > budget) {
+    valid_ = false;
+    return false;
+  }
+  ++epoch_;
+  roots_out_.clear();
+  roots_in_.clear();
+  int frontier = 0;
+
+  const auto orphan_out = [&](int u) {
+    if (mark_out_[u] == epoch_) return;
+    mark_out_[u] = epoch_;
+    if (out_parent_[u] >= 0) {
+      out_kids_.unlink(out_parent_[u], u);
+      out_parent_[u] = -1;
+    }
+    roots_out_.push_back(u);
+    ++frontier;
+  };
+  const auto orphan_in = [&](int u) {
+    if (mark_in_[u] == epoch_) return;
+    mark_in_[u] = epoch_;
+    if (in_next_[u] >= 0) {
+      in_kids_.unlink(in_next_[u], u);
+      in_next_[u] = -1;
+    }
+    roots_in_.push_back(u);
+    ++frontier;
+  };
+  const auto collect_kids = [this](const KidList& kl, int parent) {
+    tmp_.clear();
+    for (int c = kl.head[parent]; c >= 0; c = kl.next[c]) tmp_.push_back(c);
+  };
+
+  // ---- Phase 1: enumerate every certificate edge that could have broken
+  // and orphan the affected roots.  Subtrees below a broken link ride along
+  // with their root — none of their own edges changed.
+  for (int s : suspects) {
+    if (comp_of[s] < 0) {
+      // Died this batch: detach, orphan both kid lists.
+      if (!member_[s]) continue;
+      member_[s] = 0;
+      if (out_parent_[s] >= 0) {
+        out_kids_.unlink(out_parent_[s], s);
+        out_parent_[s] = -1;
+      }
+      if (in_next_[s] >= 0) {
+        in_kids_.unlink(in_next_[s], s);
+        in_next_[s] = -1;
+      }
+      collect_kids(out_kids_, s);
+      out_kids_.head[s] = -1;
+      for (int c : tmp_) {
+        out_parent_[c] = -1;  // already off s's (cleared) list
+        orphan_out(c);
+      }
+      collect_kids(in_kids_, s);
+      in_kids_.head[s] = -1;
+      for (int u : tmp_) {
+        in_next_[u] = -1;
+        orphan_in(u);
+      }
+      ++frontier;
+    } else if (!member_[s]) {
+      // Recovered this batch: joins with no usable history.
+      member_[s] = 1;
+      out_kids_.head[s] = -1;
+      in_kids_.head[s] = -1;
+      out_parent_[s] = -1;
+      in_next_[s] = -1;
+      orphan_out(s);
+      orphan_in(s);
+    } else {
+      // Alive member: its row was rebuilt (dirty) and/or its position
+      // changed — re-verify every certificate edge that reads either.
+      if (s != hub_) {
+        if (out_parent_[s] < 0 || !row_has(dg, comp_of, out_parent_[s], s)) {
+          orphan_out(s);
+        }
+        if (in_next_[s] < 0 || !row_has(dg, comp_of, s, in_next_[s])) {
+          orphan_in(s);
+        }
+      }
+      collect_kids(out_kids_, s);
+      for (int c : tmp_) {
+        if (!row_has(dg, comp_of, s, c)) orphan_out(c);
+      }
+      if (changed_pos[s]) {
+        // Clean rows drop and retest exactly the moved/recovered targets,
+        // so edges into s from *clean* sources must re-verify too.
+        collect_kids(in_kids_, s);
+        for (int u : tmp_) {
+          if (!row_has(dg, comp_of, u, s)) orphan_in(u);
+        }
+      }
+    }
+    if (frontier > budget) {
+      valid_ = false;
+      return false;
+    }
+  }
+
+  // ---- Phase 2: re-anchor.  A root may attach only under an anchored
+  // parent, so each pass over the root lists either attaches someone (and
+  // possibly anchors more of the frontier) or every still-orphaned root's
+  // candidates run through another orphan's subtree and phase 3 takes over.
+  int walk_budget = cfg_.walk_slack + cfg_.walk_factor * alive;
+  int remaining = 0;
+  for (int u : roots_out_) remaining += comp_of[u] >= 0;
+  for (int u : roots_in_) remaining += comp_of[u] >= 0;
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (int u : roots_out_) {
+      if (comp_of[u] < 0 || out_parent_[u] >= 0) continue;
+      hits.clear();
+      grid.within(compact_pts[comp_of[u]], query_radius, comp_of[u], hits);
+      for (int wc : hits) {
+        const int w = orig_of[wc];
+        if (!anchored(w, out_parent_, anchor_out_, &walk_budget)) continue;
+        if (!row_has(dg, comp_of, w, u)) continue;
+        out_parent_[u] = w;
+        out_kids_.link(w, u);
+        anchor_out_[u] = epoch_;
+        --remaining;
+        progress = true;
+        break;
+      }
+      if (walk_budget < 0) {
+        valid_ = false;
+        return false;
+      }
+    }
+    for (int u : roots_in_) {
+      if (comp_of[u] < 0 || in_next_[u] >= 0) continue;
+      for (int tc : dg.out(comp_of[u])) {  // candidate edge u→w by definition
+        const int w = orig_of[tc];
+        if (!anchored(w, in_next_, anchor_in_, &walk_budget)) continue;
+        in_next_[u] = w;
+        in_kids_.link(w, u);
+        anchor_in_[u] = epoch_;
+        --remaining;
+        progress = true;
+        break;
+      }
+      if (walk_budget < 0) {
+        valid_ = false;
+        return false;
+      }
+    }
+  }
+
+  // ---- Phase 3: path grafting.  A stuck root's every candidate parent lies
+  // inside its own subtree (a direct attachment would close a cycle — think
+  // of a fringe pair whose only mutual edges point at each other).  BFS away
+  // from the root along certificate-capable edges until an anchored node
+  // appears, then re-root the entire discovered chain under it: each relink
+  // leaves the chain ending at the hub, and interior nodes were all
+  // un-anchored at discovery, so the terminal's hub chain avoids them and
+  // acyclicity is preserved.  Strong connectivity guarantees the BFS finds
+  // an anchored node (the hub itself in the worst case) within budget.
+  if (remaining > 0) {
+    const auto relink = [&](std::vector<int>& plink, KidList& kids,
+                            std::vector<int>& memo, int node, int par) {
+      if (plink[node] >= 0) kids.unlink(plink[node], node);
+      plink[node] = par;
+      kids.link(par, node);
+      memo[node] = epoch_;
+    };
+    const auto graft_path = [&](std::vector<int>& plink, KidList& kids,
+                                std::vector<int>& memo, int u, int x, int a) {
+      int node = x;
+      relink(plink, kids, memo, node, a);
+      while (node != u) {
+        const int c = gpred_[node];
+        relink(plink, kids, memo, c, node);
+        node = c;
+      }
+    };
+    for (int u : roots_out_) {
+      if (comp_of[u] < 0 || out_parent_[u] >= 0) continue;
+      ++gepoch_;
+      bfs_.clear();
+      bfs_.push_back(u);
+      gvis_[u] = gepoch_;
+      bool got = false;
+      for (size_t i = 0; i < bfs_.size() && !got; ++i) {
+        const int x = bfs_[i];
+        hits.clear();
+        grid.within(compact_pts[comp_of[x]], query_radius, comp_of[x], hits);
+        for (int wc : hits) {
+          const int w = orig_of[wc];
+          if (gvis_[w] == gepoch_) continue;
+          if (!row_has(dg, comp_of, w, x)) continue;  // need edge w→x
+          --walk_budget;
+          if (anchored(w, out_parent_, anchor_out_, &walk_budget)) {
+            graft_path(out_parent_, out_kids_, anchor_out_, u, x, w);
+            got = true;
+            break;
+          }
+          gvis_[w] = gepoch_;
+          gpred_[w] = x;
+          bfs_.push_back(w);
+        }
+        if (walk_budget < 0) {
+          valid_ = false;
+          return false;
+        }
+      }
+      if (!got) {  // no anchored node reaches u: genuinely degraded
+        valid_ = false;
+        return false;
+      }
+    }
+    for (int u : roots_in_) {
+      if (comp_of[u] < 0 || in_next_[u] >= 0) continue;
+      ++gepoch_;
+      bfs_.clear();
+      bfs_.push_back(u);
+      gvis_[u] = gepoch_;
+      bool got = false;
+      for (size_t i = 0; i < bfs_.size() && !got; ++i) {
+        const int x = bfs_[i];
+        for (int tc : dg.out(comp_of[x])) {  // edge x→w by definition
+          const int w = orig_of[tc];
+          if (gvis_[w] == gepoch_) continue;
+          --walk_budget;
+          if (anchored(w, in_next_, anchor_in_, &walk_budget)) {
+            graft_path(in_next_, in_kids_, anchor_in_, u, x, w);
+            got = true;
+            break;
+          }
+          gvis_[w] = gepoch_;
+          gpred_[w] = x;
+          bfs_.push_back(w);
+        }
+        if (walk_budget < 0) {
+          valid_ = false;
+          return false;
+        }
+      }
+      if (!got) {  // u reaches no anchored node: genuinely degraded
+        valid_ = false;
+        return false;
+      }
+    }
+    // A graft can attach a later root as a chain interior; recount instead
+    // of tracking decrements through the relinks.
+    remaining = 0;
+    for (int u : roots_out_) remaining += comp_of[u] >= 0 && out_parent_[u] < 0;
+    for (int u : roots_in_) remaining += comp_of[u] >= 0 && in_next_[u] < 0;
+  }
+  if (remaining > 0) {
+    valid_ = false;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dirant::graph

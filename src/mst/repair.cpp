@@ -1,10 +1,28 @@
 #include "mst/repair.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/assert.hpp"
+#include "geometry/point.hpp"
 
 namespace dirant::mst {
+
+namespace {
+
+/// The library's strict edge total order: (d2, min endpoint, max endpoint).
+/// a/b and c/d need not be min/max-ordered.
+inline bool edge_key_less(double d2a, int a1, int a2, double d2b, int b1,
+                          int b2) {
+  if (d2a != d2b) return d2a < d2b;
+  const int amin = a1 < a2 ? a1 : a2, amax = a1 < a2 ? a2 : a1;
+  const int bmin = b1 < b2 ? b1 : b2, bmax = b1 < b2 ? b2 : b1;
+  if (amin != bmin) return amin < bmin;
+  return amax < bmax;
+}
+
+}  // namespace
 
 void DelaunayEdgePool::reset() {
   pool_.clear();
@@ -148,6 +166,787 @@ void DelaunayEdgePool::merge_additions() {
     }
   }
   pool_.swap(merged_);
+}
+
+// ---------------------------------------------------------------------------
+// LocalMstRepair
+// ---------------------------------------------------------------------------
+
+void LocalMstRepair::seed(const Tree& emst, std::span<const int> orig_of,
+                          std::span<const geom::Point> positions,
+                          std::span<const char> alive) {
+  n_orig_ = static_cast<int>(positions.size());
+  const int n = n_orig_;
+  ledges_.clear();
+  ledges_.reserve(emst.edges.size());
+  for (const auto& e : emst.edges) {
+    const int u = orig_of[e.u], v = orig_of[e.v];
+    ledges_.push_back({geom::dist2(positions[u], positions[v]),
+                       std::min(u, v), std::max(u, v)});
+  }
+  // A kruskal_emst emission is already in canonical (d2, min, max) order and
+  // the compact→orig remap is monotone, so no sort is needed — but the whole
+  // exactness contract rides on it, so check.
+  DIRANT_ASSERT(std::is_sorted(ledges_.begin(), ledges_.end()));
+  tadj_.assign(static_cast<size_t>(n) * kAdjCap, 0);
+  tdeg_.assign(n, 0);
+  in_tree_.assign(n, 0);
+  for (const auto& e : ledges_) adj_add(e.u, e.v);
+  for (int c = 0; c < static_cast<int>(orig_of.size()); ++c) {
+    in_tree_[orig_of[c]] = 1;
+  }
+  lmax2_ub_ = ledges_.empty() ? 0.0 : ledges_.back().d2;
+  grid_build(positions, alive);
+  epoch_ = 0;
+  path_epoch_ = 0;
+  rm_stamp_.assign(n, 0);
+  label_stamp_.assign(n, 0);
+  path_stamp_.assign(n, 0);
+  pend_stamp_.assign(n, 0);
+  label_.assign(n, 0);
+  path_pos_.assign(n, 0);
+  path_side_.assign(n, 0);
+  parent_.assign(n, -1);
+  ped2_.assign(n, 0.0);
+  last_region_ = 0;
+  valid_ = true;
+}
+
+int LocalMstRepair::cell_index(const geom::Point& p) const {
+  int cx = static_cast<int>((p.x - min_x_) / cell_);
+  int cy = static_cast<int>((p.y - min_y_) / cell_);
+  cx = std::clamp(cx, 0, nx_ - 1);
+  cy = std::clamp(cy, 0, ny_ - 1);
+  return cy * nx_ + cx;
+}
+
+void LocalMstRepair::grid_build(std::span<const geom::Point> positions,
+                                std::span<const char> alive) {
+  min_x_ = min_y_ = std::numeric_limits<double>::infinity();
+  double max_x = -min_x_, max_y = -min_y_;
+  int alive_count = 0;
+  for (int u = 0; u < n_orig_; ++u) {
+    if (!alive[u]) continue;
+    ++alive_count;
+    min_x_ = std::min(min_x_, positions[u].x);
+    min_y_ = std::min(min_y_, positions[u].y);
+    max_x = std::max(max_x, positions[u].x);
+    max_y = std::max(max_y, positions[u].y);
+  }
+  if (alive_count == 0) {
+    min_x_ = min_y_ = 0.0;
+    max_x = max_y = 0.0;
+  }
+  cell_ = std::max(std::sqrt(lmax2_ub_), 1e-12);
+  const double span_x = max_x - min_x_, span_y = max_y - min_y_;
+  const long cell_cap = 4L * alive_count + 1024;
+  for (;;) {
+    nx_ = static_cast<int>(span_x / cell_) + 1;
+    ny_ = static_cast<int>(span_y / cell_) + 1;
+    if (static_cast<long>(nx_) * ny_ <= cell_cap) break;
+    cell_ *= 2.0;
+  }
+  const size_t ncells = static_cast<size_t>(nx_) * ny_;
+  if (cells_.size() < ncells) cells_.resize(ncells);
+  for (size_t c = 0; c < ncells; ++c) cells_[c].clear();
+  cell_of_.assign(n_orig_, -1);
+  for (int u = 0; u < n_orig_; ++u) {
+    if (alive[u]) grid_insert(u, positions[u]);
+  }
+}
+
+void LocalMstRepair::grid_insert(int u, const geom::Point& p) {
+  const int c = cell_index(p);
+  cells_[c].push_back(u);
+  cell_of_[u] = c;
+}
+
+void LocalMstRepair::grid_erase(int u) {
+  // The engine's event loop overwrites positions before the repair runs, so
+  // erase by the stored cell, never by the current position.
+  const int c = cell_of_[u];
+  if (c < 0) return;
+  auto& cell = cells_[c];
+  for (size_t i = 0; i < cell.size(); ++i) {
+    if (cell[i] == u) {
+      cell[i] = cell.back();
+      cell.pop_back();
+      break;
+    }
+  }
+  cell_of_[u] = -1;
+}
+
+void LocalMstRepair::adj_add(int u, int v) {
+  DIRANT_ASSERT(tdeg_[u] < kAdjCap && tdeg_[v] < kAdjCap);
+  tadj_[static_cast<size_t>(u) * kAdjCap + tdeg_[u]++] = v;
+  tadj_[static_cast<size_t>(v) * kAdjCap + tdeg_[v]++] = u;
+}
+
+void LocalMstRepair::adj_remove(int u, int v) {
+  const size_t bu = static_cast<size_t>(u) * kAdjCap;
+  for (int i = 0; i < tdeg_[u]; ++i) {
+    if (tadj_[bu + i] == v) {
+      tadj_[bu + i] = tadj_[bu + tdeg_[u] - 1];
+      --tdeg_[u];
+      break;
+    }
+  }
+  const size_t bv = static_cast<size_t>(v) * kAdjCap;
+  for (int i = 0; i < tdeg_[v]; ++i) {
+    if (tadj_[bv + i] == u) {
+      tadj_[bv + i] = tadj_[bv + tdeg_[v] - 1];
+      --tdeg_[v];
+      break;
+    }
+  }
+}
+
+const char* LocalMstRepair::apply_batch(
+    std::span<const geom::Point> positions, std::span<const char> alive,
+    int alive_count, std::span<const int> removed,
+    std::span<const int> inserted, std::span<const std::pair<int, int>> pool) {
+  DIRANT_ASSERT(valid_);
+  const char* fail = nullptr;
+  // A batch touching a quarter of the alive set is not "local" — the pool
+  // Kruskal is both simpler and faster there.
+  if ((removed.size() + inserted.size()) * 4 >
+      static_cast<size_t>(alive_count) + 16) {
+    fail = "mst-region";
+  }
+  ++epoch_;
+  for (int w : removed) rm_stamp_[w] = epoch_;
+  for (int v : inserted) pend_stamp_[v] = epoch_;
+  adds_.clear();
+  tombs_.clear();
+  net_removed_.clear();
+  net_added_.clear();
+  last_region_ = static_cast<int>(removed.size() + inserted.size());
+  if (fail == nullptr && !removed.empty()) {
+    fail = delete_phase(positions, removed, pool, alive_count);
+  }
+  if (fail == nullptr && !inserted.empty()) {
+    fail = insert_phase(positions, alive, alive_count, inserted);
+  }
+  if (fail == nullptr) merge_batch(positions, alive_count, &fail);
+  if (fail != nullptr) {
+    // Adjacency / grid state is mid-surgery — unusable until reseeded.
+    valid_ = false;
+    return fail;
+  }
+  return nullptr;
+}
+
+const char* LocalMstRepair::delete_phase(
+    std::span<const geom::Point> positions, std::span<const int> removed,
+    std::span<const std::pair<int, int>> pool, int alive_count) {
+  // Strip the removed nodes out of the tree and the grid, collecting the
+  // surviving endpoints of cut edges — the fragment seeds.
+  seeds_.clear();
+  for (int w : removed) {
+    if (!in_tree_[w]) continue;
+    const size_t base = static_cast<size_t>(w) * kAdjCap;
+    const int deg = tdeg_[w];
+    for (int i = 0; i < deg; ++i) {
+      const int x = tadj_[base + i];
+      // One-sided strip of w from x's list; w's own list dies wholesale.
+      const size_t bx = static_cast<size_t>(x) * kAdjCap;
+      for (int j = 0; j < tdeg_[x]; ++j) {
+        if (tadj_[bx + j] == w) {
+          tadj_[bx + j] = tadj_[bx + tdeg_[x] - 1];
+          --tdeg_[x];
+          break;
+        }
+      }
+      tombs_.push_back({0.0, std::min(w, x), std::max(w, x)});
+      if (rm_stamp_[x] != epoch_) seeds_.push_back(x);
+    }
+    tdeg_[w] = 0;
+    in_tree_[w] = 0;
+    grid_erase(w);
+  }
+  std::sort(seeds_.begin(), seeds_.end());
+  seeds_.erase(std::unique(seeds_.begin(), seeds_.end()), seeds_.end());
+  const int K = static_cast<int>(seeds_.size());
+  last_region_ += K;
+  // Every fragment contains at least one seed (each fragment borders a
+  // removed node through a tree edge whose surviving endpoint seeds it), so
+  // K <= 1 means the survivor tree is still connected — nothing to repair.
+  if (K <= 1) return nullptr;
+
+  // Round-robin BFS, one pop per front per round.  Fronts that meet merge
+  // their classes (union-find over front ids); a front whose queue drains
+  // closes.  Stop as soon as at most one class still has an open front —
+  // that class is the main component and is never fully traversed.
+  //
+  // With several removed nodes the *main* component is seeded once per
+  // removed node, and those fronts only merge when their BFS regions touch
+  // — which can take a walk across half the tree.  So a front that visits
+  // `freeze_cap` nodes without draining is *frozen* (assumed main-side) and
+  // every frozen class is folded into the main label afterwards.  Freezing
+  // a genuine small fragment by mistake only *omits* reconnection edges —
+  // every edge Borůvka does add crosses a class cut and class connectivity
+  // never exceeds physical connectivity, so the result stays a sub-forest
+  // of the EMST — and the edge-count check below turns that omission into a
+  // deterministic "mst-disconnected" fallback, never a silent wrong tree.
+  if (static_cast<int>(queues_.size()) < K) queues_.resize(K);
+  qhead_.assign(K, 0);
+  if (static_cast<int>(uf_.size()) < K) uf_.resize(K);
+  if (static_cast<int>(cls_open_.size()) < K) cls_open_.resize(K);
+  if (static_cast<int>(cls_frozen_.size()) < K) cls_frozen_.resize(K);
+  for (int i = 0; i < K; ++i) {
+    queues_[i].clear();
+    queues_[i].push_back(seeds_[i]);
+    label_stamp_[seeds_[i]] = epoch_;
+    label_[seeds_[i]] = i;
+    uf_[i] = i;
+    cls_open_[i] = 1;
+    cls_frozen_[i] = 0;
+  }
+  auto find = [this](int x) {
+    while (uf_[x] != x) x = uf_[x] = uf_[uf_[x]];
+    return x;
+  };
+  int open_classes = K;
+  auto merge_classes = [&](int ra, int rb) {
+    // ra != rb.  Smaller id stays root (deterministic).
+    if (rb < ra) std::swap(ra, rb);
+    uf_[rb] = ra;
+    if (cls_open_[ra] > 0 && cls_open_[rb] > 0) --open_classes;
+    cls_open_[ra] += cls_open_[rb];
+    cls_frozen_[ra] |= cls_frozen_[rb];
+  };
+  const int visit_budget = cfg_.region_slack + alive_count / cfg_.region_divisor;
+  // Per-front cap of budget/max(2,K) (not budget/2K): the total region is
+  // already bounded by `visit_budget`, and halving the cap again made genuine
+  // fragments of a few thousand nodes freeze at n=50k, folding them into the
+  // main label and forcing the "mst-disconnected" full fallback.
+  const int freeze_cap =
+      std::max(cfg_.region_slack, visit_budget / std::max(2, K));
+  bool any_frozen = false;
+  int visited = K;
+  while (open_classes > 1) {
+    for (int f = 0; f < K && open_classes > 1; ++f) {
+      if (qhead_[f] < 0) continue;  // already closed
+      if (qhead_[f] == static_cast<int>(queues_[f].size())) {
+        const int r = find(f);
+        if (--cls_open_[r] == 0) --open_classes;
+        qhead_[f] = -1;
+        continue;
+      }
+      if (static_cast<int>(queues_[f].size()) >= freeze_cap) {
+        const int r = find(f);
+        cls_frozen_[r] = 1;
+        any_frozen = true;
+        if (--cls_open_[r] == 0) --open_classes;
+        qhead_[f] = -1;
+        continue;
+      }
+      const int x = queues_[f][qhead_[f]++];
+      const size_t bx = static_cast<size_t>(x) * kAdjCap;
+      for (int i = 0; i < tdeg_[x]; ++i) {
+        const int y = tadj_[bx + i];
+        if (label_stamp_[y] != epoch_) {
+          label_stamp_[y] = epoch_;
+          label_[y] = f;
+          queues_[f].push_back(y);
+          if (++visited > visit_budget) return "mst-region";
+        } else {
+          const int ry = find(label_[y]), rf = find(f);
+          if (ry != rf) merge_classes(ry, rf);
+        }
+      }
+    }
+  }
+  last_region_ += visited - K;
+  // The still-open class plus every frozen class own the unvisited nodes:
+  // fold them into one main label (ascending roots, so the smallest id is
+  // the representative — deterministic).
+  int main_root = -2;
+  for (int f = 0; f < K; ++f) {
+    if (find(f) != f || (cls_open_[f] <= 0 && !cls_frozen_[f])) continue;
+    if (main_root < 0) {
+      main_root = f;
+    } else {
+      merge_classes(main_root, f);
+    }
+  }
+  auto comp = [&](int u) {
+    if (label_stamp_[u] == epoch_) return find(label_[u]);
+    // Unvisited ⇒ main component; chase the union-find in case the main
+    // class merged under a smaller root during Borůvka adoption.
+    return main_root >= 0 ? find(main_root) : -2;
+  };
+
+  // One pool scan for crossing candidates.  Dead, removed, and
+  // pending-insert endpoints are excluded: the reconnection must be the MST
+  // of the survivor set A0 = alive ∖ (moved ∪ recovered); pending nodes
+  // enter later through the exact insertion move.
+  cand_.clear();
+  for (const auto& [a, b] : pool) {
+    if (rm_stamp_[a] == epoch_ || rm_stamp_[b] == epoch_ ||
+        pend_stamp_[a] == epoch_ || pend_stamp_[b] == epoch_) {
+      continue;
+    }
+    const int ca = comp(a), cb = comp(b);
+    if (ca == cb || ca == -2 || cb == -2) continue;
+    cand_.emplace_back(a, b);
+  }
+
+  // Borůvka rounds: each class adopts its minimum crossing edge under the
+  // strict (d2, min, max) order — an MST edge by the cut property.  The
+  // strict total order makes simultaneous adoptions cycle-free.
+  int num_classes = 0;
+  for (int f = 0; f < K; ++f) num_classes += find(f) == f ? 1 : 0;
+  if (static_cast<int>(best_.size()) < K) best_.resize(K);
+  while (num_classes > 1) {
+    for (int f = 0; f < K; ++f) {
+      if (find(f) == f) best_[f] = {0.0, -1, -1};
+    }
+    for (const auto& [a, b] : cand_) {
+      const int ra = comp(a), rb = comp(b);
+      if (ra == rb) continue;
+      const double d2 = geom::dist2(positions[a], positions[b]);
+      for (const int r : {ra, rb}) {
+        Best& cur = best_[r];
+        if (cur.u < 0 || edge_key_less(d2, a, b, cur.d2, cur.u, cur.v)) {
+          cur = {d2, a, b};
+        }
+      }
+    }
+    bool progressed = false;
+    for (int f = 0; f < K; ++f) {
+      if (find(f) != f || best_[f].u < 0) continue;
+      const Best e = best_[f];
+      const int ru = comp(e.u), rv = comp(e.v);
+      if (ru == rv) continue;  // identical minima already merged this round
+      merge_classes(ru, rv);
+      --num_classes;
+      adj_add(e.u, e.v);
+      adds_.push_back({e.d2, std::min(e.u, e.v), std::max(e.u, e.v)});
+      lmax2_ub_ = std::max(lmax2_ub_, e.d2);
+      last_region_ += 2;
+      progressed = true;
+    }
+    if (!progressed) return "mst-disconnected";
+  }
+  if (any_frozen) {
+    // A frozen label may have hidden a genuine fragment split (no crossing
+    // candidates were collected for it).  The insert phase requires a
+    // connected tree — its parent walks would chase stale pointers across a
+    // gap — so verify by degree count before handing the tree over.
+    long deg_sum = 0;
+    long nodes = 0;
+    for (int u = 0; u < n_orig_; ++u) {
+      if (in_tree_[u]) {
+        ++nodes;
+        deg_sum += tdeg_[u];
+      }
+    }
+    if (deg_sum != 2 * (nodes - 1)) return reconnect_exact(positions, pool);
+  }
+  return nullptr;
+}
+
+const char* LocalMstRepair::reconnect_exact(
+    std::span<const geom::Point> positions,
+    std::span<const std::pair<int, int>> pool) {
+  // Rare slow lane of the localized delete phase: the freeze heuristic
+  // mislabelled a genuine fragment as main-side, so the tree is still split.
+  // Every edge already added is an exact MST edge (cut property holds for
+  // whatever true cut the adopting class induced), so finish the job with
+  // exact component labels: one O(alive) BFS over the sub-forest plus one
+  // more Borůvka sweep over the pool.  Linear, but ~100× cheaper than the
+  // full-plan fallback it replaces, and still a pure function of the event
+  // sequence — deterministic at every thread count.
+  ++path_epoch_;
+  int ncomp = 0;
+  for (int s = 0; s < n_orig_; ++s) {
+    if (!in_tree_[s] || path_stamp_[s] == path_epoch_) continue;
+    bfs_.clear();
+    bfs_.push_back(s);
+    path_stamp_[s] = path_epoch_;
+    label_[s] = ncomp;
+    for (size_t i = 0; i < bfs_.size(); ++i) {
+      const int x = bfs_[i];
+      const size_t bx = static_cast<size_t>(x) * kAdjCap;
+      for (int k = 0; k < tdeg_[x]; ++k) {
+        const int y = tadj_[bx + k];
+        if (path_stamp_[y] == path_epoch_) continue;
+        path_stamp_[y] = path_epoch_;
+        label_[y] = ncomp;
+        bfs_.push_back(y);
+      }
+    }
+    ++ncomp;
+  }
+  if (ncomp <= 1) return nullptr;  // degree miscount is impossible, but safe
+  last_region_ += ncomp;
+  if (static_cast<int>(uf_.size()) < ncomp) uf_.resize(ncomp);
+  for (int i = 0; i < ncomp; ++i) uf_[i] = i;
+  auto find = [this](int x) {
+    while (uf_[x] != x) x = uf_[x] = uf_[uf_[x]];
+    return x;
+  };
+  cand_.clear();
+  for (const auto& [a, b] : pool) {
+    if (rm_stamp_[a] == epoch_ || rm_stamp_[b] == epoch_ ||
+        pend_stamp_[a] == epoch_ || pend_stamp_[b] == epoch_) {
+      continue;
+    }
+    if (label_[a] != label_[b]) cand_.emplace_back(a, b);
+  }
+  if (static_cast<int>(best_.size()) < ncomp) best_.resize(ncomp);
+  int num_classes = ncomp;
+  while (num_classes > 1) {
+    for (int c = 0; c < ncomp; ++c) {
+      if (find(c) == c) best_[c] = {0.0, -1, -1};
+    }
+    for (const auto& [a, b] : cand_) {
+      const int ra = find(label_[a]), rb = find(label_[b]);
+      if (ra == rb) continue;
+      const double d2 = geom::dist2(positions[a], positions[b]);
+      for (const int r : {ra, rb}) {
+        Best& cur = best_[r];
+        if (cur.u < 0 || edge_key_less(d2, a, b, cur.d2, cur.u, cur.v)) {
+          cur = {d2, a, b};
+        }
+      }
+    }
+    bool progressed = false;
+    for (int c = 0; c < ncomp; ++c) {
+      if (find(c) != c || best_[c].u < 0) continue;
+      const Best e = best_[c];
+      const int ru = find(label_[e.u]), rv = find(label_[e.v]);
+      if (ru == rv) continue;
+      uf_[std::max(ru, rv)] = std::min(ru, rv);
+      --num_classes;
+      adj_add(e.u, e.v);
+      adds_.push_back({e.d2, std::min(e.u, e.v), std::max(e.u, e.v)});
+      lmax2_ub_ = std::max(lmax2_ub_, e.d2);
+      last_region_ += 2;
+      progressed = true;
+    }
+    if (!progressed) return "mst-disconnected";
+  }
+  return nullptr;
+}
+
+const char* LocalMstRepair::insert_phase(
+    std::span<const geom::Point> positions, std::span<const char> alive,
+    int alive_count, std::span<const int> inserted) {
+  (void)alive;
+  // Rebuild the rooted view (parent_ / ped2_) of the post-deletion tree once
+  // per batch; the per-vertex cycle-max walks and swaps keep it current.
+  int root = -1;
+  for (int u = 0; u < n_orig_; ++u) {
+    if (in_tree_[u]) {
+      root = u;
+      break;
+    }
+  }
+  if (root < 0) return "mst-disconnected";  // no survivor to attach to
+  ++path_epoch_;
+  bfs_.clear();
+  bfs_.push_back(root);
+  parent_[root] = -1;
+  ped2_[root] = 0.0;
+  path_stamp_[root] = path_epoch_;
+  for (size_t h = 0; h < bfs_.size(); ++h) {
+    const int x = bfs_[h];
+    const size_t bx = static_cast<size_t>(x) * kAdjCap;
+    for (int i = 0; i < tdeg_[x]; ++i) {
+      const int y = tadj_[bx + i];
+      if (path_stamp_[y] == path_epoch_) continue;
+      path_stamp_[y] = path_epoch_;
+      parent_[y] = x;
+      ped2_[y] = geom::dist2(positions[x], positions[y]);
+      bfs_.push_back(y);
+    }
+  }
+  int walk_budget = cfg_.walk_slack + cfg_.walk_factor * alive_count;
+  for (int v : inserted) {
+    const char* fail = insert_vertex(positions, v, &walk_budget);
+    if (fail != nullptr) return fail;
+  }
+  return nullptr;
+}
+
+const char* LocalMstRepair::insert_vertex(
+    std::span<const geom::Point> positions, int v, int* walk_budget) {
+  const geom::Point p = positions[v];
+  // Nearest in-tree neighbour by expanding grid rings (grid holds exactly
+  // the current tree's nodes, so pending inserts are invisible until their
+  // own turn).  Ties break toward the smaller id, matching (d2, min, max).
+  double nn_d2 = std::numeric_limits<double>::infinity();
+  int nn_id = -1;
+  double r = cell_;
+  for (;;) {
+    const int cx0 = std::clamp(
+        static_cast<int>((p.x - r - min_x_) / cell_), 0, nx_ - 1);
+    const int cx1 = std::clamp(
+        static_cast<int>((p.x + r - min_x_) / cell_), 0, nx_ - 1);
+    const int cy0 = std::clamp(
+        static_cast<int>((p.y - r - min_y_) / cell_), 0, ny_ - 1);
+    const int cy1 = std::clamp(
+        static_cast<int>((p.y + r - min_y_) / cell_), 0, ny_ - 1);
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        for (const int id : cells_[static_cast<size_t>(cy) * nx_ + cx]) {
+          const double d2 = geom::dist2(p, positions[id]);
+          if (d2 < nn_d2 || (d2 == nn_d2 && id < nn_id)) {
+            nn_d2 = d2;
+            nn_id = id;
+          }
+        }
+      }
+    }
+    if (nn_id >= 0 && nn_d2 <= r * r) break;
+    if (cx0 == 0 && cy0 == 0 && cx1 == nx_ - 1 && cy1 == ny_ - 1) {
+      if (nn_id < 0) return "mst-disconnected";
+      break;
+    }
+    r *= 2.0;
+  }
+  // Exact candidate disk: every MST edge incident to v lies within squared
+  // radius max(d2(v, NN), lmax²) — cycle property against the current tree
+  // plus the always-in edge (v, NN).  Closed disk: inflate the box query,
+  // filter exactly.
+  const double R2 = std::max(nn_d2, lmax2_ub_);
+  const double rq = std::sqrt(R2) * (1.0 + 1e-9);
+  disk_.clear();
+  {
+    const int cx0 = std::clamp(
+        static_cast<int>((p.x - rq - min_x_) / cell_), 0, nx_ - 1);
+    const int cx1 = std::clamp(
+        static_cast<int>((p.x + rq - min_x_) / cell_), 0, nx_ - 1);
+    const int cy0 = std::clamp(
+        static_cast<int>((p.y - rq - min_y_) / cell_), 0, ny_ - 1);
+    const int cy1 = std::clamp(
+        static_cast<int>((p.y + rq - min_y_) / cell_), 0, ny_ - 1);
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        for (const int id : cells_[static_cast<size_t>(cy) * nx_ + cx]) {
+          const double d2 = geom::dist2(p, positions[id]);
+          if (d2 > R2) continue;
+          disk_.emplace_back(d2, id);
+          if (static_cast<int>(disk_.size()) > cfg_.candidate_cap) {
+            return "mst-candidates";
+          }
+        }
+      }
+    }
+  }
+  std::sort(disk_.begin(), disk_.end(),
+            [v](const std::pair<double, int>& a,
+                const std::pair<double, int>& b) {
+              return edge_key_less(a.first, v, a.second, b.first, v, b.second);
+            });
+  // First candidate = minimum edge incident to v — always an MST edge (cut
+  // around {v}).  Attach, then offer every other candidate in ascending
+  // order as a cycle-max swap.
+  const int w0 = disk_[0].second;
+  parent_[v] = w0;
+  ped2_[v] = disk_[0].first;
+  path_stamp_[v] = 0;  // not part of any previous walk epoch
+  adj_add(v, w0);
+  adds_.push_back({disk_[0].first, std::min(v, w0), std::max(v, w0)});
+  lmax2_ub_ = std::max(lmax2_ub_, disk_[0].first);
+  in_tree_[v] = 1;
+  grid_insert(v, p);
+  last_region_ += static_cast<int>(disk_.size());
+
+  for (size_t ci = 1; ci < disk_.size(); ++ci) {
+    const double d2c = disk_[ci].first;
+    const int w = disk_[ci].second;
+    // Alternating stamped parent walks from v and w until the fronts meet —
+    // O(path length to the LCA-ish junction), no depths needed (swap
+    // re-rooting invalidates depth bookkeeping).
+    ++path_epoch_;
+    vchain_.clear();
+    wchain_.clear();
+    vchain_.push_back(v);
+    wchain_.push_back(w);
+    path_stamp_[v] = path_epoch_;
+    path_side_[v] = 0;
+    path_pos_[v] = 0;
+    path_stamp_[w] = path_epoch_;
+    path_side_[w] = 1;
+    path_pos_[w] = 0;
+    int a = v, b = w, meet = -1;
+    bool a_done = parent_[a] < 0, b_done = parent_[b] < 0;
+    while (meet < 0) {
+      if (!a_done) {
+        const int na = parent_[a];
+        if (path_stamp_[na] == path_epoch_ && path_side_[na] == 1) {
+          meet = na;
+          break;
+        }
+        path_stamp_[na] = path_epoch_;
+        path_side_[na] = 0;
+        path_pos_[na] = static_cast<int>(vchain_.size());
+        vchain_.push_back(na);
+        a = na;
+        a_done = parent_[a] < 0;
+      }
+      if (!b_done) {
+        const int nb = parent_[b];
+        if (path_stamp_[nb] == path_epoch_ && path_side_[nb] == 0) {
+          meet = nb;
+          break;
+        }
+        path_stamp_[nb] = path_epoch_;
+        path_side_[nb] = 1;
+        path_pos_[nb] = static_cast<int>(wchain_.size());
+        wchain_.push_back(nb);
+        b = nb;
+        b_done = parent_[b] < 0;
+      }
+      if (meet < 0 && a_done && b_done) return "mst-disconnected";
+      if ((*walk_budget -= 2) < 0) return "mst-walk-budget";
+    }
+    // Path edge lists: each chain entry's edge goes to the next entry (or to
+    // the meet node past the end).  A side is truncated at the meet when the
+    // meet carries its mark.
+    const int vlen = path_side_[meet] == 0 ? path_pos_[meet]
+                                           : static_cast<int>(vchain_.size());
+    const int wlen = path_side_[meet] == 1 ? path_pos_[meet]
+                                           : static_cast<int>(wchain_.size());
+    double mx_d2 = 0.0;
+    int mx_child = -1, mx_parent = -1, mx_side = 0, mx_idx = 0;
+    for (int j = 0; j < vlen; ++j) {
+      const int child = vchain_[j];
+      const int par =
+          j + 1 < static_cast<int>(vchain_.size()) ? vchain_[j + 1] : meet;
+      if (mx_child < 0 ||
+          edge_key_less(mx_d2, mx_child, mx_parent, ped2_[child], child, par)) {
+        mx_d2 = ped2_[child];
+        mx_child = child;
+        mx_parent = par;
+        mx_side = 0;
+        mx_idx = j;
+      }
+    }
+    for (int j = 0; j < wlen; ++j) {
+      const int child = wchain_[j];
+      const int par =
+          j + 1 < static_cast<int>(wchain_.size()) ? wchain_[j + 1] : meet;
+      if (mx_child < 0 ||
+          edge_key_less(mx_d2, mx_child, mx_parent, ped2_[child], child, par)) {
+        mx_d2 = ped2_[child];
+        mx_child = child;
+        mx_parent = par;
+        mx_side = 1;
+        mx_idx = j;
+      }
+    }
+    DIRANT_ASSERT(mx_child >= 0);
+    // Swap iff the candidate beats the cycle max under the strict order.
+    if (!edge_key_less(d2c, v, w, mx_d2, mx_child, mx_parent)) continue;
+    adj_remove(mx_child, mx_parent);
+    tombs_.push_back(
+        {0.0, std::min(mx_child, mx_parent), std::max(mx_child, mx_parent)});
+    adj_add(v, w);
+    adds_.push_back({d2c, std::min(v, w), std::max(v, w)});
+    lmax2_ub_ = std::max(lmax2_ub_, d2c);
+    // Re-root the detached piece: reverse the parent chain from the chain
+    // head down to the removed edge's child, hanging the head off the other
+    // endpoint of the new edge.
+    std::vector<int>& chain = mx_side == 0 ? vchain_ : wchain_;
+    const int attach_to = mx_side == 0 ? w : v;
+    double carry = ped2_[chain[0]];
+    parent_[chain[0]] = attach_to;
+    ped2_[chain[0]] = d2c;
+    for (int j = 0; j < mx_idx; ++j) {
+      const double nxt = ped2_[chain[j + 1]];
+      parent_[chain[j + 1]] = chain[j];
+      ped2_[chain[j + 1]] = carry;
+      carry = nxt;
+    }
+    last_region_ += 2;
+  }
+  return nullptr;
+}
+
+void LocalMstRepair::merge_batch(std::span<const geom::Point> positions,
+                                 int alive_count, const char** fail) {
+  // Pairs can toggle several times inside one batch (removed in the delete
+  // phase, re-added by an insertion swap, removed again…), so the adjacency
+  // is the ground truth: ops = every touched pair, final membership decides.
+  cand_.clear();
+  for (const auto& e : adds_) cand_.emplace_back(e.u, e.v);
+  for (const auto& e : tombs_) cand_.emplace_back(e.u, e.v);
+  std::sort(cand_.begin(), cand_.end());
+  cand_.erase(std::unique(cand_.begin(), cand_.end()), cand_.end());
+  was_old_.assign(cand_.size(), 0);
+  auto adj_has = [this](int u, int v) {
+    const size_t bu = static_cast<size_t>(u) * kAdjCap;
+    for (int i = 0; i < tdeg_[u]; ++i) {
+      if (tadj_[bu + i] == v) return true;
+    }
+    return false;
+  };
+  // Final-present touched pairs, with d2 at current positions (any pair in
+  // the final tree has both endpoints at their current coordinates).
+  adds_.clear();
+  for (const auto& [u, v] : cand_) {
+    if (adj_has(u, v)) {
+      adds_.push_back({geom::dist2(positions[u], positions[v]), u, v});
+    }
+  }
+  std::sort(adds_.begin(), adds_.end());
+  // ledges_ minus every touched pair, merged with the final-present ops.
+  // Along the way, record the *net* tree-edge delta of the batch (original
+  // ids): an old edge that was touched and is absent from the final
+  // adjacency is net-removed; a final-present touched pair that was not in
+  // the old tree is net-added.  Pairs that toggled back to their original
+  // membership cancel out.  Consumers (the warm orienter's re-hang) read
+  // these via last_removed()/last_added().
+  net_removed_.clear();
+  net_added_.clear();
+  lmerge_.clear();
+  size_t j = 0;
+  for (const auto& e : ledges_) {
+    const auto it = std::lower_bound(cand_.begin(), cand_.end(),
+                                     std::make_pair(e.u, e.v));
+    if (it != cand_.end() && *it == std::make_pair(e.u, e.v)) {
+      was_old_[static_cast<size_t>(it - cand_.begin())] = 1;
+      if (!adj_has(e.u, e.v)) net_removed_.emplace_back(e.u, e.v);
+      continue;
+    }
+    while (j < adds_.size() && adds_[j] < e) lmerge_.push_back(adds_[j++]);
+    lmerge_.push_back(e);
+  }
+  while (j < adds_.size()) lmerge_.push_back(adds_[j++]);
+  for (size_t i = 0; i < cand_.size(); ++i) {
+    if (!was_old_[i] && adj_has(cand_[i].first, cand_[i].second)) {
+      net_added_.push_back(cand_[i]);
+    }
+  }
+  ledges_.swap(lmerge_);
+  if (static_cast<int>(ledges_.size()) != alive_count - 1) {
+    *fail = "mst-count";
+    return;
+  }
+  // Swaps can shrink the true lmax; restore the exact value from the sorted
+  // tail so the next batch's insertion disks don't stay inflated forever.
+  lmax2_ub_ = ledges_.empty() ? 0.0 : ledges_.back().d2;
+}
+
+void LocalMstRepair::export_tree(std::span<const int> comp_of,
+                                 std::span<const geom::Point> compact_pts,
+                                 Tree& out) const {
+  DIRANT_ASSERT(valid_);
+  out.n = static_cast<int>(compact_pts.size());
+  out.edges.clear();
+  out.edges.reserve(ledges_.size());
+  // comp_of is monotone on the alive set, so the canonical (d2, min, max)
+  // order of ledges_ maps to the canonical compact order — the emission is
+  // byte-identical to kruskal_emst over any candidate superset.
+  for (const auto& e : ledges_) {
+    const int cu = comp_of[e.u], cv = comp_of[e.v];
+    out.edges.push_back({cu, cv, geom::dist(compact_pts[cu], compact_pts[cv])});
+  }
 }
 
 }  // namespace dirant::mst

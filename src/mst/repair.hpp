@@ -33,9 +33,13 @@
 /// crosses `size_factor * alive + size_slack`.  All guards are functions of
 /// the event sequence alone — deterministic and thread-count independent.
 
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
+
+#include "geometry/point.hpp"
+#include "mst/tree.hpp"
 
 namespace dirant::mst {
 
@@ -112,6 +116,203 @@ class DelaunayEdgePool {
   std::vector<std::pair<int, int>> boundary_;   ///< (component root, survivor)
   bool valid_ = false;
   EdgePoolConfig cfg_;
+};
+
+struct LocalRepairConfig {
+  /// Deletion-side BFS labels split components until this many nodes have
+  /// been visited; beyond it the affected region is no longer "local" and
+  /// the repair escalates to the pool Kruskal.
+  int region_slack = 256;
+  int region_divisor = 4;  ///< cap = region_slack + alive / region_divisor
+  /// Insertion-side exact candidate disk (closed, radius²
+  /// max(d2(v, NN), lmax²)) may hold at most this many points.
+  int candidate_cap = 256;
+  /// Total tree-path walk steps per batch across all cycle-max searches.
+  int walk_slack = 1024;
+  int walk_factor = 4;  ///< budget = walk_slack + walk_factor * alive
+};
+
+/// Maintains the exact Euclidean MST of the alive set across churn batches
+/// in *original* index space, so a warm batch repairs the tree in time
+/// proportional to the affected region instead of re-running Kruskal over
+/// the whole candidate pool.
+///
+/// Exactness contract: after a successful `apply_batch`, the maintained
+/// edge set IS the unique EMST of the alive point set under the library's
+/// strict (d2, min endpoint, max endpoint) total order, and `export_tree`
+/// reproduces `kruskal_emst`'s emission byte for byte (same edge pairs,
+/// same order — the candidate list is kept sorted by that key, and the
+/// compact remap is monotone).  The two repair moves:
+///
+///   * **Deletions** (fails + moved-away nodes): dropping a tree node cuts
+///     the tree into fragments.  Fragments are discovered by a round-robin
+///     BFS from the surviving endpoints of the cut edges (the last
+///     still-running front is the main component and is never fully
+///     traversed), then reconnected by Borůvka rounds over the candidate
+///     pool restricted to edges incident to the small fragments: each
+///     fragment's minimum crossing edge under the strict order is an MST
+///     edge by the cut property, and the pool ⊇ Delaunay(alive) superset
+///     invariant guarantees every needed replacement is present.
+///   * **Insertions** (recoveries + moved-to nodes, ascending id): vertex
+///     v's incident MST edges all lie in the closed disk of squared radius
+///     max(d2(v, NN), lmax²) — cycle property against the tree plus the
+///     edge (v, NN).  Each candidate in ascending (d2, min, max) order is
+///     either rejected (cycle max ≤ candidate) or swapped in for the
+///     maximum edge on the tree path it closes; the first candidate is the
+///     NN edge, which always enters.  Sequential one-edge insertions keep
+///     the intermediate trees exact, so the final tree is MST(alive).
+///
+/// Every guard (region cap, candidate cap, walk budget, fragment
+/// disconnection) is a pure function of the event sequence — deterministic
+/// and thread-count independent; on any guard the state invalidates and
+/// the caller escalates (pool Kruskal reseeds via `seed`).  All buffers
+/// recycle: a warm steady-state `apply_batch` performs zero heap
+/// allocations.
+class LocalMstRepair {
+ public:
+  explicit LocalMstRepair(LocalRepairConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Seed from a compact-space exact EMST whose edge list is already in
+  /// canonical (d2, min, max) order (a `kruskal_emst` output).  `orig_of`
+  /// maps compact ids to original ids; `positions` / `alive` are
+  /// original-space and must match the tree.
+  void seed(const Tree& emst, std::span<const int> orig_of,
+            std::span<const geom::Point> positions,
+            std::span<const char> alive);
+
+  void invalidate() { valid_ = false; }
+  bool valid() const { return valid_; }
+
+  /// Apply one batch: `removed` = original ids leaving the tree (fails and
+  /// moved nodes, any order), `inserted` = original ids (re)entering at
+  /// their current position (moves and recoveries, ascending), `pool` the
+  /// maintained Delaunay-superset candidate edges.  Returns nullptr on
+  /// success or a static reason string ("mst-region", "mst-walk-budget",
+  /// "mst-candidates", "mst-disconnected", "mst-count") — the state is
+  /// invalidated on failure and the caller must escalate and reseed.
+  const char* apply_batch(std::span<const geom::Point> positions,
+                          std::span<const char> alive, int alive_count,
+                          std::span<const int> removed,
+                          std::span<const int> inserted,
+                          std::span<const std::pair<int, int>> pool);
+
+  /// Emit the maintained tree in compact space, byte-identical to
+  /// `kruskal_emst` over any candidate superset (edge pairs and order).
+  void export_tree(std::span<const int> comp_of,
+                   std::span<const geom::Point> compact_pts, Tree& out) const;
+
+  /// Nodes touched by the last successful `apply_batch` (BFS visits +
+  /// removed + inserted + swap endpoints) — the affected-region telemetry.
+  int last_region() const { return last_region_; }
+
+  /// Net tree-edge delta of the last successful `apply_batch` in original
+  /// ids (u < v): edges of the previous tree no longer present / edges of
+  /// the new tree that were not in the previous one.  Pairs that toggled
+  /// within the batch and ended where they started cancel out.  This is the
+  /// exact structural diff the warm orienter re-hangs from.
+  std::span<const std::pair<int, int>> last_removed() const {
+    return net_removed_;
+  }
+  std::span<const std::pair<int, int>> last_added() const {
+    return net_added_;
+  }
+
+  /// True when no maintained-tree node exceeds degree `cap`.  A raw EMST at
+  /// degree ≤ 5 passes `enforce_max_degree` untouched, so consumers may
+  /// skip degree repair (and re-orient incrementally) exactly when this
+  /// holds; a degree-6 node means the repaired tree differs from the raw
+  /// one and the full orient path must run.  O(n) scan — deterministic.
+  bool max_degree_at_most(int cap) const {
+    for (int u = 0; u < n_orig_; ++u) {
+      if (in_tree_[u] && tdeg_[u] > cap) return false;
+    }
+    return true;
+  }
+
+  const LocalRepairConfig& config() const { return cfg_; }
+
+ private:
+  struct LEdge {
+    double d2;
+    int u, v;  ///< original ids, u < v
+    bool operator<(const LEdge& o) const {
+      if (d2 != o.d2) return d2 < o.d2;
+      if (u != o.u) return u < o.u;
+      return v < o.v;
+    }
+  };
+
+  // Dynamic uniform grid over alive original-space positions (cells keep
+  // membership under O(1) insert/erase; within-cell order is historical and
+  // never observable: queries reduce by exact (d2, id) keys only).
+  void grid_build(std::span<const geom::Point> positions,
+                  std::span<const char> alive);
+  void grid_insert(int u, const geom::Point& p);
+  void grid_erase(int u);
+  int cell_index(const geom::Point& p) const;
+
+  void adj_remove(int u, int v);
+  void adj_add(int u, int v);
+  const char* delete_phase(std::span<const geom::Point> positions,
+                           std::span<const int> removed,
+                           std::span<const std::pair<int, int>> pool,
+                           int alive_count);
+  const char* reconnect_exact(std::span<const geom::Point> positions,
+                              std::span<const std::pair<int, int>> pool);
+  const char* insert_phase(std::span<const geom::Point> positions,
+                           std::span<const char> alive, int alive_count,
+                           std::span<const int> inserted);
+  const char* insert_vertex(std::span<const geom::Point> positions, int v,
+                            int* walk_budget);
+  void merge_batch(std::span<const geom::Point> positions, int alive_count,
+                   const char** fail);
+
+  LocalRepairConfig cfg_;
+  bool valid_ = false;
+  int n_orig_ = 0;
+  double lmax2_ub_ = 0.0;  ///< ≥ true lmax² of the current tree
+
+  std::vector<LEdge> ledges_;  ///< sorted by (d2, u, v) — Kruskal order
+  std::vector<LEdge> lmerge_;  ///< merge double buffer
+  static constexpr int kAdjCap = 8;  ///< EMST degree ≤ 6
+  std::vector<int> tadj_;     ///< flat [n_orig * kAdjCap] neighbour lists
+  std::vector<std::uint8_t> tdeg_;
+  std::vector<char> in_tree_;
+
+  // Grid.
+  double cell_ = 1.0, min_x_ = 0.0, min_y_ = 0.0;
+  int nx_ = 1, ny_ = 1;
+  std::vector<std::vector<int>> cells_;
+  std::vector<int> cell_of_;  ///< -1 = not in grid
+
+  // Batch scratch (epoch-stamped to avoid O(n) clears).
+  int epoch_ = 0;       ///< delete-phase stamps (rm / pend / label)
+  int path_epoch_ = 0;  ///< parent-BFS and per-candidate walk stamps
+  std::vector<int> rm_stamp_, label_stamp_, path_stamp_, pend_stamp_;
+  std::vector<int> label_;     ///< BFS fragment label = front id (stamped)
+  std::vector<int> uf_;        ///< union-find over front ids
+  std::vector<int> cls_open_;     ///< unfinished fronts per class root
+  std::vector<char> cls_frozen_;  ///< class hit the per-front freeze cap
+  std::vector<int> seeds_;
+  std::vector<std::vector<int>> queues_;  ///< per-front BFS queues
+  std::vector<int> qhead_;
+  std::vector<std::pair<int, int>> cand_;  ///< crossing pool edges
+  std::vector<char> was_old_;              ///< cand_ pair was in old ledges_
+  std::vector<std::pair<int, int>> net_removed_, net_added_;  ///< batch delta
+  struct Best {
+    double d2;
+    int u, v;
+  };
+  std::vector<Best> best_;
+  std::vector<LEdge> adds_, tombs_;
+  std::vector<std::pair<double, int>> disk_;  ///< (d2, id) insert candidates
+  std::vector<int> vchain_, wchain_;          ///< path walk records
+  std::vector<int> path_pos_;   ///< chain index at mark time (stamped)
+  std::vector<char> path_side_;  ///< 0 = v-side, 1 = w-side (stamped)
+  std::vector<int> parent_;
+  std::vector<double> ped2_;  ///< d2 of (u, parent_[u])
+  std::vector<int> bfs_;
+  int last_region_ = 0;
 };
 
 }  // namespace dirant::mst

@@ -151,6 +151,12 @@ int AuditSession::strong_connectivity_level(int max_level) {
       par::run_indexed(pool_.get(), chunks, [&](int ci) {
         auto& w = audit_workers_[ci];
         w.removed.assign(n, 0);
+        // Size the BFS scratch up front: the `failed` check below is
+        // timing-dependent, so a chunk may run zero probes on one sweep
+        // and some on the next — a probe must never be what first grows
+        // these buffers or warm sweeps stop being allocation-free.
+        w.reach.seen.reserve(n);
+        w.reach.stack.reserve(n);
         const int lo = static_cast<int>(
             static_cast<long long>(n) * ci / chunks);
         const int hi = static_cast<int>(

@@ -64,9 +64,13 @@ const StepReport& ChurnEngine::init(std::span<const geom::Point> pts,
   alive_count_ = n_orig_;
   moved_.assign(static_cast<size_t>(n_orig_), 0);
   recovered_.assign(static_cast<size_t>(n_orig_), 0);
+  changed_pos_.assign(static_cast<size_t>(n_orig_), 0);
   dirty_.assign(static_cast<size_t>(n_orig_), 1);  // everything is new
   event_nodes_.clear();
+  batch_dead_.clear();
   tree_degree_.assign(static_cast<size_t>(n_orig_), 0);
+  repair_.invalidate();       // raw EMST unavailable after a full orient
+  orient_mem_.valid = false;  // no incremental plan to diff against yet
   prev_o_.reset(n_orig_, std::max(1, spec.k));
   batch_ = 0;
 
@@ -98,9 +102,21 @@ const StepReport& ChurnEngine::init(std::span<const geom::Point> pts,
   report_.dirty_fraction = 0.0;
   report_.incremental_plan = false;
   report_.incremental_digraph = false;
+  report_.localized_mst = false;
+  report_.mst_fallback = nullptr;
+  report_.mst_region = 0;
+  report_.incremental_orient = false;
+  report_.orient_planned = 0;
+  report_.warm_orient = false;
+  report_.cert_reused = false;
   report_.escalation = nullptr;
   report_.certificate = core::make_certificate(session_.last_result(), spec_,
                                                scc_result_.count);
+  if (scc_result_.count == 1) {
+    recert_.rebuild(dg_, transpose_, orig_of_, comp_of_, n_orig_);
+  } else {
+    recert_.invalidate();
+  }
   auto& deg = report_.degraded;
   deg.stranded.clear();
   deg.largest_scc = best < 0 ? 0 : scc_sizes_[best];
@@ -127,6 +143,8 @@ const StepReport& ChurnEngine::step(std::span<const ChurnEvent> events) {
   report_.events.clear();
   std::fill(moved_.begin(), moved_.end(), 0);
   std::fill(recovered_.begin(), recovered_.end(), 0);
+  std::fill(changed_pos_.begin(), changed_pos_.end(), 0);
+  batch_dead_.clear();
 
   // ---- 1. Apply the batch sequentially.  Every rejection is a pure
   // function of the state built by the preceding events, so logs replay
@@ -150,6 +168,7 @@ const StepReport& ChurnEngine::step(std::span<const ChurnEvent> events) {
             alive_[e.node] = 0;
             --alive_count_;
             pending_fails_.push_back(e.node);
+            batch_dead_.push_back(e.node);
           }
           break;
         case ChurnEventKind::kRecover:
@@ -160,6 +179,7 @@ const StepReport& ChurnEngine::step(std::span<const ChurnEvent> events) {
             flush_fails();
             pool_edges_.insert_node(e.node, alive_);
             recovered_[e.node] = 1;
+            changed_pos_[e.node] = 1;
           }
           break;
         case ChurnEventKind::kMove:
@@ -170,6 +190,7 @@ const StepReport& ChurnEngine::step(std::span<const ChurnEvent> events) {
             positions_[e.node] = e.to;
             pool_edges_.insert_node(e.node, alive_);
             moved_[e.node] = 1;
+            changed_pos_[e.node] = 1;
           }
           break;
       }
@@ -181,6 +202,12 @@ const StepReport& ChurnEngine::step(std::span<const ChurnEvent> events) {
   for (int u = 0; u < n_orig_; ++u) {
     if (alive_[u] && (moved_[u] || recovered_[u])) event_nodes_.push_back(u);
   }
+  // Event order may revisit a node (fail, recover, fail): the dead list is
+  // consumed as a sorted set by the MST-event derivation and the suspect
+  // merge below.
+  std::sort(batch_dead_.begin(), batch_dead_.end());
+  batch_dead_.erase(std::unique(batch_dead_.begin(), batch_dead_.end()),
+                    batch_dead_.end());
 
   rebuild_compact();
   audit_frozen();  // pre-repair: what does the field look like right now?
@@ -188,12 +215,8 @@ const StepReport& ChurnEngine::step(std::span<const ChurnEvent> events) {
   compute_dirty();
   build_digraph();
 
-  const int sccs =
-      threads_ > 1
-          ? graph::parallel_scc_count(dg_, cx_.par_scc, threads_, pool_.get())
-          : graph::scc_count(dg_, cx_.scc);
   report_.certificate =
-      core::make_certificate(session_.last_result(), spec_, sccs);
+      core::make_certificate(session_.last_result(), spec_, certify_sccs());
   report_.alive = alive_count_;
 
   snapshot_orientation();
@@ -273,6 +296,12 @@ void ChurnEngine::audit_frozen() {
 }
 
 void ChurnEngine::replan() {
+  report_.localized_mst = false;
+  report_.mst_fallback = nullptr;
+  report_.mst_region = 0;
+  report_.incremental_orient = false;
+  report_.orient_planned = 0;
+  report_.warm_orient = false;
   const char* esc = nullptr;
   if (opts_.force_full) {
     esc = "forced";
@@ -285,32 +314,152 @@ void ChurnEngine::replan() {
   } else if (pool_edges_.oversized(alive_count_)) {
     esc = "pool-oversized";
   }
+  bool localized = false;
   if (esc == nullptr) {
-    cand_compact_.clear();
-    cand_compact_.reserve(pool_edges_.edges().size());
-    for (const auto& [a, b] : pool_edges_.edges()) {
-      // Pool endpoints are always alive; compaction preserves order.
-      cand_compact_.emplace_back(comp_of_[a], comp_of_[b]);
+    // ---- Rung 1: localized repair of the maintained EMST.  Success skips
+    // the pool Kruskal entirely; the exported tree is byte-identical to it
+    // (mst/repair.hpp), so everything downstream cannot tell the paths
+    // apart.  Every fallback reason is a pure function of the event
+    // sequence — deterministic across thread counts.
+    if (!repair_.valid()) {
+      report_.mst_fallback = "mst-unseeded";
+    } else {
+      derive_mst_events();
+      try {
+        report_.mst_fallback =
+            repair_.apply_batch(positions_, alive_, alive_count_, mst_removed_,
+                                mst_inserted_, pool_edges_.edges());
+      } catch (const contract_violation&) {
+        // A reconnect pushed a maintained-tree node past the adjacency cap
+        // mid-repair; the state is torn, so invalidate and reseed below.
+        report_.mst_fallback = "mst-degree";
+        repair_.invalidate();
+      }
+      if (report_.mst_fallback == nullptr) {
+        repair_.export_tree(comp_of_, compact_pts_, inc_tree_);
+        localized = true;
+        report_.mst_region = repair_.last_region();
+      }
     }
-    try {
-      // Kruskal over any candidate superset of the Delaunay edges yields
-      // the unique EMST under the (d2, min, max) total order — the exact
-      // tree a from-scratch plan builds (mst/repair.hpp).
-      mst::kruskal_emst(compact_pts_, cand_compact_, inc_tree_,
-                        session_.emst_scratch().kruskal);
-    } catch (const contract_violation&) {
-      esc = "pool-disconnected";
+    // ---- Rung 2: Kruskal over the maintained candidate pool.
+    if (!localized) {
+      cand_compact_.clear();
+      cand_compact_.reserve(pool_edges_.edges().size());
+      for (const auto& [a, b] : pool_edges_.edges()) {
+        // Pool endpoints are always alive; compaction preserves order.
+        cand_compact_.emplace_back(comp_of_[a], comp_of_[b]);
+      }
+      try {
+        // Kruskal over any candidate superset of the Delaunay edges yields
+        // the unique EMST under the (d2, min, max) total order — the exact
+        // tree a from-scratch plan builds (mst/repair.hpp).
+        mst::kruskal_emst(compact_pts_, cand_compact_, inc_tree_,
+                          session_.emst_scratch().kruskal);
+      } catch (const contract_violation&) {
+        esc = "pool-disconnected";
+      }
+      if (esc == nullptr) {
+        // Seed the localized layer from the exact tree just built so the
+        // next batch can take rung 1.
+        repair_.seed(inc_tree_, orig_of_, positions_, alive_);
+      }
     }
     if (esc == nullptr) {
-      session_.orient_on_emst(compact_pts_, inc_tree_, spec_);
+      // Localized batches carry the repair layer's net tree-edge delta so
+      // the warm orienter can re-hang its recorded tree directly; rung-2
+      // batches re-derive everything but still run through the recording
+      // incremental path, keeping the plan memory warm across pool-Kruskal
+      // reseeds instead of forcing an all-dirty rebuild next batch.
+      const core::OrientWarmDelta delta{positions_, repair_.last_removed(),
+                                        repair_.last_added(), event_nodes_};
+      report_.incremental_orient = session_.orient_on_emst_incremental(
+          compact_pts_, inc_tree_, spec_, orient_mem_, orig_of_, comp_of_,
+          changed_pos_, prev_o_, localized ? &delta : nullptr);
+      report_.orient_planned =
+          report_.incremental_orient
+              ? static_cast<int>(orient_mem_.planned.size())
+              : 0;
+      report_.warm_orient =
+          report_.incremental_orient && orient_mem_.last_warm;
     }
   }
   if (esc != nullptr) {
     session_.orient(compact_pts_, spec_);
     reseed_pool();
+    repair_.invalidate();  // raw EMST not recoverable from the full pipeline
+    orient_mem_.valid = false;
   }
   report_.escalation = esc;
   report_.incremental_plan = esc == nullptr;
+  report_.localized_mst = localized && esc == nullptr;
+  if (!report_.localized_mst) report_.mst_region = 0;
+}
+
+void ChurnEngine::derive_mst_events() {
+  // Removals = nodes in the previous batch's tree whose vertex left or
+  // moved; insertions = alive nodes (re)entering at their current position.
+  // A fail+recover node appears in both (drop + re-insert, exact); a
+  // recover+move only inserts; a move+fail only removes.  Both lists come
+  // out ascending, as LocalMstRepair::apply_batch expects.
+  mst_removed_.clear();
+  size_t i = 0, j = 0;
+  const auto was_in_tree = [this](int u) { return prev_comp_of_[u] >= 0; };
+  while (i < batch_dead_.size() || j < event_nodes_.size()) {
+    int u;
+    if (j == event_nodes_.size() ||
+        (i < batch_dead_.size() && batch_dead_[i] <= event_nodes_[j])) {
+      u = batch_dead_[i];
+      if (j < event_nodes_.size() && event_nodes_[j] == u) ++j;
+      ++i;
+    } else {
+      u = event_nodes_[j++];
+    }
+    if (was_in_tree(u)) mst_removed_.push_back(u);
+  }
+  mst_inserted_.assign(event_nodes_.begin(), event_nodes_.end());
+}
+
+int ChurnEngine::certify_sccs() {
+  report_.cert_reused = false;
+  if (core::can_reuse_scc_certificate(opts_.force_full,
+                                      report_.incremental_digraph,
+                                      recert_.valid())) {
+    // Suspects = this batch's dirty re-plan set ∪ its dead nodes — exactly
+    // the rows the patch rebuilt or dropped, which is every place a cached
+    // certificate edge can have broken (graph/recert.hpp).  Both inputs are
+    // ascending; merge without duplicates.
+    suspects_.clear();
+    const auto& sr = report_.suggested_repair;
+    size_t i = 0, j = 0;
+    while (i < sr.size() || j < batch_dead_.size()) {
+      int u;
+      if (j == batch_dead_.size() ||
+          (i < sr.size() && sr[i] <= batch_dead_[j])) {
+        u = sr[i];
+        if (j < batch_dead_.size() && batch_dead_[j] == u) ++j;
+        ++i;
+      } else {
+        u = batch_dead_[j++];
+      }
+      suspects_.push_back(u);
+    }
+    if (recert_.repair(dg_, orig_of_, comp_of_, compact_pts_,
+                       cx_.transmission.grid, patch_qr_, suspects_,
+                       changed_pos_, cx_.transmission.candidates)) {
+      report_.cert_reused = true;
+      return 1;
+    }
+  }
+  const int sccs =
+      threads_ > 1
+          ? graph::parallel_scc_count(dg_, cx_.par_scc, threads_, pool_.get())
+          : graph::scc_count(dg_, cx_.scc);
+  if (sccs == 1) {
+    recert_.rebuild(dg_, transpose_, orig_of_, comp_of_, n_orig_);
+  } else {
+    recert_.invalidate();
+  }
+  return sccs;
 }
 
 void ChurnEngine::reseed_pool() {
@@ -329,14 +478,33 @@ void ChurnEngine::compute_dirty() {
   const auto& o = session_.last_result().orientation;
   report_.suggested_repair.clear();
   int dirty_count = 0;
-  for (int c = 0; c < alive_count_; ++c) {
-    const int u = orig_of_[c];
-    const bool d =
-        moved_[u] || recovered_[u] || !o.node_equals(c, prev_o_, u);
-    dirty_[u] = d;
-    if (d) {
-      ++dirty_count;
-      report_.suggested_repair.push_back(u);
+  if (report_.incremental_orient) {
+    // Only re-planned rows can differ from the snapshot — every other row
+    // was *copied* from it, so node_equals holds by construction, and
+    // dirty_ is all-zero for alive nodes between batches (established by
+    // snapshot_orientation).  mem.planned is ascending in compact space,
+    // hence ascending in original space: suggested_repair comes out in the
+    // same order the full scan would emit.
+    for (int c : orient_mem_.planned) {
+      const int u = orig_of_[c];
+      const bool d =
+          moved_[u] || recovered_[u] || !o.node_equals(c, prev_o_, u);
+      dirty_[u] = d;
+      if (d) {
+        ++dirty_count;
+        report_.suggested_repair.push_back(u);
+      }
+    }
+  } else {
+    for (int c = 0; c < alive_count_; ++c) {
+      const int u = orig_of_[c];
+      const bool d =
+          moved_[u] || recovered_[u] || !o.node_equals(c, prev_o_, u);
+      dirty_[u] = d;
+      if (d) {
+        ++dirty_count;
+        report_.suggested_repair.push_back(u);
+      }
     }
   }
   report_.dirty_fraction =
@@ -366,6 +534,7 @@ void ChurnEngine::build_digraph() {
   // and everything downstream (SCC count, certificate) is order-blind.
   const double qr =
       o.max_radius() * (1.0 + kRadiusRelTol) + kRadiusAbsTol + 1e-12;
+  patch_qr_ = qr;  // certify_sccs re-queries the same grid at this radius
   auto& grid = cx_.transmission.grid;
   grid.rebuild(compact_pts_, std::max(qr / 2.0, 1e-12));
   auto& offs = patch_offsets_;
@@ -407,7 +576,12 @@ void ChurnEngine::snapshot_orientation() {
   const auto& o = session_.last_result().orientation;
   for (int c = 0; c < alive_count_; ++c) {
     const int u = orig_of_[c];
-    if (dirty_[u]) prev_o_.copy_node(u, o, c);
+    if (dirty_[u]) {
+      prev_o_.copy_node(u, o, c);
+      // Leave dirty_ all-zero over the alive set: compute_dirty's
+      // planned-only path relies on unplanned rows still reading 0.
+      dirty_[u] = 0;
+    }
   }
 }
 

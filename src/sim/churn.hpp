@@ -62,9 +62,11 @@
 
 #include "antenna/orientation.hpp"
 #include "core/session.hpp"
+#include "core/two_antennae.hpp"
 #include "core/validate.hpp"
 #include "geometry/point.hpp"
 #include "graph/digraph.hpp"
+#include "graph/recert.hpp"
 #include "graph/scc.hpp"
 #include "mst/repair.hpp"
 #include "mst/tree.hpp"
@@ -141,6 +143,30 @@ struct StepReport {
   double dirty_fraction = 0.0;
   bool incremental_plan = false;     ///< pool-Kruskal path (vs full orient)
   bool incremental_digraph = false;  ///< row-patch path (vs full rebuild)
+  /// Localized MST repair carried the tree across this batch (the pool
+  /// Kruskal was skipped entirely).  Implies `incremental_plan`.
+  bool localized_mst = false;
+  /// Why the localized repair was skipped or abandoned this batch
+  /// (nullptr = it ran, or the step escalated before reaching it):
+  /// "mst-unseeded", "mst-region", "mst-candidates", "mst-walk-budget",
+  /// "mst-disconnected", "mst-count", "mst-degree".  All reasons are pure
+  /// functions of the event sequence — deterministic across thread counts.
+  const char* mst_fallback = nullptr;
+  /// Affected-region size of the localized repair (nodes the repair
+  /// touched); 0 when `localized_mst` is false.
+  int mst_region = 0;
+  /// The dirty-subtree orienter ran: only `orient_planned` vertices
+  /// re-planned, every other sector row was copied from the snapshot.
+  bool incremental_orient = false;
+  int orient_planned = 0;
+  /// The plan came from the warm frontier orienter — the recorded tree was
+  /// patched with the batch's net MST edge delta and only the affected
+  /// region re-planned (sub-linear), instead of the full O(n) dirty-subtree
+  /// traversal.  Implies `incremental_orient`.
+  bool warm_orient = false;
+  /// The strong-connectivity certificate was revalidated from the dirty
+  /// frontier against the cached spanning in/out trees — no SCC pass ran.
+  bool cert_reused = false;
   /// Why the plan escalated (nullptr = it didn't): "forced",
   /// "pool-invalid", "below-prim-cutoff", "pool-oversized",
   /// "pool-disconnected".
@@ -211,6 +237,8 @@ class ChurnEngine {
   void rebuild_compact();
   void audit_frozen();
   void replan();
+  void derive_mst_events();
+  int certify_sccs();
   void compute_dirty();
   void build_digraph();
   void reseed_pool();
@@ -230,7 +258,9 @@ class ChurnEngine {
   int alive_count_ = 0;
   std::vector<char> moved_;      ///< this batch
   std::vector<char> recovered_;  ///< this batch
+  std::vector<char> changed_pos_;  ///< moved_ | recovered_ (orienter input)
   std::vector<int> event_nodes_; ///< alive & (moved|recovered), ascending
+  std::vector<int> batch_dead_;  ///< fails applied this batch, ascending
   std::vector<int> pending_fails_;  ///< buffered pool erases (batched scan)
   std::vector<char> dirty_;      ///< sectors changed in the last re-plan
 
@@ -244,6 +274,16 @@ class ChurnEngine {
   std::vector<std::pair<int, int>> cand_compact_;
   mst::Tree inc_tree_;
   std::vector<int> tree_degree_;  ///< orig space, adversarial generator
+
+  // Sub-linear warm path: the maintained EMST (layer 1), the dirty-subtree
+  // orienter's plan memory (layer 2), and the frontier recertifier's
+  // spanning in/out trees (layer 3).
+  mst::LocalMstRepair repair_;
+  core::TwoAntennaeMemory orient_mem_;
+  std::vector<int> mst_removed_, mst_inserted_;
+  graph::IncrementalSccCert recert_;
+  std::vector<int> suspects_;  ///< dirty ∪ this-batch dead, orig ascending
+  double patch_qr_ = 0.0;      ///< grid query radius of the last row patch
 
   antenna::Orientation prev_o_{0};  ///< orig-space sector snapshot
 

@@ -1,0 +1,305 @@
+// Sub-linear churn acceptance suite (PR: localized MST repair +
+// dirty-subtree re-orientation + frontier-bounded recertification).
+//
+//   * DelaunayEdgePool guards, tested directly: the degree-cap
+//     invalidation on erase, the oversized guard + reseed semantics, and
+//     the disconnected-pool contract violation that sim::ChurnEngine maps
+//     to the "pool-disconnected" escalation.
+//   * A 100%-move parity sweep: every event in every batch is a kMove,
+//     and after each batch the engine must match a from-scratch
+//     orient()+certify() bit for bit at every thread count — mobility is
+//     the hardest case for the warm frontier orienter (positions,
+//     targets and ccw child orders all shift).
+//   * The locality guarantee itself: under small fail batches the
+//     localized repair + warm frontier orienter must carry >= 90% of the
+//     steps (the rest being the first recording batch and deterministic
+//     escalations), with affected regions far below n.
+//
+// Everything here is deterministic: schedules are fixed functions of
+// (seed, batch), and every escalation decision is a pure function of the
+// event sequence — so the counter assertions are exact replays, not
+// statistical expectations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/constants.hpp"
+#include "core/session.hpp"
+#include "geometry/generators.hpp"
+#include "mst/emst.hpp"
+#include "mst/repair.hpp"
+#include "sim/churn.hpp"
+#include "thread_counts.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+namespace mst = dirant::mst;
+namespace sim = dirant::sim;
+using dirant::contract_violation;
+using dirant::kPi;
+using dirant::test::for_each_thread_count;
+
+namespace {
+
+std::vector<geom::Point> make_points(int n, int seed) {
+  geom::Rng rng(seed);
+  return geom::make_instance(geom::Distribution::kUniformSquare, n, rng);
+}
+
+// ---------------------------------------------------------------------
+// DelaunayEdgePool guards, directly.
+// ---------------------------------------------------------------------
+
+// A star pool: node 0 adjacent to `leaves` neighbours (ids 1..leaves).
+std::vector<std::pair<int, int>> star_edges(int leaves) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return edges;
+}
+
+TEST(EdgePool, EraseAboveDegreeCapInvalidates) {
+  // Erasing a node whose pool degree exceeds the cap must invalidate the
+  // pool (the O(deg^2) neighbour closure is the thing being refused), not
+  // throw and not silently drop candidates.
+  mst::DelaunayEdgePool pool;  // default degree_cap = 64
+  const auto edges = star_edges(70);
+  pool.seed(edges, nullptr);
+  ASSERT_TRUE(pool.valid());
+  pool.erase_node(0);
+  EXPECT_FALSE(pool.valid()) << "degree 70 > cap 64 must invalidate";
+  // Operations on an invalid pool are no-ops until reseeded.
+  pool.erase_node(1);
+  EXPECT_FALSE(pool.valid());
+  pool.seed(edges, nullptr);
+  EXPECT_TRUE(pool.valid()) << "seed must restore validity";
+}
+
+TEST(EdgePool, EraseBelowDegreeCapClosesNeighbours) {
+  // Below the cap the erase keeps the superset invariant by adding all
+  // pairs of the erased node's former neighbours.
+  mst::DelaunayEdgePool pool;
+  const int leaves = 10;
+  pool.seed(star_edges(leaves), nullptr);
+  pool.erase_node(0);
+  ASSERT_TRUE(pool.valid());
+  // 0's edges are gone; the closure is the complete graph on 1..leaves.
+  EXPECT_EQ(static_cast<int>(pool.edges().size()),
+            leaves * (leaves - 1) / 2);
+  for (const auto& [u, v] : pool.edges()) {
+    EXPECT_NE(u, 0);
+    EXPECT_NE(v, 0);
+    EXPECT_LT(u, v);
+  }
+}
+
+TEST(EdgePool, OversizedGuardAgainstAliveCount) {
+  // size > size_factor * alive + size_slack (defaults 6.0 / 32).  The
+  // guard is the caller's reseed trigger: sim::ChurnEngine escalates with
+  // "pool-oversized" and reseeds from a fresh triangulation.
+  mst::DelaunayEdgePool pool;
+  pool.seed(star_edges(70), nullptr);  // 70 edges
+  EXPECT_TRUE(pool.oversized(2)) << "70 > 6*2 + 32";
+  EXPECT_FALSE(pool.oversized(10)) << "70 <= 6*10 + 32";
+  // Reseeding replaces the bloated candidate set wholesale.
+  pool.seed(star_edges(5), nullptr);
+  EXPECT_EQ(pool.edges().size(), 5u);
+  EXPECT_FALSE(pool.oversized(2));
+}
+
+TEST(EdgePool, DisconnectedCandidateSetThrowsForKruskal) {
+  // A pool that lost connectivity cannot yield a spanning tree; Kruskal
+  // over it throws the contract violation sim::ChurnEngine catches and
+  // maps to the "pool-disconnected" full-rebuild escalation.
+  const std::vector<geom::Point> pts{
+      {0.0, 0.0}, {1.0, 0.0}, {10.0, 0.0}, {11.0, 0.0}};
+  const std::vector<std::pair<int, int>> split{{0, 1}, {2, 3}};
+  EXPECT_THROW(mst::kruskal_emst(pts, split), contract_violation);
+  const std::vector<std::pair<int, int>> connected{{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_EQ(mst::kruskal_emst(pts, connected).edges.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Engine-level parity + locality counters.
+// ---------------------------------------------------------------------
+
+void expect_matches_from_scratch(sim::ChurnEngine& eng,
+                                 const core::ProblemSpec& spec, int threads,
+                                 int batch) {
+  std::vector<geom::Point> survivors;
+  survivors.reserve(eng.compact_to_orig().size());
+  for (int u : eng.compact_to_orig()) survivors.push_back(eng.positions()[u]);
+
+  core::PlanSession fresh;
+  fresh.set_threads(threads);
+  const auto& ref = fresh.orient(survivors, spec);
+  const auto& got = eng.last_result();
+  ASSERT_EQ(static_cast<int>(survivors.size()), eng.alive_count());
+  EXPECT_EQ(got.measured_radius, ref.measured_radius) << "batch " << batch;
+  EXPECT_EQ(got.lmax, ref.lmax) << "batch " << batch;
+  for (int c = 0; c < eng.alive_count(); ++c) {
+    ASSERT_TRUE(ref.orientation.node_equals(c, got.orientation, c))
+        << "batch " << batch << " node " << c << " threads " << threads;
+  }
+  const auto& cert = fresh.certify(survivors, spec);
+  const auto& cb = eng.last_report().certificate;
+  EXPECT_EQ(cb.strongly_connected, cert.strongly_connected);
+  EXPECT_EQ(cb.scc_count, cert.scc_count);
+  EXPECT_EQ(cb.max_radius, cert.max_radius);
+  EXPECT_EQ(cb.max_spread_sum, cert.max_spread_sum);
+  EXPECT_EQ(cb.max_antennas, cert.max_antennas);
+}
+
+TEST(ChurnSublinear, AllMoveBatchesMatchFromScratchAtEveryThreadCount) {
+  // 100% mobility: one node relocates per batch (delete+insert in the
+  // pool, a detach/re-hang + position-dirty closure for the warm
+  // orienter).  Pool inserts cost O(alive) edges, so sustained movement
+  // periodically trips the oversized guard — escalation and reseed are
+  // part of the sweep, and parity must hold straight through them.
+  const core::ProblemSpec spec{2, kPi};
+  const auto pts = make_points(500, 9100);
+  const int batches = 10;
+  for_each_thread_count([&](int t) {
+    sim::ChurnEngine eng;
+    eng.set_threads(t);
+    eng.init(pts, spec);
+    bool saw_warm = false, saw_reseed = false;
+    for (int b = 1; b <= batches; ++b) {
+      // Deterministic single-move batch: node (97*b) mod n hops by a
+      // small diagonal; every event is a kMove by construction.
+      const int node = (97 * b) % static_cast<int>(pts.size());
+      geom::Point to = eng.positions()[node];
+      to.x += (b % 2 == 0 ? 0.013 : -0.009);
+      to.y += 0.007;
+      const std::vector<sim::ChurnEvent> events{
+          {sim::ChurnEventKind::kMove, node, to}};
+      const auto& rep = eng.step(events);
+      ASSERT_EQ(static_cast<int>(rep.events.size()), 1);
+      EXPECT_TRUE(rep.events[0].applied);
+      saw_warm |= rep.warm_orient;
+      saw_reseed |= rep.escalation != nullptr;
+      expect_matches_from_scratch(eng, spec, t, b);
+    }
+    EXPECT_TRUE(saw_warm)
+        << "move batches never reached the warm frontier orienter";
+    EXPECT_TRUE(saw_reseed)
+        << "sustained moves were expected to trip the oversized reseed";
+  });
+}
+
+TEST(ChurnSublinear, LocalizedPathCoversSmallFailBatches) {
+  // The locality contract: under small-batch attrition (<= 8 events — the
+  // workload the sub-linear path exists for), >= 90% of steps must stay on
+  // BOTH warm layers — localized MST repair (no pool Kruskal) and the warm
+  // frontier orienter (no O(n) traversal) — with affected regions far
+  // below n.  The only permitted exceptions are the first batch (which
+  // records the plan memory) and deterministic mst-region fallbacks when
+  // the poisson draw overshoots the small-batch regime.
+  const core::ProblemSpec spec{2, kPi};
+  const auto pts = make_points(10000, 777);
+  sim::ChurnEngine eng;
+  eng.init(pts, spec);
+  const int batches = 30;
+  int small_batches = 0, warm_localized = 0;
+  int max_region = 0;
+  std::vector<sim::ChurnEvent> events;
+  for (int b = 1; b <= batches; ++b) {
+    events.clear();
+    eng.poisson_schedule(321, b, 0.0005, 0.0, 0.0, 0.0, events);
+    const auto& rep = eng.step(events);
+    int applied = 0;
+    for (const auto& ev : rep.events) applied += ev.applied ? 1 : 0;
+    if (applied <= 8) ++small_batches;
+    if (rep.localized_mst && rep.warm_orient) {
+      if (applied <= 8) ++warm_localized;
+      max_region = std::max(max_region, rep.mst_region);
+      EXPECT_GT(rep.mst_region, 0);
+      // The repair layer's own documented walk budget bounds the region.
+      EXPECT_LE(rep.mst_region, 256 + eng.alive_count() / 4);
+      EXPECT_LE(rep.orient_planned, 64)
+          << "warm re-plan left the affected frontier";
+    }
+    EXPECT_TRUE(rep.certificate.ok()) << "batch " << b;
+  }
+  ASSERT_GE(small_batches, batches / 2)
+      << "schedule drifted out of the small-batch regime";
+  EXPECT_GE(10 * warm_localized, 9 * small_batches)
+      << "sub-linear path covered fewer than 90% of small-batch steps";
+  EXPECT_GT(max_region, 0);
+  EXPECT_LE(max_region, static_cast<int>(pts.size()) / 3)
+      << "affected region is no longer local at n=10000";
+}
+
+TEST(ChurnSublinear, WarmStepCountersSmoke) {
+  // Counter-level smoke for the steady state: after the recording batch,
+  // small fail batches must report the whole sub-linear ladder — localized
+  // repair ran (localized_mst, mst_region > 0), the warm frontier orienter
+  // produced the plan (warm_orient, implies incremental_orient), and only
+  // a handful of vertices were re-planned.
+  const core::ProblemSpec spec{2, kPi};
+  const auto pts = make_points(300, 2026);
+  sim::ChurnEngine eng;
+  eng.init(pts, spec);
+  for (int b = 1; b <= 6; ++b) {
+    // One deterministic fail per batch (distinct, initially-alive ids).
+    const std::vector<sim::ChurnEvent> events{
+        {sim::ChurnEventKind::kFail, 10 * b, {}}};
+    const auto& rep = eng.step(events);
+    ASSERT_TRUE(rep.events[0].applied) << "batch " << b;
+    ASSERT_EQ(rep.escalation, nullptr) << "batch " << b;
+    EXPECT_TRUE(rep.incremental_orient) << "batch " << b;
+    if (b == 1) {
+      // The repair layer is seeded by the first pool-Kruskal batch and the
+      // plan memory by its recording traversal — batch 1 is the ladder's
+      // warm-up, not a sub-linear step.
+      EXPECT_FALSE(rep.localized_mst);
+      EXPECT_STREQ(rep.mst_fallback, "mst-unseeded");
+      EXPECT_FALSE(rep.warm_orient);
+    } else {
+      EXPECT_TRUE(rep.localized_mst) << "batch " << b;
+      EXPECT_GT(rep.mst_region, 0) << "batch " << b;
+      EXPECT_TRUE(rep.warm_orient) << "batch " << b;
+      EXPECT_GT(rep.orient_planned, 0) << "batch " << b;
+      EXPECT_LT(rep.orient_planned, 64) << "batch " << b;
+    }
+  }
+}
+
+TEST(ChurnSublinear, OversizedPoolReseedsAndRecovers) {
+  // A recover wave inserts ~alive candidate edges per node and blows the
+  // pool past its size guard; the engine must escalate with
+  // "pool-oversized", reseed from a fresh triangulation, and return to
+  // the incremental path on the next light batch — with exact parity
+  // throughout.
+  const core::ProblemSpec spec{2, kPi};
+  const auto pts = make_points(150, 5150);
+  sim::ChurnEngine eng;
+  eng.init(pts, spec);
+  bool saw_oversized = false;
+  std::vector<sim::ChurnEvent> events;
+  for (int b = 1; b <= 4; ++b) {
+    events.clear();
+    if (b == 1) {
+      eng.poisson_schedule(55, b, 0.2, 0.0, 0.0, 0.0, events);  // attrition
+    } else if (b == 2) {
+      eng.poisson_schedule(55, b, 0.0, 0.9, 0.0, 0.0, events);  // recover wave
+    } else {
+      eng.poisson_schedule(55, b, 0.01, 0.0, 0.0, 0.0, events);  // light
+    }
+    const auto& rep = eng.step(events);
+    if (rep.escalation != nullptr) {
+      saw_oversized |= std::string_view(rep.escalation) == "pool-oversized";
+    }
+    expect_matches_from_scratch(eng, spec, 1, b);
+  }
+  EXPECT_TRUE(saw_oversized) << "recover wave never tripped the size guard";
+  EXPECT_EQ(eng.last_report().escalation, nullptr)
+      << "engine did not return to the incremental path after the reseed";
+  EXPECT_TRUE(eng.last_report().incremental_plan);
+}
+
+}  // namespace
