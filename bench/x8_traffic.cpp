@@ -1,0 +1,344 @@
+// X8 — packet-transport study: discrete-event throughput and delivery of
+// sim::TrafficEngine over certified orientations, loss rate x churn rate.
+//
+// For each n the sweep runs the ARQ+reroute policy (kGreedyTreeFallback)
+// under { zero loss, per-link Bernoulli p=0.2 } x { static topology,
+// poisson churn batches mid-run }, and records events/sec (the event-loop
+// throughput denominator), delivered packets/sec, the delivery ratio, and
+// the protocol counters (retransmissions, reroutes) that say how hard the
+// ARQ layer worked for it.  Static rows time a WARM run (the second run
+// on the session — the zero-alloc steady state perf.md's guardrail
+// quotes); churn rows time the run that actually steps the ChurnEngine,
+// since recertification is part of the cost being measured.  Every row
+// carries hw_threads so numbers from a throttled box are never mistaken
+// for the real trajectory.
+//
+// Appends a "traffic" section to BENCH_scaling.json (drop + splice, like
+// x3/x6/x7).  Smoke mode (DIRANT_BENCH_SMOKE=1): tiny n, and instead of
+// recording numbers it asserts the engine's two headline behaviours —
+// zero-loss delivery >= 0.9, and ARQ engagement (retransmissions > 0 with
+// delivery above the no-retry baseline) under 20% per-link loss — exiting
+// nonzero when either silently regresses.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/constants.hpp"
+#include "core/session.hpp"
+#include "geometry/generators.hpp"
+#include "sim/churn.hpp"
+#include "sim/traffic.hpp"
+
+namespace geom = dirant::geom;
+namespace core = dirant::core;
+namespace sim = dirant::sim;
+using dirant::kPi;
+
+namespace {
+
+using dirant::bench::time_ms;
+
+struct TrafficRow {
+  int n = 0;
+  double loss = 0.0;
+  const char* churn = "static";  ///< "static" | "poisson"
+  double events_per_sec = 0.0;
+  double packets_per_sec = 0.0;  ///< delivered per wall-clock second
+  double delivery_ratio = 0.0;
+  long long offered = 0;
+  long long retransmissions = 0;
+  long long reroutes = 0;
+  long long drop_queue = 0;
+  long long drop_ttl = 0;
+  double run_ms = 0.0;
+};
+
+/// Removes a previously spliced `"name": [...]` section (with its leading
+/// comma, if any) so reruns replace rather than accumulate.
+void drop_section(std::string& existing, const std::string& name) {
+  const std::string key = "\"" + name + "\"";
+  size_t pos;
+  while ((pos = existing.find(key)) != std::string::npos) {
+    size_t start = existing.rfind(',', pos);
+    if (start == std::string::npos) start = pos;
+    const size_t close = existing.find(']', pos);
+    const size_t end = close == std::string::npos ? pos + key.size()
+                                                  : close + 1;
+    existing.erase(start, end - start);
+  }
+}
+
+/// Splices the "traffic" section into BENCH_scaling.json next to whatever
+/// x3/x6/x7 wrote (creates the file if none has run).
+void append_traffic_json(const std::vector<TrafficRow>& rows,
+                         unsigned hw_threads) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_scaling.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  drop_section(existing, "traffic");
+  std::ostringstream section;
+  section << "  \"traffic\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    section << "    {\"n\": " << r.n << ", \"loss\": " << r.loss
+            << ", \"churn\": \"" << r.churn << "\""
+            << ", \"events_per_sec\": " << r.events_per_sec
+            << ", \"packets_per_sec\": " << r.packets_per_sec
+            << ", \"delivery_ratio\": " << r.delivery_ratio
+            << ", \"offered\": " << r.offered
+            << ", \"retransmissions\": " << r.retransmissions
+            << ", \"reroutes\": " << r.reroutes
+            << ", \"run_ms\": " << r.run_ms
+            << ", \"hw_threads\": " << hw_threads << "}"
+            << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  section << "  ]\n";
+
+  const size_t close = existing.rfind('}');
+  std::ofstream outf("BENCH_scaling.json", std::ios::trunc);
+  if (close != std::string::npos) {
+    std::string head = existing.substr(0, close);
+    while (!head.empty() && (head.back() == '\n' || head.back() == ' ' ||
+                             head.back() == ',')) {
+      head.pop_back();
+    }
+    const bool only_member = !head.empty() && head.back() == '{';
+    outf << head << (only_member ? "\n" : ",\n") << section.str() << "}\n";
+  } else {
+    outf << "{\n" << section.str() << "}\n";
+  }
+  std::printf("appended traffic section to BENCH_scaling.json\n");
+}
+
+/// Many-to-few collection workload: `flows` flows spread over the node
+/// set, `packets` packets each.  `interval` sets the offered load: most
+/// traffic funnels onto the shared collection tree, whose trunk services
+/// one packet per service_ticks — the caller keeps the aggregate inject
+/// rate below that so the sweep measures protocol behaviour, not
+/// congestion collapse (x8 is a transport bench, not a saturation study).
+sim::TrafficSchedule make_flows(int n, int flows, int packets,
+                                std::uint64_t interval) {
+  sim::TrafficSchedule sched;
+  for (int i = 0; i < flows; ++i) {
+    sim::Flow f;
+    f.src = (i * 37 + 1) % n;
+    f.dst = (i * 53 + n / 2) % n;
+    if (f.dst == f.src) f.dst = (f.dst + 1) % n;
+    f.packets = packets;
+    f.start = static_cast<std::uint64_t>(7 * i);
+    f.interval = interval;
+    sched.flows.push_back(f);
+  }
+  return sched;
+}
+
+void add_poisson_churn(const sim::ChurnEngine& eng,
+                       sim::TrafficSchedule& sched, int batches,
+                       std::uint64_t horizon) {
+  for (int b = 0; b < batches; ++b) {
+    sim::TimedChurnBatch batch;
+    batch.tick = horizon * (b + 1) / (batches + 1);
+    eng.poisson_schedule(909, b + 1, /*fail_rate=*/0.01,
+                         /*recover_rate=*/0.3, /*move_rate=*/0.01,
+                         /*move_radius=*/0.02, batch.events);
+    sched.churn.push_back(std::move(batch));
+  }
+}
+
+DIRANT_REPORT(x8) {
+  using dirant::bench::section;
+  const bool smoke = std::getenv("DIRANT_BENCH_SMOKE") != nullptr;
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  section(
+      "X8 — traffic engine: events/sec and delivery, loss x churn "
+      "(ARQ+reroute policy, k=2, phi=pi)");
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{300} : std::vector<int>{2000, 10000};
+  const int flows = smoke ? 8 : 64;
+  const int packets = smoke ? 10 : 150;
+  // Aggregate inject rate flows/interval must stay below the trunk service
+  // rate 1/service_ticks (0.125 pkt/tick), with headroom for the 2-3x copy
+  // amplification lost acks cause under 20% loss.
+  const std::uint64_t interval = smoke ? 120 : 1600;
+  const core::ProblemSpec spec{2, kPi};
+  std::printf(
+      "n        loss   churn     events/s     pkts/s   delivery  "
+      "retx      reroutes  dropq    dropttl  ms       (hw=%u)\n",
+      hw_threads);
+  std::printf(
+      "--------------------------------------------------------------------"
+      "--------------------\n");
+
+  std::vector<TrafficRow> rows;
+  double smoke_zero_loss_delivery = 0.0;
+  double smoke_lossy_delivery = 0.0;
+  long long smoke_lossy_retx = 0;
+  double smoke_baseline_delivery = 1.0;
+
+  const auto print_row = [&](const TrafficRow& r) {
+    std::printf(
+        "%-8d %.2f   %-8s %11.0f %10.0f     %5.3f   %-9lld %-9lld %-8lld %-8lld %.1f\n",
+        r.n, r.loss, r.churn, r.events_per_sec, r.packets_per_sec,
+        r.delivery_ratio, r.retransmissions, r.reroutes, r.drop_queue,
+        r.drop_ttl, r.run_ms);
+  };
+
+  for (int n : sizes) {
+    geom::Rng rng(81000 + n);
+    const auto pts =
+        geom::make_instance(geom::Distribution::kUniformSquare, n, rng);
+
+    for (double loss : {0.0, 0.2}) {
+      sim::TrafficOptions opts;
+      opts.policy = sim::RoutingPolicy::kGreedyTreeFallback;
+      if (loss > 0.0) opts.loss = {sim::LossKind::kBernoulli, loss, 0, 0, 0};
+      opts.arq.max_retries = 6;
+      opts.ttl = 2048;  // n=10k tree paths run long; TTL guards loops only
+      opts.queue_capacity = 32;
+      opts.seed = 5;
+
+      // Static row: warm steady state (2nd run on the session) — the
+      // zero-alloc regime the perf.md guardrail quotes.
+      {
+        core::PlanSession plan;
+        const auto& result = plan.orient(pts, spec);
+        sim::TrafficEngine eng;
+        eng.bind(pts, result.orientation);
+        const sim::TrafficSchedule sched =
+            make_flows(n, flows, packets, interval);
+        (void)eng.run(sched, opts);  // cold: size every buffer
+        sim::TrafficReport rep;
+        const double ms = time_ms([&] {
+          rep = eng.run(sched, opts);
+          benchmark::DoNotOptimize(rep.events);
+        });
+        TrafficRow row;
+        row.n = n;
+        row.loss = loss;
+        row.churn = "static";
+        row.run_ms = ms;
+        row.events_per_sec =
+            static_cast<double>(rep.events) / std::max(ms / 1000.0, 1e-12);
+        row.packets_per_sec = static_cast<double>(rep.delivered) /
+                              std::max(ms / 1000.0, 1e-12);
+        row.delivery_ratio = rep.delivery_ratio;
+        row.offered = rep.offered;
+        row.retransmissions = rep.retransmissions;
+        row.reroutes = rep.reroutes;
+        row.drop_queue = rep.drop_queue;
+        row.drop_ttl = rep.drop_ttl;
+        print_row(row);
+        rows.push_back(row);
+        if (smoke && loss == 0.0) smoke_zero_loss_delivery = rep.delivery_ratio;
+        if (smoke && loss > 0.0) {
+          smoke_lossy_delivery = rep.delivery_ratio;
+          smoke_lossy_retx = rep.retransmissions;
+          // No-retry baseline on the identical scenario.
+          sim::TrafficOptions base = opts;
+          base.policy = sim::RoutingPolicy::kGreedy;
+          base.arq.max_retries = 0;
+          const auto& brep = eng.run(sched, base);
+          smoke_baseline_delivery = brep.delivery_ratio;
+        }
+      }
+
+      // Churn row: poisson fail/recover/move batches land mid-run; the
+      // timing includes the ChurnEngine recertification steps.
+      {
+        sim::ChurnEngine churn;
+        churn.init(pts, spec);
+        sim::TrafficEngine eng;
+        eng.attach_churn(churn);
+        sim::TrafficSchedule sched = make_flows(n, flows, packets, interval);
+        const std::uint64_t horizon =
+            sched.flows.back().start +
+            static_cast<std::uint64_t>(packets) * sched.flows.back().interval;
+        add_poisson_churn(churn, sched, smoke ? 2 : 4, horizon);
+        sim::TrafficReport rep;
+        const double ms = time_ms([&] {
+          rep = eng.run(sched, opts);
+          benchmark::DoNotOptimize(rep.events);
+        });
+        TrafficRow row;
+        row.n = n;
+        row.loss = loss;
+        row.churn = "poisson";
+        row.run_ms = ms;
+        row.events_per_sec =
+            static_cast<double>(rep.events) / std::max(ms / 1000.0, 1e-12);
+        row.packets_per_sec = static_cast<double>(rep.delivered) /
+                              std::max(ms / 1000.0, 1e-12);
+        row.delivery_ratio = rep.delivery_ratio;
+        row.offered = rep.offered;
+        row.retransmissions = rep.retransmissions;
+        row.reroutes = rep.reroutes;
+        row.drop_queue = rep.drop_queue;
+        row.drop_ttl = rep.drop_ttl;
+        print_row(row);
+        rows.push_back(row);
+      }
+    }
+  }
+
+  if (smoke) {
+    std::printf("smoke mode: BENCH_scaling.json left untouched\n");
+    if (smoke_zero_loss_delivery < 0.9) {
+      std::printf("ERROR: zero-loss delivery %.3f < 0.9\n",
+                  smoke_zero_loss_delivery);
+      std::exit(1);
+    }
+    if (!(smoke_lossy_retx > 0 &&
+          smoke_lossy_delivery > smoke_baseline_delivery)) {
+      std::printf(
+          "ERROR: ARQ never engaged under loss (retx=%lld, delivery=%.3f, "
+          "no-retry baseline=%.3f)\n",
+          smoke_lossy_retx, smoke_lossy_delivery, smoke_baseline_delivery);
+      std::exit(1);
+    }
+  } else {
+    append_traffic_json(rows, hw_threads);
+  }
+}
+
+void BM_traffic_run_warm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  geom::Rng rng(82);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, n, rng);
+  core::PlanSession plan;
+  const auto& result = plan.orient(pts, {2, kPi});
+  sim::TrafficEngine eng;
+  eng.bind(pts, result.orientation);
+  const sim::TrafficSchedule sched = make_flows(n, 16, 20, 800);
+  sim::TrafficOptions opts;
+  opts.policy = sim::RoutingPolicy::kGreedyTreeFallback;
+  opts.loss = {sim::LossKind::kBernoulli, 0.2, 0, 0, 0};
+  (void)eng.run(sched, opts);
+  for (auto _ : state) {
+    const auto& rep = eng.run(sched, opts);
+    benchmark::DoNotOptimize(rep.delivered);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_traffic_run_warm)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Complexity();
+
+}  // namespace
+
+DIRANT_BENCH_MAIN()

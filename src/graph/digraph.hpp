@@ -57,6 +57,14 @@ class Digraph {
     return offsets_[u + 1] - offsets_[u];
   }
 
+  /// Global CSR position of `u`'s first out-edge: `out_offset(u) + i` is a
+  /// stable per-edge id for the i-th entry of `out(u)` (the traffic
+  /// engine's per-link channel state is keyed on it).
+  int out_offset(int u) const {
+    DIRANT_ASSERT(valid(u));
+    return offsets_[u];
+  }
+
   /// The transpose graph (all edges reversed): O(n + m) counting pass
   /// straight into CSR.
   Digraph reversed() const {

@@ -7,18 +7,32 @@
 
 namespace dirant::sim {
 
+double node_transmit_energy(const antenna::Orientation& o, int u,
+                            const EnergyModel& model) {
+  double node = 0.0;
+  for (const auto& s : o.antennas(u)) {
+    const double aperture = std::max(s.width, model.min_aperture);
+    node += aperture / kTwoPi * std::pow(s.radius, model.path_loss_exponent);
+  }
+  return node;
+}
+
+double drain_battery(double& charge, double cost) {
+  if (cost <= 0.0) return 0.0;
+  const double drained = std::min(charge, cost);
+  charge -= drained;  // clamped: never below zero
+  return drained;
+}
+
 EnergyReport energy_report(const antenna::Orientation& o,
                            const EnergyModel& model) {
   EnergyReport rep;
   const int n = o.size();
   if (n == 0) return rep;
   for (int u = 0; u < n; ++u) {
-    double node = 0.0;
+    const double node = node_transmit_energy(o, u, model);
     double rmax = 0.0;
     for (const auto& s : o.antennas(u)) {
-      const double aperture = std::max(s.width, model.min_aperture);
-      node += aperture / kTwoPi *
-              std::pow(s.radius, model.path_loss_exponent);
       rmax = std::max(rmax, s.radius);
     }
     rep.total += node;

@@ -29,4 +29,17 @@ struct EnergyReport {
 EnergyReport energy_report(const antenna::Orientation& o,
                            const EnergyModel& model = {});
 
+/// Per-transmission energy of node `u`: the same per-sector term
+/// `energy_report` charges —  sum over u's sectors of
+/// (max(width, min_aperture) / 2*pi) * radius^beta.  The traffic engine
+/// bills this per forwarded packet.
+double node_transmit_energy(const antenna::Orientation& o, int u,
+                            const EnergyModel& model = {});
+
+/// Battery drain primitive: subtract `cost` from `charge`, clamping at
+/// zero — a charge never goes negative, no matter how large the cost.
+/// Returns the energy actually drained (== cost unless the battery
+/// emptied first).  Non-positive costs drain nothing.
+double drain_battery(double& charge, double cost);
+
 }  // namespace dirant::sim

@@ -173,6 +173,34 @@ TEST(Energy, NarrowerBudgetUsesLessAngularEnergyPerNode) {
   EXPECT_GT(rep_mid.total, 0.0);
 }
 
+TEST(Energy, DrainBatteryClampsAtZero) {
+  double charge = 1.0;
+  EXPECT_DOUBLE_EQ(sim::drain_battery(charge, 0.4), 0.4);
+  EXPECT_DOUBLE_EQ(charge, 0.6);
+  // Draining past empty clamps: only what was left comes out.
+  EXPECT_DOUBLE_EQ(sim::drain_battery(charge, 2.0), 0.6);
+  EXPECT_DOUBLE_EQ(charge, 0.0);
+  EXPECT_DOUBLE_EQ(sim::drain_battery(charge, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(charge, 0.0);
+  // Non-positive costs drain nothing.
+  charge = 0.5;
+  EXPECT_DOUBLE_EQ(sim::drain_battery(charge, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(charge, 0.5);
+}
+
+TEST(Energy, NodeTransmitEnergySumsToReportTotal) {
+  geom::Rng rng(11);
+  const auto pts =
+      geom::make_instance(geom::Distribution::kUniformSquare, 40, rng);
+  const auto res = core::orient(pts, {2, kPi});
+  const auto rep = sim::energy_report(res.orientation);
+  double sum = 0.0;
+  for (int u = 0; u < 40; ++u) {
+    sum += sim::node_transmit_energy(res.orientation, u);
+  }
+  EXPECT_DOUBLE_EQ(sum, rep.total);
+}
+
 TEST(Csv, RoundTrip) {
   const std::vector<geom::Point> pts = {{0.5, -1.25}, {3.0, 4.0}, {1e-3, 9.75}};
   std::ostringstream out;
@@ -196,6 +224,71 @@ TEST(Csv, CommentsSeparatorsAndErrors) {
   EXPECT_THROW(io::read_points(missing), std::runtime_error);
   std::istringstream extra("1 2 3\n");
   EXPECT_THROW(io::read_points(extra), std::runtime_error);
+}
+
+// Hardening regressions: malformed fixtures must die with a structured
+// (file, line, reason) error instead of poisoning the geometry layer.
+// The old istream-extraction parser silently SKIPPED "nan nan" rows (>>
+// does not parse "nan"), which is how garbage used to reach Delaunay.
+TEST(Csv, RejectsNonFiniteCoordinates) {
+  std::istringstream nan_row("0 0\nnan nan\n1 1\n");
+  EXPECT_THROW(io::read_points(nan_row), io::CsvError);
+
+  std::istringstream inf_row("0 0\n1 inf\n");
+  try {
+    io::read_points(inf_row);
+    FAIL() << "inf coordinate must throw";
+  } catch (const io::CsvError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.reason(), "non-finite coordinate");
+    EXPECT_NE(std::string(e.what()).find(":2: "), std::string::npos);
+  }
+
+  std::istringstream neg_inf("-inf 0\n");
+  EXPECT_THROW(io::read_points(neg_inf), io::CsvError);
+}
+
+TEST(Csv, RejectsGarbageTokens) {
+  // A non-blank unparseable line is an error, not a silent skip.
+  std::istringstream words("0 0\nhello world\n");
+  EXPECT_THROW(io::read_points(words), io::CsvError);
+  std::istringstream trailing("1x 2\n");
+  EXPECT_THROW(io::read_points(trailing), io::CsvError);
+}
+
+TEST(Csv, InstanceAntennaCounts) {
+  std::istringstream ok("# x y k\n0 0 1\n1 0 5\n2 0 2\n");
+  const auto inst = io::read_instance(ok, "fixture.csv");
+  ASSERT_EQ(inst.points.size(), 3u);
+  ASSERT_EQ(inst.antenna_counts.size(), 3u);
+  EXPECT_EQ(inst.antenna_counts[1], 5);
+
+  // Out-of-range and fractional antenna counts are structured errors.
+  std::istringstream zero("0 0 0\n");
+  EXPECT_THROW(io::read_instance(zero), io::CsvError);
+  std::istringstream six("0 0 6\n");
+  try {
+    io::read_instance(six, "bad.csv");
+    FAIL() << "k=6 must throw";
+  } catch (const io::CsvError& e) {
+    EXPECT_EQ(e.file(), "bad.csv");
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(e.reason().find("out of range"), std::string::npos);
+  }
+  std::istringstream frac("0 0 1.5\n");
+  EXPECT_THROW(io::read_instance(frac), io::CsvError);
+
+  // Mixing 2- and 3-column rows is an error either way around.
+  std::istringstream widens("0 0\n1 1 2\n");
+  EXPECT_THROW(io::read_instance(widens), io::CsvError);
+  std::istringstream narrows("0 0 2\n1 1\n");
+  EXPECT_THROW(io::read_instance(narrows), io::CsvError);
+
+  // Two-column files parse as an instance with no per-node counts.
+  std::istringstream plain("0 0\n1 1\n");
+  const auto uniform = io::read_instance(plain);
+  EXPECT_EQ(uniform.points.size(), 2u);
+  EXPECT_TRUE(uniform.antenna_counts.empty());
 }
 
 TEST(Svg, RendersAllElementKinds) {
