@@ -18,11 +18,66 @@ std::uint64_t splitmix64(std::uint64_t z) {
 
 constexpr std::uint64_t kStreamStep = 0x9e3779b97f4a7c15ULL;
 
-/// Min-heap order on (tick, seq): seq is a strict FIFO tie-break, so the
-/// pop order is a strict total order — the determinism anchor of the loop.
-constexpr auto event_later = [](const auto& a, const auto& b) {
-  return a.tick != b.tick ? a.tick > b.tick : a.seq > b.seq;
-};
+/// NaN-safe probability check: the negated comparison rejects NaN along
+/// with anything outside [0, 1].
+bool bad_prob(double x) { return !(x >= 0.0 && x <= 1.0); }
+
+/// Rejects degenerate knobs with a structured error before any engine
+/// state is touched.  Every rejected combination here used to produce
+/// silently wrong behaviour: service_ticks == 0 collapses contention
+/// delay, ack_timeout == 0 with retries schedules a retry storm at the
+/// same tick, TTL 0 drops everything as "ttl", out-of-range probabilities
+/// bias every loss draw.
+void validate_options(const TrafficOptions& o) {
+  if (o.queue_capacity <= 0) {
+    throw TrafficOptionsError("queue_capacity", "must be positive");
+  }
+  if (o.ttl <= 0) {
+    throw TrafficOptionsError("ttl", "must be positive");
+  }
+  if (o.service_ticks == 0) {
+    throw TrafficOptionsError("service_ticks", "must be positive");
+  }
+  if (o.arq.max_retries < 0) {
+    throw TrafficOptionsError("arq.max_retries", "must be non-negative");
+  }
+  if (o.arq.max_retries > 0 && o.arq.ack_timeout == 0) {
+    throw TrafficOptionsError("arq.ack_timeout",
+                              "retrying ARQ needs a nonzero timeout");
+  }
+  switch (o.loss.kind) {
+    case LossKind::kNone:
+      break;
+    case LossKind::kBernoulli:
+      if (bad_prob(o.loss.p)) {
+        throw TrafficOptionsError("loss.p", "probability outside [0, 1]");
+      }
+      break;
+    case LossKind::kGilbertElliott:
+      if (bad_prob(o.loss.p)) {
+        throw TrafficOptionsError("loss.p", "probability outside [0, 1]");
+      }
+      if (bad_prob(o.loss.p_bad)) {
+        throw TrafficOptionsError("loss.p_bad", "probability outside [0, 1]");
+      }
+      if (bad_prob(o.loss.p_good_to_bad)) {
+        throw TrafficOptionsError("loss.p_good_to_bad",
+                                  "probability outside [0, 1]");
+      }
+      if (bad_prob(o.loss.p_bad_to_good)) {
+        throw TrafficOptionsError("loss.p_bad_to_good",
+                                  "probability outside [0, 1]");
+      }
+      break;
+  }
+  if (!(o.battery.capacity >= 0.0)) {
+    throw TrafficOptionsError("battery.capacity", "must be non-negative");
+  }
+  if (!(o.battery.per_packet_scale >= 0.0)) {
+    throw TrafficOptionsError("battery.per_packet_scale",
+                              "must be non-negative");
+  }
+}
 
 }  // namespace
 
@@ -123,21 +178,6 @@ bool TrafficEngine::frame_lost(int edge_pos) {
   return false;
 }
 
-// --- event heap ---------------------------------------------------------
-
-void TrafficEngine::push_event(std::uint64_t tick, EventKind kind, int a,
-                               int b) {
-  heap_.push_back(Event{tick, event_seq_++, kind, a, b});
-  std::push_heap(heap_.begin(), heap_.end(), event_later);
-}
-
-TrafficEngine::Event TrafficEngine::pop_event() {
-  std::pop_heap(heap_.begin(), heap_.end(), event_later);
-  const Event e = heap_.back();
-  heap_.pop_back();
-  return e;
-}
-
 // --- packet plumbing ----------------------------------------------------
 
 int TrafficEngine::acquire_slot() {
@@ -167,7 +207,8 @@ int TrafficEngine::acquire_flood_row() {
 
 int TrafficEngine::try_enqueue(std::uint64_t now, int logical, int node,
                                int dst, int hops, std::uint8_t mode) {
-  if (qlen_[node] >= opts_.queue_capacity) return -1;
+  NodeState& ns = node_[node];
+  if (ns.qlen >= opts_.queue_capacity) return -1;
   const int s = acquire_slot();
   Packet& p = pool_[s];
   p.logical = logical;
@@ -176,18 +217,18 @@ int TrafficEngine::try_enqueue(std::uint64_t now, int logical, int node,
   p.attempts = 0;
   p.hops = hops;
   p.mode = mode;
-  ++qlen_[node];
+  ++ns.qlen;
   ++log_copies_[logical];
   // The radio serialises departures: a burst pays contention delay.
-  const std::uint64_t t = std::max(now, busy_until_[node]) + opts_.service_ticks;
-  busy_until_[node] = t;
+  const std::uint64_t t = std::max(now, ns.busy_until) + opts_.service_ticks;
+  ns.busy_until = t;
   push_event(t, EventKind::kTransmit, s, static_cast<int>(p.gen));
   return s;
 }
 
 void TrafficEngine::finish_copy(int slot) {
   Packet& p = pool_[slot];
-  --qlen_[p.node];
+  --node_[p.node].qlen;
   --log_copies_[p.logical];
   if (log_copies_[p.logical] == 0 && flood_row_of_[p.logical] >= 0) {
     flood_rows_free_.push_back(flood_row_of_[p.logical]);
@@ -217,21 +258,15 @@ void TrafficEngine::deliver(std::uint64_t now, int logical) {
 void TrafficEngine::drain_transmit_energy(int u) {
   if (opts_.battery.capacity <= 0.0) return;
   report_.energy_drained += drain_battery(battery_[u], tx_cost_[u]);
-  if (battery_[u] <= 0.0 && !battery_dead_[u]) {
-    battery_dead_[u] = 1;
-    alive_[u] = 0;  // leaves the alive set; routes are NOT rebuilt —
-                    // neighbours discover the death through lost frames
+  if (battery_[u] <= 0.0 && !node_[u].battery_dead) {
+    node_[u].battery_dead = 1;
+    node_[u].alive = 0;  // leaves the alive set; routes are NOT rebuilt —
+                         // neighbours discover the death through lost frames
     ++report_.battery_dead;
   }
 }
 
 // --- routing ------------------------------------------------------------
-
-int TrafficEngine::tree_next_hop(int dst, int u) const {
-  const int slot = dst_slot_of_[dst];
-  DIRANT_ASSERT(slot >= 0);
-  return tree_next_[static_cast<size_t>(slot) * n_ + u];
-}
 
 int TrafficEngine::edge_position(int u, int v) const {
   const int cu = comp_of_[u], cv = comp_of_[v];
@@ -267,12 +302,29 @@ void TrafficEngine::pick_greedy(int u, int dst, int& v, int& edge_pos) const {
   }
 }
 
+int TrafficEngine::greedy_hop(int s, int u, int& edge_pos) {
+  Hop& h = greedy_memo_[static_cast<size_t>(s) * n_ + u];
+  if (h.v == kUnknownHop) pick_greedy(u, dsts_[s], h.v, h.epos);
+  edge_pos = h.epos;
+  return h.v;
+}
+
+int TrafficEngine::tree_hop(int s, int u, int& edge_pos) {
+  Hop& h = tree_memo_[static_cast<size_t>(s) * n_ + u];
+  if (h.epos == kUnknownHop) h.epos = h.v >= 0 ? edge_position(u, h.v) : -1;
+  edge_pos = h.epos;
+  // A tree hop without a live CSR edge is a routing void, same as no hop.
+  return h.epos >= 0 ? h.v : -1;
+}
+
 void TrafficEngine::rebuild_routes() {
   const int nd = static_cast<int>(dsts_.size());
-  tree_next_.assign(static_cast<size_t>(nd) * n_, -1);
+  const size_t cells = static_cast<size_t>(nd) * n_;
+  tree_memo_.assign(cells, Hop{-1, kUnknownHop});
+  greedy_memo_.assign(cells, Hop{kUnknownHop, -1});
   for (int s = 0; s < nd; ++s) {
     const int dst = dsts_[s];
-    int* next = tree_next_.data() + static_cast<size_t>(s) * n_;
+    Hop* next = tree_memo_.data() + static_cast<size_t>(s) * n_;
     if (!node_alive(dst)) {
       stranded_mask_[dst] = 1;
       continue;
@@ -291,7 +343,7 @@ void TrafficEngine::rebuild_routes() {
         for (int y : tree_adj_[x]) {
           if (dist_[y] >= 0) continue;
           dist_[y] = dist_[x] + 1;
-          next[y] = x;
+          next[y].v = x;
           q.push_back(y);
           reachable = true;
         }
@@ -306,7 +358,7 @@ void TrafficEngine::rebuild_routes() {
         if (du <= 0) continue;  // dst itself, or cannot reach dst
         for (int cv : graph_->out(cu)) {
           if (dist_[cv] == du - 1) {
-            next[orig_of_[cu]] = orig_of_[cv];
+            next[orig_of_[cu]].v = orig_of_[cv];
             reachable = true;
             break;
           }
@@ -337,15 +389,16 @@ void TrafficEngine::refresh_topology() {
       comp_of_[orig_of_[c]] = c;
     }
     const auto& ca = churn_->alive();
-    alive_.assign(n_, 0);
+    // Only the liveness fields refresh: qlen/busy_until carry the
+    // in-flight forwarding state across a mid-run rebuild.
     for (int u = 0; u < n_; ++u) {
       if (ca[u] && !prev_alive_[u]) {
         // Recovered nodes rejoin with a full battery.
         battery_[u] = opts_.battery.capacity;
-        battery_dead_[u] = 0;
+        node_[u].battery_dead = 0;
       }
       prev_alive_[u] = ca[u];
-      alive_[u] = ca[u] && !battery_dead_[u];
+      node_[u].alive = ca[u] && !node_[u].battery_dead;
     }
     tx_cost_.assign(n_, opts_.battery.per_packet_scale);
     const auto& o = churn_->last_result().orientation;
@@ -355,7 +408,7 @@ void TrafficEngine::refresh_topology() {
           node_transmit_energy(o, c, opts_.energy);
     }
   } else {
-    alive_.assign(n_, 1);
+    for (int u = 0; u < n_; ++u) node_[u].alive = 1;
     comp_of_.resize(n_);
     orig_of_.resize(n_);
     for (int u = 0; u < n_; ++u) {
@@ -423,8 +476,8 @@ void TrafficEngine::handle_churn(std::uint64_t, int batch) {
     if (ca[u]) continue;
     const int logical = pool_[s].logical;
     finish_copy(s);
-    resolve_logical(logical, battery_dead_[u] ? &report_.drop_battery
-                                              : &report_.drop_churn);
+    resolve_logical(logical, node_[u].battery_dead ? &report_.drop_battery
+                                                   : &report_.drop_churn);
   }
   refresh_topology();
   rebuild_routes();
@@ -448,8 +501,8 @@ void TrafficEngine::arq_failure(std::uint64_t now, int slot) {
   // onto the collection tree and starts a fresh retry budget; anything
   // else is done.
   if (p.mode == 0 && opts_.policy == RoutingPolicy::kGreedyTreeFallback) {
-    const int tv = tree_next_hop(p.dst, p.node);
-    if (tv >= 0 && edge_position(p.node, tv) >= 0) {
+    int te = -1;
+    if (tree_hop(dst_slot_of_[p.dst], p.node, te) >= 0) {
       p.mode = 1;
       p.attempts = 0;
       ++report_.reroutes;
@@ -473,24 +526,19 @@ void TrafficEngine::handle_unicast(std::uint64_t now, int slot, Packet& p) {
     return;
   }
 
+  const int ds = dst_slot_of_[dst];
   int v = -1;
   int epos = -1;
   const bool greedy_mode =
       p.mode == 0 && (opts_.policy == RoutingPolicy::kGreedy ||
                       opts_.policy == RoutingPolicy::kGreedyTreeFallback);
-  if (greedy_mode) {
-    pick_greedy(u, dst, v, epos);
-  } else {
-    v = tree_next_hop(dst, u);
-    epos = v >= 0 ? edge_position(u, v) : -1;
-    if (epos < 0) v = -1;
-  }
+  v = greedy_mode ? greedy_hop(ds, u, epos) : tree_hop(ds, u, epos);
   if (v < 0) {
     // Routing void.  The fallback policy reroutes onto the tree.
     if (greedy_mode && opts_.policy == RoutingPolicy::kGreedyTreeFallback) {
-      const int tv = tree_next_hop(dst, u);
-      const int te = tv >= 0 ? edge_position(u, tv) : -1;
-      if (te >= 0) {
+      int te = -1;
+      const int tv = tree_hop(ds, u, te);
+      if (tv >= 0) {
         p.mode = 1;
         p.attempts = 0;
         ++report_.reroutes;
@@ -602,7 +650,7 @@ const TrafficReport& TrafficEngine::run(const TrafficSchedule& schedule,
                                         const TrafficOptions& opts) {
   DIRANT_ASSERT(graph_ != nullptr);  // bind/bind_graph/attach_churn first
   DIRANT_ASSERT(schedule.churn.empty() || churn_ != nullptr);
-  DIRANT_ASSERT(opts.queue_capacity > 0 && opts.ttl > 0);
+  validate_options(opts);
   schedule_ = &schedule;
   opts_ = opts;
 
@@ -619,9 +667,7 @@ const TrafficReport& TrafficEngine::run(const TrafficSchedule& schedule,
 
   // Per-node state.
   battery_.assign(n_, opts.battery.capacity);
-  battery_dead_.assign(n_, 0);
-  qlen_.assign(n_, 0);
-  busy_until_.assign(n_, 0);
+  node_.assign(n_, NodeState{});
   stranded_mask_.assign(n_, 0);
   prev_alive_.assign(n_, 1);
   if (churn_ != nullptr) {
@@ -668,9 +714,8 @@ const TrafficReport& TrafficEngine::run(const TrafficSchedule& schedule,
   }
   rebuild_routes();
 
-  // Seed the event heap.
-  heap_.clear();
-  event_seq_ = 0;
+  // Seed the event queue (wheel or oracle heap, per opts.queue).
+  queue_.reset(opts.queue);
   pool_.clear();
   slot_live_.clear();
   free_slots_.clear();
@@ -683,36 +728,39 @@ const TrafficReport& TrafficEngine::run(const TrafficSchedule& schedule,
     }
   }
 
-  // The loop.  Serial by design: the heap order is a strict total order,
+  // The loop.  Serial by design: the queue pops a strict (tick, seq)
+  // total order — structurally in the wheel, by comparator in the heap —
   // so the run is a pure function of (topology, schedule, seed).
-  while (!heap_.empty()) {
-    const Event e = pop_event();
+  while (!queue_.empty()) {
+    const EventQueue::Item e = queue_.pop();
     ++report_.events;
-    switch (e.kind) {
+    const int a = static_cast<int>(e.data & 0x3fffffffu);
+    switch (static_cast<EventKind>(e.data >> 30)) {
       case EventKind::kInject:
-        handle_inject(e.tick, e.a);
+        handle_inject(e.tick, a);
         break;
       case EventKind::kTransmit: {
-        if (e.a >= static_cast<int>(pool_.size()) || !slot_live_[e.a]) break;
-        Packet& p = pool_[e.a];
-        if (p.gen != static_cast<std::uint32_t>(e.b)) break;  // stale
+        if (a >= static_cast<int>(pool_.size()) || !slot_live_[a]) break;
+        Packet& p = pool_[a];
+        if (p.gen != e.aux) break;  // stale generation
         if (!node_alive(p.node)) {
           const int logical = p.logical;
-          long long* cause = battery_dead_[p.node] ? &report_.drop_battery
-                                                   : &report_.drop_churn;
-          finish_copy(e.a);
+          long long* cause = node_[p.node].battery_dead
+                                 ? &report_.drop_battery
+                                 : &report_.drop_churn;
+          finish_copy(a);
           resolve_logical(logical, cause);
           break;
         }
         if (opts_.policy == RoutingPolicy::kFlood) {
-          handle_flood(e.tick, e.a, p);
+          handle_flood(e.tick, a, p);
         } else {
-          handle_unicast(e.tick, e.a, p);
+          handle_unicast(e.tick, a, p);
         }
         break;
       }
       case EventKind::kChurn:
-        handle_churn(e.tick, e.a);
+        handle_churn(e.tick, a);
         break;
     }
   }

@@ -10,9 +10,11 @@
 /// churn — and how much of it the ARQ layer (retry / timeout / backoff /
 /// reroute) claws back.
 ///
-/// The engine is a timestamped event loop (binary heap over integer ticks,
-/// FIFO tie-break by event sequence number) above a bound transmission
-/// digraph:
+/// The engine is a timestamped event loop (hierarchical timing wheel over
+/// integer ticks — see sim/event_queue.hpp — whose FIFO buckets realise
+/// the (tick, sequence) total order structurally; the classic binary heap
+/// is retained behind `TrafficOptions::queue` as the bit-identical oracle)
+/// above a bound transmission digraph:
 ///
 ///   * **Forwarding queues.**  Every node is a single radio with a finite
 ///     FIFO queue (`TrafficOptions::queue_capacity`).  A packet copy
@@ -67,6 +69,9 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "antenna/orientation.hpp"
@@ -77,8 +82,28 @@
 #include "sim/audit.hpp"
 #include "sim/churn.hpp"
 #include "sim/energy.hpp"
+#include "sim/event_queue.hpp"
 
 namespace dirant::sim {
+
+/// Thrown by TrafficEngine::run when the options are degenerate (zero
+/// service time, zero TTL, a retrying ARQ with no timeout, out-of-range
+/// loss probabilities, ...).  Structured like io::CsvError: `field()`
+/// names the offending knob, and the type still derives from
+/// std::runtime_error for existing catch sites.  Validation happens before
+/// any engine state is touched, so a rejected run leaves the previous
+/// report intact.
+class TrafficOptionsError : public std::runtime_error {
+ public:
+  TrafficOptionsError(std::string field, const std::string& reason)
+      : std::runtime_error("TrafficOptions." + field + ": " + reason),
+        field_(std::move(field)) {}
+
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
+};
 
 enum class RoutingPolicy {
   kFlood,              ///< broadcast to every out-neighbour (no ARQ)
@@ -138,6 +163,11 @@ struct TrafficOptions {
   std::uint64_t service_ticks = 8;  ///< radio airtime per transmission
   int ttl = 64;                  ///< max hops per packet copy
   std::uint64_t seed = 1;
+  /// Event-queue implementation.  The wheel and the heap pop the same
+  /// strict (tick, seq) order, so every TrafficReport field is
+  /// bit-identical between the two — the heap exists as the oracle the
+  /// parity tests and benches compare against.
+  QueueKind queue = QueueKind::kTimingWheel;
 };
 
 /// One unicast flow: `packets` packets from `src` to `dst` (original ids),
@@ -232,14 +262,20 @@ class TrafficEngine {
   void attach_churn(ChurnEngine& eng);
 
   /// Run one simulation.  Returns a reference into engine-owned storage —
-  /// valid until the next run()/bind; copy out to keep.  Never throws on
-  /// degraded delivery: stranded destinations, drops and partial delivery
-  /// are report fields.  Pure function of (topology, schedule, opts) —
-  /// bit-identical across repeats and thread counts.
+  /// valid until the next run()/bind; copy out to keep.  Degenerate
+  /// options throw TrafficOptionsError before any state is touched; after
+  /// that the run never throws on degraded delivery: stranded
+  /// destinations, drops and partial delivery are report fields.  Pure
+  /// function of (topology, schedule, opts) — bit-identical across
+  /// repeats, thread counts and `TrafficOptions::queue` kinds.
   const TrafficReport& run(const TrafficSchedule& schedule,
                            const TrafficOptions& opts);
 
   const TrafficReport& last_report() const { return report_; }
+
+  /// The event core of the last/current run (queue-kind, cascade and
+  /// overflow counters) — observability for tests and benches.
+  const EventQueue& event_queue() const { return queue_; }
 
   /// Remaining battery charge of original node `u` after the last run
   /// (capacity when batteries were disabled).  Never negative.
@@ -262,19 +298,22 @@ class TrafficEngine {
     std::uint32_t gen = 0;  ///< stale-event guard
   };
 
+  static constexpr int kUnknownHop = -2;  ///< route-memo "not yet computed"
+
+  // Event payload packing: the queue carries (tick, data, aux) with
+  // data = kind << 30 | a and aux = packet generation.  `a` is a flow
+  // (kInject), packet slot (kTransmit) or batch index (kChurn) — all
+  // comfortably below 2^30.
   enum class EventKind : std::uint8_t { kInject, kTransmit, kChurn };
 
-  struct Event {
-    std::uint64_t tick = 0;
-    std::uint64_t seq = 0;  ///< FIFO tie-break: strict total order
-    EventKind kind = EventKind::kInject;
-    int a = -1;  ///< flow (kInject) / packet slot (kTransmit) / batch index
-    int b = 0;   ///< packet generation (kTransmit)
-  };
-
   // --- event loop ---
-  void push_event(std::uint64_t tick, EventKind kind, int a, int b);
-  Event pop_event();
+  void push_event(std::uint64_t tick, EventKind kind, int a, int b) {
+    DIRANT_ASSERT(a >= 0 && a < (1 << 30));
+    queue_.push(tick,
+                (static_cast<std::uint32_t>(kind) << 30) |
+                    static_cast<std::uint32_t>(a),
+                static_cast<std::uint32_t>(b));
+  }
   void handle_inject(std::uint64_t now, int flow);
   void handle_churn(std::uint64_t now, int batch);
   void handle_unicast(std::uint64_t now, int slot, Packet& p);
@@ -299,11 +338,17 @@ class TrafficEngine {
   // --- topology view ---
   void refresh_topology();
   void rebuild_routes();
-  int tree_next_hop(int dst, int u) const;
   int edge_position(int u, int v) const;
   void pick_greedy(int u, int dst, int& v, int& edge_pos) const;
+  /// Memoized next hop + CSR edge position for destination slot `s`.
+  /// Both routing rules are pure functions of (topology, positions) —
+  /// deliberately blind to liveness, see pick_greedy — so the first visit
+  /// per (s, u) computes and every later hop is O(1).  Route rebuilds
+  /// reset the memo.
+  int greedy_hop(int s, int u, int& edge_pos);
+  int tree_hop(int s, int u, int& edge_pos);
   const geom::Point& position(int u) const;
-  bool node_alive(int u) const { return alive_[u] != 0; }
+  bool node_alive(int u) const { return node_[u].alive != 0; }
   void drain_transmit_energy(int u);
 
   // --- randomness (one counter stream, advanced in event order) ---
@@ -323,17 +368,21 @@ class TrafficEngine {
   // Original <-> compact maps (identity in static mode).
   std::vector<int> comp_of_, orig_of_;
 
-  // Alive view: churn alive mask AND NOT battery-dead.
-  std::vector<char> alive_, battery_dead_, prev_alive_;
+  /// Hot per-node forwarding state fused into one 16-byte record, so a
+  /// transmit touches one cache line per endpoint instead of three —
+  /// alive is the churn alive mask AND NOT battery-dead.
+  struct NodeState {
+    std::uint64_t busy_until = 0;
+    std::int32_t qlen = 0;
+    std::uint8_t alive = 0;
+    std::uint8_t battery_dead = 0;
+  };
+  std::vector<NodeState> node_;
+  std::vector<char> prev_alive_;
   std::vector<double> battery_, tx_cost_;
 
-  // Per-node forwarding state.
-  std::vector<int> qlen_;
-  std::vector<std::uint64_t> busy_until_;
-
-  // Event heap + packet pool.
-  std::vector<Event> heap_;
-  std::uint64_t event_seq_ = 0;
+  // Event core + packet pool.
+  EventQueue queue_;
   std::vector<Packet> pool_;
   std::vector<int> free_slots_;
   std::vector<char> slot_live_;
@@ -349,10 +398,21 @@ class TrafficEngine {
   std::vector<int> flood_rows_free_, flood_row_of_;
   int flood_row_width_ = 0;
 
-  // Collection trees: per distinct destination, a next-hop array.
+  /// One memoized route step — next hop + CSR edge position fused into
+  /// 8 bytes, so a lookup is one cache-line touch.  `v == kUnknownHop`
+  /// marks an uncomputed greedy cell; `epos == kUnknownHop` an
+  /// uncomputed tree cell (the tree's `v` is filled by rebuild_routes).
+  struct Hop {
+    int v;
+    int epos;
+  };
+
+  // Collection trees + route memos: per distinct destination, one
+  // dsts_.size() x n_ array per routing rule, lazily filled on first
+  // visit and reset whenever routes rebuild.
   std::vector<int> dsts_;          ///< distinct destinations, stable order
   std::vector<int> dst_slot_of_;   ///< orig id -> slot in dsts_ (-1)
-  std::vector<int> tree_next_;     ///< dsts_.size() x n_
+  std::vector<Hop> tree_memo_, greedy_memo_;
   std::vector<int> dist_;          ///< BFS scratch
   graph::BfsScratch bfs_;
   std::vector<std::vector<int>> tree_adj_;  ///< bound recorded tree

@@ -18,9 +18,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <functional>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "common/constants.hpp"
@@ -239,6 +241,8 @@ TEST(Traffic, FloodUnderLossNeverThrowsAndBalances) {
   expect_invariant(rep);
 }
 
+// Repeats are bit-identical under BOTH queue kinds — and the wheel run
+// equals the heap run, the oracle half of the timing-wheel contract.
 TEST(Traffic, RepeatedRunsAreBitIdentical) {
   const auto pts = make_points(70, 42);
   core::PlanSession plan;
@@ -256,10 +260,22 @@ TEST(Traffic, RepeatedRunsAreBitIdentical) {
   opts.arq.max_retries = 5;
   opts.seed = 7;
 
-  sim::TrafficReport first = eng.run(sched, opts);
-  expect_invariant(first);
-  const auto& second = eng.run(sched, opts);
-  expect_reports_equal(first, second, "repeat");
+  bool have_ref = false;
+  sim::TrafficReport ref;
+  for (const auto kind :
+       {sim::QueueKind::kTimingWheel, sim::QueueKind::kBinaryHeap}) {
+    opts.queue = kind;
+    sim::TrafficReport first = eng.run(sched, opts);
+    expect_invariant(first);
+    const auto& second = eng.run(sched, opts);
+    expect_reports_equal(first, second, sim::to_string(kind));
+    if (!have_ref) {
+      ref = first;
+      have_ref = true;
+    } else {
+      expect_reports_equal(ref, first, "wheel vs heap");
+    }
+  }
 }
 
 TEST(Traffic, GilbertElliottIsDeterministic) {
@@ -280,11 +296,15 @@ TEST(Traffic, GilbertElliottIsDeterministic) {
   EXPECT_GT(first.frames_lost + first.acks_lost, 0);
   const auto& second = eng.run(sched, opts);
   expect_reports_equal(first, second, "gilbert-elliott repeat");
+  opts.queue = sim::QueueKind::kBinaryHeap;
+  const auto& oracle = eng.run(sched, opts);
+  expect_reports_equal(first, oracle, "gilbert-elliott wheel vs heap");
 }
 
 // The headline determinism contract: with churn recertification happening
-// mid-run, the whole report is bit-identical at every thread count.  A
-// fresh ChurnEngine per count — a run advances engine state.
+// mid-run, the whole report is bit-identical at every thread count AND
+// under both queue kinds — one shared reference across the whole matrix.
+// A fresh ChurnEngine per run — a run advances engine state.
 TEST(Traffic, ThreadCountParityUnderChurn) {
   const auto pts = make_points(64, 2024);
   const core::ProblemSpec spec{1, 8.0 * kPi / 5.0};
@@ -293,26 +313,30 @@ TEST(Traffic, ThreadCountParityUnderChurn) {
   bool have_ref = false;
   sim::TrafficReport ref;
   for_each_thread_count([&](int threads) {
-    sim::ChurnEngine churn;
-    churn.set_threads(threads);
-    churn.init(pts, spec);
-    const sim::TrafficSchedule sched = make_churn_schedule(churn, endpoints);
+    for (const auto kind :
+         {sim::QueueKind::kTimingWheel, sim::QueueKind::kBinaryHeap}) {
+      sim::ChurnEngine churn;
+      churn.set_threads(threads);
+      churn.init(pts, spec);
+      const sim::TrafficSchedule sched = make_churn_schedule(churn, endpoints);
 
-    sim::TrafficEngine eng;
-    eng.set_threads(threads);
-    eng.attach_churn(churn);
-    sim::TrafficOptions opts;
-    opts.policy = sim::RoutingPolicy::kGreedyTreeFallback;
-    opts.loss = {sim::LossKind::kBernoulli, 0.2, 0, 0, 0};
-    opts.arq.max_retries = 6;
-    opts.seed = 11;
-    const auto& rep = eng.run(sched, opts);
-    expect_invariant(rep);
-    if (!have_ref) {
-      ref = rep;
-      have_ref = true;
-    } else {
-      expect_reports_equal(ref, rep, "thread parity");
+      sim::TrafficEngine eng;
+      eng.set_threads(threads);
+      eng.attach_churn(churn);
+      sim::TrafficOptions opts;
+      opts.policy = sim::RoutingPolicy::kGreedyTreeFallback;
+      opts.loss = {sim::LossKind::kBernoulli, 0.2, 0, 0, 0};
+      opts.arq.max_retries = 6;
+      opts.seed = 11;
+      opts.queue = kind;
+      const auto& rep = eng.run(sched, opts);
+      expect_invariant(rep);
+      if (!have_ref) {
+        ref = rep;
+        have_ref = true;
+      } else {
+        expect_reports_equal(ref, rep, "thread/queue-kind parity");
+      }
     }
   });
 }
@@ -479,12 +503,174 @@ TEST(Traffic, WarmRunIsAllocationFree) {
   opts.loss = {sim::LossKind::kBernoulli, 0.2, 0, 0, 0};
   opts.arq.max_retries = 4;
 
-  (void)eng.run(sched, opts);  // cold: sizes every buffer
-  sim::TrafficReport first = eng.run(sched, opts);  // warm it fully
-  const long long allocs =
-      count_allocations([&] { (void)eng.run(sched, opts); });
-  EXPECT_EQ(allocs, 0) << "warm TrafficEngine::run must not allocate";
-  expect_reports_equal(first, eng.last_report(), "warm repeat");
+  for (const auto kind :
+       {sim::QueueKind::kTimingWheel, sim::QueueKind::kBinaryHeap}) {
+    opts.queue = kind;
+    (void)eng.run(sched, opts);  // cold: sizes every buffer
+    sim::TrafficReport first = eng.run(sched, opts);  // warm it fully
+    const long long allocs =
+        count_allocations([&] { (void)eng.run(sched, opts); });
+    EXPECT_EQ(allocs, 0) << "warm TrafficEngine::run must not allocate ("
+                         << sim::to_string(kind) << ")";
+    expect_reports_equal(first, eng.last_report(), sim::to_string(kind));
+  }
+}
+
+// The acceptance matrix of the timing-wheel PR: loss x churn x thread
+// count, every cell's TrafficReport bit-identical between the wheel and
+// the heap oracle — one shared reference per (loss, churn) scenario.
+TEST(Traffic, QueueKindParityMatrix) {
+  const auto pts = make_points(48, 910);
+  const core::ProblemSpec spec{1, 8.0 * kPi / 5.0};
+  const std::vector<int> endpoints = {0, 1, 2, 3};
+  core::PlanSession plan;
+  const auto& oriented = plan.orient(pts, spec);
+
+  for (const double loss : {0.0, 0.2}) {
+    for (const bool with_churn : {false, true}) {
+      bool have_ref = false;
+      sim::TrafficReport ref;
+      for_each_thread_count([&](int threads) {
+        for (const auto kind :
+             {sim::QueueKind::kTimingWheel, sim::QueueKind::kBinaryHeap}) {
+          sim::ChurnEngine churn;
+          sim::TrafficEngine eng;
+          eng.set_threads(threads);
+          sim::TrafficSchedule sched;
+          if (with_churn) {
+            churn.set_threads(threads);
+            churn.init(pts, spec);
+            sched = make_churn_schedule(churn, endpoints);
+            eng.attach_churn(churn);
+          } else {
+            const int ne = static_cast<int>(endpoints.size());
+            for (int i = 0; i < ne; ++i) {
+              sched.flows.push_back({endpoints[i], 47 - endpoints[i], 10,
+                                     10 * std::uint64_t(i), 60});
+            }
+            eng.bind(pts, oriented.orientation);
+          }
+          sim::TrafficOptions opts;
+          opts.policy = sim::RoutingPolicy::kGreedyTreeFallback;
+          if (loss > 0.0) {
+            opts.loss = {sim::LossKind::kBernoulli, loss, 0, 0, 0};
+          }
+          opts.arq.max_retries = 5;
+          opts.seed = 23;
+          opts.queue = kind;
+          const auto& rep = eng.run(sched, opts);
+          expect_invariant(rep);
+          if (!have_ref) {
+            ref = rep;
+            have_ref = true;
+          } else {
+            expect_reports_equal(ref, rep, "queue-kind parity matrix");
+          }
+        }
+      });
+    }
+  }
+}
+
+// ARQ timeouts past the 2^24-tick wheel span: every retry parks in the
+// overflow heap and cascades back through the upper wheels, under 20%
+// loss — and the report still matches the heap oracle bit for bit.
+TEST(Traffic, LongHorizonBackoffForcesOverflow) {
+  const auto pts = make_points(40, 4096);
+  core::PlanSession plan;
+  const auto& result = plan.orient(pts, core::ProblemSpec{2, kPi});
+  sim::TrafficEngine eng;
+  eng.bind(pts, result.orientation);
+
+  sim::TrafficSchedule sched;
+  for (int i = 0; i < 4; ++i) {
+    sched.flows.push_back({i, 39 - i, 6, 7 * std::uint64_t(i), 90});
+  }
+  sim::TrafficOptions opts;
+  opts.policy = sim::RoutingPolicy::kGreedyTreeFallback;
+  opts.loss = {sim::LossKind::kBernoulli, 0.2, 0, 0, 0};
+  opts.arq.max_retries = 5;
+  opts.arq.ack_timeout = (1ull << 24) + 123;  // beyond the wheel span
+  opts.seed = 13;
+
+  const sim::TrafficReport wheel = eng.run(sched, opts);
+  expect_invariant(wheel);
+  EXPECT_GT(wheel.frames_lost, 0);
+  EXPECT_GT(eng.event_queue().parked(), 0u)
+      << "retries must traverse the overflow heap";
+  EXPECT_GT(eng.event_queue().cascaded(), 0u)
+      << "drained retries must cascade down the upper wheels";
+
+  opts.queue = sim::QueueKind::kBinaryHeap;
+  const auto& oracle = eng.run(sched, opts);
+  expect_reports_equal(wheel, oracle, "long-horizon wheel vs heap");
+}
+
+// Degenerate knobs are rejected with a structured error naming the field,
+// before any engine state is touched — the previous report survives.
+TEST(Traffic, OptionValidationRejectsDegenerateKnobs) {
+  std::vector<geom::Point> pts;
+  const graph::Digraph g = make_path(3, pts);
+  sim::TrafficEngine eng;
+  eng.bind_graph(g, pts);
+  sim::TrafficSchedule sched;
+  sched.flows.push_back({0, 2, 1, 0, 1});
+
+  sim::TrafficOptions good;
+  good.policy = sim::RoutingPolicy::kGreedy;
+  const sim::TrafficReport before = eng.run(sched, good);
+  EXPECT_EQ(before.delivered, 1);
+
+  const auto expect_rejected =
+      [&](const char* field,
+          const std::function<void(sim::TrafficOptions&)>& mutate) {
+        sim::TrafficOptions opts = good;
+        mutate(opts);
+        try {
+          (void)eng.run(sched, opts);
+          FAIL() << "expected TrafficOptionsError for " << field;
+        } catch (const sim::TrafficOptionsError& e) {
+          EXPECT_EQ(e.field(), field);
+          EXPECT_NE(std::string(e.what()).find(field), std::string::npos);
+        }
+        // Validation precedes all mutation: the last report is intact.
+        expect_reports_equal(before, eng.last_report(), field);
+      };
+
+  expect_rejected("queue_capacity",
+                  [](sim::TrafficOptions& o) { o.queue_capacity = 0; });
+  expect_rejected("ttl", [](sim::TrafficOptions& o) { o.ttl = -1; });
+  expect_rejected("service_ticks",
+                  [](sim::TrafficOptions& o) { o.service_ticks = 0; });
+  expect_rejected("arq.max_retries",
+                  [](sim::TrafficOptions& o) { o.arq.max_retries = -1; });
+  expect_rejected("arq.ack_timeout", [](sim::TrafficOptions& o) {
+    o.arq.max_retries = 3;
+    o.arq.ack_timeout = 0;
+  });
+  expect_rejected("loss.p", [](sim::TrafficOptions& o) {
+    o.loss.kind = sim::LossKind::kBernoulli;
+    o.loss.p = 1.5;
+  });
+  expect_rejected("loss.p_bad", [](sim::TrafficOptions& o) {
+    o.loss.kind = sim::LossKind::kGilbertElliott;
+    o.loss.p_bad = -0.1;
+  });
+  expect_rejected("loss.p_good_to_bad", [](sim::TrafficOptions& o) {
+    o.loss.kind = sim::LossKind::kGilbertElliott;
+    o.loss.p_good_to_bad = std::nan("");
+  });
+  expect_rejected("battery.capacity",
+                  [](sim::TrafficOptions& o) { o.battery.capacity = -1.0; });
+  expect_rejected("battery.per_packet_scale", [](sim::TrafficOptions& o) {
+    o.battery.per_packet_scale = std::nan("");
+  });
+
+  // No-retry ARQ with a zero timeout is fine: the timeout is never armed.
+  sim::TrafficOptions noretry = good;
+  noretry.arq.max_retries = 0;
+  noretry.arq.ack_timeout = 0;
+  EXPECT_NO_THROW((void)eng.run(sched, noretry));
 }
 
 }  // namespace
